@@ -1,0 +1,64 @@
+//! Bench for the coherence substrate: probe-filter throughput under a
+//! mixed CPU/GPU sharing pattern, and scoped software-coherence
+//! release/acquire cost — the hardware-vs-software coherence tradeoff of
+//! Section IV.D.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use ehp_coherence::probe_filter::ProbeFilter;
+use ehp_coherence::scope::{ScopeTracker, SyncScope};
+use ehp_sim_core::ids::AgentId;
+use ehp_sim_core::rng::SplitMix64;
+
+fn bench_probe_filter(c: &mut Criterion) {
+    let mut g = c.benchmark_group("probe_filter");
+    for sharing in ["private", "shared"] {
+        g.bench_with_input(BenchmarkId::from_parameter(sharing), &sharing, |b, &s| {
+            b.iter(|| {
+                let mut pf = ProbeFilter::new();
+                let mut rng = SplitMix64::new(3);
+                for i in 0..50_000u64 {
+                    let agent = AgentId((i % 4) as u32);
+                    let line = if s == "private" {
+                        // Each agent owns its own region: no probes.
+                        (u64::from(agent.0) << 32) | (rng.next_below(256) * 64)
+                    } else {
+                        // All agents fight over 256 lines.
+                        rng.next_below(256) * 64
+                    };
+                    if rng.chance(0.3) {
+                        pf.write(agent, line);
+                    } else {
+                        pf.read(agent, line);
+                    }
+                }
+                black_box(pf.probes_sent())
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_scoped(c: &mut Criterion) {
+    c.bench_function("scoped_release_acquire", |b| {
+        b.iter(|| {
+            let mut t = ScopeTracker::new();
+            let (p, q) = (AgentId(0), AgentId(1));
+            for round in 0..100u64 {
+                for l in 0..64u64 {
+                    t.record_write(p, round * 64 + l);
+                    t.record_read(q, round * 64 + l);
+                }
+                t.release(p, SyncScope::System);
+                t.acquire(q, SyncScope::System);
+            }
+            black_box((t.flushes(), t.invalidations()))
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_probe_filter, bench_scoped
+}
+criterion_main!(benches);

@@ -1,0 +1,88 @@
+//! Dispatch benches and ablations:
+//! * `dispatch_policy` — workgroup-placement policy ablation
+//!   (round-robin vs block vs chunked; Section VI.A's configurable
+//!   tradeoff).
+//! * `dispatch_scaling` — per-chiplet schedulers: workgroup scheduling
+//!   throughput as XCDs are added (the paper's argument for not using a
+//!   separate scheduling chiplet).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use ehp_dispatch::ace::WorkgroupPolicy;
+use ehp_dispatch::aql::AqlPacket;
+use ehp_dispatch::dispatcher::{DispatcherConfig, MultiXcdDispatcher};
+use ehp_dispatch::multiqueue::{Arbitration, QueueArbiter};
+use ehp_dispatch::queue::UserQueue;
+use ehp_sim_core::time::Cycle;
+
+fn bench_policy(c: &mut Criterion) {
+    let pkt = AqlPacket::dispatch_1d(65_536 * 64, 64); // 65,536 workgroups
+    let mut g = c.benchmark_group("dispatch_policy");
+    for (label, policy) in [
+        ("round_robin", WorkgroupPolicy::RoundRobin),
+        ("block_contiguous", WorkgroupPolicy::BlockContiguous),
+        ("chunked_16", WorkgroupPolicy::Chunked { chunk: 16 }),
+    ] {
+        g.bench_with_input(BenchmarkId::from_parameter(label), &policy, |b, &policy| {
+            b.iter(|| {
+                let cfg = DispatcherConfig::mi300a_partition().with_policy(policy);
+                let run = MultiXcdDispatcher::new(cfg).dispatch(&pkt, |wg| 500 + (wg % 13) * 20);
+                black_box(run.completion_at)
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_scaling(c: &mut Criterion) {
+    let pkt = AqlPacket::dispatch_1d(65_536 * 64, 64);
+    let mut g = c.benchmark_group("dispatch_scaling");
+    for xcds in [1u32, 2, 4, 6, 8] {
+        g.bench_with_input(BenchmarkId::from_parameter(xcds), &xcds, |b, &xcds| {
+            b.iter(|| {
+                let cfg = DispatcherConfig {
+                    xcds,
+                    ..DispatcherConfig::mi300a_partition()
+                };
+                let run = MultiXcdDispatcher::new(cfg).dispatch(&pkt, |_| 500);
+                black_box(run.last_retire)
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_multiqueue(c: &mut Criterion) {
+    let mut g = c.benchmark_group("multiqueue_arbitration");
+    for (label, policy) in [
+        ("round_robin", Arbitration::RoundRobin),
+        ("strict_priority", Arbitration::StrictPriority),
+    ] {
+        g.bench_with_input(BenchmarkId::from_parameter(label), &policy, |b, &policy| {
+            b.iter(|| {
+                let mut queues: Vec<UserQueue> = (0..8)
+                    .map(|_| {
+                        let mut q = UserQueue::new(16).expect("queue");
+                        for _ in 0..8 {
+                            q.submit(&AqlPacket::dispatch_1d(2048, 64)).expect("space");
+                        }
+                        q
+                    })
+                    .collect();
+                let mut d = MultiXcdDispatcher::new(DispatcherConfig::mi300a_partition());
+                let mut arb = QueueArbiter::new(policy);
+                black_box(
+                    arb.drain(Cycle(0), &mut queues, &mut d, |_, _| 500)
+                        .expect("drains"),
+                )
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_policy, bench_scaling, bench_multiqueue
+}
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Fabric benches: transfer simulation over the MI300 package versus the
+//! EHPv4 organisation (the Figure 4 comparison as a running system).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use ehp_fabric::fabric::FabricSim;
+use ehp_fabric::topology::{NodeKey, Topology};
+use ehp_sim_core::rng::SplitMix64;
+use ehp_sim_core::time::SimTime;
+use ehp_sim_core::units::Bytes;
+
+fn drive(fab: &mut FabricSim, chiplets: &[u32], stacks: u32, sends: u32, seed: u64) -> SimTime {
+    let mut rng = SplitMix64::new(seed);
+    let mut last = SimTime::ZERO;
+    for _ in 0..sends {
+        let c = chiplets[rng.next_below(chiplets.len() as u64) as usize];
+        let s = rng.next_below(u64::from(stacks)) as u32;
+        let t = fab
+            .send(
+                SimTime::ZERO,
+                NodeKey::Chiplet(c),
+                NodeKey::HbmStack(s),
+                Bytes::from_kib(4),
+            )
+            .expect("reachable");
+        if t.completed > last {
+            last = t.completed;
+        }
+    }
+    last
+}
+
+fn bench_packages(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fabric_uniform_traffic");
+    let cases: [(&str, fn() -> Topology, Vec<u32>); 2] = [
+        ("mi300a", || Topology::mi300_package(2, 3), (0..6).collect()),
+        ("ehpv4", Topology::ehpv4_package, vec![2, 3, 4, 5]),
+    ];
+    for (label, topo_fn, chiplets) in cases {
+        g.bench_with_input(BenchmarkId::from_parameter(label), &label, |b, _| {
+            b.iter(|| {
+                let mut fab = FabricSim::new(topo_fn());
+                black_box(drive(&mut fab, &chiplets, 8, 5_000, 11))
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_packages
+}
+criterion_main!(benches);

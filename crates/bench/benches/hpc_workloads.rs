@@ -1,0 +1,31 @@
+//! Bench for **Figure 20**: the HPC workload models on both machine
+//! models. Asserts the headline shape (every workload speeds up;
+//! OpenFOAM wins biggest) while measuring evaluation cost.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use ehp_workloads::hpc::{figure20, HpcWorkload, MachineModel};
+
+fn bench_figure20(c: &mut Criterion) {
+    // Shape guard before timing anything.
+    let rows = figure20();
+    assert!(rows.iter().all(|r| r.speedup > 1.0));
+    let best = rows.iter().max_by(|a, b| a.speedup.total_cmp(&b.speedup)).unwrap();
+    assert_eq!(best.workload, "OpenFOAM");
+
+    c.bench_function("figure20/all_rows", |b| {
+        b.iter(|| black_box(figure20()));
+    });
+
+    let mut g = c.benchmark_group("figure20/per_workload");
+    for w in HpcWorkload::figure20_set() {
+        g.bench_with_input(BenchmarkId::from_parameter(w.name), &w, |b, w| {
+            let m250 = MachineModel::mi250x();
+            let m300 = MachineModel::mi300a();
+            b.iter(|| black_box((m250.run(w), m300.run(w))));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_figure20);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Bench for **Figure 21**: Llama-2 70B inference latency estimation
+//! across platform/stack combinations, plus a token-length sweep.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use ehp_workloads::llm::{
+    estimate_latency, figure21, GpuPlatform, InferenceConfig, SoftwareStack, WeightPrecision,
+};
+
+fn bench_figure21(c: &mut Criterion) {
+    // Shape guard.
+    let rows = figure21();
+    assert!(rows[0].mi300x_advantage.unwrap() > 2.0);
+    assert!(rows[2].mi300x_advantage.unwrap() > 1.0);
+
+    c.bench_function("figure21/all_scenarios", |b| {
+        b.iter(|| black_box(figure21()));
+    });
+
+    let mut g = c.benchmark_group("figure21/output_length_sweep");
+    for tokens_out in [32u32, 128, 512, 2048] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(tokens_out),
+            &tokens_out,
+            |b, &n| {
+                let platform = GpuPlatform::mi300x_platform();
+                let stack = SoftwareStack::vllm_rocm();
+                b.iter(|| {
+                    let mut cfg = InferenceConfig::llama2_70b(WeightPrecision::Fp16);
+                    cfg.tokens_out = n;
+                    black_box(estimate_latency(&platform, &stack, &cfg).expect("fits"))
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_figure21);
+criterion_main!(benches);

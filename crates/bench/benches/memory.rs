@@ -1,0 +1,115 @@
+//! Memory-subsystem benches and ablations:
+//! * `icache_sweep` — Infinity Cache on/off and capacity sweep
+//!   (bandwidth-amplification ablation, Section IV.D).
+//! * `interleave_sweep` — stack-granule size and hashed-vs-linear stack
+//!   selection (the "4 KB hashed" design point).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use ehp_mem::channel::ChannelConfig;
+use ehp_mem::interleave::InterleaveConfig;
+use ehp_mem::request::MemRequest;
+use ehp_mem::subsystem::{MemConfig, MemorySubsystem};
+use ehp_mem::trace::{replay, Pattern, TraceConfig};
+use ehp_sim_core::rng::SplitMix64;
+use ehp_sim_core::time::SimTime;
+use ehp_sim_core::units::Bytes;
+
+fn drive(mem: &mut MemorySubsystem, accesses: u64, footprint: u64, seed: u64) -> SimTime {
+    let mut rng = SplitMix64::new(seed);
+    let mut t = SimTime::ZERO;
+    for i in 0..accesses {
+        // 70% sequential within a working set, 30% random.
+        let addr = if rng.chance(0.7) {
+            (i * 128) % footprint
+        } else {
+            rng.next_below(footprint) & !127
+        };
+        let resp = mem.access(SimTime::ZERO, MemRequest::read(addr, 128));
+        if resp.completes_at > t {
+            t = resp.completes_at;
+        }
+    }
+    t
+}
+
+fn bench_icache_sweep(c: &mut Criterion) {
+    let mut g = c.benchmark_group("icache_sweep");
+    for slice_mib in [0u64, 1, 2, 4] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{slice_mib}MiB_slice")),
+            &slice_mib,
+            |b, &mib| {
+                b.iter(|| {
+                    let mut ch = ChannelConfig::mi300();
+                    ch.icache_capacity = (mib > 0).then(|| Bytes::from_mib(mib));
+                    let mut mem = MemorySubsystem::new(MemConfig {
+                        interleave: InterleaveConfig::mi300(),
+                        channel: ch,
+                    });
+                    black_box(drive(&mut mem, 20_000, 1 << 26, 42))
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_interleave_sweep(c: &mut Criterion) {
+    let mut g = c.benchmark_group("interleave_sweep");
+    for (label, granule, hashed) in [
+        ("1KiB_hashed", 1024u64, true),
+        ("4KiB_hashed", 4096, true),
+        ("4KiB_linear", 4096, false),
+        ("64KiB_hashed", 65536, true),
+    ] {
+        g.bench_with_input(BenchmarkId::from_parameter(label), &label, |b, _| {
+            b.iter(|| {
+                let mut il = InterleaveConfig::mi300();
+                il.stack_granule = granule;
+                il.hashed = hashed;
+                let mut mem = MemorySubsystem::new(MemConfig {
+                    interleave: il,
+                    channel: ChannelConfig::mi300(),
+                });
+                black_box(drive(&mut mem, 20_000, 1 << 28, 7))
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_trace_patterns(c: &mut Criterion) {
+    let mut g = c.benchmark_group("trace_patterns");
+    let patterns: [(&str, Pattern); 4] = [
+        ("sequential", Pattern::Sequential),
+        ("random", Pattern::Random),
+        (
+            "hot_95",
+            Pattern::Hot {
+                hot_fraction: 0.95,
+                hot_bytes: 512 << 10,
+            },
+        ),
+        ("pointer_chase", Pattern::PointerChase),
+    ];
+    for (label, pattern) in patterns {
+        g.bench_with_input(BenchmarkId::from_parameter(label), &pattern, |b, &p| {
+            b.iter(|| {
+                let mut mem = MemorySubsystem::new(MemConfig::mi300_hbm3());
+                let cfg = TraceConfig {
+                    accesses: 10_000,
+                    ..TraceConfig::new(p)
+                };
+                black_box(replay(&mut mem, &cfg))
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_icache_sweep, bench_interleave_sweep, bench_trace_patterns
+}
+criterion_main!(benches);

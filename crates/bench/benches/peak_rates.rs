@@ -1,0 +1,46 @@
+//! Bench for **Table 1 / Figure 19**: peak-rate queries and uplift
+//! computation across the whole product matrix. Fast by construction;
+//! the bench guards the arithmetic against regressions and measures the
+//! spec-sheet evaluation cost.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ehp_compute::cu::GpuArch;
+use ehp_compute::dtype::{DataType, ExecUnit, Sparsity};
+use ehp_core::products::Product;
+
+fn bench_table1(c: &mut Criterion) {
+    c.bench_function("table1/full_matrix_query", |b| {
+        b.iter(|| {
+            let mut sum = 0u64;
+            for arch in [GpuArch::Cdna2, GpuArch::Cdna3] {
+                for unit in [ExecUnit::Vector, ExecUnit::Matrix] {
+                    for dt in DataType::ALL {
+                        sum += arch.ops_per_clock(unit, dt).unwrap_or(0);
+                        sum += arch
+                            .ops_per_clock_sparse(unit, dt, Sparsity::FourTwo)
+                            .unwrap_or(0);
+                    }
+                }
+            }
+            black_box(sum)
+        });
+    });
+}
+
+fn bench_figure19(c: &mut Criterion) {
+    c.bench_function("figure19/uplift_all_products", |b| {
+        let base = Product::Mi250x.spec();
+        b.iter(|| {
+            let mut acc = 0.0;
+            for p in Product::SHIPPING {
+                let u = p.spec().uplift_over(&base);
+                acc += u.memory_bandwidth + u.memory_capacity + u.io_bandwidth;
+                acc += u.fp16_matrix.unwrap_or(0.0);
+            }
+            black_box(acc)
+        });
+    });
+}
+
+criterion_group!(benches, bench_table1, bench_figure19);
+criterion_main!(benches);

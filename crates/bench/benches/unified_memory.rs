@@ -1,0 +1,39 @@
+//! Bench for **Figures 14/15**: the three execution models and the
+//! fine-grained overlap variant across problem sizes.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use ehp_core::progmodel::{ExecutionModel, WorkloadShape};
+
+fn bench_models(c: &mut Criterion) {
+    let shape = WorkloadShape::vector_scale(64 << 20);
+    // Shape guard: APU < discrete < CPU-only for this workload.
+    let cpu = ExecutionModel::cpu_only().run(&shape).total();
+    let disc = ExecutionModel::discrete_mi250x().run(&shape).total();
+    let apu = ExecutionModel::apu_mi300a().run(&shape).total();
+    assert!(apu < disc && disc < cpu);
+
+    let mut g = c.benchmark_group("figure14/models");
+    let models: [(&str, ExecutionModel); 3] = [
+        ("cpu_only", ExecutionModel::cpu_only()),
+        ("discrete", ExecutionModel::discrete_mi250x()),
+        ("apu", ExecutionModel::apu_mi300a()),
+    ];
+    for (label, model) in models {
+        g.bench_with_input(BenchmarkId::from_parameter(label), &model, |b, m| {
+            b.iter(|| black_box(m.run(&shape).total()));
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("figure15/overlap");
+    for chunks in [1u32, 8, 64] {
+        g.bench_with_input(BenchmarkId::from_parameter(chunks), &chunks, |b, &n| {
+            let apu = ExecutionModel::apu_mi300a();
+            b.iter(|| black_box(apu.run_overlapped(&shape, n).total()));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_models);
+criterion_main!(benches);

@@ -1,0 +1,14 @@
+//! # ehp-bench
+//!
+//! Experiment harness: one binary per table/figure of the paper (run
+//! `cargo run -p ehp-bench --bin table1`, `--bin figure20`, …) plus the
+//! Criterion benches under `benches/`. The binaries print the same
+//! rows/series the paper reports and optionally dump JSON next to the
+//! text output.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod report;
+
+pub use report::Report;

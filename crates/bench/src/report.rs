@@ -1,0 +1,94 @@
+//! Plain-text + JSON experiment reports.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::PathBuf;
+
+use serde::Serialize;
+
+/// A simple experiment report: titled sections of aligned rows, plus an
+/// optional JSON payload written under `target/figures/`.
+#[derive(Debug, Default)]
+pub struct Report {
+    name: String,
+    text: String,
+}
+
+impl Report {
+    /// Starts a report for an experiment id (e.g. `"figure20"`).
+    #[must_use]
+    pub fn new(name: &str) -> Report {
+        let mut r = Report {
+            name: name.to_string(),
+            text: String::new(),
+        };
+        let bar = "=".repeat(64);
+        let _ = writeln!(r.text, "{bar}\n{name}\n{bar}");
+        r
+    }
+
+    /// Adds a section header.
+    pub fn section(&mut self, title: &str) {
+        let _ = writeln!(self.text, "\n-- {title} --");
+    }
+
+    /// Adds one row of text.
+    pub fn row(&mut self, line: impl AsRef<str>) {
+        let _ = writeln!(self.text, "{}", line.as_ref());
+    }
+
+    /// Adds a `key: value` row with padding.
+    pub fn kv(&mut self, key: &str, value: impl std::fmt::Display) {
+        let _ = writeln!(self.text, "  {key:<42} {value}");
+    }
+
+    /// The accumulated text.
+    #[must_use]
+    pub fn text(&self) -> &str {
+        &self.text
+    }
+
+    /// Prints the report to stdout.
+    pub fn print(&self) {
+        println!("{}", self.text);
+    }
+
+    /// Writes a JSON payload to `target/figures/<name>.json`; failures
+    /// are reported to stderr but not fatal (the text output is the
+    /// deliverable).
+    pub fn dump_json<T: Serialize>(&self, payload: &T) {
+        let dir = PathBuf::from("target/figures");
+        if let Err(e) = fs::create_dir_all(&dir) {
+            eprintln!("warning: cannot create {}: {e}", dir.display());
+            return;
+        }
+        let path = dir.join(format!("{}.json", self.name));
+        match serde_json::to_string_pretty(payload) {
+            Ok(s) => {
+                if let Err(e) = fs::write(&path, s) {
+                    eprintln!("warning: cannot write {}: {e}", path.display());
+                }
+            }
+            Err(e) => eprintln!("warning: cannot serialise {}: {e}", self.name),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_accumulates_text() {
+        let mut r = Report::new("test");
+        r.section("s1");
+        r.kv("key", 42);
+        r.row("plain");
+        let t = r.text();
+        assert!(t.contains("test"));
+        assert!(t.contains("-- s1 --"));
+        assert!(t.contains("key"));
+        assert!(t.contains("42"));
+        assert!(t.contains("plain"));
+    }
+}

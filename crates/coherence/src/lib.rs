@@ -1,0 +1,29 @@
+//! # ehp-coherence
+//!
+//! Cache-coherence substrate for the APU's unified memory.
+//!
+//! The paper (Section IV.D): *"The CPUs are hardware coherent with all
+//! CPUs and GPUs using the same type of probe filter-based coherence
+//! protocol as in EPYC CPUs. The GPUs are software-coherent to GPUs in
+//! other sockets (to reduce hardware coherence bandwidth needs) and
+//! directory-based hardware coherent within a socket using a slightly
+//! simpler protocol than the CPUs use."*
+//!
+//! Two models live here:
+//! * [`probe_filter`] — a MESI-style directory ("probe filter") tracking
+//!   owner/sharers per line, with the single-writer-multiple-reader
+//!   invariant enforced and verified.
+//! * [`scope`] — GPU scoped software coherence: acquire/release
+//!   operations at workgroup/device/system scope, counting the flushes
+//!   and invalidations that the hardware-coherent CPU path avoids.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod multisocket;
+pub mod probe_filter;
+pub mod scope;
+
+pub use multisocket::{AgentClass, MultiSocketCoherence, NodeAccess, NodeCoherenceConfig};
+pub use probe_filter::{CoherenceAction, DataSource, LineState, ProbeFilter};
+pub use scope::{ScopeTracker, SyncScope};

@@ -1,0 +1,292 @@
+//! The CDNA compute unit (CU) model and the Table 1 throughput rates.
+
+use ehp_sim_core::time::Frequency;
+use ehp_sim_core::units::Bytes;
+
+use crate::dtype::{DataType, ExecUnit, Sparsity};
+
+/// GPU compute architecture generation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GpuArch {
+    /// CDNA 2 (MI250X's GCDs).
+    Cdna2,
+    /// CDNA 3 (MI300's XCDs).
+    Cdna3,
+}
+
+impl GpuArch {
+    /// Peak operations-per-clock-per-CU for dense operands — exactly
+    /// Table 1 of the paper. `None` marks the "n/a" cells (no hardware
+    /// support).
+    #[must_use]
+    pub fn ops_per_clock(self, unit: ExecUnit, dtype: DataType) -> Option<u64> {
+        use DataType::*;
+        use ExecUnit::*;
+        match (self, unit, dtype) {
+            (GpuArch::Cdna2, Vector, Fp64) => Some(128),
+            (GpuArch::Cdna2, Vector, Fp32) => Some(128),
+            (GpuArch::Cdna2, Vector, _) => None,
+            (GpuArch::Cdna2, Matrix, Fp64) => Some(256),
+            (GpuArch::Cdna2, Matrix, Fp32) => Some(256),
+            (GpuArch::Cdna2, Matrix, Tf32) => None,
+            (GpuArch::Cdna2, Matrix, Fp16) => Some(1024),
+            (GpuArch::Cdna2, Matrix, Bf16) => Some(1024),
+            (GpuArch::Cdna2, Matrix, Fp8) => None,
+            (GpuArch::Cdna2, Matrix, Int8) => Some(1024),
+
+            (GpuArch::Cdna3, Vector, Fp64) => Some(128),
+            (GpuArch::Cdna3, Vector, Fp32) => Some(256),
+            (GpuArch::Cdna3, Vector, _) => None,
+            (GpuArch::Cdna3, Matrix, Fp64) => Some(256),
+            (GpuArch::Cdna3, Matrix, Fp32) => Some(256),
+            (GpuArch::Cdna3, Matrix, Tf32) => Some(1024),
+            (GpuArch::Cdna3, Matrix, Fp16) => Some(2048),
+            (GpuArch::Cdna3, Matrix, Bf16) => Some(2048),
+            (GpuArch::Cdna3, Matrix, Fp8) => Some(4096),
+            (GpuArch::Cdna3, Matrix, Int8) => Some(4096),
+        }
+    }
+
+    /// Peak rate including structured sparsity: CDNA 3's matrix cores
+    /// support 4:2 sparsity, reaching 8192 ops/clock/CU for FP8 and INT8.
+    #[must_use]
+    pub fn ops_per_clock_sparse(
+        self,
+        unit: ExecUnit,
+        dtype: DataType,
+        sparsity: Sparsity,
+    ) -> Option<u64> {
+        let dense = self.ops_per_clock(unit, dtype)?;
+        match (self, unit, sparsity) {
+            (GpuArch::Cdna3, ExecUnit::Matrix, Sparsity::FourTwo) => Some(dense * 2),
+            (_, _, Sparsity::FourTwo) => None, // unsupported elsewhere
+            (_, _, Sparsity::Dense) => Some(dense),
+        }
+    }
+
+    /// L1 data cache line size: CDNA 3 widened it to 128 B ("the L1 data
+    /// cache line size has been increased to 128B").
+    #[must_use]
+    pub fn l1_line_bytes(self) -> u64 {
+        match self {
+            GpuArch::Cdna2 => 64,
+            GpuArch::Cdna3 => 128,
+        }
+    }
+
+    /// Relative L1 data-path width (CDNA 3 "effectively doubling the
+    /// cache bandwidth compared to the CDNA 2 architecture").
+    #[must_use]
+    pub fn l1_bandwidth_factor(self) -> f64 {
+        match self {
+            GpuArch::Cdna2 => 1.0,
+            GpuArch::Cdna3 => 2.0,
+        }
+    }
+}
+
+/// Static parameters of one CU.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CuSpec {
+    /// Architecture generation.
+    pub arch: GpuArch,
+    /// Core clock.
+    pub clock: Frequency,
+    /// L1 data cache capacity (32 KB).
+    pub l1d: Bytes,
+    /// Local Data Share capacity (64 KB).
+    pub lds: Bytes,
+    /// Instruction cache shared between a CU pair (64 KB, 8-way).
+    pub shared_icache: Bytes,
+}
+
+impl CuSpec {
+    /// CDNA 3 CU as in MI300 (2.1 GHz class clocks).
+    #[must_use]
+    pub fn cdna3() -> CuSpec {
+        CuSpec {
+            arch: GpuArch::Cdna3,
+            clock: Frequency::from_ghz(2.1),
+            l1d: Bytes::from_kib(32),
+            lds: Bytes::from_kib(64),
+            shared_icache: Bytes::from_kib(64),
+        }
+    }
+
+    /// CDNA 2 CU as in MI250X (1.7 GHz class clocks).
+    #[must_use]
+    pub fn cdna2() -> CuSpec {
+        CuSpec {
+            arch: GpuArch::Cdna2,
+            clock: Frequency::from_ghz(1.7),
+            l1d: Bytes::from_kib(32),
+            lds: Bytes::from_kib(64),
+            shared_icache: Bytes::from_kib(32),
+        }
+    }
+}
+
+/// A compute unit: spec plus derived peak rates.
+///
+/// # Example
+///
+/// ```
+/// use ehp_compute::cu::{CuModel, CuSpec};
+/// use ehp_compute::dtype::{DataType, ExecUnit};
+///
+/// let cu = CuModel::new(CuSpec::cdna3());
+/// let fp64 = cu.peak_flops(ExecUnit::Matrix, DataType::Fp64).unwrap();
+/// assert!((fp64 / 1e9 - 537.6).abs() < 1.0); // 256 ops/clk * 2.1 GHz
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CuModel {
+    spec: CuSpec,
+}
+
+impl CuModel {
+    /// Wraps a spec.
+    #[must_use]
+    pub fn new(spec: CuSpec) -> CuModel {
+        CuModel { spec }
+    }
+
+    /// The spec.
+    #[must_use]
+    pub fn spec(&self) -> &CuSpec {
+        &self.spec
+    }
+
+    /// Peak dense ops/second for a unit/datatype; `None` if unsupported.
+    #[must_use]
+    pub fn peak_flops(&self, unit: ExecUnit, dtype: DataType) -> Option<f64> {
+        self.spec
+            .arch
+            .ops_per_clock(unit, dtype)
+            .map(|ops| ops as f64 * self.spec.clock.as_hz())
+    }
+
+    /// Peak ops/second with a sparsity mode.
+    #[must_use]
+    pub fn peak_flops_sparse(
+        &self,
+        unit: ExecUnit,
+        dtype: DataType,
+        sparsity: Sparsity,
+    ) -> Option<f64> {
+        self.spec
+            .arch
+            .ops_per_clock_sparse(unit, dtype, sparsity)
+            .map(|ops| ops as f64 * self.spec.clock.as_hz())
+    }
+
+    /// Cycles to retire `ops` operations of the given kind, assuming full
+    /// pipeline utilisation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the datatype/unit is unsupported on this architecture.
+    #[must_use]
+    pub fn cycles_for_ops(&self, unit: ExecUnit, dtype: DataType, ops: u64) -> u64 {
+        let rate = self
+            .spec
+            .arch
+            .ops_per_clock(unit, dtype)
+            .unwrap_or_else(|| panic!("{dtype} on {unit} unsupported by {:?}", self.spec.arch));
+        ops.div_ceil(rate)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The full Table 1, transcribed row-by-row as the ground truth.
+    #[test]
+    fn table1_is_reproduced_exactly() {
+        use DataType::*;
+        let rows: [(GpuArch, ExecUnit, DataType, Option<u64>); 18] = [
+            (GpuArch::Cdna2, ExecUnit::Vector, Fp64, Some(128)),
+            (GpuArch::Cdna2, ExecUnit::Vector, Fp32, Some(128)),
+            (GpuArch::Cdna2, ExecUnit::Matrix, Fp64, Some(256)),
+            (GpuArch::Cdna2, ExecUnit::Matrix, Fp32, Some(256)),
+            (GpuArch::Cdna2, ExecUnit::Matrix, Tf32, None),
+            (GpuArch::Cdna2, ExecUnit::Matrix, Fp16, Some(1024)),
+            (GpuArch::Cdna2, ExecUnit::Matrix, Bf16, Some(1024)),
+            (GpuArch::Cdna2, ExecUnit::Matrix, Fp8, None),
+            (GpuArch::Cdna2, ExecUnit::Matrix, Int8, Some(1024)),
+            (GpuArch::Cdna3, ExecUnit::Vector, Fp64, Some(128)),
+            (GpuArch::Cdna3, ExecUnit::Vector, Fp32, Some(256)),
+            (GpuArch::Cdna3, ExecUnit::Matrix, Fp64, Some(256)),
+            (GpuArch::Cdna3, ExecUnit::Matrix, Fp32, Some(256)),
+            (GpuArch::Cdna3, ExecUnit::Matrix, Tf32, Some(1024)),
+            (GpuArch::Cdna3, ExecUnit::Matrix, Fp16, Some(2048)),
+            (GpuArch::Cdna3, ExecUnit::Matrix, Bf16, Some(2048)),
+            (GpuArch::Cdna3, ExecUnit::Matrix, Fp8, Some(4096)),
+            (GpuArch::Cdna3, ExecUnit::Matrix, Int8, Some(4096)),
+        ];
+        for (arch, unit, dtype, expect) in rows {
+            assert_eq!(
+                arch.ops_per_clock(unit, dtype),
+                expect,
+                "{arch:?} {unit} {dtype}"
+            );
+        }
+    }
+
+    #[test]
+    fn sparsity_doubles_cdna3_8bit_matrix() {
+        let r = GpuArch::Cdna3
+            .ops_per_clock_sparse(ExecUnit::Matrix, DataType::Fp8, Sparsity::FourTwo)
+            .unwrap();
+        assert_eq!(r, 8192, "paper: up to 8192 ops/cycle/CU with 4:2 sparsity");
+        assert_eq!(
+            GpuArch::Cdna3.ops_per_clock_sparse(ExecUnit::Matrix, DataType::Int8, Sparsity::FourTwo),
+            Some(8192)
+        );
+    }
+
+    #[test]
+    fn cdna2_has_no_sparsity() {
+        assert_eq!(
+            GpuArch::Cdna2.ops_per_clock_sparse(ExecUnit::Matrix, DataType::Fp16, Sparsity::FourTwo),
+            None
+        );
+    }
+
+    #[test]
+    fn vector_fp32_doubled_in_cdna3() {
+        let c2 = GpuArch::Cdna2.ops_per_clock(ExecUnit::Vector, DataType::Fp32).unwrap();
+        let c3 = GpuArch::Cdna3.ops_per_clock(ExecUnit::Vector, DataType::Fp32).unwrap();
+        assert_eq!(c3, 2 * c2);
+    }
+
+    #[test]
+    fn l1_line_widened() {
+        assert_eq!(GpuArch::Cdna2.l1_line_bytes(), 64);
+        assert_eq!(GpuArch::Cdna3.l1_line_bytes(), 128);
+        assert_eq!(GpuArch::Cdna3.l1_bandwidth_factor(), 2.0);
+    }
+
+    #[test]
+    fn cycles_for_ops_rounds_up() {
+        let cu = CuModel::new(CuSpec::cdna3());
+        assert_eq!(cu.cycles_for_ops(ExecUnit::Matrix, DataType::Fp64, 1), 1);
+        assert_eq!(cu.cycles_for_ops(ExecUnit::Matrix, DataType::Fp64, 256), 1);
+        assert_eq!(cu.cycles_for_ops(ExecUnit::Matrix, DataType::Fp64, 257), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported")]
+    fn cycles_for_unsupported_dtype_panics() {
+        let cu = CuModel::new(CuSpec::cdna2());
+        let _ = cu.cycles_for_ops(ExecUnit::Matrix, DataType::Fp8, 100);
+    }
+
+    #[test]
+    fn peak_flops_matches_hand_computation() {
+        let cu = CuModel::new(CuSpec::cdna3());
+        let fp8 = cu.peak_flops(ExecUnit::Matrix, DataType::Fp8).unwrap();
+        assert!((fp8 - 4096.0 * 2.1e9).abs() < 1.0);
+        assert!(cu.peak_flops(ExecUnit::Vector, DataType::Fp8).is_none());
+    }
+}

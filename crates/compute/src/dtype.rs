@@ -1,0 +1,141 @@
+//! Numeric datatypes and execution-unit kinds.
+
+use core::fmt;
+
+/// Numeric formats supported by the CDNA vector/matrix pipelines
+/// (the columns of Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum DataType {
+    /// IEEE double precision.
+    Fp64,
+    /// IEEE single precision.
+    Fp32,
+    /// TensorFloat-32 (19-bit mantissa-truncated matrix format).
+    Tf32,
+    /// IEEE half precision.
+    Fp16,
+    /// bfloat16.
+    Bf16,
+    /// 8-bit floating point (E4M3/E5M2 class), new in CDNA 3.
+    Fp8,
+    /// 8-bit integer.
+    Int8,
+}
+
+impl DataType {
+    /// All datatypes in Table 1's column order.
+    pub const ALL: [DataType; 7] = [
+        DataType::Fp64,
+        DataType::Fp32,
+        DataType::Tf32,
+        DataType::Fp16,
+        DataType::Bf16,
+        DataType::Fp8,
+        DataType::Int8,
+    ];
+
+    /// Size of one element in bytes (TF32 is stored as FP32).
+    #[must_use]
+    pub fn bytes(self) -> u64 {
+        match self {
+            DataType::Fp64 => 8,
+            DataType::Fp32 | DataType::Tf32 => 4,
+            DataType::Fp16 | DataType::Bf16 => 2,
+            DataType::Fp8 | DataType::Int8 => 1,
+        }
+    }
+
+    /// `true` for the reduced-precision ML formats the paper calls out as
+    /// "lower-precision arithmetic not traditionally emphasized in HPC".
+    #[must_use]
+    pub fn is_ml_format(self) -> bool {
+        matches!(
+            self,
+            DataType::Tf32 | DataType::Fp16 | DataType::Bf16 | DataType::Fp8 | DataType::Int8
+        )
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DataType::Fp64 => "FP64",
+            DataType::Fp32 => "FP32",
+            DataType::Tf32 => "TF32",
+            DataType::Fp16 => "FP16",
+            DataType::Bf16 => "BF16",
+            DataType::Fp8 => "FP8",
+            DataType::Int8 => "INT8",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Which pipeline executes an operation (the row groups of Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ExecUnit {
+    /// SIMD vector ALUs.
+    Vector,
+    /// Matrix cores (MFMA).
+    Matrix,
+}
+
+impl fmt::Display for ExecUnit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ExecUnit::Vector => "Vector",
+            ExecUnit::Matrix => "Matrix",
+        })
+    }
+}
+
+/// Structured-sparsity mode of a matrix operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Sparsity {
+    /// Dense operands.
+    #[default]
+    Dense,
+    /// 4:2 structured sparsity (CDNA 3 matrix cores; doubles peak
+    /// throughput for the supported 8-bit types).
+    FourTwo,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn element_sizes() {
+        assert_eq!(DataType::Fp64.bytes(), 8);
+        assert_eq!(DataType::Fp32.bytes(), 4);
+        assert_eq!(DataType::Tf32.bytes(), 4);
+        assert_eq!(DataType::Fp16.bytes(), 2);
+        assert_eq!(DataType::Bf16.bytes(), 2);
+        assert_eq!(DataType::Fp8.bytes(), 1);
+        assert_eq!(DataType::Int8.bytes(), 1);
+    }
+
+    #[test]
+    fn ml_format_classification() {
+        assert!(!DataType::Fp64.is_ml_format());
+        assert!(!DataType::Fp32.is_ml_format());
+        assert!(DataType::Fp8.is_ml_format());
+        assert!(DataType::Bf16.is_ml_format());
+    }
+
+    #[test]
+    fn all_covers_every_variant() {
+        assert_eq!(DataType::ALL.len(), 7);
+        let mut set = std::collections::HashSet::new();
+        for d in DataType::ALL {
+            set.insert(d);
+        }
+        assert_eq!(set.len(), 7);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(DataType::Fp8.to_string(), "FP8");
+        assert_eq!(ExecUnit::Matrix.to_string(), "Matrix");
+    }
+}

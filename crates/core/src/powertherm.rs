@@ -1,0 +1,239 @@
+//! Closed-loop power/thermal management.
+//!
+//! Section V.E: "the effective power and thermal management of MI300A
+//! was accomplished through careful engineering and co-design of both
+//! TSV placement and power density/power map planning." This module
+//! closes the loop at runtime the way the platform firmware does:
+//! allocate the budget for the workload profile, solve the thermal
+//! field, and if the hottest spot exceeds the junction limit, walk power
+//! away from the offending domain (trading clocks via the DVFS curve)
+//! until the package is thermally safe.
+
+use ehp_package::floorplan::Floorplan;
+use ehp_power::budget::{PowerDomain, SocketPowerManager, WorkloadProfile};
+use ehp_power::dvfs::DvfsCurve;
+use ehp_sim_core::units::Power;
+use ehp_thermal::{TemperatureField, ThermalConfig, ThermalSolver};
+
+/// Controller parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ControllerConfig {
+    /// Junction temperature limit (°C).
+    pub tj_limit_c: f64,
+    /// Power stepped away from compute per iteration (W).
+    pub step_w: f64,
+    /// Iteration cap.
+    pub max_iters: u32,
+    /// Thermal solver settings.
+    pub thermal: ThermalConfig,
+}
+
+impl Default for ControllerConfig {
+    fn default() -> ControllerConfig {
+        ControllerConfig {
+            tj_limit_c: 95.0,
+            step_w: 10.0,
+            max_iters: 40,
+            thermal: ThermalConfig::default(),
+        }
+    }
+}
+
+/// The converged operating point.
+#[derive(Debug, Clone)]
+pub struct OperatingPoint {
+    /// Final per-domain power distribution.
+    pub compute_power: Power,
+    /// Total socket power.
+    pub total_power: Power,
+    /// Peak temperature at convergence (°C).
+    pub peak_c: f64,
+    /// Achieved XCD clock as a fraction of nominal.
+    pub xcd_perf_factor: f64,
+    /// Controller iterations used.
+    pub iterations: u32,
+    /// Whether the junction limit was met.
+    pub thermally_safe: bool,
+    /// The final thermal field.
+    pub field: TemperatureField,
+}
+
+/// The closed-loop controller for an MI300A socket.
+///
+/// # Examples
+///
+/// ```
+/// use ehp_core::powertherm::PowerThermalController;
+/// use ehp_power::budget::WorkloadProfile;
+///
+/// let mut c = PowerThermalController::mi300a();
+/// let op = c.converge(WorkloadProfile::ComputeIntensive);
+/// assert!(op.thermally_safe);
+/// ```
+#[derive(Debug)]
+pub struct PowerThermalController {
+    cfg: ControllerConfig,
+    pm: SocketPowerManager,
+    xcd_curve: DvfsCurve,
+}
+
+impl PowerThermalController {
+    /// Creates a controller for a socket with the given TDP.
+    #[must_use]
+    pub fn new(cfg: ControllerConfig, tdp: Power) -> PowerThermalController {
+        PowerThermalController {
+            cfg,
+            pm: SocketPowerManager::new(tdp),
+            xcd_curve: DvfsCurve::mi300_xcd(),
+        }
+    }
+
+    /// An MI300A controller at 550 W.
+    #[must_use]
+    pub fn mi300a() -> PowerThermalController {
+        PowerThermalController::new(ControllerConfig::default(), Power::from_watts(550.0))
+    }
+
+    /// The power manager (inspectable).
+    #[must_use]
+    pub fn power_manager(&self) -> &SocketPowerManager {
+        &self.pm
+    }
+
+    fn apply_to_floorplan(&self, fp: &mut Floorplan) {
+        let d = self.pm.current();
+        fp.assign_power("xcd", d.get(PowerDomain::ComputeChiplets).scale(0.88));
+        fp.assign_power("ccd", d.get(PowerDomain::ComputeChiplets).scale(0.12));
+        fp.assign_power(
+            "iod",
+            d.get(PowerDomain::InfinityCache) + d.get(PowerDomain::DataFabric),
+        );
+        fp.assign_power("usr", d.get(PowerDomain::UsrPhys));
+        fp.assign_power("hbm_phy", d.get(PowerDomain::HbmPhys));
+        fp.assign_power(
+            "hbm_stack",
+            d.get(PowerDomain::HbmDram) + d.get(PowerDomain::Io),
+        );
+    }
+
+    /// Runs the loop for a workload profile and returns the converged
+    /// operating point.
+    pub fn converge(&mut self, profile: WorkloadProfile) -> OperatingPoint {
+        self.pm.apply_profile(profile);
+        let solver = ThermalSolver::new(self.cfg.thermal);
+
+        let mut iterations = 0;
+        loop {
+            let mut fp = Floorplan::mi300a();
+            self.apply_to_floorplan(&mut fp);
+            let field = solver.solve(&fp);
+            let (peak, _) = field.max();
+
+            let compute = self.pm.current().get(PowerDomain::ComputeChiplets);
+            if peak <= self.cfg.tj_limit_c || iterations >= self.cfg.max_iters {
+                let per_xcd = compute.scale(0.88 / 6.0);
+                return OperatingPoint {
+                    compute_power: compute,
+                    total_power: self.pm.current().total(),
+                    peak_c: peak,
+                    xcd_perf_factor: self.xcd_curve.perf_factor(per_xcd),
+                    iterations,
+                    thermally_safe: peak <= self.cfg.tj_limit_c,
+                    field,
+                };
+            }
+
+            // Too hot: move power from the compute chiplets into the
+            // (cooler, laterally spread) memory system. If compute is
+            // already at the floor, shed the power entirely by moving it
+            // to I/O then zeroing is not modelled — the DVFS floor keeps
+            // this loop bounded via max_iters.
+            let moved = self.pm.shift(
+                PowerDomain::ComputeChiplets,
+                PowerDomain::HbmDram,
+                Power::from_watts(self.cfg.step_w),
+            );
+            if moved == Power::ZERO {
+                iterations = self.cfg.max_iters;
+            }
+            iterations += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast_cfg(tj: f64) -> ControllerConfig {
+        ControllerConfig {
+            tj_limit_c: tj,
+            thermal: ThermalConfig {
+                nx: 35,
+                ny: 28,
+                ..ThermalConfig::default()
+            },
+            ..ControllerConfig::default()
+        }
+    }
+
+    #[test]
+    fn cool_limit_needs_no_intervention() {
+        let mut c = PowerThermalController::new(fast_cfg(95.0), Power::from_watts(550.0));
+        let op = c.converge(WorkloadProfile::ComputeIntensive);
+        assert!(op.thermally_safe);
+        assert_eq!(op.iterations, 0, "95C limit is comfortable at 550 W");
+        assert!((op.xcd_perf_factor - 1.0).abs() < 0.25);
+    }
+
+    #[test]
+    fn tight_limit_sheds_compute_power() {
+        let mut base = PowerThermalController::new(fast_cfg(95.0), Power::from_watts(550.0));
+        let unconstrained = base.converge(WorkloadProfile::ComputeIntensive);
+
+        let mut tight = PowerThermalController::new(
+            fast_cfg(unconstrained.peak_c - 2.0),
+            Power::from_watts(550.0),
+        );
+        let op = tight.converge(WorkloadProfile::ComputeIntensive);
+        assert!(op.thermally_safe, "controller must converge");
+        assert!(op.iterations > 0);
+        assert!(
+            op.compute_power.as_watts() < unconstrained.compute_power.as_watts(),
+            "compute power shed: {} vs {}",
+            op.compute_power,
+            unconstrained.compute_power
+        );
+        assert!(op.xcd_perf_factor < unconstrained.xcd_perf_factor);
+        assert!(op.peak_c <= unconstrained.peak_c);
+    }
+
+    #[test]
+    fn total_power_conserved_by_shifting() {
+        let mut c = PowerThermalController::new(fast_cfg(40.0), Power::from_watts(550.0));
+        let op = c.converge(WorkloadProfile::ComputeIntensive);
+        // Shifting moves power between domains; the envelope stays at
+        // TDP even when the loop runs out of compute power to shed.
+        assert!((op.total_power.as_watts() - 550.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn impossible_limit_terminates() {
+        let mut c = PowerThermalController::new(fast_cfg(5.0), Power::from_watts(550.0));
+        let op = c.converge(WorkloadProfile::MemoryIntensive);
+        assert!(!op.thermally_safe, "5C is below coolant; cannot be met");
+        assert!(op.iterations <= ControllerConfig::default().max_iters + 1);
+    }
+
+    #[test]
+    fn memory_profile_runs_cooler_than_compute() {
+        let mut c = PowerThermalController::new(fast_cfg(200.0), Power::from_watts(550.0));
+        let hot = c.converge(WorkloadProfile::ComputeIntensive).peak_c;
+        let mut c2 = PowerThermalController::new(fast_cfg(200.0), Power::from_watts(550.0));
+        let cool = c2.converge(WorkloadProfile::MemoryIntensive).peak_c;
+        assert!(
+            cool < hot,
+            "spreading power off the XCDs lowers the peak: {cool:.1} vs {hot:.1}"
+        );
+    }
+}

@@ -1,0 +1,374 @@
+//! Product spec sheets: MI250X, MI300A, MI300X, and the hypothetical
+//! EHPv4 — plus the generational-uplift arithmetic behind Figure 19.
+
+use ehp_compute::ccd::CcdSpec;
+use ehp_compute::cu::GpuArch;
+use ehp_compute::dtype::{DataType, ExecUnit, Sparsity};
+use ehp_compute::xcd::XcdSpec;
+use ehp_mem::hbm::HbmGeneration;
+use ehp_sim_core::time::Frequency;
+use ehp_sim_core::units::{Bandwidth, Bytes, Power};
+use serde::Serialize;
+
+/// Which product a model describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+pub enum Product {
+    /// The MI250X accelerator (CDNA 2, two GCDs, discrete).
+    Mi250x,
+    /// The MI300A APU (six XCDs + three CCDs, unified HBM).
+    Mi300a,
+    /// The MI300X accelerator (eight XCDs, 192 GB HBM).
+    Mi300x,
+    /// The EHPv4 research concept (four GPU chiplets + two CCDs over a
+    /// reused server IOD).
+    Ehpv4,
+}
+
+impl Product {
+    /// All real products (EHPv4 excluded).
+    pub const SHIPPING: [Product; 3] = [Product::Mi250x, Product::Mi300a, Product::Mi300x];
+
+    /// The spec sheet.
+    #[must_use]
+    pub fn spec(self) -> ProductSpec {
+        match self {
+            Product::Mi250x => ProductSpec {
+                product: self,
+                name: "MI250X",
+                gpu_arch: GpuArch::Cdna2,
+                gpu_chiplets: 2,
+                cus_per_chiplet: 110,
+                gpu_clock: Frequency::from_ghz(1.7),
+                ccds: 0,
+                cpu_cores: 0,
+                hbm: HbmGeneration::Hbm2e,
+                hbm_stacks: 8,
+                icache_total: None,
+                x16_links: 8,
+                x16_per_direction: Bandwidth::from_gb_s(32.0),
+                tdp: Power::from_watts(560.0),
+                unified_memory: false,
+                single_logical_gpu: false,
+            },
+            Product::Mi300a => ProductSpec {
+                product: self,
+                name: "MI300A",
+                gpu_arch: GpuArch::Cdna3,
+                gpu_chiplets: 6,
+                cus_per_chiplet: 38,
+                gpu_clock: Frequency::from_ghz(2.1),
+                ccds: 3,
+                cpu_cores: 24,
+                hbm: HbmGeneration::Hbm3,
+                hbm_stacks: 8,
+                icache_total: Some(Bytes::from_mib(256)),
+                x16_links: 8,
+                x16_per_direction: Bandwidth::from_gb_s(64.0),
+                tdp: Power::from_watts(550.0),
+                unified_memory: true,
+                single_logical_gpu: true,
+            },
+            Product::Mi300x => ProductSpec {
+                product: self,
+                name: "MI300X",
+                gpu_arch: GpuArch::Cdna3,
+                gpu_chiplets: 8,
+                cus_per_chiplet: 38,
+                gpu_clock: Frequency::from_ghz(2.1),
+                ccds: 0,
+                cpu_cores: 0,
+                hbm: HbmGeneration::Hbm3TwelveHigh,
+                hbm_stacks: 8,
+                icache_total: Some(Bytes::from_mib(256)),
+                x16_links: 8,
+                x16_per_direction: Bandwidth::from_gb_s(64.0),
+                tdp: Power::from_watts(750.0),
+                unified_memory: false,
+                single_logical_gpu: true,
+            },
+            Product::Ehpv4 => ProductSpec {
+                product: self,
+                name: "EHPv4",
+                gpu_arch: GpuArch::Cdna2,
+                gpu_chiplets: 4,
+                cus_per_chiplet: 110,
+                gpu_clock: Frequency::from_ghz(1.7),
+                ccds: 2,
+                cpu_cores: 16,
+                hbm: HbmGeneration::Hbm2e,
+                hbm_stacks: 8,
+                icache_total: None,
+                x16_links: 4,
+                x16_per_direction: Bandwidth::from_gb_s(32.0),
+                tdp: Power::from_watts(600.0),
+                unified_memory: true,
+                single_logical_gpu: false,
+            },
+        }
+    }
+}
+
+/// A product's architectural spec sheet.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProductSpec {
+    /// Which product this is.
+    pub product: Product,
+    /// Marketing name.
+    pub name: &'static str,
+    /// GPU architecture generation.
+    pub gpu_arch: GpuArch,
+    /// GPU chiplets (XCDs/GCDs).
+    pub gpu_chiplets: u32,
+    /// Enabled CUs per GPU chiplet.
+    pub cus_per_chiplet: u32,
+    /// GPU engine clock.
+    pub gpu_clock: Frequency,
+    /// CPU chiplets in package.
+    pub ccds: u32,
+    /// CPU cores in package.
+    pub cpu_cores: u32,
+    /// HBM generation.
+    pub hbm: HbmGeneration,
+    /// HBM stacks.
+    pub hbm_stacks: u32,
+    /// Infinity Cache total capacity, if present.
+    pub icache_total: Option<Bytes>,
+    /// Off-package x16 links.
+    pub x16_links: u32,
+    /// Per-direction bandwidth of one x16 link.
+    pub x16_per_direction: Bandwidth,
+    /// Board/package thermal design power.
+    pub tdp: Power,
+    /// Whether CPU and GPU share one physical memory (APU).
+    pub unified_memory: bool,
+    /// Whether all GPU chiplets present as one logical device.
+    pub single_logical_gpu: bool,
+}
+
+impl ProductSpec {
+    /// Total enabled CUs.
+    #[must_use]
+    pub fn total_cus(&self) -> u32 {
+        self.gpu_chiplets * self.cus_per_chiplet
+    }
+
+    /// Peak dense throughput in TFLOP/s (or TOP/s for INT8); `None` where
+    /// Table 1 says n/a.
+    #[must_use]
+    pub fn peak_tflops(&self, unit: ExecUnit, dtype: DataType) -> Option<f64> {
+        let ops = self.gpu_arch.ops_per_clock(unit, dtype)?;
+        Some(ops as f64 * f64::from(self.total_cus()) * self.gpu_clock.as_hz() / 1e12)
+    }
+
+    /// Peak throughput with structured sparsity.
+    #[must_use]
+    pub fn peak_tflops_sparse(
+        &self,
+        unit: ExecUnit,
+        dtype: DataType,
+        sparsity: Sparsity,
+    ) -> Option<f64> {
+        let ops = self.gpu_arch.ops_per_clock_sparse(unit, dtype, sparsity)?;
+        Some(ops as f64 * f64::from(self.total_cus()) * self.gpu_clock.as_hz() / 1e12)
+    }
+
+    /// Peak HBM bandwidth.
+    #[must_use]
+    pub fn memory_bandwidth(&self) -> Bandwidth {
+        self.hbm.stack_bandwidth().scale(f64::from(self.hbm_stacks))
+    }
+
+    /// HBM capacity.
+    #[must_use]
+    pub fn memory_capacity(&self) -> Bytes {
+        self.hbm.stack_capacity() * u64::from(self.hbm_stacks)
+    }
+
+    /// Aggregate off-package I/O bandwidth (bidirectional).
+    #[must_use]
+    pub fn io_bandwidth(&self) -> Bandwidth {
+        (self.x16_per_direction + self.x16_per_direction)
+            .scale(f64::from(self.x16_links))
+    }
+
+    /// Peak Infinity Cache bandwidth, if present (17 TB/s on MI300).
+    #[must_use]
+    pub fn icache_bandwidth(&self) -> Option<Bandwidth> {
+        self.icache_total.map(|_| Bandwidth::from_tb_s(17.0))
+    }
+
+    /// The XCD spec for this product's GPU chiplets.
+    #[must_use]
+    pub fn xcd_spec(&self) -> XcdSpec {
+        match self.gpu_arch {
+            GpuArch::Cdna2 => XcdSpec::mi250x_gcd(),
+            GpuArch::Cdna3 => XcdSpec::mi300(),
+        }
+    }
+
+    /// The CCD spec, if the product has CPU chiplets.
+    #[must_use]
+    pub fn ccd_spec(&self) -> Option<CcdSpec> {
+        (self.ccds > 0).then(CcdSpec::zen4)
+    }
+
+    /// Ratio of GPU chiplets to CCDs, where defined (the paper notes both
+    /// EHPv4 and MI300A chose 2:1).
+    #[must_use]
+    pub fn gpu_to_cpu_chiplet_ratio(&self) -> Option<f64> {
+        (self.ccds > 0).then(|| f64::from(self.gpu_chiplets) / f64::from(self.ccds))
+    }
+
+    /// One row of the Figure 19 comparison against a baseline: ratios of
+    /// peak rates, bandwidth, capacity and I/O.
+    #[must_use]
+    pub fn uplift_over(&self, base: &ProductSpec) -> Uplift {
+        let ratio = |unit, dt| -> Option<f64> {
+            match (self.peak_tflops(unit, dt), base.peak_tflops(unit, dt)) {
+                (Some(a), Some(b)) => Some(a / b),
+                _ => None,
+            }
+        };
+        Uplift {
+            fp64_vector: ratio(ExecUnit::Vector, DataType::Fp64),
+            fp32_vector: ratio(ExecUnit::Vector, DataType::Fp32),
+            fp64_matrix: ratio(ExecUnit::Matrix, DataType::Fp64),
+            fp16_matrix: ratio(ExecUnit::Matrix, DataType::Fp16),
+            int8_matrix: ratio(ExecUnit::Matrix, DataType::Int8),
+            memory_bandwidth: self.memory_bandwidth().as_bytes_per_sec()
+                / base.memory_bandwidth().as_bytes_per_sec(),
+            memory_capacity: self.memory_capacity().as_f64() / base.memory_capacity().as_f64(),
+            io_bandwidth: self.io_bandwidth().as_bytes_per_sec()
+                / base.io_bandwidth().as_bytes_per_sec(),
+        }
+    }
+}
+
+/// Generational uplift ratios versus a baseline product (Figure 19).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct Uplift {
+    /// FP64 vector ratio.
+    pub fp64_vector: Option<f64>,
+    /// FP32 vector ratio.
+    pub fp32_vector: Option<f64>,
+    /// FP64 matrix ratio.
+    pub fp64_matrix: Option<f64>,
+    /// FP16 matrix ratio.
+    pub fp16_matrix: Option<f64>,
+    /// INT8 matrix ratio.
+    pub int8_matrix: Option<f64>,
+    /// HBM bandwidth ratio.
+    pub memory_bandwidth: f64,
+    /// HBM capacity ratio.
+    pub memory_capacity: f64,
+    /// I/O bandwidth ratio.
+    pub io_bandwidth: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cu_counts_match_paper() {
+        assert_eq!(Product::Mi250x.spec().total_cus(), 220);
+        assert_eq!(Product::Mi300a.spec().total_cus(), 228);
+        assert_eq!(Product::Mi300x.spec().total_cus(), 304);
+    }
+
+    #[test]
+    fn advertised_peak_rates_reproduce() {
+        // Hand-checked against the public spec sheets that Figure 19
+        // summarises.
+        let a = Product::Mi300a.spec();
+        let x = Product::Mi300x.spec();
+        let m = Product::Mi250x.spec();
+        let close = |v: Option<f64>, expect: f64| {
+            let v = v.unwrap();
+            assert!((v - expect).abs() / expect < 0.01, "{v} vs {expect}");
+        };
+        close(a.peak_tflops(ExecUnit::Vector, DataType::Fp64), 61.3);
+        close(a.peak_tflops(ExecUnit::Matrix, DataType::Fp64), 122.6);
+        close(a.peak_tflops(ExecUnit::Matrix, DataType::Fp16), 980.6);
+        close(a.peak_tflops(ExecUnit::Matrix, DataType::Fp8), 1961.2);
+        close(x.peak_tflops(ExecUnit::Vector, DataType::Fp64), 81.7);
+        close(x.peak_tflops(ExecUnit::Matrix, DataType::Fp16), 1307.4);
+        close(x.peak_tflops(ExecUnit::Matrix, DataType::Fp8), 2614.9);
+        close(m.peak_tflops(ExecUnit::Vector, DataType::Fp64), 47.9);
+        close(m.peak_tflops(ExecUnit::Matrix, DataType::Fp64), 95.7);
+        close(m.peak_tflops(ExecUnit::Matrix, DataType::Fp16), 383.0);
+        assert!(m.peak_tflops(ExecUnit::Matrix, DataType::Fp8).is_none());
+    }
+
+    #[test]
+    fn sparse_fp8_reaches_8192_per_cu_class() {
+        let x = Product::Mi300x.spec();
+        let sparse = x
+            .peak_tflops_sparse(ExecUnit::Matrix, DataType::Fp8, Sparsity::FourTwo)
+            .unwrap();
+        assert!((sparse - 5229.8).abs() < 5.0, "2x dense FP8, got {sparse}");
+    }
+
+    #[test]
+    fn memory_figures_match_paper() {
+        let a = Product::Mi300a.spec();
+        let x = Product::Mi300x.spec();
+        let m = Product::Mi250x.spec();
+        assert!((a.memory_bandwidth().as_tb_s() - 5.3).abs() < 0.01);
+        assert_eq!(a.memory_capacity(), Bytes::from_gib(128));
+        assert_eq!(x.memory_capacity(), Bytes::from_gib(192));
+        assert_eq!(m.memory_capacity(), Bytes::from_gib(128));
+        // "peak memory bandwidth has also improved by 70%"
+        let up = a.uplift_over(&m);
+        assert!((1.55..1.75).contains(&up.memory_bandwidth), "{}", up.memory_bandwidth);
+        // "total memory capacity is also 50% greater" (MI300X).
+        assert!((x.uplift_over(&m).memory_capacity - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn io_doubled_over_mi250x() {
+        let a = Product::Mi300a.spec();
+        let m = Product::Mi250x.spec();
+        // "I/O (network) bandwidth has also doubled."
+        assert!((a.uplift_over(&m).io_bandwidth - 2.0).abs() < 1e-9);
+        // 8 x16 links at 128 GB/s bidirectional = 1024 GB/s per socket.
+        assert!((a.io_bandwidth().as_gb_s() - 1024.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn chiplet_ratio_is_two_to_one() {
+        // "both ended up with the same ratio of two GPU compute chiplets
+        // for every CCD (i.e., 4:2 in EHPv4, and 6:3 in MI300A)".
+        assert_eq!(Product::Mi300a.spec().gpu_to_cpu_chiplet_ratio(), Some(2.0));
+        assert_eq!(Product::Ehpv4.spec().gpu_to_cpu_chiplet_ratio(), Some(2.0));
+        assert_eq!(Product::Mi300x.spec().gpu_to_cpu_chiplet_ratio(), None);
+    }
+
+    #[test]
+    fn mi300x_more_flops_per_package_than_mi300a() {
+        // "The eight XCDs provide a total of 304 CUs, delivering more
+        // FLOPS/mm^3 than MI300A."
+        let a = Product::Mi300a.spec();
+        let x = Product::Mi300x.spec();
+        assert!(
+            x.peak_tflops(ExecUnit::Matrix, DataType::Fp16).unwrap()
+                > a.peak_tflops(ExecUnit::Matrix, DataType::Fp16).unwrap()
+        );
+    }
+
+    #[test]
+    fn apu_flags() {
+        assert!(Product::Mi300a.spec().unified_memory);
+        assert!(!Product::Mi250x.spec().unified_memory);
+        assert!(Product::Mi300a.spec().single_logical_gpu);
+        // MI250X presented each GCD as a standalone accelerator.
+        assert!(!Product::Mi250x.spec().single_logical_gpu);
+    }
+
+    #[test]
+    fn icache_only_on_mi300() {
+        assert!(Product::Mi250x.spec().icache_bandwidth().is_none());
+        let bw = Product::Mi300a.spec().icache_bandwidth().unwrap();
+        assert!((bw.as_tb_s() - 17.0).abs() < 1e-9);
+    }
+}

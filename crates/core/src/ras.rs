@@ -1,0 +1,271 @@
+//! Reliability at scale (RAS).
+//!
+//! The paper's introduction lists "reliability at scale" among the DOE's
+//! exascale concerns. This module prices it: FIT-based component and
+//! node MTBF, system-level failure rates at Frontier-like node counts,
+//! and the Young/Daly checkpoint-interval optimisation that turns an
+//! MTBF into a machine efficiency — the arithmetic behind every
+//! exascale procurement's RAS section.
+
+use ehp_sim_core::time::SimTime;
+
+/// Failure rates in FIT (failures per 10⁹ device-hours) for the node's
+/// components.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NodeFitRates {
+    /// Per HBM stack (dominated by DRAM; ECC leaves the uncorrectable
+    /// residue counted here).
+    pub hbm_stack: f64,
+    /// Per GPU chiplet.
+    pub xcd: f64,
+    /// Per CPU chiplet.
+    pub ccd: f64,
+    /// Per IOD (fabric, cache, PHYs).
+    pub iod: f64,
+    /// Node residue: board, NIC, power delivery.
+    pub board: f64,
+}
+
+impl NodeFitRates {
+    /// Representative exascale-class rates (uncorrectable-error residue
+    /// after ECC, per component).
+    #[must_use]
+    pub fn exascale_class() -> NodeFitRates {
+        NodeFitRates {
+            hbm_stack: 150.0,
+            xcd: 60.0,
+            ccd: 40.0,
+            iod: 50.0,
+            board: 400.0,
+        }
+    }
+}
+
+/// A node's RAS bill of materials.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeBom {
+    /// HBM stacks per node.
+    pub hbm_stacks: u32,
+    /// GPU chiplets per node.
+    pub xcds: u32,
+    /// CPU chiplets per node.
+    pub ccds: u32,
+    /// IODs per node.
+    pub iods: u32,
+}
+
+impl NodeBom {
+    /// A quad-MI300A node (Figure 18a).
+    #[must_use]
+    pub fn quad_mi300a() -> NodeBom {
+        NodeBom {
+            hbm_stacks: 32,
+            xcds: 24,
+            ccds: 12,
+            iods: 16,
+        }
+    }
+
+    /// Total node FIT under a rate set.
+    #[must_use]
+    pub fn node_fit(&self, r: &NodeFitRates) -> f64 {
+        f64::from(self.hbm_stacks) * r.hbm_stack
+            + f64::from(self.xcds) * r.xcd
+            + f64::from(self.ccds) * r.ccd
+            + f64::from(self.iods) * r.iod
+            + r.board
+    }
+
+    /// Node MTBF in hours.
+    #[must_use]
+    pub fn node_mtbf_hours(&self, r: &NodeFitRates) -> f64 {
+        1e9 / self.node_fit(r)
+    }
+
+    /// System MTBF in hours for `nodes` nodes (failures are independent
+    /// and exponential: rates add).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` is zero.
+    #[must_use]
+    pub fn system_mtbf_hours(&self, r: &NodeFitRates, nodes: u32) -> f64 {
+        assert!(nodes > 0, "system needs nodes");
+        self.node_mtbf_hours(r) / f64::from(nodes)
+    }
+}
+
+/// Checkpoint/restart planning via the Young/Daly first-order optimum.
+///
+/// # Examples
+///
+/// ```
+/// use ehp_core::ras::CheckpointPlan;
+/// use ehp_sim_core::time::SimTime;
+///
+/// let plan = CheckpointPlan {
+///     checkpoint_cost: SimTime::from_secs_f64(60.0),
+///     mtbf: SimTime::from_secs_f64(6.0 * 3600.0),
+/// };
+/// assert!(plan.optimal_efficiency() > 0.85);
+/// ```
+///
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CheckpointPlan {
+    /// Time to write one checkpoint.
+    pub checkpoint_cost: SimTime,
+    /// System MTBF.
+    pub mtbf: SimTime,
+}
+
+impl CheckpointPlan {
+    /// Young's optimal checkpoint interval: `sqrt(2·δ·M)`.
+    #[must_use]
+    pub fn optimal_interval(&self) -> SimTime {
+        SimTime::from_secs_f64(
+            (2.0 * self.checkpoint_cost.as_secs() * self.mtbf.as_secs()).sqrt(),
+        )
+    }
+
+    /// Machine efficiency at a checkpoint interval `tau`: useful work ÷
+    /// wall time, first-order model — checkpoint overhead `δ/τ` plus
+    /// expected rework `τ/(2M)` per interval.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tau` is zero.
+    #[must_use]
+    pub fn efficiency(&self, tau: SimTime) -> f64 {
+        let t = tau.as_secs();
+        assert!(t > 0.0, "interval must be positive");
+        let overhead = self.checkpoint_cost.as_secs() / t + t / (2.0 * self.mtbf.as_secs());
+        (1.0 - overhead).max(0.0)
+    }
+
+    /// Efficiency at the optimal interval.
+    #[must_use]
+    pub fn optimal_efficiency(&self) -> f64 {
+        self.efficiency(self.optimal_interval())
+    }
+}
+
+/// The system-level RAS summary used by the report binary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RasSummary {
+    /// Node MTBF (hours).
+    pub node_mtbf_h: f64,
+    /// System MTBF (hours).
+    pub system_mtbf_h: f64,
+    /// Failures per day across the system.
+    pub failures_per_day: f64,
+    /// Optimal checkpoint interval.
+    pub checkpoint_interval: SimTime,
+    /// Machine efficiency with optimal checkpointing.
+    pub efficiency: f64,
+}
+
+/// Summarises a system of `nodes` quad-MI300A nodes with a given
+/// checkpoint cost.
+#[must_use]
+pub fn summarize(nodes: u32, checkpoint_cost: SimTime) -> RasSummary {
+    let bom = NodeBom::quad_mi300a();
+    let rates = NodeFitRates::exascale_class();
+    let node_mtbf_h = bom.node_mtbf_hours(&rates);
+    let system_mtbf_h = bom.system_mtbf_hours(&rates, nodes);
+    let plan = CheckpointPlan {
+        checkpoint_cost,
+        mtbf: SimTime::from_secs_f64(system_mtbf_h * 3600.0),
+    };
+    RasSummary {
+        node_mtbf_h,
+        system_mtbf_h,
+        failures_per_day: 24.0 / system_mtbf_h,
+        checkpoint_interval: plan.optimal_interval(),
+        efficiency: plan.optimal_efficiency(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_mtbf_in_plausible_range() {
+        let bom = NodeBom::quad_mi300a();
+        let m = bom.node_mtbf_hours(&NodeFitRates::exascale_class());
+        // Thousands of hours to low hundreds of thousands.
+        assert!((5e4..5e5).contains(&m), "node MTBF {m:.0} h");
+    }
+
+    #[test]
+    fn frontier_scale_system_fails_daily_ish() {
+        let bom = NodeBom::quad_mi300a();
+        let m = bom.system_mtbf_hours(&NodeFitRates::exascale_class(), 9_408);
+        // Exascale systems see failures on the hours scale.
+        assert!((1.0..48.0).contains(&m), "system MTBF {m:.1} h");
+    }
+
+    #[test]
+    fn system_mtbf_scales_inversely_with_nodes() {
+        let bom = NodeBom::quad_mi300a();
+        let r = NodeFitRates::exascale_class();
+        let m1 = bom.system_mtbf_hours(&r, 100);
+        let m2 = bom.system_mtbf_hours(&r, 200);
+        assert!((m1 / m2 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn young_interval_formula() {
+        let plan = CheckpointPlan {
+            checkpoint_cost: SimTime::from_secs_f64(60.0),
+            mtbf: SimTime::from_secs_f64(6.0 * 3600.0),
+        };
+        let tau = plan.optimal_interval().as_secs();
+        assert!((tau - (2.0 * 60.0 * 21_600.0f64).sqrt()).abs() < 1.0);
+    }
+
+    #[test]
+    fn optimal_interval_beats_neighbours() {
+        let plan = CheckpointPlan {
+            checkpoint_cost: SimTime::from_secs_f64(120.0),
+            mtbf: SimTime::from_secs_f64(4.0 * 3600.0),
+        };
+        let tau = plan.optimal_interval();
+        let best = plan.efficiency(tau);
+        for factor in [0.25, 0.5, 2.0, 4.0] {
+            let other = SimTime::from_secs_f64(tau.as_secs() * factor);
+            assert!(
+                plan.efficiency(other) <= best + 1e-9,
+                "tau x{factor} should not beat the optimum"
+            );
+        }
+    }
+
+    #[test]
+    fn cheaper_checkpoints_raise_efficiency() {
+        let mtbf = SimTime::from_secs_f64(4.0 * 3600.0);
+        let slow = CheckpointPlan {
+            checkpoint_cost: SimTime::from_secs_f64(600.0),
+            mtbf,
+        };
+        let fast = CheckpointPlan {
+            checkpoint_cost: SimTime::from_secs_f64(30.0),
+            mtbf,
+        };
+        assert!(fast.optimal_efficiency() > slow.optimal_efficiency() + 0.05);
+    }
+
+    #[test]
+    fn summary_is_consistent() {
+        let s = summarize(9_408, SimTime::from_secs_f64(90.0));
+        assert!(s.system_mtbf_h < s.node_mtbf_h);
+        assert!((s.failures_per_day - 24.0 / s.system_mtbf_h).abs() < 1e-9);
+        assert!(s.efficiency > 0.7, "exascale machines still compute: {}", s.efficiency);
+    }
+
+    #[test]
+    #[should_panic(expected = "system needs nodes")]
+    fn zero_nodes_panics() {
+        let _ = NodeBom::quad_mi300a().system_mtbf_hours(&NodeFitRates::exascale_class(), 0);
+    }
+}

@@ -1,0 +1,435 @@
+//! The cooperative multi-XCD dispatch protocol (Figure 13).
+//!
+//! "When a dispatch packet is submitted into the queue, an ACE in each
+//! XCD of a partition will read the AQL packet ①. All of these processors
+//! decode the packet and set up their local microarchitecture to launch a
+//! subset of the requested workgroups ② ... At various points ... the
+//! XCDs' ACEs may need to synchronize with each other ③ ... all XCDs must
+//! indicate that their subset of a dispatch's waves have completed ...
+//! before a nominated XCD can send a signal that indicates the kernel has
+//! completed ④."
+//!
+//! This module executes that protocol over the [`AceEngine`]s of a
+//! partition and records a timestamped event trace.
+
+use ehp_sim_core::time::Cycle;
+
+use crate::ace::{AceEngine, WorkgroupPolicy};
+use crate::aql::AqlPacket;
+use crate::queue::{QueueError, UserQueue};
+use crate::signal::CompletionSignal;
+
+/// Partition/dispatcher parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DispatcherConfig {
+    /// XCDs cooperating in this partition.
+    pub xcds: u32,
+    /// Enabled CUs per XCD.
+    pub cus_per_xcd: u32,
+    /// ACEs per XCD.
+    pub aces_per_xcd: u32,
+    /// Workgroup placement policy.
+    pub policy: WorkgroupPolicy,
+    /// One-way latency of the inter-ACE high-priority Infinity Fabric
+    /// channel.
+    pub sync_latency: Cycle,
+}
+
+impl DispatcherConfig {
+    /// MI300A in its single-partition (SPX) mode: all six XCDs as one
+    /// logical GPU.
+    #[must_use]
+    pub fn mi300a_partition() -> DispatcherConfig {
+        DispatcherConfig {
+            xcds: 6,
+            cus_per_xcd: 38,
+            aces_per_xcd: 4,
+            policy: WorkgroupPolicy::RoundRobin,
+            sync_latency: Cycle(200),
+        }
+    }
+
+    /// One partition of MI300A's triple-partition (TPX) mode: two XCDs.
+    #[must_use]
+    pub fn mi300a_tpx_partition() -> DispatcherConfig {
+        DispatcherConfig {
+            xcds: 2,
+            ..DispatcherConfig::mi300a_partition()
+        }
+    }
+
+    /// MI300X single partition: eight XCDs.
+    #[must_use]
+    pub fn mi300x_partition() -> DispatcherConfig {
+        DispatcherConfig {
+            xcds: 8,
+            ..DispatcherConfig::mi300a_partition()
+        }
+    }
+
+    /// Sets the placement policy (builder-style).
+    #[must_use]
+    pub fn with_policy(mut self, policy: WorkgroupPolicy) -> DispatcherConfig {
+        self.policy = policy;
+        self
+    }
+}
+
+/// One entry in the dispatch event trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DispatchEvent {
+    /// Step ①: an XCD's ACE read the AQL packet from the user queue.
+    PacketRead {
+        /// XCD index within the partition.
+        xcd: u32,
+    },
+    /// Step ②: an XCD launched its subset of the workgroups.
+    SubsetLaunched {
+        /// XCD index.
+        xcd: u32,
+        /// Workgroups in the subset.
+        count: u64,
+    },
+    /// An XCD's last workgroup retired.
+    XcdDrained {
+        /// XCD index.
+        xcd: u32,
+    },
+    /// Step ③: a drained XCD notified the nominated XCD over the
+    /// high-priority channel.
+    SyncMessage {
+        /// Sender XCD.
+        from: u32,
+        /// Nominated receiver XCD.
+        to: u32,
+    },
+    /// Step ④: the nominated XCD signalled kernel completion.
+    CompletionSignaled {
+        /// Nominated XCD.
+        xcd: u32,
+    },
+}
+
+/// The outcome of one cooperative dispatch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DispatchRun {
+    /// Total workgroups launched (must equal the packet's count).
+    pub workgroups_launched: u64,
+    /// Workgroups per XCD, indexed by partition-local XCD id.
+    pub per_xcd: Vec<u64>,
+    /// Time the first workgroup began executing.
+    pub first_launch: Cycle,
+    /// Time the last workgroup retired (before completion signalling).
+    pub last_retire: Cycle,
+    /// Time the completion signal was visible to software.
+    pub completion_at: Cycle,
+    /// Timestamped protocol trace.
+    pub events: Vec<(Cycle, DispatchEvent)>,
+}
+
+impl DispatchRun {
+    /// Protocol overhead: completion-signal time minus last retirement
+    /// (the cost of the multi-chiplet synchronisation).
+    #[must_use]
+    pub fn sync_overhead(&self) -> Cycle {
+        self.completion_at.saturating_sub(self.last_retire)
+    }
+}
+
+/// Executes cooperative dispatches over a partition's ACE engines.
+#[derive(Debug)]
+pub struct MultiXcdDispatcher {
+    cfg: DispatcherConfig,
+    engines: Vec<AceEngine>,
+    dispatches: u64,
+}
+
+impl MultiXcdDispatcher {
+    /// Builds the dispatcher and its per-XCD engines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration has zero XCDs.
+    #[must_use]
+    pub fn new(cfg: DispatcherConfig) -> MultiXcdDispatcher {
+        assert!(cfg.xcds > 0, "partition needs at least one XCD");
+        let engines = (0..cfg.xcds)
+            .map(|_| AceEngine::new(cfg.cus_per_xcd, cfg.aces_per_xcd))
+            .collect();
+        MultiXcdDispatcher {
+            cfg,
+            engines,
+            dispatches: 0,
+        }
+    }
+
+    /// The configuration.
+    #[must_use]
+    pub fn config(&self) -> &DispatcherConfig {
+        &self.cfg
+    }
+
+    /// Dispatches one AQL packet at time zero; `duration(wg)` gives each
+    /// workgroup's execution cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the packet fails validation.
+    pub fn dispatch(
+        &mut self,
+        pkt: &AqlPacket,
+        duration: impl FnMut(u64) -> u64,
+    ) -> DispatchRun {
+        self.dispatch_at(Cycle::ZERO, pkt, duration)
+    }
+
+    /// Dispatches one AQL packet at `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the packet fails validation.
+    pub fn dispatch_at(
+        &mut self,
+        at: Cycle,
+        pkt: &AqlPacket,
+        mut duration: impl FnMut(u64) -> u64,
+    ) -> DispatchRun {
+        pkt.validate().expect("valid AQL packet");
+        self.dispatches += 1;
+        let total = pkt.total_workgroups();
+        let n = self.cfg.xcds;
+        let nominated = 0u32;
+        let mut events = Vec::new();
+
+        // Step 1: every ACE reads the packet.
+        for x in 0..n {
+            events.push((at, DispatchEvent::PacketRead { xcd: x }));
+        }
+
+        // Step 2: partition the workgroups and launch per XCD.
+        let mut assignments: Vec<Vec<u64>> = vec![Vec::new(); n as usize];
+        for wg in 0..total {
+            let x = self.cfg.policy.assign(wg, total, n);
+            assignments[x as usize].push(wg);
+        }
+
+        let mut per_xcd = vec![0u64; n as usize];
+        let mut first_launch: Option<Cycle> = None;
+        let mut last_retire = at;
+        let mut drain_times = vec![at; n as usize];
+        for (x, wgs) in assignments.iter().enumerate() {
+            per_xcd[x] = wgs.len() as u64;
+            events.push((
+                at,
+                DispatchEvent::SubsetLaunched {
+                    xcd: x as u32,
+                    count: wgs.len() as u64,
+                },
+            ));
+            let (first, done) =
+                self.engines[x].launch(at, wgs.iter().copied(), &mut duration);
+            if !wgs.is_empty() {
+                first_launch = Some(first_launch.map_or(first, |f: Cycle| f.min(first)));
+            }
+            drain_times[x] = done;
+            events.push((done, DispatchEvent::XcdDrained { xcd: x as u32 }));
+            if done > last_retire {
+                last_retire = done;
+            }
+        }
+
+        // Step 3: each XCD notifies the nominated XCD when drained; the
+        // notification crosses the high-priority IF channel.
+        let mut signal = CompletionSignal::new(i64::from(n));
+        let mut nominated_sees_all = at;
+        for (x, &done) in drain_times.iter().enumerate() {
+            let arrival = if x as u32 == nominated {
+                done // local: no fabric hop
+            } else {
+                events.push((
+                    done,
+                    DispatchEvent::SyncMessage {
+                        from: x as u32,
+                        to: nominated,
+                    },
+                ));
+                done + self.cfg.sync_latency
+            };
+            signal.decrement(arrival);
+            if arrival > nominated_sees_all {
+                nominated_sees_all = arrival;
+            }
+        }
+        debug_assert!(signal.is_complete());
+
+        // Step 4: the nominated XCD publishes the completion signal, whose
+        // store must become visible at the appropriate coherence scope
+        // (one more fabric traversal).
+        let completion_at = nominated_sees_all + self.cfg.sync_latency;
+        events.push((completion_at, DispatchEvent::CompletionSignaled { xcd: nominated }));
+
+        events.sort_by_key(|&(t, _)| t);
+        DispatchRun {
+            workgroups_launched: total,
+            per_xcd,
+            first_launch: first_launch.unwrap_or(at),
+            last_retire,
+            completion_at,
+            events,
+        }
+    }
+
+    /// Consumes the next packet from a user queue and dispatches it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates queue decode errors; returns `Ok(None)` if the queue is
+    /// empty.
+    pub fn dispatch_from_queue(
+        &mut self,
+        at: Cycle,
+        queue: &mut UserQueue,
+        duration: impl FnMut(u64) -> u64,
+    ) -> Result<Option<DispatchRun>, QueueError> {
+        match queue.consume()? {
+            None => Ok(None),
+            Some(pkt) => Ok(Some(self.dispatch_at(at, &pkt, duration))),
+        }
+    }
+
+    /// Dispatches processed so far.
+    #[must_use]
+    pub fn dispatches(&self) -> u64 {
+        self.dispatches
+    }
+
+    /// Per-XCD engines (for occupancy statistics).
+    #[must_use]
+    pub fn engines(&self) -> &[AceEngine] {
+        &self.engines
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn big_packet() -> AqlPacket {
+        AqlPacket::dispatch_1d(228 * 64 * 4, 64) // 912 workgroups
+    }
+
+    #[test]
+    fn all_workgroups_launch_exactly_once() {
+        let mut d = MultiXcdDispatcher::new(DispatcherConfig::mi300a_partition());
+        let pkt = big_packet();
+        let run = d.dispatch(&pkt, |_| 500);
+        assert_eq!(run.workgroups_launched, pkt.total_workgroups());
+        assert_eq!(run.per_xcd.iter().sum::<u64>(), pkt.total_workgroups());
+    }
+
+    #[test]
+    fn trace_follows_figure_13_order() {
+        let mut d = MultiXcdDispatcher::new(DispatcherConfig::mi300a_partition());
+        let run = d.dispatch(&big_packet(), |_| 500);
+        // 6 packet reads, 6 subset launches, 6 drains, 5 sync messages
+        // (nominated XCD is local), 1 completion.
+        let count = |f: &dyn Fn(&DispatchEvent) -> bool| {
+            run.events.iter().filter(|(_, e)| f(e)).count()
+        };
+        assert_eq!(count(&|e| matches!(e, DispatchEvent::PacketRead { .. })), 6);
+        assert_eq!(count(&|e| matches!(e, DispatchEvent::SubsetLaunched { .. })), 6);
+        assert_eq!(count(&|e| matches!(e, DispatchEvent::XcdDrained { .. })), 6);
+        assert_eq!(count(&|e| matches!(e, DispatchEvent::SyncMessage { .. })), 5);
+        assert_eq!(count(&|e| matches!(e, DispatchEvent::CompletionSignaled { .. })), 1);
+        // Completion is the final event.
+        assert!(matches!(
+            run.events.last().unwrap().1,
+            DispatchEvent::CompletionSignaled { xcd: 0 }
+        ));
+    }
+
+    #[test]
+    fn completion_after_last_retire_by_sync_cost() {
+        let cfg = DispatcherConfig::mi300a_partition();
+        let mut d = MultiXcdDispatcher::new(cfg);
+        let run = d.dispatch(&big_packet(), |_| 500);
+        assert!(run.completion_at > run.last_retire);
+        // Overhead is at most two high-priority channel traversals.
+        assert!(run.sync_overhead() <= cfg.sync_latency * 2);
+        assert!(run.sync_overhead() >= cfg.sync_latency);
+    }
+
+    #[test]
+    fn more_xcds_finish_sooner() {
+        let pkt = big_packet();
+        let run_with = |xcds: u32| {
+            let cfg = DispatcherConfig {
+                xcds,
+                ..DispatcherConfig::mi300a_partition()
+            };
+            MultiXcdDispatcher::new(cfg).dispatch(&pkt, |_| 2_000).last_retire
+        };
+        let two = run_with(2);
+        let six = run_with(6);
+        assert!(
+            six.0 * 2 < two.0,
+            "6 XCDs ({six}) should be ~3x faster than 2 ({two})"
+        );
+    }
+
+    #[test]
+    fn single_xcd_partition_works() {
+        let cfg = DispatcherConfig {
+            xcds: 1,
+            ..DispatcherConfig::mi300a_partition()
+        };
+        let mut d = MultiXcdDispatcher::new(cfg);
+        let run = d.dispatch(&AqlPacket::dispatch_1d(64 * 38, 64), |_| 100);
+        assert_eq!(run.per_xcd, vec![38]);
+        // No cross-XCD sync messages.
+        assert!(!run
+            .events
+            .iter()
+            .any(|(_, e)| matches!(e, DispatchEvent::SyncMessage { .. })));
+    }
+
+    #[test]
+    fn policies_change_placement_not_total() {
+        let pkt = AqlPacket::dispatch_1d(1024 * 64, 64);
+        for policy in [
+            WorkgroupPolicy::RoundRobin,
+            WorkgroupPolicy::BlockContiguous,
+            WorkgroupPolicy::Chunked { chunk: 16 },
+        ] {
+            let cfg = DispatcherConfig::mi300a_partition().with_policy(policy);
+            let run = MultiXcdDispatcher::new(cfg).dispatch(&pkt, |_| 100);
+            assert_eq!(run.workgroups_launched, 1024);
+            assert_eq!(run.per_xcd.iter().sum::<u64>(), 1024);
+        }
+    }
+
+    #[test]
+    fn queue_driven_dispatch() {
+        let mut q = UserQueue::new(8).unwrap();
+        q.submit(&AqlPacket::dispatch_1d(256, 64)).unwrap();
+        let mut d = MultiXcdDispatcher::new(DispatcherConfig::mi300a_tpx_partition());
+        let run = d
+            .dispatch_from_queue(Cycle(0), &mut q, |_| 100)
+            .unwrap()
+            .unwrap();
+        assert_eq!(run.workgroups_launched, 4);
+        assert!(d
+            .dispatch_from_queue(Cycle(0), &mut q, |_| 100)
+            .unwrap()
+            .is_none());
+        assert_eq!(d.dispatches(), 1);
+    }
+
+    #[test]
+    fn imbalanced_durations_extend_last_retire() {
+        let mut d = MultiXcdDispatcher::new(DispatcherConfig::mi300a_partition());
+        // One straggler workgroup is 100x longer.
+        let run = d.dispatch(&big_packet(), |wg| if wg == 0 { 50_000 } else { 500 });
+        assert!(run.last_retire.0 >= 50_000);
+    }
+}

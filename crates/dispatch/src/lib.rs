@@ -1,0 +1,40 @@
+//! # ehp-dispatch
+//!
+//! The kernel-launch path of the MI300A (Section VI.A): user-mode HSA
+//! queues holding Architected Queueing Language (AQL) packets, per-XCD
+//! Asynchronous Compute Engines (ACEs) that read and decode those
+//! packets, and the **cooperative multi-XCD dispatch protocol** of
+//! Figure 13 — every ACE in a partition reads each dispatch packet,
+//! launches its subset of the workgroups, synchronises with its peers
+//! over the fabric's high-priority channel, and a nominated XCD signals
+//! kernel completion.
+//!
+//! ## Example
+//!
+//! ```
+//! use ehp_dispatch::{AqlPacket, MultiXcdDispatcher, DispatcherConfig, WorkgroupPolicy};
+//!
+//! let pkt = AqlPacket::dispatch_1d(1024 * 64, 64); // 1024 workgroups
+//! let mut d = MultiXcdDispatcher::new(DispatcherConfig::mi300a_partition());
+//! let run = d.dispatch(&pkt, |_wg| 1_000); // 1000 cycles per workgroup
+//! assert_eq!(run.workgroups_launched, 1024);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod ace;
+pub mod aql;
+pub mod dispatcher;
+pub mod multiqueue;
+pub mod queue;
+pub mod signal;
+pub mod stream;
+
+pub use ace::{AceEngine, WorkgroupPolicy};
+pub use aql::{AqlError, AqlHeader, AqlPacket, PacketType};
+pub use dispatcher::{DispatchEvent, DispatchRun, DispatcherConfig, MultiXcdDispatcher};
+pub use multiqueue::{Arbitration, ArbitratedDispatch, QueueArbiter};
+pub use queue::UserQueue;
+pub use signal::CompletionSignal;
+pub use stream::{PacketOutcome, QueueProcessor, SignalPool, StreamError};

@@ -1,0 +1,216 @@
+//! Multi-queue arbitration.
+//!
+//! HSA exposes many user-mode queues per process (and per tenant under
+//! SR-IOV); the hardware scheduler arbitrates among the non-empty ones.
+//! This module round-robins (or priority-orders) packet selection across
+//! queues feeding one partition's dispatcher — the mechanism that lets
+//! "multiple software queues share one logical GPU" without the queues
+//! coordinating.
+
+use ehp_sim_core::time::Cycle;
+
+use crate::dispatcher::{DispatchRun, MultiXcdDispatcher};
+use crate::queue::{QueueError, UserQueue};
+
+/// Arbitration policy across queues.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Arbitration {
+    /// Rotate one packet per non-empty queue.
+    RoundRobin,
+    /// Always drain the lowest-indexed non-empty queue first (strict
+    /// priority).
+    StrictPriority,
+}
+
+/// A record of one arbitrated dispatch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArbitratedDispatch {
+    /// Which queue the packet came from.
+    pub queue: usize,
+    /// The dispatch record.
+    pub run: DispatchRun,
+}
+
+/// The multi-queue scheduler.
+///
+/// # Examples
+///
+/// ```
+/// use ehp_dispatch::aql::AqlPacket;
+/// use ehp_dispatch::dispatcher::{DispatcherConfig, MultiXcdDispatcher};
+/// use ehp_dispatch::multiqueue::{Arbitration, QueueArbiter};
+/// use ehp_dispatch::queue::UserQueue;
+/// use ehp_sim_core::time::Cycle;
+///
+/// let mut queues = vec![UserQueue::new(8)?, UserQueue::new(8)?];
+/// queues[0].submit(&AqlPacket::dispatch_1d(128, 64))?;
+/// queues[1].submit(&AqlPacket::dispatch_1d(128, 64))?;
+/// let mut d = MultiXcdDispatcher::new(DispatcherConfig::mi300a_tpx_partition());
+/// let out = QueueArbiter::new(Arbitration::RoundRobin)
+///     .drain(Cycle(0), &mut queues, &mut d, |_, _| 100)?;
+/// assert_eq!(out.len(), 2);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct QueueArbiter {
+    policy: Arbitration,
+    next_rr: usize,
+}
+
+impl QueueArbiter {
+    /// Creates an arbiter.
+    #[must_use]
+    pub fn new(policy: Arbitration) -> QueueArbiter {
+        QueueArbiter {
+            policy,
+            next_rr: 0,
+        }
+    }
+
+    /// The policy.
+    #[must_use]
+    pub fn policy(&self) -> Arbitration {
+        self.policy
+    }
+
+    /// Picks the next queue to serve; `None` if all are empty.
+    fn pick(&mut self, queues: &[UserQueue]) -> Option<usize> {
+        let n = queues.len();
+        match self.policy {
+            Arbitration::RoundRobin => {
+                for off in 0..n {
+                    let q = (self.next_rr + off) % n;
+                    if queues[q].pending() > 0 {
+                        self.next_rr = (q + 1) % n;
+                        return Some(q);
+                    }
+                }
+                None
+            }
+            Arbitration::StrictPriority => {
+                (0..n).find(|&q| queues[q].pending() > 0)
+            }
+        }
+    }
+
+    /// Drains all queues through the dispatcher, serialising dispatches
+    /// in arbitration order (each dispatch starts when the previous
+    /// completes — the single-partition hardware view).
+    ///
+    /// # Errors
+    ///
+    /// Propagates queue decode errors.
+    pub fn drain(
+        &mut self,
+        at: Cycle,
+        queues: &mut [UserQueue],
+        dispatcher: &mut MultiXcdDispatcher,
+        mut duration: impl FnMut(usize, u64) -> u64,
+    ) -> Result<Vec<ArbitratedDispatch>, QueueError> {
+        let mut out = Vec::new();
+        let mut t = at;
+        while let Some(q) = self.pick(queues) {
+            let Some(pkt) = queues[q].consume()? else {
+                continue;
+            };
+            let run = dispatcher.dispatch_at(t, &pkt, |wg| duration(q, wg));
+            t = run.completion_at;
+            out.push(ArbitratedDispatch { queue: q, run });
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aql::AqlPacket;
+    use crate::dispatcher::DispatcherConfig;
+
+    fn loaded_queues(counts: &[usize]) -> Vec<UserQueue> {
+        counts
+            .iter()
+            .map(|&n| {
+                let mut q = UserQueue::new(16).unwrap();
+                for _ in 0..n {
+                    q.submit(&AqlPacket::dispatch_1d(256, 64)).unwrap();
+                }
+                q
+            })
+            .collect()
+    }
+
+    fn dispatcher() -> MultiXcdDispatcher {
+        MultiXcdDispatcher::new(DispatcherConfig::mi300a_tpx_partition())
+    }
+
+    #[test]
+    fn round_robin_interleaves_queues() {
+        let mut queues = loaded_queues(&[3, 3]);
+        let mut arb = QueueArbiter::new(Arbitration::RoundRobin);
+        let out = arb
+            .drain(Cycle(0), &mut queues, &mut dispatcher(), |_, _| 100)
+            .unwrap();
+        let order: Vec<usize> = out.iter().map(|d| d.queue).collect();
+        assert_eq!(order, vec![0, 1, 0, 1, 0, 1]);
+    }
+
+    #[test]
+    fn strict_priority_drains_queue_zero_first() {
+        let mut queues = loaded_queues(&[3, 3]);
+        let mut arb = QueueArbiter::new(Arbitration::StrictPriority);
+        let out = arb
+            .drain(Cycle(0), &mut queues, &mut dispatcher(), |_, _| 100)
+            .unwrap();
+        let order: Vec<usize> = out.iter().map(|d| d.queue).collect();
+        assert_eq!(order, vec![0, 0, 0, 1, 1, 1]);
+    }
+
+    #[test]
+    fn empty_queues_are_skipped() {
+        let mut queues = loaded_queues(&[0, 2, 0]);
+        let mut arb = QueueArbiter::new(Arbitration::RoundRobin);
+        let out = arb
+            .drain(Cycle(0), &mut queues, &mut dispatcher(), |_, _| 100)
+            .unwrap();
+        assert_eq!(out.len(), 2);
+        assert!(out.iter().all(|d| d.queue == 1));
+    }
+
+    #[test]
+    fn dispatches_are_serialised_in_time() {
+        let mut queues = loaded_queues(&[2, 2]);
+        let mut arb = QueueArbiter::new(Arbitration::RoundRobin);
+        let out = arb
+            .drain(Cycle(0), &mut queues, &mut dispatcher(), |_, _| 500)
+            .unwrap();
+        for pair in out.windows(2) {
+            assert!(pair[1].run.completion_at > pair[0].run.completion_at);
+        }
+    }
+
+    #[test]
+    fn all_queues_drain_completely() {
+        let mut queues = loaded_queues(&[5, 1, 3]);
+        let mut arb = QueueArbiter::new(Arbitration::RoundRobin);
+        let out = arb
+            .drain(Cycle(0), &mut queues, &mut dispatcher(), |_, _| 50)
+            .unwrap();
+        assert_eq!(out.len(), 9);
+        assert!(queues.iter().all(|q| q.pending() == 0));
+    }
+
+    #[test]
+    fn round_robin_is_fair_under_asymmetric_load() {
+        // Queue 0 has many packets; queue 1 few — queue 1 must not wait
+        // for queue 0 to drain.
+        let mut queues = loaded_queues(&[6, 2]);
+        let mut arb = QueueArbiter::new(Arbitration::RoundRobin);
+        let out = arb
+            .drain(Cycle(0), &mut queues, &mut dispatcher(), |_, _| 100)
+            .unwrap();
+        // Queue 1's last packet completes within the first 4 dispatches.
+        let last_q1 = out.iter().rposition(|d| d.queue == 1).unwrap();
+        assert!(last_q1 <= 3, "queue 1 finished at position {last_q1}");
+    }
+}

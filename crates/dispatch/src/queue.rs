@@ -1,0 +1,217 @@
+//! User-mode HSA queues.
+//!
+//! "The kernel launch interface between user-mode software and MI300A is
+//! a queue in user-mode visible memory that can be filled with packets
+//! that describe the kernel" (Section VI.A). The queue is a power-of-two
+//! ring of AQL packet slots with write/read indices and a doorbell.
+
+use crate::aql::{AqlError, AqlPacket, PACKET_BYTES};
+
+/// A user-mode AQL queue (single producer, multiple ACE consumers).
+///
+/// # Example
+///
+/// ```
+/// use ehp_dispatch::queue::UserQueue;
+/// use ehp_dispatch::aql::AqlPacket;
+///
+/// let mut q = UserQueue::new(16)?;
+/// q.submit(&AqlPacket::dispatch_1d(256, 64))?;
+/// assert_eq!(q.pending(), 1);
+/// let pkt = q.consume()?.unwrap();
+/// assert_eq!(pkt.total_workgroups(), 4);
+/// # Ok::<(), ehp_dispatch::queue::QueueError>(())
+/// ```
+#[derive(Debug)]
+pub struct UserQueue {
+    /// Backing store, as the hardware sees it: raw packet slots.
+    ring: Vec<[u8; PACKET_BYTES]>,
+    write_index: u64,
+    read_index: u64,
+    doorbell: u64,
+}
+
+/// Errors from queue operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueueError {
+    /// Capacity is zero or not a power of two (HSA requires power of two).
+    BadCapacity(usize),
+    /// The ring is full.
+    Full,
+    /// A consumed packet failed to decode.
+    Decode(AqlError),
+}
+
+impl core::fmt::Display for QueueError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            QueueError::BadCapacity(n) => {
+                write!(f, "queue capacity must be a non-zero power of two, got {n}")
+            }
+            QueueError::Full => f.write_str("queue is full"),
+            QueueError::Decode(e) => write!(f, "packet decode failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for QueueError {}
+
+impl From<AqlError> for QueueError {
+    fn from(e: AqlError) -> QueueError {
+        QueueError::Decode(e)
+    }
+}
+
+impl UserQueue {
+    /// Creates a queue with `capacity` packet slots.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QueueError::BadCapacity`] unless `capacity` is a
+    /// non-zero power of two.
+    pub fn new(capacity: usize) -> Result<UserQueue, QueueError> {
+        if capacity == 0 || !capacity.is_power_of_two() {
+            return Err(QueueError::BadCapacity(capacity));
+        }
+        Ok(UserQueue {
+            ring: vec![[0u8; PACKET_BYTES]; capacity],
+            write_index: 0,
+            read_index: 0,
+            doorbell: 0,
+        })
+    }
+
+    /// Ring capacity in packets.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// Packets submitted but not yet consumed.
+    #[must_use]
+    pub fn pending(&self) -> u64 {
+        self.doorbell - self.read_index
+    }
+
+    /// Submits a packet and rings the doorbell.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QueueError::Full`] if the ring has no free slot.
+    pub fn submit(&mut self, pkt: &AqlPacket) -> Result<(), QueueError> {
+        if (self.write_index - self.read_index) as usize >= self.ring.len() {
+            return Err(QueueError::Full);
+        }
+        let slot = (self.write_index as usize) & (self.ring.len() - 1);
+        self.ring[slot] = pkt.encode();
+        self.write_index += 1;
+        // Ringing the doorbell publishes the new write index to hardware.
+        self.doorbell = self.write_index;
+        Ok(())
+    }
+
+    /// Consumes the next packet, if the doorbell indicates one is ready.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QueueError::Decode`] if the slot contents are not a
+    /// valid packet.
+    pub fn consume(&mut self) -> Result<Option<AqlPacket>, QueueError> {
+        if self.read_index >= self.doorbell {
+            return Ok(None);
+        }
+        let slot = (self.read_index as usize) & (self.ring.len() - 1);
+        let pkt = AqlPacket::decode(&self.ring[slot])?;
+        self.read_index += 1;
+        Ok(Some(pkt))
+    }
+
+    /// Peeks the next packet without consuming (each ACE in a partition
+    /// reads the same packet; the nominated reader then advances the
+    /// index once).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QueueError::Decode`] if the slot contents are invalid.
+    pub fn peek(&self) -> Result<Option<AqlPacket>, QueueError> {
+        if self.read_index >= self.doorbell {
+            return Ok(None);
+        }
+        let slot = (self.read_index as usize) & (self.ring.len() - 1);
+        Ok(Some(AqlPacket::decode(&self.ring[slot])?))
+    }
+
+    /// Current doorbell value (diagnostics).
+    #[must_use]
+    pub fn doorbell(&self) -> u64 {
+        self.doorbell
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacity_must_be_power_of_two() {
+        assert!(matches!(UserQueue::new(0), Err(QueueError::BadCapacity(0))));
+        assert!(matches!(UserQueue::new(3), Err(QueueError::BadCapacity(3))));
+        assert!(UserQueue::new(8).is_ok());
+    }
+
+    #[test]
+    fn fifo_order() {
+        let mut q = UserQueue::new(8).unwrap();
+        for i in 1..=5u32 {
+            q.submit(&AqlPacket::dispatch_1d(i * 64, 64)).unwrap();
+        }
+        for i in 1..=5u64 {
+            let p = q.consume().unwrap().unwrap();
+            assert_eq!(p.total_workgroups(), i);
+        }
+        assert_eq!(q.consume().unwrap(), None);
+    }
+
+    #[test]
+    fn full_queue_rejects() {
+        let mut q = UserQueue::new(2).unwrap();
+        q.submit(&AqlPacket::dispatch_1d(64, 64)).unwrap();
+        q.submit(&AqlPacket::dispatch_1d(64, 64)).unwrap();
+        assert_eq!(q.submit(&AqlPacket::dispatch_1d(64, 64)), Err(QueueError::Full));
+        // Draining frees a slot.
+        q.consume().unwrap();
+        assert!(q.submit(&AqlPacket::dispatch_1d(64, 64)).is_ok());
+    }
+
+    #[test]
+    fn ring_wraps_around() {
+        let mut q = UserQueue::new(4).unwrap();
+        for round in 0..10u32 {
+            q.submit(&AqlPacket::dispatch_1d((round + 1) * 64, 64)).unwrap();
+            let p = q.consume().unwrap().unwrap();
+            assert_eq!(p.total_workgroups(), u64::from(round + 1));
+        }
+    }
+
+    #[test]
+    fn peek_does_not_advance() {
+        let mut q = UserQueue::new(4).unwrap();
+        q.submit(&AqlPacket::dispatch_1d(128, 64)).unwrap();
+        let a = q.peek().unwrap().unwrap();
+        let b = q.peek().unwrap().unwrap();
+        assert_eq!(a, b);
+        assert_eq!(q.pending(), 1);
+        assert_eq!(q.consume().unwrap().unwrap(), a);
+        assert_eq!(q.pending(), 0);
+        assert_eq!(q.peek().unwrap(), None);
+    }
+
+    #[test]
+    fn doorbell_tracks_submissions() {
+        let mut q = UserQueue::new(8).unwrap();
+        assert_eq!(q.doorbell(), 0);
+        q.submit(&AqlPacket::dispatch_1d(64, 64)).unwrap();
+        q.submit(&AqlPacket::dispatch_1d(64, 64)).unwrap();
+        assert_eq!(q.doorbell(), 2);
+    }
+}

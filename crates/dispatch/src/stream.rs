@@ -1,0 +1,368 @@
+//! In-order queue processing with HSA barrier semantics.
+//!
+//! An HSA queue's packets are processed in order, but kernel dispatches
+//! may *execute* concurrently unless ordering is requested: the header's
+//! **barrier bit** makes a packet wait for all preceding packets to
+//! complete, and **Barrier-AND** packets block the queue until a set of
+//! signals reaches zero. This module drives a [`UserQueue`] against a
+//! [`MultiXcdDispatcher`] with those semantics — the software side of
+//! the Section VI.A launch interface.
+
+use std::collections::HashMap;
+
+use ehp_sim_core::time::Cycle;
+
+use crate::aql::PacketType;
+#[cfg(test)]
+use crate::aql::AqlPacket;
+use crate::dispatcher::{DispatchRun, MultiXcdDispatcher};
+use crate::queue::{QueueError, UserQueue};
+
+/// A registry of signal handles and their completion times.
+#[derive(Debug, Default)]
+pub struct SignalPool {
+    completed_at: HashMap<u64, Cycle>,
+}
+
+impl SignalPool {
+    /// Creates an empty pool.
+    #[must_use]
+    pub fn new() -> SignalPool {
+        SignalPool::default()
+    }
+
+    /// Records that signal `handle` completed at `at`.
+    pub fn complete(&mut self, handle: u64, at: Cycle) {
+        let entry = self.completed_at.entry(handle).or_insert(at);
+        if at > *entry {
+            *entry = at;
+        }
+    }
+
+    /// When `handle` completed; `None` if it has not.
+    #[must_use]
+    pub fn completion(&self, handle: u64) -> Option<Cycle> {
+        self.completed_at.get(&handle).copied()
+    }
+}
+
+/// The outcome of processing one packet.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PacketOutcome {
+    /// A kernel dispatch ran.
+    Dispatched {
+        /// Position in the queue.
+        index: usize,
+        /// Time the dispatch began (after any barrier wait).
+        started: Cycle,
+        /// The dispatch record.
+        run: DispatchRun,
+    },
+    /// A Barrier-AND packet waited for its dependencies.
+    Barrier {
+        /// Position in the queue.
+        index: usize,
+        /// Time the barrier resolved.
+        resolved: Cycle,
+    },
+}
+
+impl PacketOutcome {
+    /// The time this packet's effects completed.
+    #[must_use]
+    pub fn completed(&self) -> Cycle {
+        match self {
+            PacketOutcome::Dispatched { run, .. } => run.completion_at,
+            PacketOutcome::Barrier { resolved, .. } => *resolved,
+        }
+    }
+}
+
+/// Errors from stream processing.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StreamError {
+    /// The queue produced a decode error.
+    Queue(QueueError),
+    /// A Barrier-AND waits on a signal that no packet will ever
+    /// complete — the queue would hang.
+    UnresolvableBarrier {
+        /// Queue position of the barrier.
+        index: usize,
+        /// The missing signal handle.
+        signal: u64,
+    },
+}
+
+impl core::fmt::Display for StreamError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            StreamError::Queue(e) => write!(f, "queue error: {e}"),
+            StreamError::UnresolvableBarrier { index, signal } => write!(
+                f,
+                "barrier packet {index} waits on signal {signal} that never completes"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for StreamError {}
+
+impl From<QueueError> for StreamError {
+    fn from(e: QueueError) -> StreamError {
+        StreamError::Queue(e)
+    }
+}
+
+/// Drives a queue in order with barrier semantics.
+///
+/// # Examples
+///
+/// ```
+/// use ehp_dispatch::aql::AqlPacket;
+/// use ehp_dispatch::dispatcher::{DispatcherConfig, MultiXcdDispatcher};
+/// use ehp_dispatch::queue::UserQueue;
+/// use ehp_dispatch::stream::QueueProcessor;
+/// use ehp_sim_core::time::Cycle;
+///
+/// let mut q = UserQueue::new(8)?;
+/// q.submit(&AqlPacket::dispatch_1d(256, 64))?;
+/// let mut d = MultiXcdDispatcher::new(DispatcherConfig::mi300a_tpx_partition());
+/// let out = QueueProcessor::new().run(Cycle(0), &mut q, &mut d, |_, _| 100)?;
+/// assert_eq!(out.len(), 1);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct QueueProcessor {
+    signals: SignalPool,
+}
+
+impl Default for QueueProcessor {
+    fn default() -> Self {
+        QueueProcessor::new()
+    }
+}
+
+impl QueueProcessor {
+    /// Creates a processor with an empty signal pool.
+    #[must_use]
+    pub fn new() -> QueueProcessor {
+        QueueProcessor {
+            signals: SignalPool::new(),
+        }
+    }
+
+    /// The signal pool (for registering external signals).
+    pub fn signals_mut(&mut self) -> &mut SignalPool {
+        &mut self.signals
+    }
+
+    /// Processes every packet currently in the queue, starting at `at`.
+    ///
+    /// Kernel dispatches without the barrier bit start as soon as the
+    /// queue reaches them; with the barrier bit they wait for all prior
+    /// packets to complete. Barrier-AND packets (dependency handles in
+    /// `kernarg_address`/`kernel_object`, zero = unused) resolve when
+    /// all named signals have completed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StreamError`] on decode failure or an unresolvable
+    /// barrier.
+    pub fn run(
+        &mut self,
+        at: Cycle,
+        queue: &mut UserQueue,
+        dispatcher: &mut MultiXcdDispatcher,
+        mut duration: impl FnMut(usize, u64) -> u64,
+    ) -> Result<Vec<PacketOutcome>, StreamError> {
+        let mut outcomes = Vec::new();
+        let mut cursor = at; // queue read pointer time
+        let mut all_prior_done = at;
+        let mut index = 0usize;
+
+        while let Some(pkt) = queue.consume()? {
+            match pkt.header.packet_type {
+                PacketType::KernelDispatch => {
+                    let start = if pkt.header.barrier {
+                        cursor.max(all_prior_done)
+                    } else {
+                        cursor
+                    };
+                    let run = dispatcher.dispatch_at(start, &pkt, |wg| duration(index, wg));
+                    if pkt.completion_signal != 0 {
+                        self.signals.complete(pkt.completion_signal, run.completion_at);
+                    }
+                    all_prior_done = all_prior_done.max(run.completion_at);
+                    outcomes.push(PacketOutcome::Dispatched {
+                        index,
+                        started: start,
+                        run,
+                    });
+                }
+                PacketType::BarrierAnd => {
+                    // Dependencies ride in the payload words.
+                    let deps = [pkt.kernel_object, pkt.kernarg_address];
+                    let mut resolved = cursor;
+                    for &d in deps.iter().filter(|&&d| d != 0) {
+                        match self.signals.completion(d) {
+                            Some(t) => resolved = resolved.max(t),
+                            None => {
+                                return Err(StreamError::UnresolvableBarrier {
+                                    index,
+                                    signal: d,
+                                })
+                            }
+                        }
+                    }
+                    all_prior_done = all_prior_done.max(resolved);
+                    cursor = cursor.max(resolved);
+                    outcomes.push(PacketOutcome::Barrier { index, resolved });
+                }
+                PacketType::Invalid => { /* empty slot: skip */ }
+            }
+            index += 1;
+        }
+        Ok(outcomes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dispatcher::DispatcherConfig;
+
+    fn kernel(signal: u64, barrier: bool) -> AqlPacket {
+        let mut p = AqlPacket::dispatch_1d(512, 64);
+        p.completion_signal = signal;
+        p.header.barrier = barrier;
+        p
+    }
+
+    fn barrier_on(signals: [u64; 2]) -> AqlPacket {
+        let mut p = AqlPacket::dispatch_1d(1, 1);
+        p.header.packet_type = PacketType::BarrierAnd;
+        p.kernel_object = signals[0];
+        p.kernarg_address = signals[1];
+        p.completion_signal = 0;
+        p
+    }
+
+    fn setup() -> (UserQueue, MultiXcdDispatcher, QueueProcessor) {
+        (
+            UserQueue::new(16).unwrap(),
+            MultiXcdDispatcher::new(DispatcherConfig::mi300a_tpx_partition()),
+            QueueProcessor::new(),
+        )
+    }
+
+    #[test]
+    fn independent_kernels_start_together() {
+        let (mut q, mut d, mut proc) = setup();
+        q.submit(&kernel(1, false)).unwrap();
+        q.submit(&kernel(2, false)).unwrap();
+        let out = proc.run(Cycle(0), &mut q, &mut d, |_, _| 10_000).unwrap();
+        let starts: Vec<Cycle> = out
+            .iter()
+            .map(|o| match o {
+                PacketOutcome::Dispatched { started, .. } => *started,
+                PacketOutcome::Barrier { .. } => panic!("no barriers here"),
+            })
+            .collect();
+        assert_eq!(starts[0], starts[1], "no barrier bit: concurrent launch");
+    }
+
+    #[test]
+    fn barrier_bit_serialises() {
+        let (mut q, mut d, mut proc) = setup();
+        q.submit(&kernel(1, false)).unwrap();
+        q.submit(&kernel(2, true)).unwrap(); // barrier bit
+        let out = proc.run(Cycle(0), &mut q, &mut d, |_, _| 10_000).unwrap();
+        let (PacketOutcome::Dispatched { run: r1, .. }, PacketOutcome::Dispatched { started: s2, .. }) =
+            (&out[0], &out[1])
+        else {
+            panic!("expected two dispatches");
+        };
+        assert!(*s2 >= r1.completion_at, "barrier waits for prior packet");
+    }
+
+    #[test]
+    fn barrier_and_waits_on_signals() {
+        let (mut q, mut d, mut proc) = setup();
+        q.submit(&kernel(10, false)).unwrap();
+        q.submit(&kernel(11, false)).unwrap();
+        q.submit(&barrier_on([10, 11])).unwrap();
+        q.submit(&kernel(12, false)).unwrap();
+        let out = proc.run(Cycle(0), &mut q, &mut d, |_, _| 5_000).unwrap();
+        let barrier_resolved = match &out[2] {
+            PacketOutcome::Barrier { resolved, .. } => *resolved,
+            other => panic!("expected barrier, got {other:?}"),
+        };
+        // Barrier resolves no earlier than both kernels' completions.
+        assert!(barrier_resolved >= out[0].completed());
+        assert!(barrier_resolved >= out[1].completed());
+        // The following kernel starts after the barrier.
+        match &out[3] {
+            PacketOutcome::Dispatched { started, .. } => {
+                assert!(*started >= barrier_resolved);
+            }
+            other => panic!("expected dispatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unresolvable_barrier_errors() {
+        let (mut q, mut d, mut proc) = setup();
+        q.submit(&barrier_on([99, 0])).unwrap();
+        let err = proc.run(Cycle(0), &mut q, &mut d, |_, _| 1).unwrap_err();
+        assert_eq!(
+            err,
+            StreamError::UnresolvableBarrier {
+                index: 0,
+                signal: 99
+            }
+        );
+        assert!(!err.to_string().is_empty());
+    }
+
+    #[test]
+    fn external_signal_unblocks_barrier() {
+        let (mut q, mut d, mut proc) = setup();
+        proc.signals_mut().complete(7, Cycle(123_456));
+        q.submit(&barrier_on([7, 0])).unwrap();
+        q.submit(&kernel(8, false)).unwrap();
+        let out = proc.run(Cycle(0), &mut q, &mut d, |_, _| 100).unwrap();
+        match &out[1] {
+            PacketOutcome::Dispatched { started, .. } => {
+                assert!(*started >= Cycle(123_456));
+            }
+            other => panic!("expected dispatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dependency_chain_builds_pipeline() {
+        // k1 -> barrier(k1) -> k2 -> barrier(k2) -> k3: strictly ordered.
+        let (mut q, mut d, mut proc) = setup();
+        q.submit(&kernel(1, false)).unwrap();
+        q.submit(&barrier_on([1, 0])).unwrap();
+        q.submit(&kernel(2, false)).unwrap();
+        q.submit(&barrier_on([2, 0])).unwrap();
+        q.submit(&kernel(3, false)).unwrap();
+        let out = proc.run(Cycle(0), &mut q, &mut d, |_, _| 3_000).unwrap();
+        let completions: Vec<Cycle> = out.iter().map(PacketOutcome::completed).collect();
+        for pair in completions.windows(2) {
+            assert!(pair[1] >= pair[0], "chain is monotone: {completions:?}");
+        }
+        // The last kernel completes after ~3 serialised kernels.
+        assert!(completions[4] > completions[0] * 2);
+    }
+
+    #[test]
+    fn signal_pool_keeps_latest() {
+        let mut p = SignalPool::new();
+        p.complete(1, Cycle(10));
+        p.complete(1, Cycle(5)); // earlier completion does not regress
+        assert_eq!(p.completion(1), Some(Cycle(10)));
+        assert_eq!(p.completion(2), None);
+    }
+}

@@ -1,0 +1,320 @@
+//! Steady-state flow analysis: max-min fair bandwidth allocation.
+//!
+//! The timed [`FabricSim`](crate::fabric::FabricSim) answers "when does
+//! this message arrive"; this module answers the steady-state question —
+//! given a set of continuous flows (e.g. every XCD streaming from every
+//! HBM stack), what throughput does each sustain once links saturate?
+//! The allocator implements progressive filling (max-min fairness),
+//! which is what a well-arbitrated fabric converges to, and is the right
+//! tool for the paper's bandwidth claims under contention.
+
+use std::collections::HashMap;
+
+use ehp_sim_core::units::Bandwidth;
+
+use crate::topology::{NodeKey, Topology};
+
+/// One continuous flow.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Flow {
+    /// Source endpoint.
+    pub from: NodeKey,
+    /// Destination endpoint.
+    pub to: NodeKey,
+    /// Offered load (demand ceiling); unlimited if `None`.
+    pub demand: Option<Bandwidth>,
+}
+
+impl Flow {
+    /// An unlimited (greedy) flow.
+    #[must_use]
+    pub fn greedy(from: NodeKey, to: NodeKey) -> Flow {
+        Flow {
+            from,
+            to,
+            demand: None,
+        }
+    }
+}
+
+/// The allocation result for one flow.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlowRate {
+    /// The flow.
+    pub flow: Flow,
+    /// Allocated steady-state throughput.
+    pub rate: Bandwidth,
+    /// Whether the flow is bottlenecked by a link (vs its own demand).
+    pub link_limited: bool,
+}
+
+/// Max-min fair allocator over a topology.
+///
+/// # Examples
+///
+/// ```
+/// use ehp_fabric::flows::{Flow, FlowSolver};
+/// use ehp_fabric::topology::{NodeKey, Topology};
+///
+/// let topo = Topology::mi300_package(2, 0);
+/// let solver = FlowSolver::new(&topo);
+/// let rates = solver.solve(&[Flow::greedy(NodeKey::Chiplet(0), NodeKey::HbmStack(0))]);
+/// assert!(rates[0].rate.as_gb_s() > 600.0); // HBM-PHY bottleneck
+/// ```
+#[derive(Debug)]
+pub struct FlowSolver<'a> {
+    topo: &'a Topology,
+}
+
+impl<'a> FlowSolver<'a> {
+    /// Creates a solver over a topology.
+    #[must_use]
+    pub fn new(topo: &'a Topology) -> FlowSolver<'a> {
+        FlowSolver { topo }
+    }
+
+    /// Solves the max-min fair allocation. Flows whose route does not
+    /// exist are returned with zero rate and `link_limited = false`.
+    ///
+    /// Progressive filling: raise every unfrozen flow's rate uniformly
+    /// until a link saturates or a flow hits its demand; freeze those;
+    /// repeat.
+    #[must_use]
+    pub fn solve(&self, flows: &[Flow]) -> Vec<FlowRate> {
+        // Route each flow once (directed edge indices).
+        let routes: Vec<Option<Vec<usize>>> = flows
+            .iter()
+            .map(|f| self.topo.route(f.from, f.to))
+            .collect();
+
+        let mut rate = vec![0.0f64; flows.len()];
+        let mut frozen = vec![false; flows.len()];
+        for (i, r) in routes.iter().enumerate() {
+            if r.is_none() || r.as_ref().is_some_and(Vec::is_empty) {
+                frozen[i] = true;
+            }
+        }
+
+        // Remaining capacity per directed edge.
+        let mut cap: HashMap<usize, f64> = HashMap::new();
+        for (i, r) in routes.iter().enumerate() {
+            if frozen[i] {
+                continue;
+            }
+            for &e in r.as_ref().expect("active flow has route") {
+                cap.entry(e)
+                    .or_insert_with(|| self.topo.edges()[e].spec.per_direction.as_bytes_per_sec());
+            }
+        }
+
+        loop {
+            let active: Vec<usize> =
+                (0..flows.len()).filter(|&i| !frozen[i]).collect();
+            if active.is_empty() {
+                break;
+            }
+
+            // How much headroom can every active flow gain uniformly?
+            // Per link: remaining / active flows crossing it.
+            let mut delta = f64::INFINITY;
+            for (&e, &remaining) in &cap {
+                let crossing = active
+                    .iter()
+                    .filter(|&&i| routes[i].as_ref().expect("route").contains(&e))
+                    .count();
+                if crossing > 0 {
+                    delta = delta.min(remaining / crossing as f64);
+                }
+            }
+            // Demand ceilings.
+            for &i in &active {
+                if let Some(d) = flows[i].demand {
+                    delta = delta.min(d.as_bytes_per_sec() - rate[i]);
+                }
+            }
+            if !delta.is_finite() || delta <= 1e-6 {
+                // No constraining link and no demand: flows are capped by
+                // nothing in the model — freeze at current rate.
+                break;
+            }
+
+            // Apply the increment.
+            for &i in &active {
+                rate[i] += delta;
+            }
+            let edges: Vec<usize> = cap.keys().copied().collect();
+            for e in edges {
+                let crossing = active
+                    .iter()
+                    .filter(|&&i| routes[i].as_ref().expect("route").contains(&e))
+                    .count();
+                if crossing > 0 {
+                    *cap.get_mut(&e).expect("known edge") -= delta * crossing as f64;
+                }
+            }
+
+            // Freeze flows on saturated links or at their demand.
+            let saturated: Vec<usize> = cap
+                .iter()
+                .filter(|(_, &rem)| rem <= 1e-3)
+                .map(|(&e, _)| e)
+                .collect();
+            for &i in &active {
+                let on_saturated = routes[i]
+                    .as_ref()
+                    .expect("route")
+                    .iter()
+                    .any(|e| saturated.contains(e));
+                let at_demand = flows[i]
+                    .demand
+                    .is_some_and(|d| rate[i] >= d.as_bytes_per_sec() - 1e-3);
+                if on_saturated || at_demand {
+                    frozen[i] = true;
+                }
+            }
+        }
+
+        flows
+            .iter()
+            .enumerate()
+            .map(|(i, &flow)| FlowRate {
+                flow,
+                rate: Bandwidth::from_bytes_per_sec(rate[i].max(0.0)),
+                link_limited: routes[i].is_some()
+                    && flow
+                        .demand
+                        .is_none_or(|d| rate[i] < d.as_bytes_per_sec() - 1e-3),
+            })
+            .collect()
+    }
+
+    /// Aggregate throughput of a flow set.
+    #[must_use]
+    pub fn aggregate(&self, flows: &[Flow]) -> Bandwidth {
+        self.solve(flows).iter().map(|r| r.rate).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::link::LinkTech;
+
+    #[test]
+    fn single_flow_gets_bottleneck_bandwidth() {
+        let topo = Topology::mi300_package(2, 0);
+        let solver = FlowSolver::new(&topo);
+        let rates = solver.solve(&[Flow::greedy(
+            NodeKey::Chiplet(0),
+            NodeKey::HbmStack(0),
+        )]);
+        // Bottleneck is the HBM PHY: 662.5 GB/s.
+        assert!((rates[0].rate.as_gb_s() - 662.5).abs() < 1.0);
+        assert!(rates[0].link_limited);
+    }
+
+    #[test]
+    fn two_flows_share_a_link_fairly() {
+        let mut topo = Topology::new();
+        topo.add_link(NodeKey::Iod(0), NodeKey::Iod(1), LinkTech::Usr.spec());
+        let solver = FlowSolver::new(&topo);
+        let f = Flow::greedy(NodeKey::Iod(0), NodeKey::Iod(1));
+        let rates = solver.solve(&[f, f]);
+        let total: f64 = rates.iter().map(|r| r.rate.as_tb_s()).sum();
+        assert!((total - 1.5).abs() < 0.01, "link fully used: {total}");
+        assert!((rates[0].rate.as_tb_s() - rates[1].rate.as_tb_s()).abs() < 0.01);
+    }
+
+    #[test]
+    fn demand_capped_flow_leaves_room() {
+        let mut topo = Topology::new();
+        topo.add_link(NodeKey::Iod(0), NodeKey::Iod(1), LinkTech::Usr.spec());
+        let solver = FlowSolver::new(&topo);
+        let small = Flow {
+            from: NodeKey::Iod(0),
+            to: NodeKey::Iod(1),
+            demand: Some(Bandwidth::from_gb_s(100.0)),
+        };
+        let big = Flow::greedy(NodeKey::Iod(0), NodeKey::Iod(1));
+        let rates = solver.solve(&[small, big]);
+        assert!((rates[0].rate.as_gb_s() - 100.0).abs() < 0.5);
+        assert!(!rates[0].link_limited, "capped by its own demand");
+        // The greedy flow takes the rest of the 1.5 TB/s.
+        assert!((rates[1].rate.as_gb_s() - 1400.0).abs() < 5.0);
+    }
+
+    #[test]
+    fn unroutable_flow_gets_zero() {
+        let topo = Topology::mi300_package(2, 0);
+        let solver = FlowSolver::new(&topo);
+        let rates = solver.solve(&[Flow::greedy(
+            NodeKey::Iod(0),
+            NodeKey::External(77),
+        )]);
+        assert_eq!(rates[0].rate.as_gb_s(), 0.0);
+        assert!(!rates[0].link_limited);
+    }
+
+    #[test]
+    fn all_xcds_streaming_all_stacks_reach_hbm_class_aggregate() {
+        // The paper's architectural claim: with the USR mesh, aggregate
+        // GPU streaming saturates the HBM, not the fabric.
+        let topo = Topology::mi300_package(2, 0);
+        let solver = FlowSolver::new(&topo);
+        let mut flows = Vec::new();
+        for c in 0..8u32 {
+            for s in 0..8u32 {
+                flows.push(Flow::greedy(NodeKey::Chiplet(c), NodeKey::HbmStack(s)));
+            }
+        }
+        let agg = solver.aggregate(&flows);
+        // All 8 stacks' PHYs saturated: 8 x 662.5 = 5.3 TB/s.
+        assert!(
+            (agg.as_tb_s() - 5.3).abs() < 0.1,
+            "aggregate {agg} should equal HBM peak"
+        );
+    }
+
+    #[test]
+    fn ehpv4_cross_traffic_collapses_to_serdes() {
+        // The same all-to-all streaming on the EHPv4 organisation: the
+        // cross-complex flows collapse onto the SerDes hub links.
+        let topo = Topology::ehpv4_package();
+        let solver = FlowSolver::new(&topo);
+        let gpu_chiplets = [2u32, 3, 4, 5];
+        let mut cross = Vec::new();
+        for &c in &gpu_chiplets {
+            for s in 0..8u32 {
+                // Only cross-complex flows: chiplets 2-3 to stacks 4-7 etc.
+                let local = (c <= 3 && s < 4) || (c >= 4 && s >= 4);
+                if !local {
+                    cross.push(Flow::greedy(NodeKey::Chiplet(c), NodeKey::HbmStack(s)));
+                }
+            }
+        }
+        let agg = solver.aggregate(&cross);
+        // All cross traffic funnels through two 64 GB/s SerDes links per
+        // direction pair: aggregate is SerDes-class, not HBM-class.
+        assert!(
+            agg.as_gb_s() < 300.0,
+            "EHPv4 cross aggregate {agg} should be SerDes-bound"
+        );
+    }
+
+    #[test]
+    fn fairness_no_flow_starves() {
+        let topo = Topology::mi300_package(2, 3);
+        let solver = FlowSolver::new(&topo);
+        let mut flows = Vec::new();
+        for c in 0..9u32 {
+            flows.push(Flow::greedy(NodeKey::Chiplet(c), NodeKey::HbmStack(7)));
+        }
+        let rates = solver.solve(&flows);
+        let min = rates.iter().map(|r| r.rate.as_gb_s()).fold(f64::MAX, f64::min);
+        let max = rates.iter().map(|r| r.rate.as_gb_s()).fold(0.0, f64::max);
+        assert!(min > 0.0, "no starvation");
+        // Max-min: chiplets sharing the same bottleneck get equal rates;
+        // different IODs may differ, but not wildly.
+        assert!(max / min < 8.0, "min {min} max {max}");
+    }
+}

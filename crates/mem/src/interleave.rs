@@ -1,0 +1,340 @@
+//! Physical address interleaving across HBM stacks and channels.
+//!
+//! The paper (Section IV.D): *"Every 4 KB of sequential physical addresses
+//! map to the same HBM stack before moving on to another HBM stack chosen
+//! based on a physical address hashing scheme."* Within a stack, finer
+//! interleaving spreads lines across the stack's channels.
+//!
+//! The NUMA modes of Figure 17 are also implemented here: **NPS1**
+//! interleaves uniformly across all stacks of a socket; **NPS4** divides
+//! the address space into four quadrant domains of two stacks each
+//! (MI300X only exposes NPS4; MI300A is NPS1-only in both partition
+//! modes).
+
+use ehp_sim_core::ids::ChannelId;
+
+/// NUMA-nodes-per-socket memory mode (Figure 17).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum NumaMode {
+    /// One NUMA domain: addresses interleave over all 8 stacks.
+    #[default]
+    Nps1,
+    /// Four NUMA domains: the address space is split into quadrants, each
+    /// interleaving over the 2 stacks owned by one IOD.
+    Nps4,
+}
+
+/// Static description of the interleaving scheme.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InterleaveConfig {
+    /// Number of HBM stacks on the socket (8 on MI300).
+    pub stacks: u32,
+    /// Channels per stack (16 pseudo-channels on MI300-class HBM3).
+    pub channels_per_stack: u32,
+    /// Contiguous bytes mapped to one stack before hashing to the next
+    /// (4 KB on MI300).
+    pub stack_granule: u64,
+    /// Contiguous bytes mapped to one channel within a stack (256 B here,
+    /// two 128 B lines, matching fine channel interleave).
+    pub channel_granule: u64,
+    /// Whether the stack selector XOR-hashes upper address bits (the
+    /// paper's "physical address hashing scheme") or uses plain modulo.
+    pub hashed: bool,
+    /// NUMA mode.
+    pub numa: NumaMode,
+}
+
+impl InterleaveConfig {
+    /// MI300-style interleave: 8 stacks × 16 channels, 4 KB stack granule,
+    /// hashed stack selection, NPS1.
+    #[must_use]
+    pub fn mi300() -> InterleaveConfig {
+        InterleaveConfig {
+            stacks: 8,
+            channels_per_stack: 16,
+            stack_granule: 4096,
+            channel_granule: 256,
+            hashed: true,
+            numa: NumaMode::Nps1,
+        }
+    }
+
+    /// Same geometry in NPS4 mode (valid for MI300X).
+    #[must_use]
+    pub fn mi300_nps4() -> InterleaveConfig {
+        InterleaveConfig {
+            numa: NumaMode::Nps4,
+            ..InterleaveConfig::mi300()
+        }
+    }
+
+    /// Total channels on the socket.
+    #[must_use]
+    pub fn total_channels(&self) -> u32 {
+        self.stacks * self.channels_per_stack
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint: counts must
+    /// be non-zero, granules must be powers of two, the stack granule must
+    /// be a multiple of the channel granule, and NPS4 requires the stack
+    /// count to be divisible by four.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.stacks == 0 || self.channels_per_stack == 0 {
+            return Err("stack/channel counts must be non-zero".into());
+        }
+        if !self.stack_granule.is_power_of_two() || !self.channel_granule.is_power_of_two() {
+            return Err("granules must be powers of two".into());
+        }
+        if !self.stack_granule.is_multiple_of(self.channel_granule) {
+            return Err("stack granule must be a multiple of channel granule".into());
+        }
+        if self.numa == NumaMode::Nps4 && !self.stacks.is_multiple_of(4) {
+            return Err("NPS4 requires stacks divisible by 4".into());
+        }
+        Ok(())
+    }
+}
+
+/// The location a physical address decodes to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Placement {
+    /// HBM stack index (`0..stacks`).
+    pub stack: u32,
+    /// Channel within the stack (`0..channels_per_stack`).
+    pub channel_in_stack: u32,
+    /// Flat channel id across the socket.
+    pub channel: ChannelId,
+    /// NUMA domain the address belongs to (always 0 in NPS1).
+    pub numa_domain: u32,
+}
+
+/// Maps physical addresses to (stack, channel) placements.
+///
+/// # Example
+///
+/// ```
+/// use ehp_mem::interleave::{InterleaveConfig, Interleaver};
+///
+/// let il = Interleaver::new(InterleaveConfig::mi300()).unwrap();
+/// let a = il.place(0x0000);
+/// let b = il.place(0x0100); // next 256 B granule, same 4 KB stack granule
+/// assert_eq!(a.stack, b.stack);
+/// assert_ne!(a.channel, b.channel);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Interleaver {
+    cfg: InterleaveConfig,
+}
+
+impl Interleaver {
+    /// Creates an interleaver after validating the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`InterleaveConfig::validate`] failures.
+    pub fn new(cfg: InterleaveConfig) -> Result<Interleaver, String> {
+        cfg.validate()?;
+        Ok(Interleaver { cfg })
+    }
+
+    /// The configuration in use.
+    #[must_use]
+    pub fn config(&self) -> &InterleaveConfig {
+        &self.cfg
+    }
+
+    /// XOR-fold the granule index to pick a stack. This mimics the
+    /// hardware's address hash: consecutive granules still rotate through
+    /// all stacks (the low bits participate), while large power-of-two
+    /// strides — pathological for plain modulo — are decorrelated by the
+    /// folded upper bits.
+    fn hash_stack(&self, granule_idx: u64, stacks_in_domain: u64) -> u64 {
+        if !self.cfg.hashed {
+            return granule_idx % stacks_in_domain;
+        }
+        // Fold three higher windows of the granule index onto the low bits.
+        let g = granule_idx;
+        let folded = g ^ (g >> 7) ^ (g >> 13) ^ (g >> 21);
+        folded % stacks_in_domain
+    }
+
+    /// Decodes a physical address into its placement.
+    #[must_use]
+    pub fn place(&self, addr: u64) -> Placement {
+        let cfg = &self.cfg;
+        let granule_idx = addr / cfg.stack_granule;
+
+        let (numa_domain, stack) = match cfg.numa {
+            NumaMode::Nps1 => {
+                let stack = self.hash_stack(granule_idx, u64::from(cfg.stacks)) as u32;
+                (0, stack)
+            }
+            NumaMode::Nps4 => {
+                // Quadrant = top address bits: each quadrant owns 1/4 of the
+                // physical space and interleaves over stacks/4 stacks.
+                let stacks_per_domain = cfg.stacks / 4;
+                // Domain selected by the granule index's highest two bits of
+                // the per-socket space; here we use a simple split by
+                // address quadrant within a 64 GiB nominal window per domain.
+                let domain = ((addr >> 34) & 0b11) as u32;
+                let local =
+                    self.hash_stack(granule_idx, u64::from(stacks_per_domain)) as u32;
+                (domain, domain * stacks_per_domain + local)
+            }
+        };
+
+        // Within the stack granule, rotate channel every channel_granule.
+        let within_stack = (addr % cfg.stack_granule) / cfg.channel_granule;
+        let channel_in_stack = (within_stack % u64::from(cfg.channels_per_stack)) as u32;
+        let channel = ChannelId(stack * cfg.channels_per_stack + channel_in_stack);
+
+        Placement {
+            stack,
+            channel_in_stack,
+            channel,
+            numa_domain,
+        }
+    }
+
+    /// Returns the flat channel for an address (the common fast path).
+    #[must_use]
+    pub fn channel_of(&self, addr: u64) -> ChannelId {
+        self.place(addr).channel
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn mi300_config_validates() {
+        assert!(InterleaveConfig::mi300().validate().is_ok());
+        assert!(InterleaveConfig::mi300_nps4().validate().is_ok());
+        assert_eq!(InterleaveConfig::mi300().total_channels(), 128);
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let mut c = InterleaveConfig::mi300();
+        c.stack_granule = 3000;
+        assert!(c.validate().is_err());
+
+        let mut c = InterleaveConfig::mi300();
+        c.channel_granule = 512;
+        c.stack_granule = 256;
+        assert!(c.validate().is_err());
+
+        let mut c = InterleaveConfig::mi300_nps4();
+        c.stacks = 6;
+        assert!(c.validate().is_err());
+
+        let mut c = InterleaveConfig::mi300();
+        c.stacks = 0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn same_4k_granule_same_stack() {
+        let il = Interleaver::new(InterleaveConfig::mi300()).unwrap();
+        let base = 0x12345_000u64 & !0xFFF;
+        let s0 = il.place(base).stack;
+        for off in (0..4096).step_by(64) {
+            assert_eq!(il.place(base + off).stack, s0);
+        }
+    }
+
+    #[test]
+    fn channels_rotate_within_granule() {
+        let il = Interleaver::new(InterleaveConfig::mi300()).unwrap();
+        let base = 0u64;
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..16u64 {
+            seen.insert(il.place(base + i * 256).channel_in_stack);
+        }
+        assert_eq!(seen.len(), 16, "all 16 channels touched within 4 KB");
+    }
+
+    #[test]
+    fn sequential_stream_balances_across_stacks() {
+        let il = Interleaver::new(InterleaveConfig::mi300()).unwrap();
+        let mut counts: HashMap<u32, u64> = HashMap::new();
+        let granules = 8_000u64;
+        for g in 0..granules {
+            *counts.entry(il.place(g * 4096).stack).or_default() += 1;
+        }
+        assert_eq!(counts.len(), 8);
+        for (&stack, &n) in &counts {
+            let frac = n as f64 / granules as f64;
+            assert!(
+                (frac - 0.125).abs() < 0.03,
+                "stack {stack} got fraction {frac}"
+            );
+        }
+    }
+
+    #[test]
+    fn hashed_beats_modulo_on_power_of_two_stride() {
+        // Stride of exactly stacks*granule: modulo maps everything to one
+        // stack; the hash must spread it.
+        let hashed = Interleaver::new(InterleaveConfig::mi300()).unwrap();
+        let linear = Interleaver::new(InterleaveConfig {
+            hashed: false,
+            ..InterleaveConfig::mi300()
+        })
+        .unwrap();
+
+        let stride = 8 * 4096u64;
+        let mut hashed_stacks = std::collections::HashSet::new();
+        let mut linear_stacks = std::collections::HashSet::new();
+        for i in 0..1024u64 {
+            hashed_stacks.insert(hashed.place(i * stride).stack);
+            linear_stacks.insert(linear.place(i * stride).stack);
+        }
+        assert_eq!(linear_stacks.len(), 1, "modulo collapses to one stack");
+        assert!(
+            hashed_stacks.len() >= 6,
+            "hash spreads strided stream, got {} stacks",
+            hashed_stacks.len()
+        );
+    }
+
+    #[test]
+    fn nps4_quadrants_partition_stacks() {
+        let il = Interleaver::new(InterleaveConfig::mi300_nps4()).unwrap();
+        // Addresses in the first quadrant (bits 34-35 == 0) use stacks 0-1.
+        for g in 0..512u64 {
+            let p = il.place(g * 4096);
+            assert_eq!(p.numa_domain, 0);
+            assert!(p.stack < 2, "domain 0 must use stacks 0-1, got {}", p.stack);
+        }
+        // Third quadrant uses stacks 4-5.
+        let base = 2u64 << 34;
+        for g in 0..512u64 {
+            let p = il.place(base + g * 4096);
+            assert_eq!(p.numa_domain, 2);
+            assert!((4..6).contains(&p.stack));
+        }
+    }
+
+    #[test]
+    fn placement_is_deterministic() {
+        let il = Interleaver::new(InterleaveConfig::mi300()).unwrap();
+        for addr in [0u64, 0x1234, 0xDEAD_BEEF, u64::MAX / 2] {
+            assert_eq!(il.place(addr), il.place(addr));
+        }
+    }
+
+    #[test]
+    fn flat_channel_id_is_consistent() {
+        let il = Interleaver::new(InterleaveConfig::mi300()).unwrap();
+        let p = il.place(0x8_0000);
+        assert_eq!(p.channel.0, p.stack * 16 + p.channel_in_stack);
+        assert_eq!(il.channel_of(0x8_0000), p.channel);
+    }
+}

@@ -1,0 +1,152 @@
+//! Memory request/response types shared across the memory subsystem.
+
+use ehp_sim_core::ids::{AgentId, ChannelId};
+use ehp_sim_core::time::SimTime;
+use ehp_sim_core::units::Bytes;
+
+/// Direction of a memory access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// A load; the requester waits for data.
+    Read,
+    /// A store; completion means globally visible.
+    Write,
+}
+
+/// A single memory request as seen by the memory subsystem (post-L2,
+/// post-coherence): a physical address and a size.
+///
+/// # Example
+///
+/// ```
+/// use ehp_mem::MemRequest;
+/// let r = MemRequest::read(0x1000, 128);
+/// assert!(r.is_read());
+/// assert_eq!(r.size.as_u64(), 128);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemRequest {
+    /// Physical byte address.
+    pub addr: u64,
+    /// Access size in bytes (usually one 128 B cache line).
+    pub size: Bytes,
+    /// Load or store.
+    pub kind: AccessKind,
+    /// Issuing agent, used for per-agent statistics.
+    pub agent: AgentId,
+}
+
+impl MemRequest {
+    /// Constructs a read request from an anonymous agent.
+    #[must_use]
+    pub fn read(addr: u64, size: u64) -> MemRequest {
+        MemRequest {
+            addr,
+            size: Bytes(size),
+            kind: AccessKind::Read,
+            agent: AgentId(0),
+        }
+    }
+
+    /// Constructs a write request from an anonymous agent.
+    #[must_use]
+    pub fn write(addr: u64, size: u64) -> MemRequest {
+        MemRequest {
+            addr,
+            size: Bytes(size),
+            kind: AccessKind::Write,
+            agent: AgentId(0),
+        }
+    }
+
+    /// Sets the issuing agent (builder-style).
+    #[must_use]
+    pub fn from_agent(mut self, agent: AgentId) -> MemRequest {
+        self.agent = agent;
+        self
+    }
+
+    /// `true` for loads.
+    #[must_use]
+    pub fn is_read(&self) -> bool {
+        self.kind == AccessKind::Read
+    }
+
+    /// `true` for stores.
+    #[must_use]
+    pub fn is_write(&self) -> bool {
+        self.kind == AccessKind::Write
+    }
+}
+
+/// Where a request was ultimately served from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ServicePoint {
+    /// Hit in the Infinity Cache slice.
+    InfinityCache,
+    /// Served by the HBM channel (cache miss or bypass).
+    Hbm,
+}
+
+/// The outcome of a memory access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemResponse {
+    /// Absolute time at which the access completes.
+    pub completes_at: SimTime,
+    /// Channel that served the request.
+    pub channel: ChannelId,
+    /// Cache hit or HBM service.
+    pub served_by: ServicePoint,
+}
+
+impl MemResponse {
+    /// Latency relative to an issue time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `issued_at` is later than the completion time.
+    #[must_use]
+    pub fn latency(&self, issued_at: SimTime) -> SimTime {
+        assert!(issued_at <= self.completes_at, "response precedes issue");
+        self.completes_at - issued_at
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_set_kind() {
+        assert!(MemRequest::read(0, 64).is_read());
+        assert!(MemRequest::write(0, 64).is_write());
+        assert!(!MemRequest::write(0, 64).is_read());
+    }
+
+    #[test]
+    fn from_agent_sets_agent() {
+        let r = MemRequest::read(0, 64).from_agent(AgentId(7));
+        assert_eq!(r.agent, AgentId(7));
+    }
+
+    #[test]
+    fn latency_computation() {
+        let resp = MemResponse {
+            completes_at: SimTime::from_nanos(150),
+            channel: ChannelId(3),
+            served_by: ServicePoint::Hbm,
+        };
+        assert_eq!(resp.latency(SimTime::from_nanos(50)).as_nanos_f64(), 100.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "response precedes issue")]
+    fn latency_rejects_time_travel() {
+        let resp = MemResponse {
+            completes_at: SimTime::from_nanos(10),
+            channel: ChannelId(0),
+            served_by: ServicePoint::InfinityCache,
+        };
+        let _ = resp.latency(SimTime::from_nanos(20));
+    }
+}

@@ -1,0 +1,193 @@
+//! Hybrid-bond interface electrical model (Figures 3 and 11).
+//!
+//! MI300 uses the same 9 µm-pitch hybrid bonding as V-Cache, but with a
+//! crucial change (Figure 11): in V-Cache the bond-pad via (BPV) lands on
+//! the SRAM die's **top-level metal**; in MI300 the BPV lands directly on
+//! the **aluminium redistribution layer (RDL)**, "which has lower
+//! resistance and is more effective for delivering power to the compute
+//! chiplets" — necessary because XCDs/CCDs draw far more current than a
+//! V-Cache SRAM die.
+
+/// What the bond-pad via lands on inside the upper die.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BpvTarget {
+    /// Top-level (thin) metal — the V-Cache arrangement.
+    TopLevelMetal,
+    /// Aluminium RDL — the MI300 arrangement.
+    AluminumRdl,
+}
+
+impl BpvTarget {
+    /// Area-normalised spreading resistance of the landing layer
+    /// (mΩ·mm²): the dominant term is not the via itself but how far
+    /// current must spread laterally through the landing layer between
+    /// the BPVs and the die's power grid. Thin top-level metal is an
+    /// order of magnitude more resistive than the thick aluminium RDL.
+    #[must_use]
+    pub fn spreading_resistance_mohm_mm2(self) -> f64 {
+        match self {
+            BpvTarget::TopLevelMetal => 30.0,
+            BpvTarget::AluminumRdl => 2.5,
+        }
+    }
+}
+
+/// A hybrid-bond power-delivery interface between a die pair.
+///
+/// # Examples
+///
+/// ```
+/// use ehp_package::bond::{HybridBondInterface, MAX_DROP_FRACTION};
+///
+/// let iface = HybridBondInterface::mi300_compute();
+/// assert!(iface.drop_fraction(70.0) < MAX_DROP_FRACTION);
+/// ```
+///
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HybridBondInterface {
+    /// Bond pad pitch in µm (9 µm for both V-Cache and MI300).
+    pub pad_pitch_um: f64,
+    /// Fraction of pads assigned to power/ground.
+    pub power_pad_fraction: f64,
+    /// Interface footprint in mm².
+    pub area_mm2: f64,
+    /// BPV landing target.
+    pub bpv: BpvTarget,
+    /// Supply voltage (V).
+    pub supply_v: f64,
+}
+
+impl HybridBondInterface {
+    /// The V-Cache interface: SRAM die, modest current.
+    #[must_use]
+    pub fn v_cache() -> HybridBondInterface {
+        HybridBondInterface {
+            pad_pitch_um: 9.0,
+            power_pad_fraction: 0.25,
+            area_mm2: 41.0,
+            bpv: BpvTarget::TopLevelMetal,
+            supply_v: 0.9,
+        }
+    }
+
+    /// The MI300 compute-chiplet interface: same pitch, RDL landing.
+    #[must_use]
+    pub fn mi300_compute() -> HybridBondInterface {
+        HybridBondInterface {
+            pad_pitch_um: 9.0,
+            power_pad_fraction: 0.25,
+            area_mm2: 110.0,
+            bpv: BpvTarget::AluminumRdl,
+            supply_v: 0.8,
+        }
+    }
+
+    /// Power pads across the interface.
+    #[must_use]
+    pub fn power_pads(&self) -> f64 {
+        let pads_per_mm2 = 1e6 / (self.pad_pitch_um * self.pad_pitch_um);
+        pads_per_mm2 * self.area_mm2 * self.power_pad_fraction
+    }
+
+    /// Effective supply resistance of the whole interface (mΩ):
+    /// spreading-resistance dominated, so it scales inversely with the
+    /// interface area.
+    #[must_use]
+    pub fn effective_resistance_mohm(&self) -> f64 {
+        self.bpv.spreading_resistance_mohm_mm2() / self.area_mm2
+    }
+
+    /// IR drop (mV) at a given die current (A).
+    #[must_use]
+    pub fn ir_drop_mv(&self, current_a: f64) -> f64 {
+        self.effective_resistance_mohm() * current_a
+    }
+
+    /// I²R loss in watts at a given current.
+    #[must_use]
+    pub fn i2r_loss_w(&self, current_a: f64) -> f64 {
+        current_a * current_a * self.effective_resistance_mohm() * 1e-3
+    }
+
+    /// Fraction of the supply voltage lost in the interface at
+    /// `current_a` — the feasibility figure of merit (keep under ~2%).
+    #[must_use]
+    pub fn drop_fraction(&self, current_a: f64) -> f64 {
+        self.ir_drop_mv(current_a) * 1e-3 / self.supply_v
+    }
+}
+
+/// Acceptable supply droop through the bond interface.
+pub const MAX_DROP_FRACTION: f64 = 0.02;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Representative die currents: V-Cache SRAM ~5 A; an XCD at ~55 W
+    /// on a 0.8 V rail ~70 A.
+    const SRAM_CURRENT_A: f64 = 5.0;
+    const XCD_CURRENT_A: f64 = 70.0;
+
+    #[test]
+    fn pad_counts_scale_with_area() {
+        let v = HybridBondInterface::v_cache();
+        let m = HybridBondInterface::mi300_compute();
+        assert!(m.power_pads() > 2.0 * v.power_pads());
+        // 9 um pitch -> ~12.3k pads/mm²; a quarter are power.
+        assert!((v.power_pads() / v.area_mm2 - 3086.4).abs() < 1.0);
+    }
+
+    #[test]
+    fn v_cache_interface_fine_for_sram_current() {
+        let v = HybridBondInterface::v_cache();
+        assert!(
+            v.drop_fraction(SRAM_CURRENT_A) < MAX_DROP_FRACTION,
+            "drop {:.4}",
+            v.drop_fraction(SRAM_CURRENT_A)
+        );
+    }
+
+    #[test]
+    fn top_metal_landing_inadequate_for_compute_current() {
+        // Figure 11's motivation: keep the V-Cache BPV arrangement but
+        // push XCD-class current through it and the droop budget blows.
+        let hypothetical = HybridBondInterface {
+            bpv: BpvTarget::TopLevelMetal,
+            ..HybridBondInterface::mi300_compute()
+        };
+        assert!(
+            hypothetical.drop_fraction(XCD_CURRENT_A) > MAX_DROP_FRACTION,
+            "drop {:.4} should exceed the budget",
+            hypothetical.drop_fraction(XCD_CURRENT_A)
+        );
+    }
+
+    #[test]
+    fn rdl_landing_fixes_compute_delivery() {
+        let m = HybridBondInterface::mi300_compute();
+        assert!(
+            m.drop_fraction(XCD_CURRENT_A) < MAX_DROP_FRACTION,
+            "drop {:.4}",
+            m.drop_fraction(XCD_CURRENT_A)
+        );
+        // And the I2R loss stays small relative to the die power.
+        assert!(m.i2r_loss_w(XCD_CURRENT_A) < 1.0);
+    }
+
+    #[test]
+    fn rdl_resistance_lower_than_top_metal() {
+        assert!(
+            BpvTarget::AluminumRdl.spreading_resistance_mohm_mm2()
+                < BpvTarget::TopLevelMetal.spreading_resistance_mohm_mm2() / 3.0
+        );
+    }
+
+    #[test]
+    fn ir_drop_linear_in_current() {
+        let m = HybridBondInterface::mi300_compute();
+        let d1 = m.ir_drop_mv(10.0);
+        let d2 = m.ir_drop_mv(20.0);
+        assert!((d2 / d1 - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,303 @@
+//! Planar geometry in millimetres: points, rectangles, and the
+//! mirror/rotate transforms the IOD scheme relies on.
+
+use core::fmt;
+
+/// A point in package coordinates (mm).
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Point {
+    /// X coordinate (mm).
+    pub x: f64,
+    /// Y coordinate (mm).
+    pub y: f64,
+}
+
+impl Point {
+    /// Constructs a point.
+    #[must_use]
+    pub fn new(x: f64, y: f64) -> Point {
+        Point { x, y }
+    }
+
+    /// Euclidean distance to another point.
+    #[must_use]
+    pub fn distance(self, other: Point) -> f64 {
+        ((self.x - other.x).powi(2) + (self.y - other.y).powi(2)).sqrt()
+    }
+
+    /// `true` if within `eps` of `other` in both coordinates.
+    #[must_use]
+    pub fn approx_eq(self, other: Point, eps: f64) -> bool {
+        (self.x - other.x).abs() <= eps && (self.y - other.y).abs() <= eps
+    }
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.3}, {:.3})", self.x, self.y)
+    }
+}
+
+/// An axis-aligned rectangle (mm), stored as min corner + size.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Rect {
+    /// Minimum-x/minimum-y corner.
+    pub origin: Point,
+    /// Width (x extent), must be non-negative.
+    pub w: f64,
+    /// Height (y extent), must be non-negative.
+    pub h: f64,
+}
+
+impl Rect {
+    /// Constructs a rectangle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if width or height is negative or not finite.
+    #[must_use]
+    pub fn new(x: f64, y: f64, w: f64, h: f64) -> Rect {
+        assert!(w.is_finite() && h.is_finite() && w >= 0.0 && h >= 0.0,
+                "invalid rect {w}x{h}");
+        Rect {
+            origin: Point::new(x, y),
+            w,
+            h,
+        }
+    }
+
+    /// Area in mm².
+    #[must_use]
+    pub fn area(&self) -> f64 {
+        self.w * self.h
+    }
+
+    /// Perimeter in mm.
+    #[must_use]
+    pub fn perimeter(&self) -> f64 {
+        2.0 * (self.w + self.h)
+    }
+
+    /// Centre point.
+    #[must_use]
+    pub fn center(&self) -> Point {
+        Point::new(self.origin.x + self.w / 2.0, self.origin.y + self.h / 2.0)
+    }
+
+    /// Maximum-x/maximum-y corner.
+    #[must_use]
+    pub fn max_corner(&self) -> Point {
+        Point::new(self.origin.x + self.w, self.origin.y + self.h)
+    }
+
+    /// `true` if `p` lies inside or on the boundary.
+    #[must_use]
+    pub fn contains(&self, p: Point) -> bool {
+        p.x >= self.origin.x
+            && p.x <= self.origin.x + self.w
+            && p.y >= self.origin.y
+            && p.y <= self.origin.y + self.h
+    }
+
+    /// `true` if `inner` lies entirely within `self`.
+    #[must_use]
+    pub fn contains_rect(&self, inner: &Rect) -> bool {
+        self.contains(inner.origin) && self.contains(inner.max_corner())
+    }
+
+    /// `true` if the interiors overlap (shared edges do not count).
+    #[must_use]
+    pub fn intersects(&self, other: &Rect) -> bool {
+        self.origin.x < other.origin.x + other.w
+            && other.origin.x < self.origin.x + self.w
+            && self.origin.y < other.origin.y + other.h
+            && other.origin.y < self.origin.y + self.h
+    }
+
+    /// Translates by `(dx, dy)`.
+    #[must_use]
+    pub fn translated(&self, dx: f64, dy: f64) -> Rect {
+        Rect {
+            origin: Point::new(self.origin.x + dx, self.origin.y + dy),
+            w: self.w,
+            h: self.h,
+        }
+    }
+
+    /// `true` if within `eps` of `other` in origin and size.
+    #[must_use]
+    pub fn approx_eq(&self, other: &Rect, eps: f64) -> bool {
+        self.origin.approx_eq(other.origin, eps)
+            && (self.w - other.w).abs() <= eps
+            && (self.h - other.h).abs() <= eps
+    }
+}
+
+impl fmt::Display for Rect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{} {:.3}x{:.3}]", self.origin, self.w, self.h)
+    }
+}
+
+/// The rigid transforms used in the IOD scheme (Section V.C): a die can
+/// be placed as designed, rotated 180°, mirrored (flipped about the
+/// vertical axis at fabrication), or both.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Transform {
+    /// As designed.
+    #[default]
+    Identity,
+    /// Rotated 180° in the plane.
+    Rot180,
+    /// Mirrored about the vertical (x → W-x) axis — a *different tapeout*
+    /// for silicon, but geometrically a reflection.
+    MirrorX,
+    /// Mirrored and rotated 180° (equivalent to mirroring about the
+    /// horizontal axis).
+    MirrorXRot180,
+}
+
+impl Transform {
+    /// All four variants.
+    pub const ALL: [Transform; 4] = [
+        Transform::Identity,
+        Transform::Rot180,
+        Transform::MirrorX,
+        Transform::MirrorXRot180,
+    ];
+
+    /// `true` if the transform includes a mirror (changes chirality).
+    #[must_use]
+    pub fn is_mirrored(self) -> bool {
+        matches!(self, Transform::MirrorX | Transform::MirrorXRot180)
+    }
+
+    /// Applies the transform to a point within a `w × h` die outline
+    /// whose local origin is the lower-left corner.
+    #[must_use]
+    pub fn apply_point(self, p: Point, w: f64, h: f64) -> Point {
+        match self {
+            Transform::Identity => p,
+            Transform::Rot180 => Point::new(w - p.x, h - p.y),
+            Transform::MirrorX => Point::new(w - p.x, p.y),
+            Transform::MirrorXRot180 => Point::new(p.x, h - p.y),
+        }
+    }
+
+    /// Applies the transform to a rectangle within a `w × h` die outline.
+    #[must_use]
+    pub fn apply_rect(self, r: &Rect, w: f64, h: f64) -> Rect {
+        let a = self.apply_point(r.origin, w, h);
+        let b = self.apply_point(r.max_corner(), w, h);
+        Rect::new(a.x.min(b.x), a.y.min(b.y), (a.x - b.x).abs(), (a.y - b.y).abs())
+    }
+
+    /// Composition: applying `self` then `other`.
+    #[must_use]
+    pub fn then(self, other: Transform) -> Transform {
+        use Transform::*;
+        match (self.is_mirrored() ^ other.is_mirrored(), self.rot() ^ other.rot()) {
+            (false, false) => Identity,
+            (false, true) => Rot180,
+            (true, false) => MirrorX,
+            (true, true) => MirrorXRot180,
+        }
+    }
+
+    fn rot(self) -> bool {
+        matches!(self, Transform::Rot180 | Transform::MirrorXRot180)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rect_basics() {
+        let r = Rect::new(1.0, 2.0, 3.0, 4.0);
+        assert_eq!(r.area(), 12.0);
+        assert_eq!(r.perimeter(), 14.0);
+        assert!(r.contains(Point::new(2.0, 3.0)));
+        assert!(!r.contains(Point::new(0.0, 0.0)));
+        assert_eq!(r.center(), Point::new(2.5, 4.0));
+    }
+
+    #[test]
+    fn rect_intersection() {
+        let a = Rect::new(0.0, 0.0, 2.0, 2.0);
+        let b = Rect::new(1.0, 1.0, 2.0, 2.0);
+        let c = Rect::new(2.0, 0.0, 2.0, 2.0); // shares an edge only
+        assert!(a.intersects(&b));
+        assert!(!a.intersects(&c));
+    }
+
+    #[test]
+    fn rect_containment() {
+        let outer = Rect::new(0.0, 0.0, 10.0, 10.0);
+        assert!(outer.contains_rect(&Rect::new(1.0, 1.0, 5.0, 5.0)));
+        assert!(!outer.contains_rect(&Rect::new(6.0, 6.0, 5.0, 5.0)));
+    }
+
+    #[test]
+    fn transforms_are_involutions() {
+        let p = Point::new(3.0, 7.0);
+        for t in Transform::ALL {
+            let twice = t.apply_point(t.apply_point(p, 20.0, 30.0), 20.0, 30.0);
+            assert!(twice.approx_eq(p, 1e-12), "{t:?} applied twice");
+        }
+    }
+
+    #[test]
+    fn rot180_moves_corner_to_corner() {
+        let p = Transform::Rot180.apply_point(Point::new(0.0, 0.0), 10.0, 20.0);
+        assert!(p.approx_eq(Point::new(10.0, 20.0), 1e-12));
+    }
+
+    #[test]
+    fn mirror_flips_x_only() {
+        let p = Transform::MirrorX.apply_point(Point::new(2.0, 5.0), 10.0, 20.0);
+        assert!(p.approx_eq(Point::new(8.0, 5.0), 1e-12));
+    }
+
+    #[test]
+    fn rect_transform_preserves_area() {
+        let r = Rect::new(1.0, 2.0, 3.0, 4.0);
+        for t in Transform::ALL {
+            let tr = t.apply_rect(&r, 20.0, 30.0);
+            assert!((tr.area() - r.area()).abs() < 1e-12, "{t:?}");
+        }
+    }
+
+    #[test]
+    fn composition_table() {
+        use Transform::*;
+        assert_eq!(Rot180.then(Rot180), Identity);
+        assert_eq!(MirrorX.then(Rot180), MirrorXRot180);
+        assert_eq!(MirrorX.then(MirrorX), Identity);
+        assert_eq!(MirrorXRot180.then(MirrorX), Rot180);
+        // Composition matches applying sequentially.
+        let p = Point::new(1.0, 2.0);
+        for a in Transform::ALL {
+            for b in Transform::ALL {
+                let seq = b.apply_point(a.apply_point(p, 10.0, 10.0), 10.0, 10.0);
+                let composed = a.then(b).apply_point(p, 10.0, 10.0);
+                assert!(seq.approx_eq(composed, 1e-12), "{a:?} then {b:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn chirality_flag() {
+        assert!(!Transform::Identity.is_mirrored());
+        assert!(!Transform::Rot180.is_mirrored());
+        assert!(Transform::MirrorX.is_mirrored());
+        assert!(Transform::MirrorXRot180.is_mirrored());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid rect")]
+    fn negative_rect_panics() {
+        let _ = Rect::new(0.0, 0.0, -1.0, 1.0);
+    }
+}

@@ -1,0 +1,306 @@
+//! TSV planning: signal-interface sites, the uniform power/ground grid,
+//! and Infinity-Cache macro pitch matching.
+
+use crate::geometry::{Rect, Transform};
+
+/// The set of signal-TSV interface sites on an IOD (IOD-local
+/// coordinates), e.g. the three CCD landing sites and two XCD landing
+/// sites of Figure 8(b)/(c), plus any redundant copies added for
+/// mirroring support (the red circles of Figure 9).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TsvSiteSet {
+    sites: Vec<Rect>,
+}
+
+impl TsvSiteSet {
+    /// Creates a site set.
+    #[must_use]
+    pub fn new(sites: Vec<Rect>) -> TsvSiteSet {
+        TsvSiteSet { sites }
+    }
+
+    /// The sites in IOD-local coordinates.
+    #[must_use]
+    pub fn sites(&self) -> &[Rect] {
+        &self.sites
+    }
+
+    /// Number of sites.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.sites.len()
+    }
+
+    /// `true` if there are no sites.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.sites.is_empty()
+    }
+
+    /// Adds a redundant copy of every site, mirrored within the die
+    /// outline — the Figure 9 trick that lets non-mirrored chiplets land
+    /// on mirrored IODs. Sites that map onto an existing site are not
+    /// duplicated.
+    #[must_use]
+    pub fn with_mirror_redundancy(&self, die_w: f64, die_h: f64) -> TsvSiteSet {
+        let mut out = self.sites.clone();
+        for s in &self.sites {
+            let m = Transform::MirrorX.apply_rect(s, die_w, die_h);
+            if !out.iter().any(|e| e.approx_eq(&m, 1e-9)) {
+                out.push(m);
+            }
+        }
+        TsvSiteSet::new(out)
+    }
+
+    /// The physical site positions when the IOD is placed with transform
+    /// `t` (still IOD-local; callers translate to package coordinates).
+    #[must_use]
+    pub fn under_transform(&self, t: Transform, die_w: f64, die_h: f64) -> Vec<Rect> {
+        self.sites
+            .iter()
+            .map(|s| t.apply_rect(s, die_w, die_h))
+            .collect()
+    }
+
+    /// Checks that every pad rect (in the same coordinate frame) lands
+    /// entirely within some site. Returns the index of the first pad that
+    /// fails, or `Ok(())`.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(pad_index)` for the first unaligned pad.
+    pub fn accepts(&self, pads: &[Rect]) -> Result<(), usize> {
+        for (i, pad) in pads.iter().enumerate() {
+            if !self.sites.iter().any(|s| s.contains_rect(pad)) {
+                return Err(i);
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The uniform power/ground TSV grid (Section V.D): pitch-`p` lattice
+/// delivering `current_per_tsv` amps per via pair.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PgTsvGrid {
+    /// Grid pitch in mm.
+    pub pitch_mm: f64,
+    /// Deliverable current per grid cell (amps).
+    pub current_per_cell: f64,
+}
+
+impl PgTsvGrid {
+    /// The MI300-class grid: delivers >1.5 A/mm² (Section V.D). With a
+    /// 0.1 mm pitch each cell must carry ≥ 15 mA; we model 16 mA.
+    #[must_use]
+    pub fn mi300() -> PgTsvGrid {
+        PgTsvGrid {
+            pitch_mm: 0.1,
+            current_per_cell: 0.016,
+        }
+    }
+
+    /// Deliverable current density in A/mm².
+    #[must_use]
+    pub fn current_density(&self) -> f64 {
+        self.current_per_cell / (self.pitch_mm * self.pitch_mm)
+    }
+
+    /// TSV cell positions (cell centres) over a `w × h` region.
+    #[must_use]
+    pub fn positions(&self, w: f64, h: f64) -> Vec<crate::geometry::Point> {
+        let nx = (w / self.pitch_mm).floor() as usize;
+        let ny = (h / self.pitch_mm).floor() as usize;
+        let mut out = Vec::with_capacity(nx * ny);
+        for i in 0..nx {
+            for j in 0..ny {
+                out.push(crate::geometry::Point::new(
+                    (i as f64 + 0.5) * self.pitch_mm,
+                    (j as f64 + 0.5) * self.pitch_mm,
+                ));
+            }
+        }
+        out
+    }
+
+    /// Checks that the grid maps onto itself under every mirror/rotate
+    /// permutation of a `w × h` die — the property that makes one P/G
+    /// plan serve "every permutation of mirrored/rotated IOD, CCD, and
+    /// XCD".
+    ///
+    /// This holds exactly when the die dimensions are integer multiples
+    /// of the pitch.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first transform under which some TSV fails to land on
+    /// a grid position.
+    pub fn check_symmetry(&self, w: f64, h: f64) -> Result<(), Transform> {
+        let eps = 1e-6;
+        let on_grid = |p: crate::geometry::Point| {
+            let fx = (p.x / self.pitch_mm) - 0.5;
+            let fy = (p.y / self.pitch_mm) - 0.5;
+            (fx - fx.round()).abs() < eps && (fy - fy.round()).abs() < eps
+        };
+        for t in Transform::ALL {
+            for p in self.positions(w, h) {
+                let q = t.apply_point(p, w, h);
+                if !on_grid(q) {
+                    return Err(t);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Whether the grid meets a required current density (A/mm²).
+    #[must_use]
+    pub fn meets_density(&self, required: f64) -> bool {
+        self.current_density() >= required
+    }
+}
+
+/// Pitch-matching of Infinity Cache SRAM macros to the P/G TSV stripes
+/// (Figure 10): macros must fit in the channels between TSV stripes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CacheMacroPlan {
+    /// Distance between successive P/G TSV stripes (mm).
+    pub stripe_pitch: f64,
+    /// Width of one TSV stripe (mm).
+    pub stripe_width: f64,
+    /// Width of one SRAM array macro (mm).
+    pub macro_width: f64,
+}
+
+impl CacheMacroPlan {
+    /// The MI300-style co-optimised plan: macros customised to exactly
+    /// fill the inter-stripe channel.
+    #[must_use]
+    pub fn mi300() -> CacheMacroPlan {
+        CacheMacroPlan {
+            stripe_pitch: 0.60,
+            stripe_width: 0.08,
+            macro_width: 0.52,
+        }
+    }
+
+    /// Available channel width between stripes.
+    #[must_use]
+    pub fn channel_width(&self) -> f64 {
+        self.stripe_pitch - self.stripe_width
+    }
+
+    /// `true` if the macro fits the channel ("pitch-matched to fit within
+    /// the channels between the P/G TSV stripes").
+    #[must_use]
+    pub fn is_pitch_matched(&self) -> bool {
+        self.macro_width <= self.channel_width() + 1e-12
+    }
+
+    /// Fraction of the die row occupied by SRAM (utilisation of the
+    /// channel).
+    #[must_use]
+    pub fn channel_utilization(&self) -> f64 {
+        self.macro_width / self.channel_width()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::Point;
+
+    #[test]
+    fn mi300_grid_meets_paper_density() {
+        let g = PgTsvGrid::mi300();
+        assert!(
+            g.meets_density(1.5),
+            "paper: >1.5 A/mm², model gives {:.2}",
+            g.current_density()
+        );
+    }
+
+    #[test]
+    fn grid_symmetry_holds_for_multiple_pitch_dims() {
+        let g = PgTsvGrid::mi300();
+        // 21.6 x 17.1 is 216 x 171 pitches: exact multiples.
+        g.check_symmetry(21.6, 17.1).unwrap();
+    }
+
+    #[test]
+    fn grid_symmetry_fails_for_fractional_dims() {
+        let g = PgTsvGrid::mi300();
+        assert!(g.check_symmetry(21.65, 17.1).is_err());
+    }
+
+    #[test]
+    fn positions_count() {
+        let g = PgTsvGrid {
+            pitch_mm: 1.0,
+            current_per_cell: 2.0,
+        };
+        assert_eq!(g.positions(4.0, 3.0).len(), 12);
+        assert!((g.current_density() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn site_set_accepts_contained_pads() {
+        let sites = TsvSiteSet::new(vec![Rect::new(0.0, 0.0, 2.0, 2.0)]);
+        assert_eq!(sites.accepts(&[Rect::new(0.5, 0.5, 1.0, 1.0)]), Ok(()));
+        assert_eq!(sites.accepts(&[Rect::new(1.5, 1.5, 1.0, 1.0)]), Err(0));
+    }
+
+    #[test]
+    fn mirror_redundancy_adds_sites() {
+        let sites = TsvSiteSet::new(vec![Rect::new(1.0, 1.0, 2.0, 2.0)]);
+        let red = sites.with_mirror_redundancy(10.0, 10.0);
+        assert_eq!(red.len(), 2);
+        // The mirrored copy sits at x = 10-3 = 7.
+        assert!(red.sites()[1].approx_eq(&Rect::new(7.0, 1.0, 2.0, 2.0), 1e-9));
+    }
+
+    #[test]
+    fn centered_site_needs_no_redundancy() {
+        // A site symmetric about the mirror axis maps onto itself.
+        let sites = TsvSiteSet::new(vec![Rect::new(4.0, 1.0, 2.0, 2.0)]);
+        let red = sites.with_mirror_redundancy(10.0, 10.0);
+        assert_eq!(red.len(), 1, "self-symmetric site not duplicated");
+    }
+
+    #[test]
+    fn under_transform_moves_sites() {
+        let sites = TsvSiteSet::new(vec![Rect::new(0.0, 0.0, 1.0, 1.0)]);
+        let moved = sites.under_transform(Transform::Rot180, 10.0, 10.0);
+        assert!(moved[0].approx_eq(&Rect::new(9.0, 9.0, 1.0, 1.0), 1e-9));
+    }
+
+    #[test]
+    fn cache_macros_pitch_matched() {
+        let plan = CacheMacroPlan::mi300();
+        assert!(plan.is_pitch_matched());
+        assert!(plan.channel_utilization() > 0.95, "tight co-optimised fit");
+    }
+
+    #[test]
+    fn oversized_macro_fails_pitch_match() {
+        let plan = CacheMacroPlan {
+            macro_width: 0.55,
+            ..CacheMacroPlan::mi300()
+        };
+        assert!(!plan.is_pitch_matched());
+    }
+
+    #[test]
+    fn grid_point_transform_sanity() {
+        // A specific TSV under Rot180 lands on the opposite cell.
+        let g = PgTsvGrid {
+            pitch_mm: 1.0,
+            current_per_cell: 0.016,
+        };
+        let p = Point::new(0.5, 0.5);
+        let q = Transform::Rot180.apply_point(p, 4.0, 4.0);
+        assert!(q.approx_eq(Point::new(3.5, 3.5), 1e-12));
+        g.check_symmetry(4.0, 4.0).unwrap();
+    }
+}

@@ -1,0 +1,42 @@
+//! # ehp-sim-core
+//!
+//! Discrete-event simulation kernel shared by every substrate crate of the
+//! `ehp-sim` project — a software reproduction of the systems described in
+//! *"Realizing the AMD Exascale Heterogeneous Processor Vision"* (ISCA 2024,
+//! Industry Track).
+//!
+//! The crate deliberately has **no external dependencies**: it provides the
+//! simulated clock, event queue, physical-unit newtypes, component
+//! identifiers, statistic sinks, a deterministic RNG, and shared-resource
+//! (bandwidth/served-queue) models that higher-level crates compose into
+//! memory, fabric, compute, dispatch, power and thermal simulators.
+//!
+//! ## Example
+//!
+//! ```
+//! use ehp_sim_core::event::EventQueue;
+//! use ehp_sim_core::time::Cycle;
+//!
+//! let mut q: EventQueue<&'static str> = EventQueue::new();
+//! q.schedule_at(Cycle(10), "late");
+//! q.schedule_at(Cycle(5), "early");
+//! let (t, e) = q.pop().unwrap();
+//! assert_eq!((t, e), (Cycle(5), "early"));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod event;
+pub mod ids;
+pub mod resource;
+pub mod rng;
+pub mod stats;
+pub mod time;
+pub mod units;
+
+pub use event::EventQueue;
+pub use ids::{ChannelId, ChipletId, CuId, IodId, NodeId, SocketId};
+pub use rng::SplitMix64;
+pub use time::{Cycle, Frequency, SimTime};
+pub use units::{Bandwidth, Bytes, Energy, Power};

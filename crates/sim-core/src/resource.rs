@@ -1,0 +1,336 @@
+//! Shared-resource timing models: serialised bandwidth pipes and
+//! fixed-capacity servers.
+//!
+//! These are the workhorses of the bandwidth-contention modelling in
+//! `ehp-mem` and `ehp-fabric`: a request arriving at time *t* for *n*
+//! bytes on a pipe of rate *r* completes at `max(t, pipe_free) + n/r`, and
+//! the pipe's free time advances accordingly.
+
+use crate::stats::UtilizationMeter;
+use crate::time::{Cycle, Frequency, SimTime};
+use crate::units::{Bandwidth, Bytes, Energy};
+
+/// A serialised bandwidth resource (one link direction, one DRAM channel
+/// data bus, one PCIe lane group).
+///
+/// Requests are served first-come-first-served at the pipe's rate; the
+/// model captures queueing delay under contention without simulating
+/// individual flits.
+///
+/// # Example
+///
+/// ```
+/// use ehp_sim_core::resource::BandwidthPipe;
+/// use ehp_sim_core::time::SimTime;
+/// use ehp_sim_core::units::{Bandwidth, Bytes};
+///
+/// let mut pipe = BandwidthPipe::new("usr_tx", Bandwidth::from_gb_s(1000.0));
+/// let done1 = pipe.request(SimTime::ZERO, Bytes::from_kib(1));
+/// let done2 = pipe.request(SimTime::ZERO, Bytes::from_kib(1));
+/// assert!(done2 > done1); // second transfer queues behind the first
+/// ```
+#[derive(Debug, Clone)]
+pub struct BandwidthPipe {
+    name: &'static str,
+    rate: Bandwidth,
+    free_at: SimTime,
+    bytes_moved: Bytes,
+    energy_per_byte: Energy,
+    energy_used: Energy,
+}
+
+impl BandwidthPipe {
+    /// Creates a pipe with the given peak rate and zero transport energy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is zero — a zero-rate pipe can never serve a
+    /// request.
+    #[must_use]
+    pub fn new(name: &'static str, rate: Bandwidth) -> BandwidthPipe {
+        assert!(
+            rate.as_bytes_per_sec() > 0.0,
+            "bandwidth pipe '{name}' must have positive rate"
+        );
+        BandwidthPipe {
+            name,
+            rate,
+            free_at: SimTime::ZERO,
+            bytes_moved: Bytes::ZERO,
+            energy_per_byte: Energy::ZERO,
+            energy_used: Energy::ZERO,
+        }
+    }
+
+    /// Creates a pipe that also accounts transport energy per byte.
+    #[must_use]
+    pub fn with_energy(
+        name: &'static str,
+        rate: Bandwidth,
+        energy_per_byte: Energy,
+    ) -> BandwidthPipe {
+        let mut p = BandwidthPipe::new(name, rate);
+        p.energy_per_byte = energy_per_byte;
+        p
+    }
+
+    /// Submits a transfer of `size` arriving at `at`; returns its
+    /// completion time and advances the pipe.
+    pub fn request(&mut self, at: SimTime, size: Bytes) -> SimTime {
+        let start = if at > self.free_at { at } else { self.free_at };
+        let done = start + self.rate.transfer_time(size);
+        self.free_at = done;
+        self.bytes_moved += size;
+        self.energy_used += self.energy_per_byte.scale(size.as_f64());
+        done
+    }
+
+    /// Completion time a request of `size` arriving at `at` *would* see,
+    /// without occupying the pipe.
+    #[must_use]
+    pub fn probe(&self, at: SimTime, size: Bytes) -> SimTime {
+        let start = if at > self.free_at { at } else { self.free_at };
+        start + self.rate.transfer_time(size)
+    }
+
+    /// The time at which the pipe next becomes idle.
+    #[must_use]
+    pub fn free_at(&self) -> SimTime {
+        self.free_at
+    }
+
+    /// Peak rate of the pipe.
+    #[must_use]
+    pub fn rate(&self) -> Bandwidth {
+        self.rate
+    }
+
+    /// Total bytes moved so far.
+    #[must_use]
+    pub fn bytes_moved(&self) -> Bytes {
+        self.bytes_moved
+    }
+
+    /// Total transport energy consumed so far.
+    #[must_use]
+    pub fn energy_used(&self) -> Energy {
+        self.energy_used
+    }
+
+    /// Achieved bandwidth over the window ending at `end` (measured from
+    /// time zero). Returns `None` for an empty window.
+    #[must_use]
+    pub fn achieved_bandwidth(&self, end: SimTime) -> Option<Bandwidth> {
+        let secs = end.as_secs();
+        (secs > 0.0).then(|| Bandwidth::from_bytes_per_sec(self.bytes_moved.as_f64() / secs))
+    }
+
+    /// Display name.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+}
+
+/// A server with `k` identical slots, each serving one job at a time
+/// (models a bank group, a set of DRAM banks, or an ACE's dispatch slots).
+///
+/// Jobs go to the earliest-free slot; this is an M/G/k-style availability
+/// model without preemption.
+#[derive(Debug, Clone)]
+pub struct SlotServer {
+    name: &'static str,
+    slots: Vec<Cycle>,
+    jobs_served: u64,
+    meter: UtilizationMeter,
+}
+
+impl SlotServer {
+    /// Creates a server with `k` slots, all free at time zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is zero.
+    #[must_use]
+    pub fn new(name: &'static str, k: usize) -> SlotServer {
+        assert!(k > 0, "slot server '{name}' needs at least one slot");
+        SlotServer {
+            name,
+            slots: vec![Cycle::ZERO; k],
+            jobs_served: 0,
+            meter: UtilizationMeter::new(name),
+        }
+    }
+
+    /// Submits a job arriving at `at` with the given `service` time;
+    /// returns `(start, completion)`.
+    pub fn submit(&mut self, at: Cycle, service: Cycle) -> (Cycle, Cycle) {
+        let (idx, _) = self
+            .slots
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &free)| free)
+            .expect("non-empty slots");
+        let start = self.slots[idx].max(at);
+        let done = start + service;
+        self.slots[idx] = done;
+        self.jobs_served += 1;
+        self.meter.add_busy(service);
+        (start, done)
+    }
+
+    /// Earliest time any slot is free.
+    #[must_use]
+    pub fn earliest_free(&self) -> Cycle {
+        self.slots.iter().copied().min().unwrap_or(Cycle::ZERO)
+    }
+
+    /// Time when all slots are drained.
+    #[must_use]
+    pub fn all_free(&self) -> Cycle {
+        self.slots.iter().copied().max().unwrap_or(Cycle::ZERO)
+    }
+
+    /// Number of slots.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Jobs served so far.
+    #[must_use]
+    pub fn jobs_served(&self) -> u64 {
+        self.jobs_served
+    }
+
+    /// Aggregate busy cycles across all slots.
+    #[must_use]
+    pub fn busy_cycles(&self) -> Cycle {
+        self.meter.busy()
+    }
+
+    /// Mean per-slot utilisation over a window of `elapsed` cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `elapsed` is zero.
+    #[must_use]
+    pub fn utilization(&self, elapsed: Cycle) -> f64 {
+        assert!(elapsed.0 > 0, "elapsed window must be positive");
+        (self.meter.busy().as_f64() / (elapsed.as_f64() * self.slots.len() as f64)).min(1.0)
+    }
+
+    /// Display name.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+}
+
+/// Converts a per-cycle payload width into a [`Bandwidth`] at a clock.
+///
+/// E.g. a 64-byte-per-cycle fabric port at 2 GHz is 128 GB/s.
+#[must_use]
+pub fn width_to_bandwidth(bytes_per_cycle: u64, clock: Frequency) -> Bandwidth {
+    Bandwidth::from_bytes_per_sec(bytes_per_cycle as f64 * clock.as_hz())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pipe_serialises_back_to_back_requests() {
+        let mut p = BandwidthPipe::new("p", Bandwidth::from_gb_s(1.0));
+        // 1 GB/s => 1000 bytes take 1 us.
+        let d1 = p.request(SimTime::ZERO, Bytes(1_000));
+        let d2 = p.request(SimTime::ZERO, Bytes(1_000));
+        assert_eq!(d1.as_micros_f64().round() as u64, 1);
+        assert_eq!(d2.as_micros_f64().round() as u64, 2);
+        assert_eq!(p.bytes_moved(), Bytes(2_000));
+    }
+
+    #[test]
+    fn pipe_idle_gap_is_not_charged() {
+        let mut p = BandwidthPipe::new("p", Bandwidth::from_gb_s(1.0));
+        let _ = p.request(SimTime::ZERO, Bytes(1_000));
+        // Arrives long after the pipe drained: starts immediately.
+        let d = p.request(SimTime::from_micros(100), Bytes(1_000));
+        assert_eq!(d.as_micros_f64().round() as u64, 101);
+    }
+
+    #[test]
+    fn pipe_probe_does_not_mutate() {
+        let mut p = BandwidthPipe::new("p", Bandwidth::from_gb_s(1.0));
+        let probe = p.probe(SimTime::ZERO, Bytes(500));
+        let real = p.request(SimTime::ZERO, Bytes(500));
+        assert_eq!(probe, real);
+        assert_eq!(p.bytes_moved(), Bytes(500));
+    }
+
+    #[test]
+    fn pipe_energy_accounting() {
+        let e = Energy::from_picojoules(1.0);
+        let mut p = BandwidthPipe::with_energy("p", Bandwidth::from_gb_s(10.0), e);
+        p.request(SimTime::ZERO, Bytes(1_000_000));
+        assert!((p.energy_used().as_joules() - 1e-6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pipe_achieved_bandwidth() {
+        let mut p = BandwidthPipe::new("p", Bandwidth::from_gb_s(2.0));
+        let done = p.request(SimTime::ZERO, Bytes(2_000_000));
+        let achieved = p.achieved_bandwidth(done).unwrap();
+        assert!((achieved.as_gb_s() - 2.0).abs() < 1e-6);
+        assert!(p.achieved_bandwidth(SimTime::ZERO).is_none());
+    }
+
+    #[test]
+    fn slot_server_parallel_then_queued() {
+        let mut s = SlotServer::new("banks", 2);
+        let (_, d1) = s.submit(Cycle(0), Cycle(10));
+        let (_, d2) = s.submit(Cycle(0), Cycle(10));
+        let (start3, d3) = s.submit(Cycle(0), Cycle(10));
+        assert_eq!(d1, Cycle(10));
+        assert_eq!(d2, Cycle(10));
+        assert_eq!(start3, Cycle(10)); // queued behind the first pair
+        assert_eq!(d3, Cycle(20));
+        assert_eq!(s.jobs_served(), 3);
+    }
+
+    #[test]
+    fn slot_server_utilization() {
+        let mut s = SlotServer::new("banks", 4);
+        for _ in 0..4 {
+            s.submit(Cycle(0), Cycle(50));
+        }
+        assert!((s.utilization(Cycle(100)) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn slot_server_free_times() {
+        let mut s = SlotServer::new("s", 2);
+        s.submit(Cycle(0), Cycle(5));
+        s.submit(Cycle(0), Cycle(9));
+        assert_eq!(s.earliest_free(), Cycle(5));
+        assert_eq!(s.all_free(), Cycle(9));
+    }
+
+    #[test]
+    fn width_to_bandwidth_conversion() {
+        let bw = width_to_bandwidth(64, Frequency::from_ghz(2.0));
+        assert!((bw.as_gb_s() - 128.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive rate")]
+    fn zero_rate_pipe_panics() {
+        let _ = BandwidthPipe::new("bad", Bandwidth::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one slot")]
+    fn zero_slot_server_panics() {
+        let _ = SlotServer::new("bad", 0);
+    }
+}

@@ -1,0 +1,174 @@
+//! A small deterministic RNG (SplitMix64) for seed derivation and cheap
+//! stochastic decisions inside the simulation kernel.
+//!
+//! Higher-level crates that need rich distributions use the `rand` crate
+//! seeded *from* a [`SplitMix64`] stream, so every simulation remains a
+//! pure function of its top-level seed. SplitMix64 is the standard seeding
+//! generator from Steele et al., "Fast Splittable Pseudorandom Number
+//! Generators" (OOPSLA 2014); it is tiny, passes BigCrush on 64-bit
+//! outputs, and splits cleanly into independent streams.
+
+/// A deterministic 64-bit RNG with O(1) splitting.
+///
+/// # Example
+///
+/// ```
+/// use ehp_sim_core::rng::SplitMix64;
+/// let mut a = SplitMix64::new(42);
+/// let mut b = SplitMix64::new(42);
+/// assert_eq!(a.next_u64(), b.next_u64()); // deterministic
+/// let mut child = a.split();
+/// // Child stream is decorrelated from the parent.
+/// assert_ne!(child.next_u64(), a.next_u64());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed.
+    #[must_use]
+    pub fn new(seed: u64) -> SplitMix64 {
+        SplitMix64 { state: seed }
+    }
+
+    /// Returns the next 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Returns a value uniformly distributed in `[0, bound)`.
+    ///
+    /// Uses Lemire's multiply-shift rejection method to avoid modulo bias.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bound must be positive");
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128) * (bound as u128);
+            let lo = m as u64;
+            if lo >= bound || lo >= bound.wrapping_neg() % bound {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+
+    /// Returns a uniform `f64` in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        // 53 random mantissa bits.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
+        self.next_f64() < p
+    }
+
+    /// Derives an independent child generator, advancing this one.
+    ///
+    /// Used to give each simulated component its own stream so that adding
+    /// a component never perturbs the randomness seen by others.
+    pub fn split(&mut self) -> SplitMix64 {
+        SplitMix64::new(self.next_u64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = SplitMix64::new(123);
+        let mut b = SplitMix64::new(123);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SplitMix64::new(1);
+        let mut b = SplitMix64::new(2);
+        let same = (0..100).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn next_below_respects_bound() {
+        let mut r = SplitMix64::new(7);
+        for _ in 0..10_000 {
+            assert!(r.next_below(13) < 13);
+        }
+    }
+
+    #[test]
+    fn next_below_is_roughly_uniform() {
+        let mut r = SplitMix64::new(99);
+        let mut counts = [0u32; 8];
+        for _ in 0..80_000 {
+            counts[r.next_below(8) as usize] += 1;
+        }
+        for &c in &counts {
+            // Each bucket expects 10_000; allow 5% tolerance.
+            assert!((9_500..10_500).contains(&c), "bucket count {c}");
+        }
+    }
+
+    #[test]
+    fn next_f64_in_unit_interval() {
+        let mut r = SplitMix64::new(5);
+        for _ in 0..10_000 {
+            let x = r.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = SplitMix64::new(11);
+        assert!(!(0..100).any(|_| r.chance(0.0)));
+        assert!((0..100).all(|_| r.chance(1.0)));
+    }
+
+    #[test]
+    fn chance_mid_probability() {
+        let mut r = SplitMix64::new(17);
+        let hits = (0..100_000).filter(|_| r.chance(0.25)).count();
+        assert!((24_000..26_000).contains(&hits), "hits = {hits}");
+    }
+
+    #[test]
+    fn split_streams_are_independent_of_sibling_count() {
+        // Adding a later split must not change an earlier child's stream.
+        let mut parent1 = SplitMix64::new(42);
+        let mut child_a1 = parent1.split();
+        let _unused = parent1.split();
+
+        let mut parent2 = SplitMix64::new(42);
+        let mut child_a2 = parent2.split();
+
+        for _ in 0..16 {
+            assert_eq!(child_a1.next_u64(), child_a2.next_u64());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "bound must be positive")]
+    fn next_below_zero_panics() {
+        SplitMix64::new(0).next_below(0);
+    }
+}

@@ -1,0 +1,391 @@
+//! Statistic sinks: counters, accumulators, log₂ histograms, and
+//! utilisation meters.
+//!
+//! Every simulator component exposes its observable behaviour through
+//! these types; the figure-regeneration binaries read them out at the end
+//! of a run.
+
+use core::fmt;
+
+use crate::time::Cycle;
+
+/// A monotonically increasing event counter.
+///
+/// # Example
+///
+/// ```
+/// use ehp_sim_core::stats::Counter;
+/// let mut hits = Counter::new("l2_hits");
+/// hits.inc();
+/// hits.add(3);
+/// assert_eq!(hits.value(), 4);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Counter {
+    name: &'static str,
+    value: u64,
+}
+
+impl Counter {
+    /// Creates a zeroed counter with a display name.
+    #[must_use]
+    pub fn new(name: &'static str) -> Counter {
+        Counter { name, value: 0 }
+    }
+
+    /// Increments by one.
+    pub fn inc(&mut self) {
+        self.value += 1;
+    }
+
+    /// Increments by `n`.
+    pub fn add(&mut self, n: u64) {
+        self.value += n;
+    }
+
+    /// Current count.
+    #[must_use]
+    pub fn value(&self) -> u64 {
+        self.value
+    }
+
+    /// Display name.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+}
+
+impl fmt::Display for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} = {}", self.name, self.value)
+    }
+}
+
+/// Running sum/min/max/mean over `f64` samples.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Accumulator {
+    name: &'static str,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Accumulator {
+    /// Creates an empty accumulator.
+    #[must_use]
+    pub fn new(name: &'static str) -> Accumulator {
+        Accumulator {
+            name,
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, sample: f64) {
+        self.count += 1;
+        self.sum += sample;
+        self.min = self.min.min(sample);
+        self.max = self.max.max(sample);
+    }
+
+    /// Number of samples recorded.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples.
+    #[must_use]
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Mean of samples; `None` if empty.
+    #[must_use]
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum / self.count as f64)
+    }
+
+    /// Smallest sample; `None` if empty.
+    #[must_use]
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest sample; `None` if empty.
+    #[must_use]
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Display name.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+}
+
+impl fmt::Display for Accumulator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.mean() {
+            Some(mean) => write!(
+                f,
+                "{}: n={} mean={:.3} min={:.3} max={:.3}",
+                self.name, self.count, mean, self.min, self.max
+            ),
+            None => write!(f, "{}: empty", self.name),
+        }
+    }
+}
+
+/// A power-of-two bucketed latency histogram.
+///
+/// Bucket `i` holds samples in `[2^i, 2^(i+1))`; bucket 0 holds `{0, 1}`.
+/// Cheap enough to keep per memory channel, precise enough for the tail
+/// shapes the experiments care about.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Log2Histogram {
+    name: &'static str,
+    buckets: [u64; 64],
+    count: u64,
+    sum: u64,
+}
+
+impl Log2Histogram {
+    /// Creates an empty histogram.
+    #[must_use]
+    pub fn new(name: &'static str) -> Log2Histogram {
+        Log2Histogram {
+            name,
+            buckets: [0; 64],
+            count: 0,
+            sum: 0,
+        }
+    }
+
+    fn bucket_of(value: u64) -> usize {
+        if value <= 1 {
+            0
+        } else {
+            63 - value.leading_zeros() as usize
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.buckets[Self::bucket_of(value)] += 1;
+        self.count += 1;
+        self.sum += value;
+    }
+
+    /// Records a latency expressed as cycles.
+    pub fn record_cycles(&mut self, c: Cycle) {
+        self.record(c.0);
+    }
+
+    /// Total samples recorded.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean sample; `None` if empty.
+    #[must_use]
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum as f64 / self.count as f64)
+    }
+
+    /// An upper bound on the `q`-quantile sample (bucket resolution).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    #[must_use]
+    pub fn quantile_upper_bound(&self, q: f64) -> Option<u64> {
+        assert!((0.0..=1.0).contains(&q), "quantile out of range: {q}");
+        if self.count == 0 {
+            return None;
+        }
+        let target = (q * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            seen += b;
+            if seen >= target {
+                return Some(if i >= 63 { u64::MAX } else { (1u64 << (i + 1)) - 1 });
+            }
+        }
+        Some(u64::MAX)
+    }
+
+    /// Per-bucket counts (index = log₂ of lower bound).
+    #[must_use]
+    pub fn buckets(&self) -> &[u64; 64] {
+        &self.buckets
+    }
+
+    /// Display name.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+}
+
+impl fmt::Display for Log2Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: n={}", self.name, self.count)?;
+        if let Some(m) = self.mean() {
+            write!(f, " mean={m:.1}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Tracks busy time of a resource to compute utilisation.
+///
+/// # Example
+///
+/// ```
+/// use ehp_sim_core::stats::UtilizationMeter;
+/// use ehp_sim_core::time::Cycle;
+/// let mut m = UtilizationMeter::new("hbm_ch0");
+/// m.add_busy(Cycle(30));
+/// m.add_busy(Cycle(20));
+/// assert!((m.utilization(Cycle(100)) - 0.5).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UtilizationMeter {
+    name: &'static str,
+    busy: Cycle,
+}
+
+impl UtilizationMeter {
+    /// Creates a meter with zero accumulated busy time.
+    #[must_use]
+    pub fn new(name: &'static str) -> UtilizationMeter {
+        UtilizationMeter {
+            name,
+            busy: Cycle::ZERO,
+        }
+    }
+
+    /// Accumulates busy cycles.
+    pub fn add_busy(&mut self, c: Cycle) {
+        self.busy += c;
+    }
+
+    /// Accumulated busy cycles.
+    #[must_use]
+    pub fn busy(&self) -> Cycle {
+        self.busy
+    }
+
+    /// Utilisation over a window of `elapsed` cycles, clamped to `[0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `elapsed` is zero.
+    #[must_use]
+    pub fn utilization(&self, elapsed: Cycle) -> f64 {
+        assert!(elapsed.0 > 0, "elapsed window must be positive");
+        (self.busy.as_f64() / elapsed.as_f64()).min(1.0)
+    }
+
+    /// Display name.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+}
+
+impl fmt::Display for UtilizationMeter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: busy {}", self.name, self.busy)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_basics() {
+        let mut c = Counter::new("x");
+        assert_eq!(c.value(), 0);
+        c.inc();
+        c.add(9);
+        assert_eq!(c.value(), 10);
+        assert_eq!(format!("{c}"), "x = 10");
+    }
+
+    #[test]
+    fn accumulator_stats() {
+        let mut a = Accumulator::new("lat");
+        assert_eq!(a.mean(), None);
+        for v in [1.0, 2.0, 3.0, 10.0] {
+            a.record(v);
+        }
+        assert_eq!(a.count(), 4);
+        assert_eq!(a.mean(), Some(4.0));
+        assert_eq!(a.min(), Some(1.0));
+        assert_eq!(a.max(), Some(10.0));
+        assert!((a.sum() - 16.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_bucketing() {
+        assert_eq!(Log2Histogram::bucket_of(0), 0);
+        assert_eq!(Log2Histogram::bucket_of(1), 0);
+        assert_eq!(Log2Histogram::bucket_of(2), 1);
+        assert_eq!(Log2Histogram::bucket_of(3), 1);
+        assert_eq!(Log2Histogram::bucket_of(4), 2);
+        assert_eq!(Log2Histogram::bucket_of(1023), 9);
+        assert_eq!(Log2Histogram::bucket_of(1024), 10);
+    }
+
+    #[test]
+    fn histogram_mean_and_quantile() {
+        let mut h = Log2Histogram::new("lat");
+        for v in [4u64, 4, 4, 4, 4, 4, 4, 4, 4, 128] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 10);
+        assert!((h.mean().unwrap() - 16.4).abs() < 1e-9);
+        // p50 falls in the [4,8) bucket -> upper bound 7.
+        assert_eq!(h.quantile_upper_bound(0.5), Some(7));
+        // p99 falls in the [128,256) bucket -> upper bound 255.
+        assert_eq!(h.quantile_upper_bound(0.99), Some(255));
+    }
+
+    #[test]
+    fn histogram_empty_quantile() {
+        let h = Log2Histogram::new("e");
+        assert_eq!(h.quantile_upper_bound(0.5), None);
+        assert_eq!(h.mean(), None);
+    }
+
+    #[test]
+    fn utilization_clamps() {
+        let mut m = UtilizationMeter::new("u");
+        m.add_busy(Cycle(300));
+        assert!((m.utilization(Cycle(100)) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "elapsed window must be positive")]
+    fn utilization_zero_window_panics() {
+        let _ = UtilizationMeter::new("u").utilization(Cycle::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile out of range")]
+    fn quantile_out_of_range_panics() {
+        let mut h = Log2Histogram::new("h");
+        h.record(1);
+        let _ = h.quantile_upper_bound(1.5);
+    }
+}

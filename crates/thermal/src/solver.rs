@@ -1,0 +1,281 @@
+//! The steady-state Gauss–Seidel heat solver.
+
+use ehp_package::floorplan::Floorplan;
+use ehp_package::geometry::Point;
+
+use crate::field::TemperatureField;
+
+/// Solver parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThermalConfig {
+    /// Grid cells along x.
+    pub nx: usize,
+    /// Grid cells along y.
+    pub ny: usize,
+    /// Lateral conduction coefficient between adjacent cells (W/K).
+    /// Captures spreading through silicon, lid and heat pipes.
+    pub lateral_w_per_k: f64,
+    /// Vertical heat-extraction coefficient to the cold plate
+    /// (W/(K·mm²)).
+    pub htc_w_per_k_mm2: f64,
+    /// Coolant / cold-plate temperature (°C).
+    pub coolant_c: f64,
+    /// Convergence threshold on the max per-sweep update (°C).
+    pub tolerance_c: f64,
+    /// Iteration cap.
+    pub max_iters: usize,
+}
+
+impl Default for ThermalConfig {
+    fn default() -> ThermalConfig {
+        ThermalConfig {
+            nx: 70,
+            ny: 56,
+            lateral_w_per_k: 2.0,
+            htc_w_per_k_mm2: 0.02,
+            coolant_c: 30.0,
+            tolerance_c: 1e-4,
+            max_iters: 20_000,
+        }
+    }
+}
+
+/// The finite-difference solver.
+#[derive(Debug, Clone, Copy)]
+pub struct ThermalSolver {
+    cfg: ThermalConfig,
+}
+
+impl ThermalSolver {
+    /// Creates a solver.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-positive grid dimensions or coefficients.
+    #[must_use]
+    pub fn new(cfg: ThermalConfig) -> ThermalSolver {
+        assert!(cfg.nx > 0 && cfg.ny > 0, "grid must be non-empty");
+        assert!(
+            cfg.lateral_w_per_k > 0.0 && cfg.htc_w_per_k_mm2 > 0.0,
+            "conductances must be positive"
+        );
+        ThermalSolver { cfg }
+    }
+
+    /// The configuration.
+    #[must_use]
+    pub fn config(&self) -> &ThermalConfig {
+        &self.cfg
+    }
+
+    /// Solves the steady-state field for a floorplan's assigned powers.
+    #[must_use]
+    pub fn solve(&self, fp: &Floorplan) -> TemperatureField {
+        let c = &self.cfg;
+        let outline = fp.outline();
+        let cell_w = outline.w / c.nx as f64;
+        let cell_h = outline.h / c.ny as f64;
+        let cell_area = cell_w * cell_h;
+
+        // Per-cell power input (W): density grid × cell area.
+        let density = fp.power_density_grid(c.nx, c.ny);
+        let p: Vec<Vec<f64>> = density
+            .iter()
+            .map(|row| row.iter().map(|d| d * cell_area).collect())
+            .collect();
+
+        let g = c.lateral_w_per_k;
+        let h_cell = c.htc_w_per_k_mm2 * cell_area;
+
+        let mut t = vec![vec![c.coolant_c; c.nx]; c.ny];
+        for _iter in 0..c.max_iters {
+            let mut max_delta: f64 = 0.0;
+            for j in 0..c.ny {
+                for i in 0..c.nx {
+                    let mut nsum = 0.0;
+                    let mut ncount = 0.0;
+                    if i > 0 {
+                        nsum += t[j][i - 1];
+                        ncount += 1.0;
+                    }
+                    if i + 1 < c.nx {
+                        nsum += t[j][i + 1];
+                        ncount += 1.0;
+                    }
+                    if j > 0 {
+                        nsum += t[j - 1][i];
+                        ncount += 1.0;
+                    }
+                    if j + 1 < c.ny {
+                        nsum += t[j + 1][i];
+                        ncount += 1.0;
+                    }
+                    let new_t =
+                        (g * nsum + p[j][i] + h_cell * c.coolant_c) / (g * ncount + h_cell);
+                    max_delta = max_delta.max((new_t - t[j][i]).abs());
+                    t[j][i] = new_t;
+                }
+            }
+            if max_delta < c.tolerance_c {
+                break;
+            }
+        }
+
+        TemperatureField::new(
+            Point::new(outline.origin.x, outline.origin.y),
+            cell_w,
+            cell_h,
+            t,
+        )
+    }
+
+    /// Energy-balance check: at the solved field, extracted heat should
+    /// match injected power within `rel_tol`.
+    ///
+    /// # Errors
+    ///
+    /// Returns `(injected, extracted)` watts on imbalance.
+    pub fn check_balance(
+        &self,
+        fp: &Floorplan,
+        field: &TemperatureField,
+        rel_tol: f64,
+    ) -> Result<(), (f64, f64)> {
+        let c = &self.cfg;
+        let outline = fp.outline();
+        let cell_area = (outline.w / c.nx as f64) * (outline.h / c.ny as f64);
+        let injected = fp.total_power().as_watts();
+        let mut extracted = 0.0;
+        let (nx, ny) = field.dims();
+        for j in 0..ny {
+            for i in 0..nx {
+                extracted +=
+                    c.htc_w_per_k_mm2 * cell_area * (field.at(i, j).as_f64() - c.coolant_c);
+            }
+        }
+        let denom = injected.max(1e-12);
+        if ((injected - extracted) / denom).abs() <= rel_tol {
+            Ok(())
+        } else {
+            Err((injected, extracted))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ehp_package::floorplan::{Floorplan, Layer};
+    use ehp_package::geometry::Rect;
+    use ehp_sim_core::units::Power;
+
+    fn uniform_plan(watts: f64) -> Floorplan {
+        let mut fp = Floorplan::new(Rect::new(0.0, 0.0, 10.0, 10.0));
+        fp.add("block", Rect::new(0.0, 0.0, 10.0, 10.0), Layer::Compute);
+        fp.assign_power("block", Power::from_watts(watts));
+        fp
+    }
+
+    fn small_cfg() -> ThermalConfig {
+        ThermalConfig {
+            nx: 20,
+            ny: 20,
+            ..ThermalConfig::default()
+        }
+    }
+
+    #[test]
+    fn uniform_power_gives_uniform_analytic_temperature() {
+        // With uniform power there is no lateral gradient; every cell
+        // sits at T = T_cool + q / h (q in W/mm²).
+        let fp = uniform_plan(100.0);
+        let cfg = small_cfg();
+        let field = ThermalSolver::new(cfg).solve(&fp);
+        let expected = cfg.coolant_c + (100.0 / 100.0) / cfg.htc_w_per_k_mm2;
+        let (max, _) = field.max();
+        let min = field.min();
+        assert!((max - expected).abs() < 0.1, "max {max} vs {expected}");
+        assert!((max - min).abs() < 0.05, "uniform field");
+    }
+
+    #[test]
+    fn hotspot_decays_with_distance() {
+        let mut fp = Floorplan::new(Rect::new(0.0, 0.0, 20.0, 20.0));
+        fp.add("hot", Rect::new(9.0, 9.0, 2.0, 2.0), Layer::Compute);
+        fp.assign_power("hot", Power::from_watts(50.0));
+        let field = ThermalSolver::new(small_cfg()).solve(&fp);
+        let center = field.sample(ehp_package::geometry::Point::new(10.0, 10.0)).unwrap();
+        let near = field.sample(ehp_package::geometry::Point::new(13.0, 10.0)).unwrap();
+        let far = field.sample(ehp_package::geometry::Point::new(19.0, 10.0)).unwrap();
+        assert!(center.as_f64() > near.as_f64());
+        assert!(near.as_f64() > far.as_f64());
+        assert!(far.as_f64() >= 30.0 - 1e-9, "never below coolant");
+    }
+
+    #[test]
+    fn energy_balance_at_convergence() {
+        let fp = uniform_plan(200.0);
+        let solver = ThermalSolver::new(small_cfg());
+        let field = solver.solve(&fp);
+        solver.check_balance(&fp, &field, 0.01).unwrap();
+    }
+
+    #[test]
+    fn more_power_is_hotter() {
+        let solver = ThermalSolver::new(small_cfg());
+        let cold = solver.solve(&uniform_plan(50.0)).max().0;
+        let hot = solver.solve(&uniform_plan(150.0)).max().0;
+        assert!(hot > cold + 10.0);
+    }
+
+    #[test]
+    fn better_cooling_is_cooler() {
+        let fp = uniform_plan(100.0);
+        let base = ThermalSolver::new(small_cfg()).solve(&fp).max().0;
+        let better = ThermalSolver::new(ThermalConfig {
+            htc_w_per_k_mm2: 0.04,
+            ..small_cfg()
+        })
+        .solve(&fp)
+        .max()
+        .0;
+        assert!(better < base);
+    }
+
+    #[test]
+    fn mi300a_gpu_scenario_hotspots_on_xcds() {
+        let mut fp = Floorplan::mi300a();
+        // Compute-intensive split (Figure 12a): most power in the XCDs.
+        fp.assign_power("xcd", Power::from_watts(340.0));
+        fp.assign_power("ccd", Power::from_watts(45.0));
+        fp.assign_power("iod", Power::from_watts(60.0));
+        fp.assign_power("usr", Power::from_watts(20.0));
+        fp.assign_power("hbm_phy", Power::from_watts(25.0));
+        fp.assign_power("hbm_stack", Power::from_watts(60.0));
+        let field = ThermalSolver::new(ThermalConfig::default()).solve(&fp);
+        // Mean XCD temperature beats mean HBM temperature.
+        let xcd_t = fp
+            .regions_matching("xcd")
+            .filter_map(|r| field.mean_over(&r.rect))
+            .sum::<f64>()
+            / 6.0;
+        let hbm_t = fp
+            .regions_matching("hbm_stack")
+            .filter_map(|r| field.mean_over(&r.rect))
+            .sum::<f64>()
+            / 8.0;
+        assert!(
+            xcd_t > hbm_t + 5.0,
+            "GPU-intensive: XCDs ({xcd_t:.1}C) should be the hotspots vs HBM ({hbm_t:.1}C)"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "grid must be non-empty")]
+    fn empty_grid_panics() {
+        let _ = ThermalSolver::new(ThermalConfig {
+            nx: 0,
+            ..ThermalConfig::default()
+        });
+    }
+}

@@ -1,0 +1,86 @@
+//! LLM serving scenario: an eight-MI300X node (Figure 18b) serving
+//! Llama-2 70B — capacity check, partitioning for multi-tenant serving
+//! (Figure 17), and the latency estimates behind Figure 21.
+//!
+//! Run with: `cargo run -p ehp-bench --example llm_serving`
+
+use ehp_core::node::NodeTopology;
+use ehp_core::partition::PartitionConfig;
+use ehp_core::products::Product;
+use ehp_workloads::llm::{
+    estimate_latency, GpuPlatform, InferenceConfig, SoftwareStack, WeightPrecision,
+};
+
+fn main() {
+    println!("== Serving Llama-2 70B on MI300X ==\n");
+
+    // The node (Figure 18b): 8 accelerators fully connected over IF,
+    // PCIe back to EPYC hosts.
+    let node = NodeTopology::eight_mi300x();
+    let audit = node.audit().expect("valid topology");
+    println!("Node: {} sockets, fully connected: {}", node.sockets().len(),
+             audit.accelerators_fully_connected);
+    println!("  bisection bandwidth: {:.0} GB/s", audit.bisection_bandwidth.as_gb_s());
+    println!("  aggregate HBM: {}\n", audit.coherent_hbm_capacity);
+
+    // Capacity: a 70B FP16 model fits a single 192 GB MI300X.
+    let cfg = InferenceConfig::llama2_70b(WeightPrecision::Fp16);
+    let mut single = GpuPlatform::mi300x_platform();
+    single.gpus = 1;
+    let single_gpu = estimate_latency(&single, &SoftwareStack::vllm_rocm(), &cfg);
+    println!("Single-GPU deployment (192 GB):");
+    match single_gpu {
+        Ok(l) => println!(
+            "  fits; prefill {:.0} ms, {:.1} ms/token, total {:.0} ms",
+            l.prefill_s * 1e3,
+            l.per_token_s * 1e3,
+            l.total_s * 1e3
+        ),
+        Err(e) => println!("  {e}"),
+    }
+
+    // Tensor-parallel over the full node.
+    let tp8 = estimate_latency(
+        &GpuPlatform::mi300x_platform(),
+        &SoftwareStack::vllm_rocm(),
+        &cfg,
+    )
+    .expect("fits");
+    println!("\n8-way tensor-parallel deployment:");
+    println!(
+        "  prefill {:.0} ms, {:.2} ms/token, total {:.0} ms (median, bs=1, 2048/128)",
+        tp8.prefill_s * 1e3,
+        tp8.per_token_s * 1e3,
+        tp8.total_s * 1e3
+    );
+
+    // Multi-tenant: partition each MI300X (Figure 17) and map SR-IOV VFs.
+    println!("\nMulti-tenant partitioning options per MI300X:");
+    for p in PartitionConfig::enumerate(Product::Mi300x) {
+        println!(
+            "  {} partition(s) x {} XCDs, {:?} memory, {} SR-IOV VFs",
+            p.mode().count(),
+            p.xcds_per_partition(),
+            p.numa(),
+            p.sriov_vfs()
+        );
+    }
+
+    // Smaller models per partition: a 7B-class model on 1/8 of a socket.
+    let mut eighth = GpuPlatform::mi300x_platform();
+    eighth.gpus = 1;
+    eighth.mem_bw = eighth.mem_bw.scale(1.0 / 8.0);
+    eighth.fp16_flops /= 8.0;
+    eighth.capacity = ehp_sim_core::units::Bytes::from_gib(24);
+    let mut small = InferenceConfig::llama2_70b(WeightPrecision::Fp16);
+    small.params = 7e9;
+    small.layers = 32;
+    let l = estimate_latency(&eighth, &SoftwareStack::vllm_rocm(), &small).expect("7B fits");
+    println!("\n7B model on a single-XCD partition:");
+    println!(
+        "  prefill {:.0} ms, {:.2} ms/token, total {:.0} ms",
+        l.prefill_s * 1e3,
+        l.per_token_s * 1e3,
+        l.total_s * 1e3
+    );
+}

@@ -1,0 +1,64 @@
+//! Quickstart: assemble an MI300A socket model, dispatch a kernel across
+//! its six XCDs, touch unified memory from CPU and GPU agents, and read
+//! the statistics back.
+//!
+//! Run with: `cargo run -p ehp-bench --example quickstart`
+
+use ehp_core::apu::ApuSystem;
+use ehp_core::products::Product;
+use ehp_dispatch::aql::AqlPacket;
+use ehp_sim_core::ids::AgentId;
+use ehp_sim_core::time::SimTime;
+
+fn main() {
+    // 1. Build the socket: 6 XCDs + 3 CCDs on four IODs, 128 HBM3
+    //    channels each fronted by a 2 MB Infinity Cache slice.
+    let mut apu = ApuSystem::new(Product::Mi300a);
+    let spec = *apu.spec();
+    println!("== {} ==", spec.name);
+    println!("  CUs: {} ({} XCDs)", spec.total_cus(), spec.gpu_chiplets);
+    println!("  CPU cores: {} ({} CCDs)", spec.cpu_cores, spec.ccds);
+    println!("  HBM: {} at {}", spec.memory_capacity(), spec.memory_bandwidth());
+
+    // 2. The CPU initialises data in unified memory (no hipMalloc, no
+    //    hipMemcpy) ...
+    let cpu = AgentId(0);
+    let gpu = AgentId(1);
+    let mut t = SimTime::ZERO;
+    for i in 0..64u64 {
+        t = apu.write(t, cpu, 0x10_0000 + i * 128);
+    }
+    println!("\nCPU initialised 64 lines by {t}");
+
+    // 3. ... and launches a kernel described by an HSA AQL packet. Every
+    //    XCD's ACE reads the packet and launches a subset of the
+    //    workgroups (Figure 13's cooperative protocol).
+    let pkt = AqlPacket::dispatch_1d(228 * 256, 256); // 228 workgroups
+    let run = apu.launch_kernel(&pkt, |_wg| 10_000);
+    println!("\nKernel dispatch:");
+    println!("  workgroups: {} split {:?}", run.workgroups_launched, run.per_xcd);
+    println!("  completion signalled at {} (sync overhead {})",
+             run.completion_at, run.sync_overhead());
+
+    // 4. The GPU touches the CPU-written lines; the probe filter forwards
+    //    the dirty data — that's the hardware coherence the programming
+    //    model relies on.
+    let mut t2 = SimTime::ZERO;
+    for i in 0..64u64 {
+        t2 = apu.read(t2, gpu, 0x10_0000 + i * 128);
+    }
+    println!("\nGPU consumed the 64 CPU-written lines by {t2}");
+    println!("  coherence probes sent: {}", apu.coherence().probes_sent());
+    println!("  cache-to-cache transfers: {}", apu.coherence().cache_to_cache());
+
+    // 5. Memory-subsystem statistics.
+    let mem = apu.memory();
+    println!("\nMemory subsystem:");
+    println!("  reads: {}  writes: {}", mem.reads(), mem.writes());
+    if let Some(hr) = mem.icache_hit_rate() {
+        println!("  Infinity Cache hit rate: {:.0}%", hr * 100.0);
+    }
+    if let Some(lat) = mem.mean_latency_ns() {
+        println!("  mean access latency: {lat:.1} ns");
+    }
+}

@@ -1,0 +1,132 @@
+//! Integration: kernel dispatch through the ACEs generating memory
+//! traffic through the interleaver, Infinity Cache and HBM channels —
+//! the full launch-to-memory path spanning `ehp-dispatch`, `ehp-mem`
+//! and `ehp-fabric`.
+
+use ehp_dispatch::ace::WorkgroupPolicy;
+use ehp_dispatch::aql::AqlPacket;
+use ehp_dispatch::dispatcher::{DispatcherConfig, MultiXcdDispatcher};
+use ehp_dispatch::queue::UserQueue;
+use ehp_fabric::fabric::FabricSim;
+use ehp_fabric::topology::{NodeKey, Topology};
+use ehp_mem::request::MemRequest;
+use ehp_mem::subsystem::{MemConfig, MemorySubsystem};
+use ehp_sim_core::time::{Cycle, SimTime};
+use ehp_sim_core::units::Bytes;
+
+/// Runs a kernel whose workgroups each stream memory, and returns the
+/// memory-side completion time.
+fn run_kernel_with_memory(
+    policy: WorkgroupPolicy,
+    workgroups: u32,
+    lines_per_wg: u64,
+) -> (Cycle, SimTime, MemorySubsystem) {
+    let mut q = UserQueue::new(16).expect("power-of-two queue");
+    q.submit(&AqlPacket::dispatch_1d(workgroups * 64, 64)).expect("space");
+
+    let cfg = DispatcherConfig::mi300a_partition().with_policy(policy);
+    let mut d = MultiXcdDispatcher::new(cfg);
+    let run = d
+        .dispatch_from_queue(Cycle(0), &mut q, |_| 2_000)
+        .expect("decodes")
+        .expect("packet present");
+
+    // Each workgroup streams `lines_per_wg` cache lines from its slice of
+    // a shared array.
+    let mut mem = MemorySubsystem::new(MemConfig::mi300_hbm3());
+    let mut mem_done = SimTime::ZERO;
+    for wg in 0..u64::from(workgroups) {
+        let base = wg * lines_per_wg * 128;
+        for l in 0..lines_per_wg {
+            let resp = mem.access(SimTime::ZERO, MemRequest::read(base + l * 128, 128));
+            if resp.completes_at > mem_done {
+                mem_done = resp.completes_at;
+            }
+        }
+    }
+    (run.completion_at, mem_done, mem)
+}
+
+#[test]
+fn full_path_dispatch_to_memory() {
+    let (completion, mem_done, mem) =
+        run_kernel_with_memory(WorkgroupPolicy::RoundRobin, 228, 64);
+    assert!(completion > Cycle(0));
+    assert!(mem_done > SimTime::ZERO);
+    assert_eq!(mem.reads(), 228 * 64);
+    // The streamed array spreads across many channels.
+    let busy_channels = mem
+        .channels()
+        .iter()
+        .filter(|c| c.hbm().bytes_moved() > Bytes::ZERO || c.icache_bytes() > Bytes::ZERO)
+        .count();
+    assert!(busy_channels > 64, "only {busy_channels} channels touched");
+}
+
+#[test]
+fn every_policy_reaches_all_memory() {
+    for policy in [
+        WorkgroupPolicy::RoundRobin,
+        WorkgroupPolicy::BlockContiguous,
+        WorkgroupPolicy::Chunked { chunk: 8 },
+    ] {
+        let (_, _, mem) = run_kernel_with_memory(policy, 114, 32);
+        assert_eq!(mem.reads(), 114 * 32, "{policy:?}");
+    }
+}
+
+#[test]
+fn dispatch_and_fabric_compose() {
+    // A dispatch's completion signal conceptually crosses the fabric's
+    // high-priority channel; verify the fabric path the signal takes
+    // exists on the MI300A package for every XCD pair.
+    let fab = FabricSim::new(Topology::mi300_package(2, 3));
+    for a in 0..6u32 {
+        for b in 0..6u32 {
+            let lat = fab
+                .path_latency(NodeKey::Chiplet(a), NodeKey::Chiplet(b))
+                .expect("XCDs mutually reachable");
+            if a != b {
+                assert!(lat > SimTime::ZERO);
+            }
+        }
+    }
+}
+
+#[test]
+fn queue_backpressure_with_dispatcher() {
+    let mut q = UserQueue::new(2).expect("queue");
+    q.submit(&AqlPacket::dispatch_1d(64, 64)).unwrap();
+    q.submit(&AqlPacket::dispatch_1d(128, 64)).unwrap();
+    assert!(q.submit(&AqlPacket::dispatch_1d(64, 64)).is_err());
+
+    let mut d = MultiXcdDispatcher::new(DispatcherConfig::mi300a_tpx_partition());
+    let r1 = d
+        .dispatch_from_queue(Cycle(0), &mut q, |_| 100)
+        .unwrap()
+        .unwrap();
+    assert_eq!(r1.workgroups_launched, 1);
+    // Slot freed: submission succeeds now.
+    q.submit(&AqlPacket::dispatch_1d(64, 64)).unwrap();
+    let r2 = d
+        .dispatch_from_queue(r1.completion_at, &mut q, |_| 100)
+        .unwrap()
+        .unwrap();
+    assert_eq!(r2.workgroups_launched, 2);
+    assert!(r2.completion_at > r1.completion_at);
+}
+
+#[test]
+fn locality_policy_concentrates_reuse() {
+    // Block-contiguous placement lets consecutive workgroups share lines;
+    // with a working set that fits slices, the Infinity Cache hit rate
+    // under re-walks must exceed the round-robin single-pass rate.
+    let mut mem = MemorySubsystem::new(MemConfig::mi300_hbm3());
+    for _pass in 0..4 {
+        for l in 0..4096u64 {
+            mem.access(SimTime::ZERO, MemRequest::read(l * 128, 128));
+        }
+    }
+    let hit = mem.icache_hit_rate().expect("slices present");
+    assert!(hit > 0.7, "reuse hit rate {hit}");
+}

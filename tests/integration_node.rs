@@ -1,0 +1,116 @@
+//! Integration: node-scale behaviour — topologies, the timed node
+//! fabric, node-scope coherence, strong scaling and RAS must tell one
+//! consistent story.
+
+use ehp_coherence::multisocket::{AgentClass, MultiSocketCoherence, NodeCoherenceConfig};
+use ehp_coherence::scope::SyncScope;
+use ehp_core::node::NodeTopology;
+use ehp_core::node_fabric::NodeFabric;
+use ehp_core::ras;
+use ehp_sim_core::ids::AgentId;
+use ehp_sim_core::time::SimTime;
+use ehp_sim_core::units::Bytes;
+use ehp_workloads::scaling::ScalingStudy;
+
+#[test]
+fn every_builtin_topology_audits_clean_and_routes() {
+    for node in [
+        NodeTopology::quad_mi300a(),
+        NodeTopology::eight_mi300x(),
+        NodeTopology::frontier(),
+    ] {
+        let audit = node.audit().expect("link budgets respected");
+        assert!(audit.accelerators_fully_connected);
+        let mut fab = NodeFabric::new(&node);
+        // Every linked pair can actually move data.
+        for l in node.links() {
+            let t = fab
+                .send(SimTime::ZERO, l.a, l.b, Bytes::from_kib(64))
+                .expect("linked sockets reachable");
+            assert!(t.completed > SimTime::ZERO);
+        }
+    }
+}
+
+#[test]
+fn scaling_is_consistent_with_fabric_bandwidth() {
+    // Halving the effective inter-socket bandwidth (by doubling comm
+    // bytes) must lower the 4-socket speedup.
+    let node = NodeTopology::quad_mi300a();
+    let base = ScalingStudy::hpcg_on_mi300a();
+    let mut heavy = base;
+    heavy.comm_bytes = Bytes(base.comm_bytes.as_u64() * 8);
+    assert!(heavy.speedup(&node, 4) < base.speedup(&node, 4));
+    // And the study's communication term uses the same pair bandwidth the
+    // fabric reports.
+    let fab = NodeFabric::new(&node);
+    assert!(fab.socket_bandwidth(0, 1).is_some());
+}
+
+#[test]
+fn producer_consumer_across_sockets_full_protocol() {
+    // GPU on socket 0 produces; GPU on socket 1 consumes, over lines
+    // homed on socket 2 — software coherence end to end, then a CPU
+    // audits the data hardware-coherently.
+    let mut coh = MultiSocketCoherence::new(NodeCoherenceConfig::quad_mi300a());
+    let (gpu0, gpu1, cpu) = (AgentId(0), AgentId(1), AgentId(2));
+    coh.register(gpu0, 0, AgentClass::Gpu);
+    coh.register(gpu1, 1, AgentClass::Gpu);
+    coh.register(cpu, 3, AgentClass::Cpu);
+
+    let span = 128u64 << 30;
+    let shared = 2 * span; // homed on socket 2: remote for everyone
+
+    // Consumer caches stale copies first.
+    for i in 0..16u64 {
+        coh.read(gpu1, shared + i * 128);
+    }
+    // Producer writes and releases.
+    for i in 0..16u64 {
+        let w = coh.write(gpu0, shared + i * 128);
+        assert!(!w.hardware_coherent, "remote GPU writes ride the sw path");
+    }
+    assert_eq!(coh.release(gpu0, SyncScope::System), 16);
+
+    // Without acquire the consumer risks staleness; after acquire it
+    // does not.
+    assert!(coh.read(gpu1, shared).stale_risk);
+    assert_eq!(coh.acquire(gpu1, SyncScope::System), 16);
+    assert!(!coh.read(gpu1, shared + 128).stale_risk);
+
+    // The CPU sees it hardware-coherently with zero ceremony.
+    let a = coh.read(cpu, shared);
+    assert!(a.hardware_coherent && !a.stale_risk);
+}
+
+#[test]
+fn node_fabric_contention_matches_topology_budget() {
+    // Saturating all six of a socket's IF bundles concurrently cannot
+    // exceed its 8-link I/O budget.
+    let node = NodeTopology::quad_mi300a();
+    let mut fab = NodeFabric::new(&node);
+    let size = Bytes::from_gib(1);
+    let mut last = SimTime::ZERO;
+    for peer in 1..4 {
+        let t = fab.send(SimTime::ZERO, 0, peer, size).expect("connected");
+        if t.completed > last {
+            last = t.completed;
+        }
+    }
+    let achieved = 3.0 * size.as_f64() / last.as_secs() / 1e9;
+    // 3 independent pair bundles x 128 GB/s = 384 GB/s max egress here.
+    assert!(achieved <= 385.0, "achieved {achieved:.0} GB/s");
+    assert!(achieved > 350.0, "parallel bundles should run concurrently");
+}
+
+#[test]
+fn ras_summary_scales_with_node_count() {
+    let small = ras::summarize(500, SimTime::from_secs_f64(90.0));
+    let large = ras::summarize(9_408, SimTime::from_secs_f64(90.0));
+    assert!(large.failures_per_day > small.failures_per_day);
+    assert!(large.efficiency < small.efficiency);
+    assert!(
+        large.checkpoint_interval < small.checkpoint_interval,
+        "bigger systems checkpoint more often"
+    );
+}
