@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# Offline-friendly CI for ehp-sim: build, test, lint, and the
+# shape-fidelity gate. Every step uses only the vendored toolchain —
+# no network access is required or attempted (--offline everywhere).
+#
+# fmt/clippy degrade to warnings when the components are not installed
+# so the script stays useful on minimal toolchains; build, test, and
+# `ehp check` failures are always fatal.
+set -u
+
+cd "$(dirname "$0")"
+
+failures=0
+step() {
+    echo
+    echo "=== $1 ==="
+    shift
+    if "$@"; then
+        echo "--- ok"
+    else
+        echo "--- FAILED: $*"
+        failures=$((failures + 1))
+    fi
+}
+
+step "build (release)" cargo build --release --offline
+step "tests" cargo test -q --offline
+
+if cargo fmt --version >/dev/null 2>&1; then
+    step "rustfmt" cargo fmt --all -- --check
+else
+    echo "(skipping rustfmt: component not installed)"
+fi
+
+if cargo clippy --version >/dev/null 2>&1; then
+    step "clippy" cargo clippy --workspace --all-targets --offline -- -D warnings
+else
+    echo "(skipping clippy: component not installed)"
+fi
+
+step "benches compile" cargo build --benches --offline
+
+# Shape-fidelity gate: every experiment runs, and headline metrics stay
+# inside the committed expected ranges (see crates/harness/src/check.rs).
+step "ehp all" ./target/release/ehp all --jobs 8 --quiet
+step "ehp check" ./target/release/ehp check
+
+echo
+if [ "$failures" -ne 0 ]; then
+    echo "CI: $failures step(s) failed"
+    exit 1
+fi
+echo "CI: all steps passed"

@@ -3,7 +3,7 @@
 //! release/acquire cost — the hardware-vs-software coherence tradeoff of
 //! Section IV.D.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use ehp_bench::microbench::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use ehp_coherence::probe_filter::ProbeFilter;
 use ehp_coherence::scope::{ScopeTracker, SyncScope};
 use ehp_sim_core::ids::AgentId;

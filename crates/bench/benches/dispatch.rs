@@ -6,7 +6,7 @@
 //!   throughput as XCDs are added (the paper's argument for not using a
 //!   separate scheduling chiplet).
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use ehp_bench::microbench::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use ehp_dispatch::ace::WorkgroupPolicy;
 use ehp_dispatch::aql::AqlPacket;
 use ehp_dispatch::dispatcher::{DispatcherConfig, MultiXcdDispatcher};

@@ -1,7 +1,7 @@
 //! Fabric benches: transfer simulation over the MI300 package versus the
 //! EHPv4 organisation (the Figure 4 comparison as a running system).
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use ehp_bench::microbench::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use ehp_fabric::fabric::FabricSim;
 use ehp_fabric::topology::{NodeKey, Topology};
 use ehp_sim_core::rng::SplitMix64;
@@ -29,9 +29,11 @@ fn drive(fab: &mut FabricSim, chiplets: &[u32], stacks: u32, sends: u32, seed: u
     last
 }
 
+type PackageCase = (&'static str, fn() -> Topology, Vec<u32>);
+
 fn bench_packages(c: &mut Criterion) {
     let mut g = c.benchmark_group("fabric_uniform_traffic");
-    let cases: [(&str, fn() -> Topology, Vec<u32>); 2] = [
+    let cases: [PackageCase; 2] = [
         ("mi300a", || Topology::mi300_package(2, 3), (0..6).collect()),
         ("ehpv4", Topology::ehpv4_package, vec![2, 3, 4, 5]),
     ];

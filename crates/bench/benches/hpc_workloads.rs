@@ -2,14 +2,17 @@
 //! models. Asserts the headline shape (every workload speeds up;
 //! OpenFOAM wins biggest) while measuring evaluation cost.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use ehp_bench::microbench::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use ehp_workloads::hpc::{figure20, HpcWorkload, MachineModel};
 
 fn bench_figure20(c: &mut Criterion) {
     // Shape guard before timing anything.
     let rows = figure20();
     assert!(rows.iter().all(|r| r.speedup > 1.0));
-    let best = rows.iter().max_by(|a, b| a.speedup.total_cmp(&b.speedup)).unwrap();
+    let best = rows
+        .iter()
+        .max_by(|a, b| a.speedup.total_cmp(&b.speedup))
+        .unwrap();
     assert_eq!(best.workload, "OpenFOAM");
 
     c.bench_function("figure20/all_rows", |b| {

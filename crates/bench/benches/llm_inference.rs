@@ -1,7 +1,7 @@
 //! Bench for **Figure 21**: Llama-2 70B inference latency estimation
 //! across platform/stack combinations, plus a token-length sweep.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use ehp_bench::microbench::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use ehp_workloads::llm::{
     estimate_latency, figure21, GpuPlatform, InferenceConfig, SoftwareStack, WeightPrecision,
 };

@@ -4,7 +4,7 @@
 //! * `interleave_sweep` — stack-granule size and hashed-vs-linear stack
 //!   selection (the "4 KB hashed" design point).
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use ehp_bench::microbench::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use ehp_mem::channel::ChannelConfig;
 use ehp_mem::interleave::InterleaveConfig;
 use ehp_mem::request::MemRequest;

@@ -3,7 +3,7 @@
 //! the bench guards the arithmetic against regressions and measures the
 //! spec-sheet evaluation cost.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ehp_bench::microbench::{black_box, criterion_group, criterion_main, Criterion};
 use ehp_compute::cu::GpuArch;
 use ehp_compute::dtype::{DataType, ExecUnit, Sparsity};
 use ehp_core::products::Product;

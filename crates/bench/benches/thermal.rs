@@ -1,7 +1,7 @@
 //! Bench for **Figure 12(b)/(c)**: the finite-difference thermal solver
 //! over the MI300A floorplan at several grid resolutions.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use ehp_bench::microbench::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use ehp_package::floorplan::Floorplan;
 use ehp_sim_core::units::Power;
 use ehp_thermal::{ThermalConfig, ThermalSolver};

@@ -1,7 +1,7 @@
 //! Bench for **Figures 14/15**: the three execution models and the
 //! fine-grained overlap variant across problem sizes.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use ehp_bench::microbench::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use ehp_core::progmodel::{ExecutionModel, WorkloadShape};
 
 fn bench_models(c: &mut Criterion) {

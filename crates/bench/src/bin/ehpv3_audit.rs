@@ -1,65 +1,7 @@
-//! Regenerates the **Section III.A** analysis: why EHPv3's aggressive
-//! 3D stacking could not be productised in the Frontier timeframe —
-//! assembly complexity, beyond-two-high stacking, and heat dissipation —
-//! audited with the same yardstick for V-Cache, EHPv3 and MI300A.
-
-use ehp_bench::Report;
-use ehp_package::ehpv3::{audit, StackedAssembly};
+//! Thin delegate: the `ehpv3_audit` experiment lives in `ehp-harness`
+//! (see `crates/harness/src/experiments/ehpv3_audit.rs`). Prefer the `ehp`
+//! CLI for scenario overrides, sweeps, and parallel batches.
 
 fn main() {
-    let mut rep = Report::new("ehpv3_audit");
-
-    let assemblies = [
-        StackedAssembly::v_cache(),
-        StackedAssembly::ehpv3_complex(),
-        StackedAssembly::mi300a_complex(),
-    ];
-
-    rep.section("Assembly audits");
-    rep.row(format!(
-        "  {:<16} {:>6} {:>8} {:>8} {:>12} {:>12} {:>10}",
-        "assembly", "dies", "bonds", ">2-high", "W/mm^2", "coolable", "complexity"
-    ));
-    for a in &assemblies {
-        let v = audit(a);
-        rep.row(format!(
-            "  {:<16} {:>6} {:>8} {:>8} {:>12.2} {:>12} {:>10}",
-            v.name,
-            v.dies_handled,
-            v.bonding_steps,
-            if v.beyond_two_high { "yes" } else { "no" },
-            v.power_density,
-            if v.exceeds_cooling { "NO" } else { "yes" },
-            v.complexity
-        ));
-    }
-
-    rep.section("Section III.A claims");
-    let e = audit(&StackedAssembly::ehpv3_complex());
-    let v = audit(&StackedAssembly::v_cache());
-    let m = audit(&StackedAssembly::mi300a_complex());
-    rep.kv(
-        "dies handled/tested vs V-Cache",
-        format!("{}x", e.dies_handled / v.dies_handled),
-    );
-    rep.kv(
-        "EHPv3 goes beyond a two-high stack",
-        e.beyond_two_high,
-    );
-    rep.kv(
-        "EHPv3 heat exceeds Frontier-era cooling",
-        e.exceeds_cooling,
-    );
-    rep.kv("MI300A stays coolable", !m.exceeds_cooling);
-    rep.kv(
-        "complexity ordering V-Cache < MI300A < EHPv3",
-        v.complexity < m.complexity && m.complexity < e.complexity,
-    );
-    rep.row("");
-    rep.row("  Verdict: the EHP vision was sound; EHPv3's integration was ahead");
-    rep.row("  of the manufacturable envelope in the Frontier window. MI300A");
-    rep.row("  reaches similar integration within a two-high, side-by-side-HBM");
-    rep.row("  organisation once hybrid bonding matured.");
-
-    rep.print();
+    ehp_bench::run_default("ehpv3_audit");
 }

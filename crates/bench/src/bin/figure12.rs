@@ -1,100 +1,7 @@
-//! Regenerates **Figure 12**: (a) representative power distributions for
-//! compute-intensive vs memory-intensive scenarios, and (b)/(c) thermal
-//! simulation heat maps for both scenarios over the MI300A floorplan.
-
-use ehp_bench::Report;
-use ehp_package::floorplan::Floorplan;
-use ehp_power::budget::{PowerDomain, SocketPowerManager, WorkloadProfile};
-use ehp_sim_core::units::Power;
-use ehp_thermal::{ThermalConfig, ThermalSolver};
-use serde::Serialize;
-
-#[derive(Serialize)]
-struct DistRow {
-    scenario: String,
-    domain: String,
-    fraction: f64,
-}
-
-fn assign(fp: &mut Floorplan, pm: &SocketPowerManager) {
-    let d = pm.current();
-    fp.assign_power("xcd", d.get(PowerDomain::ComputeChiplets).scale(0.88));
-    fp.assign_power("ccd", d.get(PowerDomain::ComputeChiplets).scale(0.12));
-    fp.assign_power(
-        "iod",
-        d.get(PowerDomain::InfinityCache) + d.get(PowerDomain::DataFabric),
-    );
-    fp.assign_power("usr", d.get(PowerDomain::UsrPhys));
-    fp.assign_power("hbm_phy", d.get(PowerDomain::HbmPhys));
-    fp.assign_power("hbm_stack", d.get(PowerDomain::HbmDram) + d.get(PowerDomain::Io));
-}
+//! Thin delegate: the `figure12` experiment lives in `ehp-harness`
+//! (see `crates/harness/src/experiments/figure12.rs`). Prefer the `ehp`
+//! CLI for scenario overrides, sweeps, and parallel batches.
 
 fn main() {
-    let mut rep = Report::new("figure12");
-    let mut pm = SocketPowerManager::new(Power::from_watts(550.0));
-    let mut rows = Vec::new();
-
-    rep.section("(a) normalised power distributions");
-    for (label, profile) in [
-        ("compute-intensive", WorkloadProfile::ComputeIntensive),
-        ("memory-intensive", WorkloadProfile::MemoryIntensive),
-    ] {
-        let dist = pm.apply_profile(profile);
-        rep.row(format!("  scenario: {label} (total {})", dist.total()));
-        for (domain, frac) in dist.normalized() {
-            rep.row(format!("    {:<18} {:>5.1}%", domain.name(), frac * 100.0));
-            rows.push(DistRow {
-                scenario: label.to_string(),
-                domain: domain.name().to_string(),
-                fraction: frac,
-            });
-        }
-    }
-
-    let solver = ThermalSolver::new(ThermalConfig::default());
-    for (label, profile, panel) in [
-        ("GPU-intensive", WorkloadProfile::ComputeIntensive, "(b)"),
-        ("memory-intensive", WorkloadProfile::MemoryIntensive, "(c)"),
-    ] {
-        pm.apply_profile(profile);
-        let mut fp = Floorplan::mi300a();
-        assign(&mut fp, &pm);
-        let field = solver.solve(&fp);
-        let (max_t, _) = field.max();
-
-        rep.section(&format!("{panel} thermal map, {label} scenario"));
-        rep.kv("max temperature", format!("{max_t:.1} C"));
-        let xcd_mean = fp
-            .regions_matching("xcd")
-            .filter_map(|r| field.mean_over(&r.rect))
-            .sum::<f64>()
-            / 6.0;
-        let usr_mean = fp
-            .regions_matching("usr")
-            .filter_map(|r| field.mean_over(&r.rect))
-            .sum::<f64>()
-            / 3.0;
-        let hbm_phy_mean = fp
-            .regions_matching("hbm_phy")
-            .filter_map(|r| field.mean_over(&r.rect))
-            .sum::<f64>()
-            / 8.0;
-        rep.kv("mean XCD temperature", format!("{xcd_mean:.1} C"));
-        rep.kv("mean USR PHY temperature", format!("{usr_mean:.1} C"));
-        rep.kv("mean HBM PHY temperature", format!("{hbm_phy_mean:.1} C"));
-        rep.row("");
-        // One character per ~2 mm cell.
-        let coarse = ThermalSolver::new(ThermalConfig {
-            nx: 70,
-            ny: 28,
-            ..ThermalConfig::default()
-        });
-        let small = coarse.solve(&fp);
-        for line in small.ascii_map(" .:-=+*#%@").lines() {
-            rep.row(format!("  {line}"));
-        }
-    }
-
-    rep.dump_json(&rows);
-    rep.print();
+    ehp_bench::run_default("figure12");
 }

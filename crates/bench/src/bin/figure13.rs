@@ -1,69 +1,7 @@
-//! Regenerates **Figure 13**: the multi-XCD kernel dispatch and
-//! completion flow — the timestamped event trace of the cooperative
-//! protocol, plus its sync overhead versus partition size.
-
-use ehp_bench::Report;
-use ehp_dispatch::aql::AqlPacket;
-use ehp_dispatch::dispatcher::{DispatchEvent, DispatcherConfig, MultiXcdDispatcher};
-use serde::Serialize;
-
-#[derive(Serialize)]
-struct TraceRow {
-    cycle: u64,
-    event: String,
-}
+//! Thin delegate: the `figure13` experiment lives in `ehp-harness`
+//! (see `crates/harness/src/experiments/figure13.rs`). Prefer the `ehp`
+//! CLI for scenario overrides, sweeps, and parallel batches.
 
 fn main() {
-    let mut rep = Report::new("figure13");
-
-    let pkt = AqlPacket::dispatch_1d(228 * 64, 64); // 228 workgroups
-    let mut d = MultiXcdDispatcher::new(DispatcherConfig::mi300a_partition());
-    let run = d.dispatch(&pkt, |wg| 2_000 + (wg % 7) * 50);
-
-    rep.section("Cooperative dispatch event trace (6-XCD partition)");
-    let mut rows = Vec::new();
-    for (t, e) in &run.events {
-        let label = match e {
-            DispatchEvent::PacketRead { xcd } => format!("(1) ACE on XCD{xcd} reads AQL packet"),
-            DispatchEvent::SubsetLaunched { xcd, count } => {
-                format!("(2) XCD{xcd} launches its subset: {count} workgroups")
-            }
-            DispatchEvent::XcdDrained { xcd } => format!("    XCD{xcd} subset complete"),
-            DispatchEvent::SyncMessage { from, to } => {
-                format!("(3) XCD{from} -> XCD{to}: completion notification (high-priority IF)")
-            }
-            DispatchEvent::CompletionSignaled { xcd } => {
-                format!("(4) XCD{xcd} signals kernel completion to software")
-            }
-        };
-        rep.row(format!("  {:>8} cyc  {label}", t.0));
-        rows.push(TraceRow {
-            cycle: t.0,
-            event: label,
-        });
-    }
-
-    rep.section("Summary");
-    rep.kv("workgroups launched", run.workgroups_launched);
-    rep.kv("per-XCD split", format!("{:?}", run.per_xcd));
-    rep.kv("first launch", run.first_launch);
-    rep.kv("last workgroup retired", run.last_retire);
-    rep.kv("completion visible to software", run.completion_at);
-    rep.kv("multi-chiplet sync overhead", run.sync_overhead());
-
-    rep.section("Sync overhead vs partition width (single logical GPU scaling)");
-    for xcds in [1u32, 2, 3, 6] {
-        let cfg = DispatcherConfig {
-            xcds,
-            ..DispatcherConfig::mi300a_partition()
-        };
-        let run = MultiXcdDispatcher::new(cfg).dispatch(&pkt, |_| 2_000);
-        rep.row(format!(
-            "  {xcds} XCD(s): last retire {:>8}, completion {:>8}, overhead {}",
-            run.last_retire, run.completion_at, run.sync_overhead()
-        ));
-    }
-
-    rep.dump_json(&rows);
-    rep.print();
+    ehp_bench::run_default("figure13");
 }

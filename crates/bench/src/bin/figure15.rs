@@ -1,65 +1,7 @@
-//! Regenerates **Figure 15**: fine-grained decoupling of GPU and CPU
-//! execution via per-chunk completion flags in coherent unified memory —
-//! overlapped timeline vs the original kernel-level-sync timeline.
-
-use ehp_bench::Report;
-use ehp_core::progmodel::{ExecutionModel, WorkloadShape};
-use serde::Serialize;
-
-#[derive(Serialize)]
-struct Row {
-    chunks: u32,
-    total_ms: f64,
-    saving_vs_coarse_ms: f64,
-}
+//! Thin delegate: the `figure15` experiment lives in `ehp-harness`
+//! (see `crates/harness/src/experiments/figure15.rs`). Prefer the `ehp`
+//! CLI for scenario overrides, sweeps, and parallel batches.
 
 fn main() {
-    let mut rep = Report::new("figure15");
-    let apu = ExecutionModel::apu_mi300a();
-    let shape = WorkloadShape::vector_scale(256 << 20);
-
-    let coarse = apu.run(&shape);
-    rep.section("(c) original code: coarse kernel-level synchronisation");
-    for p in coarse.phases() {
-        rep.row(format!(
-            "  {:<8} [{:>9.3} .. {:>9.3}] ms",
-            p.name,
-            p.start.as_millis_f64(),
-            p.end.as_millis_f64()
-        ));
-    }
-    rep.kv("total", coarse.total());
-
-    let fine = apu.run_overlapped(&shape, 8);
-    rep.section("(b) fine-grained flags: CPU consumes chunks as produced");
-    for p in fine.phases() {
-        rep.row(format!(
-            "  {:<8} [{:>9.3} .. {:>9.3}] ms",
-            p.name,
-            p.start.as_millis_f64(),
-            p.end.as_millis_f64()
-        ));
-    }
-    rep.kv("total", fine.total());
-    rep.kv("overlap saving", coarse.total() - fine.total());
-
-    rep.section("Chunk-count sweep");
-    let mut rows = Vec::new();
-    for chunks in [1u32, 2, 4, 8, 16, 32, 64] {
-        let t = apu.run_overlapped(&shape, chunks).total();
-        let saving = coarse.total().saturating_sub(t);
-        rep.row(format!(
-            "  {chunks:>4} chunks: total {:>9.3} ms, saving {:>8.3} ms",
-            t.as_millis_f64(),
-            saving.as_millis_f64()
-        ));
-        rows.push(Row {
-            chunks,
-            total_ms: t.as_millis_f64(),
-            saving_vs_coarse_ms: saving.as_millis_f64(),
-        });
-    }
-
-    rep.dump_json(&rows);
-    rep.print();
+    ehp_bench::run_default("figure15");
 }

@@ -1,53 +1,7 @@
-//! Regenerates **Figure 16**: modular replacement of MI300A's CCDs with
-//! XCDs to create MI300X — the same four IODs host either compute stack,
-//! and the geometric interface checks pass for both.
-
-use ehp_bench::Report;
-use ehp_core::products::Product;
-use ehp_compute::dtype::{DataType, ExecUnit};
-use ehp_package::mirror::{mi300_chiplet_pins, IodInstance, IodVariant};
+//! Thin delegate: the `figure16` experiment lives in `ehp-harness`
+//! (see `crates/harness/src/experiments/figure16.rs`). Prefer the `ehp`
+//! CLI for scenario overrides, sweeps, and parallel batches.
 
 fn main() {
-    let mut rep = Report::new("figure16");
-
-    rep.section("Shared silicon building blocks");
-    for product in [Product::Mi300a, Product::Mi300x] {
-        let s = product.spec();
-        rep.row(format!(
-            "  {:<8} IODs: 4 (identical)   compute stacks: {} XCDs + {} CCDs   CUs: {}   CPU cores: {}",
-            s.name,
-            s.gpu_chiplets,
-            s.ccds,
-            s.total_cus(),
-            s.cpu_cores
-        ));
-    }
-
-    rep.section("Chiplet-swap consequences");
-    let a = Product::Mi300a.spec();
-    let x = Product::Mi300x.spec();
-    let fp16 = |s: &ehp_core::products::ProductSpec| {
-        s.peak_tflops(ExecUnit::Matrix, DataType::Fp16).expect("fp16")
-    };
-    rep.kv("MI300A FP16 matrix peak", format!("{:.1} TFLOP/s", fp16(&a)));
-    rep.kv("MI300X FP16 matrix peak", format!("{:.1} TFLOP/s", fp16(&x)));
-    rep.kv(
-        "FLOPS gain from the swap",
-        format!("{:.2}x (\"more FLOPS/mm^3 than MI300A\")", fp16(&x) / fp16(&a)),
-    );
-    rep.kv("MI300X memory capacity", format!("{} (12-high stacks)", x.memory_capacity()));
-
-    rep.section("Interface compatibility across every IOD variant");
-    let pins = mi300_chiplet_pins();
-    for v in IodVariant::ALL {
-        let inst = IodInstance::production(v);
-        rep.row(format!(
-            "  {:?}: accepts unmirrored compute chiplet: {}",
-            v,
-            inst.accepts_chiplet(&pins)
-        ));
-        assert!(inst.accepts_chiplet(&pins), "swap must work on all variants");
-    }
-
-    rep.print();
+    ehp_bench::run_default("figure16");
 }

@@ -1,59 +1,7 @@
-//! Regenerates **Figure 17**: compute and memory partitioning modes for
-//! MI300A (SPX/TPX, NPS1) and MI300X (1/2/4/8 partitions, NPS1/NPS4),
-//! with SR-IOV VF mapping and a dispatch sanity check per mode.
-
-use ehp_bench::Report;
-use ehp_core::partition::PartitionConfig;
-use ehp_core::products::Product;
-use ehp_dispatch::aql::AqlPacket;
-use ehp_dispatch::dispatcher::MultiXcdDispatcher;
-use serde::Serialize;
-
-#[derive(Serialize)]
-struct Row {
-    product: String,
-    partitions: u32,
-    xcds_per_partition: u32,
-    numa: String,
-    sriov_vfs: u32,
-}
+//! Thin delegate: the `figure17` experiment lives in `ehp-harness`
+//! (see `crates/harness/src/experiments/figure17.rs`). Prefer the `ehp`
+//! CLI for scenario overrides, sweeps, and parallel batches.
 
 fn main() {
-    let mut rep = Report::new("figure17");
-    let mut rows = Vec::new();
-
-    for product in [Product::Mi300a, Product::Mi300x] {
-        rep.section(&format!("{:?} partitioning modes", product));
-        for cfg in PartitionConfig::enumerate(product) {
-            let numa = format!("{:?}", cfg.numa());
-            rep.row(format!(
-                "  {} partition(s) x {} XCD(s), memory {}, SR-IOV VFs: {}",
-                cfg.mode().count(),
-                cfg.xcds_per_partition(),
-                numa,
-                cfg.sriov_vfs()
-            ));
-
-            // Sanity: a kernel dispatch inside one partition launches on
-            // exactly that partition's XCDs.
-            let mut d = MultiXcdDispatcher::new(cfg.dispatcher_config());
-            let run = d.dispatch(&AqlPacket::dispatch_1d(4096, 64), |_| 500);
-            assert_eq!(run.per_xcd.len() as u32, cfg.xcds_per_partition());
-
-            rows.push(Row {
-                product: format!("{product:?}"),
-                partitions: cfg.mode().count(),
-                xcds_per_partition: cfg.xcds_per_partition(),
-                numa,
-                sriov_vfs: cfg.sriov_vfs(),
-            });
-        }
-    }
-
-    rep.section("Notes");
-    rep.row("  MI300A: NPS1 only — the entire HBM space is uniformly interleaved in both modes.");
-    rep.row("  MI300X: NPS4 maps each quadrant domain to one IOD's stacks; pairs with SR-IOV VFs.");
-
-    rep.dump_json(&rows);
-    rep.print();
+    ehp_bench::run_default("figure17");
 }

@@ -1,110 +1,7 @@
-//! Regenerates **Figure 18**: exemplary node architectures — (a) four
-//! MI300A APUs fully connected over coherent IF, (b) eight MI300X
-//! accelerators fully connected with EPYC hosts over PCIe — with link
-//! budgets, bisection bandwidth and coherent-memory accounting.
-
-use ehp_bench::Report;
-use ehp_coherence::multisocket::{AgentClass, MultiSocketCoherence, NodeCoherenceConfig};
-use ehp_core::node::NodeTopology;
-use ehp_core::node_fabric::NodeFabric;
-use ehp_sim_core::ids::AgentId;
-use ehp_sim_core::time::SimTime;
-use ehp_sim_core::units::Bytes;
-use serde::Serialize;
-
-#[derive(Serialize)]
-struct Row {
-    topology: String,
-    sockets: usize,
-    links: usize,
-    fully_connected: bool,
-    bisection_gb_s: f64,
-    coherent_hbm_gib: f64,
-    free_links: Vec<u32>,
-}
+//! Thin delegate: the `figure18` experiment lives in `ehp-harness`
+//! (see `crates/harness/src/experiments/figure18.rs`). Prefer the `ehp`
+//! CLI for scenario overrides, sweeps, and parallel batches.
 
 fn main() {
-    let mut rep = Report::new("figure18");
-    let mut rows = Vec::new();
-
-    for (name, node) in [
-        ("(a) 4x MI300A APU node", NodeTopology::quad_mi300a()),
-        ("(b) 8x MI300X + EPYC hosts", NodeTopology::eight_mi300x()),
-    ] {
-        let audit = node.audit().expect("valid topology");
-        rep.section(name);
-        rep.kv("sockets", node.sockets().len());
-        rep.kv("link bundles", node.links().len());
-        rep.kv(
-            "accelerators fully connected",
-            audit.accelerators_fully_connected,
-        );
-        rep.kv(
-            "bisection bandwidth",
-            format!("{:.0} GB/s", audit.bisection_bandwidth.as_gb_s()),
-        );
-        rep.kv(
-            "coherent HBM in flat address space",
-            audit.coherent_hbm_capacity,
-        );
-        rep.kv(
-            "free x16 links per socket",
-            format!("{:?}", audit.free_links_per_socket),
-        );
-
-        rows.push(Row {
-            topology: name.to_string(),
-            sockets: node.sockets().len(),
-            links: node.links().len(),
-            fully_connected: audit.accelerators_fully_connected,
-            bisection_gb_s: audit.bisection_bandwidth.as_gb_s(),
-            coherent_hbm_gib: audit.coherent_hbm_capacity.as_gib_f64(),
-            free_links: audit.free_links_per_socket.clone(),
-        });
-    }
-
-    rep.section("Per-socket I/O budget");
-    rep.row("  8 x16 links x 128 GB/s bidirectional = 1,024 GB/s per socket");
-    rep.row("  (four of the eight links may run PCIe instead of Infinity Fabric)");
-
-    rep.section("Flat address space in action (4x MI300A)");
-    let mut fab = NodeFabric::new(&NodeTopology::quad_mi300a());
-    let service = SimTime::from_nanos(120);
-    let local = fab
-        .remote_access(SimTime::ZERO, 0, 0, Bytes(128), service)
-        .expect("local");
-    let remote = fab
-        .remote_access(SimTime::ZERO, 0, 1, Bytes(128), service)
-        .expect("connected");
-    rep.kv("local HBM line access", local);
-    rep.kv("remote-socket HBM line access", remote);
-    let big = fab
-        .remote_access(SimTime::ZERO, 0, 2, Bytes::from_gib(1), service)
-        .expect("connected");
-    rep.kv(
-        "remote streaming bandwidth",
-        format!("{:.0} GB/s (pair-bundle limited)", Bytes::from_gib(1).as_f64() / big.as_secs() / 1e9),
-    );
-
-    rep.section("Node coherence policy (Section IV.D at node scale)");
-    let mut coh = MultiSocketCoherence::new(NodeCoherenceConfig::quad_mi300a());
-    coh.register(AgentId(0), 0, AgentClass::Cpu);
-    coh.register(AgentId(1), 0, AgentClass::Gpu);
-    let span = 128u64 << 30;
-    let cpu_remote = coh.read(AgentId(0), span + 0x100);
-    let gpu_remote = coh.read(AgentId(1), span + 0x100);
-    rep.kv(
-        "CPU remote access",
-        format!("hardware coherent: {}", cpu_remote.hardware_coherent),
-    );
-    rep.kv(
-        "GPU remote access",
-        format!(
-            "hardware coherent: {} (software scopes instead)",
-            gpu_remote.hardware_coherent
-        ),
-    );
-
-    rep.dump_json(&rows);
-    rep.print();
+    ehp_bench::run_default("figure18");
 }

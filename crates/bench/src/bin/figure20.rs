@@ -1,63 +1,7 @@
-//! Regenerates **Figure 20**: measured speedups on HPC workloads of the
-//! MI300A APU over an MI250X accelerator (GROMACS, N-body, HPCG,
-//! OpenFOAM), plus a mechanism breakdown per workload.
-
-use ehp_bench::Report;
-use ehp_workloads::hpc::{figure20, HpcWorkload, MachineModel};
+//! Thin delegate: the `figure20` experiment lives in `ehp-harness`
+//! (see `crates/harness/src/experiments/figure20.rs`). Prefer the `ehp`
+//! CLI for scenario overrides, sweeps, and parallel batches.
 
 fn main() {
-    let mut rep = Report::new("figure20");
-
-    rep.section("MI300A speedup over MI250X (single APU vs single GPU)");
-    let rows = figure20();
-    for r in &rows {
-        let bar = "#".repeat((r.speedup * 12.0).round() as usize);
-        rep.row(format!(
-            "  {:<10} {:>5.2}x  {bar}",
-            r.workload, r.speedup
-        ));
-    }
-
-    rep.section("Mechanism breakdown (time per step, ms)");
-    rep.row(format!(
-        "  {:<10} {:>14} {:>14} {:>16}",
-        "workload", "MI250X (ms)", "MI300A (ms)", "dominant effect"
-    ));
-    let base = MachineModel::mi250x();
-    let apu = MachineModel::mi300a();
-    let effects = [
-        ("GROMACS", "FP32 compute throughput"),
-        ("N-body", "FP64 compute throughput"),
-        ("HPCG", "HBM3 bandwidth (vs HBM2e)"),
-        ("OpenFOAM", "zero-copy unified memory"),
-    ];
-    for w in HpcWorkload::figure20_set() {
-        let eff = effects
-            .iter()
-            .find(|(n, _)| *n == w.name)
-            .map_or("", |(_, e)| e);
-        rep.row(format!(
-            "  {:<10} {:>14.3} {:>14.3}   {}",
-            w.name,
-            base.step_time(&w).as_millis_f64(),
-            apu.step_time(&w).as_millis_f64(),
-            eff
-        ));
-    }
-
-    rep.section("Zero-copy ablation (OpenFOAM)");
-    let w = HpcWorkload::openfoam();
-    let mut apu_with_link = MachineModel::mi300a();
-    apu_with_link.host_link = MachineModel::mi250x().host_link;
-    let s_zero = base.run(&w).as_secs() / apu.run(&w).as_secs();
-    let s_link = base.run(&w).as_secs() / apu_with_link.run(&w).as_secs();
-    rep.kv("speedup with unified memory", format!("{s_zero:.2}x"));
-    rep.kv("speedup if MI300A still paid copies", format!("{s_link:.2}x"));
-    rep.kv(
-        "share of the win from zero-copy",
-        format!("{:.0}%", (s_zero - s_link) / (s_zero - 1.0) * 100.0),
-    );
-
-    rep.dump_json(&rows);
-    rep.print();
+    ehp_bench::run_default("figure20");
 }

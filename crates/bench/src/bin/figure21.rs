@@ -1,80 +1,7 @@
-//! Regenerates **Figure 21**: Llama-2 70B inference latency (median)
-//! with batch size 1, 2048 input tokens, 128 output tokens — MI300X
-//! (vLLM, FP16) versus the baseline platform under vLLM, TensorRT-LLM,
-//! and TensorRT-LLM with FP8.
-
-use ehp_bench::Report;
-use ehp_workloads::llm::{
-    estimate_latency, figure21, GpuPlatform, InferenceConfig, SoftwareStack, WeightPrecision,
-};
+//! Thin delegate: the `figure21` experiment lives in `ehp-harness`
+//! (see `crates/harness/src/experiments/figure21.rs`). Prefer the `ehp`
+//! CLI for scenario overrides, sweeps, and parallel batches.
 
 fn main() {
-    let mut rep = Report::new("figure21");
-
-    rep.section("Llama-2 70B, batch 1, 2048 in / 128 out — median latency");
-    let rows = figure21();
-    for r in &rows {
-        match (r.baseline_s, r.mi300x_advantage) {
-            (Some(b), Some(adv)) => rep.row(format!(
-                "  {:<32} baseline {:>7.0} ms | MI300X {:>7.0} ms | MI300X {:.2}x faster",
-                r.scenario,
-                b * 1e3,
-                r.mi300x_s * 1e3,
-                adv
-            )),
-            _ => rep.row(format!("  {:<32} baseline cannot run", r.scenario)),
-        }
-    }
-
-    rep.section("Latency anatomy (MI300X x8, vLLM, FP16)");
-    let l = estimate_latency(
-        &GpuPlatform::mi300x_platform(),
-        &SoftwareStack::vllm_rocm(),
-        &InferenceConfig::llama2_70b(WeightPrecision::Fp16),
-    )
-    .expect("fits");
-    rep.kv("prefill (compute-bound)", format!("{:.1} ms", l.prefill_s * 1e3));
-    rep.kv(
-        "per-token decode (bandwidth-bound)",
-        format!("{:.2} ms", l.per_token_s * 1e3),
-    );
-    rep.kv("total median latency", format!("{:.0} ms", l.total_s * 1e3));
-
-    rep.section("Capacity story");
-    let mut one_mi300x = GpuPlatform::mi300x_platform();
-    one_mi300x.gpus = 1;
-    let mut one_base = GpuPlatform::baseline_platform();
-    one_base.gpus = 1;
-    let cfg = InferenceConfig::llama2_70b(WeightPrecision::Fp16);
-    rep.kv(
-        "70B FP16 on one 192 GB MI300X",
-        match estimate_latency(&one_mi300x, &SoftwareStack::vllm_rocm(), &cfg) {
-            Ok(_) => "fits".to_string(),
-            Err(e) => format!("{e}"),
-        },
-    );
-    rep.kv(
-        "70B FP16 on one 80 GB baseline GPU",
-        match estimate_latency(&one_base, &SoftwareStack::tensorrt_llm(), &cfg) {
-            Ok(_) => "fits".to_string(),
-            Err(e) => format!("{e}"),
-        },
-    );
-
-    rep.section("Paper claims check");
-    rep.kv(
-        "vLLM vs vLLM: 'more than 2x improvement'",
-        format!("{:.2}x", rows[0].mi300x_advantage.expect("runs")),
-    );
-    rep.kv(
-        "vs TensorRT-LLM: '30% improvement'",
-        format!("{:.2}x", rows[1].mi300x_advantage.expect("runs")),
-    );
-    rep.kv(
-        "vs FP8 baseline: 'continues to demonstrate an advantage'",
-        format!("{:.2}x", rows[2].mi300x_advantage.expect("runs")),
-    );
-
-    rep.dump_json(&rows);
-    rep.print();
+    ehp_bench::run_default("figure21");
 }

@@ -1,79 +1,7 @@
-//! Regenerates **Figure 7**: MI300A IOD bandwidths across the various
-//! interface classes (3D hybrid bond, USR, HBM PHY, x16), plus a timed
-//! check that traffic through the assembled fabric achieves the claimed
-//! rates.
-
-use ehp_bench::Report;
-use ehp_core::apu::ApuSystem;
-use ehp_core::products::Product;
-use ehp_fabric::topology::NodeKey;
-use ehp_sim_core::time::SimTime;
-use ehp_sim_core::units::Bytes;
-use serde::Serialize;
-
-#[derive(Serialize)]
-struct Row {
-    interface: String,
-    count: u32,
-    per_interface_gb_s: f64,
-    aggregate_tb_s: f64,
-}
+//! Thin delegate: the `figure7` experiment lives in `ehp-harness`
+//! (see `crates/harness/src/experiments/figure7.rs`). Prefer the `ehp`
+//! CLI for scenario overrides, sweeps, and parallel batches.
 
 fn main() {
-    let mut rep = Report::new("figure7");
-    let mut apu = ApuSystem::new(Product::Mi300a);
-
-    rep.section("Interface bandwidths (bidirectional)");
-    let mut rows = Vec::new();
-    for i in apu.interface_bandwidths() {
-        rep.row(format!(
-            "  {:<28} x{:<3} {:>10.1} GB/s each   {:>8.2} TB/s aggregate",
-            i.name,
-            i.count,
-            i.per_interface.as_gb_s(),
-            i.aggregate().as_tb_s()
-        ));
-        rows.push(Row {
-            interface: i.name.to_string(),
-            count: i.count,
-            per_interface_gb_s: i.per_interface.as_gb_s(),
-            aggregate_tb_s: i.aggregate().as_tb_s(),
-        });
-    }
-
-    rep.section("Timed transfers through the assembled fabric");
-    let mb = Bytes::from_mib(64);
-    let cases = [
-        ("XCD -> local HBM stack", NodeKey::Chiplet(0), NodeKey::HbmStack(0)),
-        ("XCD -> adjacent-IOD HBM", NodeKey::Chiplet(0), NodeKey::HbmStack(3)),
-        ("XCD -> diagonal-IOD HBM", NodeKey::Chiplet(0), NodeKey::HbmStack(7)),
-        ("CCD -> local HBM stack", NodeKey::Chiplet(6), NodeKey::HbmStack(6)),
-    ];
-    for (name, from, to) in cases {
-        let t = apu
-            .fabric_mut()
-            .send(SimTime::ZERO, from, to, mb)
-            .expect("reachable");
-        let bw = mb.as_f64() / t.latency().as_secs() / 1e9;
-        rep.row(format!(
-            "  {name:<28} {} hops, {:>8.3} effective GB/s, {:>10.3} pJ/B",
-            t.hops,
-            bw,
-            t.energy.as_joules() * 1e12 / mb.as_f64()
-        ));
-    }
-
-    rep.kv(
-        "USR aggregate (paper: 'multiple TB/s')",
-        format!(
-            "{:.1} TB/s",
-            rows.iter()
-                .find(|r| r.interface.contains("USR"))
-                .expect("USR row")
-                .aggregate_tb_s
-        ),
-    );
-
-    rep.dump_json(&rows);
-    rep.print();
+    ehp_bench::run_default("figure7");
 }

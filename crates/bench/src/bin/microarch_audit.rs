@@ -1,93 +1,7 @@
-//! Section IV.B microarchitecture analyses that accompany Table 1: the
-//! shared per-CU-pair instruction cache, CU occupancy limits, and the
-//! widened L1 data path of CDNA 3.
-
-use ehp_bench::Report;
-use ehp_compute::cu::GpuArch;
-use ehp_compute::icache::{IcacheOrg, IcacheStudy};
-use ehp_compute::occupancy::{CuResources, KernelResources, Occupancy};
-use ehp_sim_core::units::Bytes;
+//! Thin delegate: the `microarch_audit` experiment lives in `ehp-harness`
+//! (see `crates/harness/src/experiments/microarch_audit.rs`). Prefer the `ehp`
+//! CLI for scenario overrides, sweeps, and parallel batches.
 
 fn main() {
-    let mut rep = Report::new("microarch_audit");
-
-    rep.section("Shared instruction cache per CU pair (Section IV.B)");
-    let study = IcacheStudy::cdna3_default();
-    rep.kv(
-        "kernel instruction footprint",
-        study.kernel_footprint,
-    );
-    rep.kv(
-        "private 32 KB per CU: hit rate",
-        format!("{:.1}%", study.hit_rate(IcacheOrg::PrivatePerCu) * 100.0),
-    );
-    rep.kv(
-        "shared 64 KB per pair: hit rate",
-        format!("{:.1}%", study.hit_rate(IcacheOrg::SharedPerPair) * 100.0),
-    );
-    rep.kv(
-        "fetch-traffic reduction from sharing",
-        format!("{:.1}x", study.fetch_traffic_reduction()),
-    );
-    rep.kv(
-        "relative area of shared organisation",
-        format!("{:.0}%", study.relative_area(IcacheOrg::SharedPerPair) * 100.0),
-    );
-
-    rep.section("L1 data path (CDNA 2 -> CDNA 3)");
-    rep.kv(
-        "L1 line size",
-        format!(
-            "{} B -> {} B",
-            GpuArch::Cdna2.l1_line_bytes(),
-            GpuArch::Cdna3.l1_line_bytes()
-        ),
-    );
-    rep.kv(
-        "L1 bandwidth factor",
-        format!("{:.0}x", GpuArch::Cdna3.l1_bandwidth_factor()),
-    );
-
-    rep.section("CU occupancy limits (38-CU XCD)");
-    rep.row(format!(
-        "  {:<34} {:>6} {:>6} {:>14}",
-        "kernel", "wgs/CU", "waves", "limiter"
-    ));
-    let cu = CuResources::cdna3();
-    let cases: [(&str, KernelResources); 4] = [
-        ("light (256 thr, 64 VGPR)", KernelResources::light()),
-        (
-            "register-hungry (256 VGPR)",
-            KernelResources {
-                waves_per_workgroup: 4,
-                vgprs_per_wave: 256,
-                lds_per_workgroup: Bytes::ZERO,
-            },
-        ),
-        (
-            "LDS-hungry (32 KB/wg)",
-            KernelResources {
-                waves_per_workgroup: 2,
-                vgprs_per_wave: 64,
-                lds_per_workgroup: Bytes::from_kib(32),
-            },
-        ),
-        (
-            "tiny workgroups (64 thr)",
-            KernelResources {
-                waves_per_workgroup: 1,
-                vgprs_per_wave: 32,
-                lds_per_workgroup: Bytes::ZERO,
-            },
-        ),
-    ];
-    for (name, k) in cases {
-        let o = Occupancy::compute(&cu, &k);
-        rep.row(format!(
-            "  {:<34} {:>6} {:>6} {:>14?}",
-            name, o.workgroups_per_cu, o.waves_per_cu, o.limiter
-        ));
-    }
-
-    rep.print();
+    ehp_bench::run_default("microarch_audit");
 }

@@ -1,65 +1,7 @@
-//! The Section VII modular-platform analysis as a design space: all five
-//! IOD compute-stack assignments (MI300X … a CPU-only variant) evaluated
-//! on HPC and AI figures of merit — plus the exascale RAS arithmetic the
-//! DOE program that started all of this cared about.
-
-use ehp_bench::Report;
-use ehp_core::modular::{evaluate_design_space, ModularVariant};
-use ehp_core::ras;
-use ehp_sim_core::time::SimTime;
+//! Thin delegate: the `modular_platform` experiment lives in `ehp-harness`
+//! (see `crates/harness/src/experiments/modular_platform.rs`). Prefer the `ehp`
+//! CLI for scenario overrides, sweeps, and parallel batches.
 
 fn main() {
-    let mut rep = Report::new("modular_platform");
-
-    rep.section("The five buildable IOD stack assignments");
-    rep.row(format!(
-        "  {:<26} {:>6} {:>7} {:>12} {:>12} {:>12} {:>8}",
-        "variant", "CUs", "cores", "FP64 TF/s", "HPC time s", "decode t/s", "TDP W"
-    ));
-    for e in evaluate_design_space() {
-        rep.row(format!(
-            "  {:<26} {:>6} {:>7} {:>12} {:>12.2} {:>12.1} {:>8.0}",
-            e.name,
-            e.variant.cus(),
-            e.cpu_cores,
-            e.fp64_tflops
-                .map_or("n/a".to_string(), |v| format!("{v:.1}")),
-            e.hpc_time_s,
-            e.decode_tps,
-            e.tdp.as_watts()
-        ));
-    }
-
-    rep.section("Reading the space");
-    let best_hpc = evaluate_design_space()
-        .into_iter()
-        .min_by(|a, b| a.hpc_time_s.total_cmp(&b.hpc_time_s))
-        .expect("non-empty space");
-    rep.kv("best mixed-HPC variant", best_hpc.name);
-    let x = ModularVariant::new(0);
-    rep.kv(
-        "best AI-throughput variant",
-        format!("{} ({} CUs)", x.name(), x.cus()),
-    );
-    rep.row("  Same IODs, same memory system, same package — only the stacked");
-    rep.row("  compute differs: the paper's \"new level of chiplet modularity\".");
-
-    rep.section("Reliability at exascale (the DOE concern, Section I)");
-    for (label, nodes) in [("1,000-node system", 1_000u32), ("9,408-node (Frontier-scale)", 9_408)] {
-        let s = ras::summarize(nodes, SimTime::from_secs_f64(90.0));
-        rep.row(format!("  {label}:"));
-        rep.kv("  node MTBF", format!("{:.0} h", s.node_mtbf_h));
-        rep.kv("  system MTBF", format!("{:.1} h", s.system_mtbf_h));
-        rep.kv("  failures/day", format!("{:.1}", s.failures_per_day));
-        rep.kv(
-            "  optimal checkpoint interval (Young)",
-            s.checkpoint_interval,
-        );
-        rep.kv(
-            "  machine efficiency with checkpointing",
-            format!("{:.1}%", s.efficiency * 100.0),
-        );
-    }
-
-    rep.print();
+    ehp_bench::run_default("modular_platform");
 }

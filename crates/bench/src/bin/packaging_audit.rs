@@ -1,96 +1,7 @@
-//! Regenerates the Section V packaging analyses: **Figure 9** (IOD
-//! mirroring + TSV redundancy + USR TX/RX swap), **Figure 10**
-//! (P/G TSV grid and Infinity-Cache macro pitch matching), and the
-//! Section V.A beachfront argument for four IODs.
-
-use ehp_bench::Report;
-use ehp_package::beachfront::BeachfrontAudit;
-use ehp_package::floorplan::Floorplan;
-use ehp_package::chiplet::{reticle_limit, ChipletKind, Footprint};
-use ehp_package::mirror::{
-    mi300_base_interface, mi300_chiplet_pins, IodInstance, IodVariant, UsrEdge,
-};
-use ehp_package::tsv::{CacheMacroPlan, PgTsvGrid};
+//! Thin delegate: the `packaging_audit` experiment lives in `ehp-harness`
+//! (see `crates/harness/src/experiments/packaging_audit.rs`). Prefer the `ehp`
+//! CLI for scenario overrides, sweeps, and parallel batches.
 
 fn main() {
-    let mut rep = Report::new("packaging_audit");
-
-    rep.section("Figure 9: TSV redundancy across IOD variants");
-    let base = mi300_base_interface();
-    let pins = mi300_chiplet_pins();
-    for v in IodVariant::ALL {
-        let without = base.alignment(&pins, v).is_some();
-        let with = IodInstance::production(v).accepts_chiplet(&pins);
-        rep.row(format!(
-            "  {v:?}: without redundancy: {:<5}  with redundant TSVs: {}",
-            without, with
-        ));
-    }
-    let red = base.with_mirror_redundancy();
-    rep.kv(
-        "signal TSV sites (base -> redundant)",
-        format!("{} -> {}", base.iod_pins.len(), red.iod_pins.len()),
-    );
-
-    rep.section("Figure 9: USR TX/RX pairing on the mirrored IOD");
-    let a_edge = UsrEdge::base_pattern();
-    let naive = a_edge.as_mirrored_facing();
-    let fixed = naive.with_swapped_polarity();
-    rep.kv("naive mirrored tapeout pairs", a_edge.pairs_with(&naive).is_ok());
-    rep.kv("after TX/RX swap pairs", a_edge.pairs_with(&fixed).is_ok());
-
-    rep.section("Section V.D / Figure 10: power delivery");
-    let grid = PgTsvGrid::mi300();
-    rep.kv(
-        "P/G TSV grid current density",
-        format!("{:.2} A/mm^2 (paper: >1.5)", grid.current_density()),
-    );
-    let iod = Footprint::of(ChipletKind::Iod);
-    rep.kv(
-        "grid symmetric under all mirror/rotate permutations",
-        grid.check_symmetry(iod.w, iod.h).is_ok(),
-    );
-    let plan = CacheMacroPlan::mi300();
-    rep.kv(
-        "Infinity Cache macro pitch-matched to TSV stripes",
-        plan.is_pitch_matched(),
-    );
-    rep.kv(
-        "inter-stripe channel utilisation",
-        format!("{:.0}%", plan.channel_utilization() * 100.0),
-    );
-
-    rep.section("Section V.A: beachfront accounting");
-    let audit = BeachfrontAudit::mi300();
-    rep.kv(
-        "edge demand (8 HBM PHYs + 8 x16)",
-        format!("{:.0} mm", audit.demand.required_mm()),
-    );
-    rep.kv(
-        "single reticle-limit die supplies",
-        format!(
-            "{:.0} mm usable of {:.0} mm perimeter",
-            audit.single_reticle.available_mm(),
-            reticle_limit().perimeter()
-        ),
-    );
-    rep.kv(
-        "four IODs supply",
-        format!("{:.0} mm usable", audit.four_iods.available_mm()),
-    );
-    rep.kv(
-        "partitioning necessary and sufficient",
-        audit.partitioning_is_necessary_and_sufficient(),
-    );
-
-    rep.section("MI300A plan view (I=IOD X=XCD C=CCD H=HBM u/p=PHYs)");
-    for line in Floorplan::mi300a().ascii_render(1.4).lines() {
-        rep.row(format!("  {line}"));
-    }
-    rep.section("EHPv4 plan view (note the empty regions)");
-    for line in Floorplan::ehpv4().ascii_render(1.4).lines() {
-        rep.row(format!("  {line}"));
-    }
-
-    rep.print();
+    ehp_bench::run_default("packaging_audit");
 }

@@ -1,106 +1,7 @@
-//! The Section V.D/V.E power-management story as a running system: the
-//! closed power→thermal→DVFS loop, the vertical power shifting between
-//! IOD and compute chiplets, and the bond-interface power-delivery check
-//! of Figure 11.
-
-use ehp_bench::Report;
-use ehp_core::powertherm::{ControllerConfig, PowerThermalController};
-use ehp_package::bond::{BpvTarget, HybridBondInterface, MAX_DROP_FRACTION};
-use ehp_power::budget::{PowerDomain, SocketPowerManager, WorkloadProfile};
-use ehp_power::dvfs::DvfsCurve;
-use ehp_sim_core::units::Power;
-use ehp_thermal::ThermalConfig;
+//! Thin delegate: the `power_management` experiment lives in `ehp-harness`
+//! (see `crates/harness/src/experiments/power_management.rs`). Prefer the `ehp`
+//! CLI for scenario overrides, sweeps, and parallel batches.
 
 fn main() {
-    let mut rep = Report::new("power_management");
-
-    rep.section("Closed power/thermal/DVFS loop (MI300A, 550 W)");
-    for (label, tj) in [("roomy (95 C)", 95.0), ("tight (42 C)", 42.0)] {
-        let mut c = PowerThermalController::new(
-            ControllerConfig {
-                tj_limit_c: tj,
-                thermal: ThermalConfig {
-                    nx: 35,
-                    ny: 28,
-                    ..ThermalConfig::default()
-                },
-                ..ControllerConfig::default()
-            },
-            Power::from_watts(550.0),
-        );
-        let op = c.converge(WorkloadProfile::ComputeIntensive);
-        rep.row(format!(
-            "  Tj limit {label}: peak {:.1} C after {} iterations, compute {}, XCD clock {:.0}% of nominal, safe: {}",
-            op.peak_c,
-            op.iterations,
-            op.compute_power,
-            op.xcd_perf_factor * 100.0,
-            op.thermally_safe
-        ));
-    }
-
-    rep.section("Vertical power shifting and what it buys (DVFS)");
-    let mut pm = SocketPowerManager::new(Power::from_watts(550.0));
-    pm.apply_profile(WorkloadProfile::MemoryIntensive);
-    let xcd = DvfsCurve::mi300_xcd();
-    let before = pm.current().get(PowerDomain::ComputeChiplets);
-    let per_xcd_before = before.scale(0.88 / 6.0);
-    pm.shift(
-        PowerDomain::HbmDram,
-        PowerDomain::ComputeChiplets,
-        Power::from_watts(60.0),
-    );
-    let after = pm.current().get(PowerDomain::ComputeChiplets);
-    let per_xcd_after = after.scale(0.88 / 6.0);
-    rep.kv("compute allocation before", before);
-    rep.kv("compute allocation after +60 W shift", after);
-    rep.kv(
-        "XCD clock factor before",
-        format!("{:.2}", xcd.perf_factor(per_xcd_before)),
-    );
-    rep.kv(
-        "XCD clock factor after",
-        format!("{:.2}", xcd.perf_factor(per_xcd_after)),
-    );
-    pm.check_budget().expect("budget respected");
-    rep.kv("TDP respected after shift", true);
-
-    rep.section("Figure 11: bond-pad via landing and power delivery");
-    let xcd_current = 70.0; // ~55 W at 0.8 V
-    let vcache_style = HybridBondInterface {
-        bpv: BpvTarget::TopLevelMetal,
-        ..HybridBondInterface::mi300_compute()
-    };
-    let mi300 = HybridBondInterface::mi300_compute();
-    rep.kv(
-        "V-Cache-style BPV->top-metal drop at XCD current",
-        format!(
-            "{:.1}% (budget {:.0}%) -> {}",
-            vcache_style.drop_fraction(xcd_current) * 100.0,
-            MAX_DROP_FRACTION * 100.0,
-            if vcache_style.drop_fraction(xcd_current) > MAX_DROP_FRACTION {
-                "INADEQUATE"
-            } else {
-                "ok"
-            }
-        ),
-    );
-    rep.kv(
-        "MI300 BPV->aluminium-RDL drop at XCD current",
-        format!(
-            "{:.2}% -> {}",
-            mi300.drop_fraction(xcd_current) * 100.0,
-            if mi300.drop_fraction(xcd_current) <= MAX_DROP_FRACTION {
-                "ok"
-            } else {
-                "INADEQUATE"
-            }
-        ),
-    );
-    rep.kv(
-        "interface I2R loss at 70 A",
-        format!("{:.2} W", mi300.i2r_loss_w(xcd_current)),
-    );
-
-    rep.print();
+    ehp_bench::run_default("power_management");
 }

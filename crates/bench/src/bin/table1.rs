@@ -1,67 +1,7 @@
-//! Regenerates **Table 1**: peak operations-per-clock-per-CU rates for
-//! the CDNA 2 CUs in MI250X versus the CDNA 3 CUs in MI300A, plus the
-//! 4:2-sparsity footnote.
-
-use ehp_bench::Report;
-use ehp_compute::cu::GpuArch;
-use ehp_compute::dtype::{DataType, ExecUnit, Sparsity};
-use serde::Serialize;
-
-#[derive(Serialize)]
-struct Row {
-    arch: String,
-    unit: String,
-    dtype: String,
-    ops_per_clock: Option<u64>,
-}
+//! Thin delegate: the `table1` experiment lives in `ehp-harness`
+//! (see `crates/harness/src/experiments/table1.rs`). Prefer the `ehp`
+//! CLI for scenario overrides, sweeps, and parallel batches.
 
 fn main() {
-    let mut rep = Report::new("table1");
-    rep.section("Peak ops/clock/CU (dense)");
-    rep.row(format!(
-        "{:8} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}",
-        "", "VecFP64", "VecFP32", "MatFP64", "MatFP32", "TF32", "FP16", "BF16", "FP8", "INT8"
-    ));
-
-    let mut rows = Vec::new();
-    for arch in [GpuArch::Cdna2, GpuArch::Cdna3] {
-        let fmt = |unit, dt| match arch.ops_per_clock(unit, dt) {
-            Some(v) => v.to_string(),
-            None => "n/a".to_string(),
-        };
-        rep.row(format!(
-            "{:8} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}",
-            format!("{arch:?}"),
-            fmt(ExecUnit::Vector, DataType::Fp64),
-            fmt(ExecUnit::Vector, DataType::Fp32),
-            fmt(ExecUnit::Matrix, DataType::Fp64),
-            fmt(ExecUnit::Matrix, DataType::Fp32),
-            fmt(ExecUnit::Matrix, DataType::Tf32),
-            fmt(ExecUnit::Matrix, DataType::Fp16),
-            fmt(ExecUnit::Matrix, DataType::Bf16),
-            fmt(ExecUnit::Matrix, DataType::Fp8),
-            fmt(ExecUnit::Matrix, DataType::Int8),
-        ));
-        for unit in [ExecUnit::Vector, ExecUnit::Matrix] {
-            for dt in DataType::ALL {
-                rows.push(Row {
-                    arch: format!("{arch:?}"),
-                    unit: unit.to_string(),
-                    dtype: dt.to_string(),
-                    ops_per_clock: arch.ops_per_clock(unit, dt),
-                });
-            }
-        }
-    }
-
-    rep.section("4:2 structured sparsity (CDNA 3 matrix cores)");
-    for dt in [DataType::Fp8, DataType::Int8] {
-        let v = GpuArch::Cdna3
-            .ops_per_clock_sparse(ExecUnit::Matrix, dt, Sparsity::FourTwo)
-            .expect("cdna3 supports 8-bit sparsity");
-        rep.kv(&format!("{dt} 4:2 sparse ops/clock/CU"), v);
-    }
-
-    rep.dump_json(&rows);
-    rep.print();
+    ehp_bench::run_default("table1");
 }

@@ -1,14 +1,20 @@
 //! # ehp-bench
 //!
-//! Experiment harness: one binary per table/figure of the paper (run
-//! `cargo run -p ehp-bench --bin table1`, `--bin figure20`, …) plus the
-//! Criterion benches under `benches/`. The binaries print the same
-//! rows/series the paper reports and optionally dump JSON next to the
-//! text output.
+//! Historical front end for the paper experiments: one thin binary per
+//! table/figure (run `cargo run -p ehp-bench --bin table1`,
+//! `--bin figure20`, …) plus the microbenches under `benches/`.
+//!
+//! The experiment logic itself lives in `ehp-harness` — each binary
+//! delegates to [`run_default`], and the preferred interface is the
+//! `ehp` CLI (`cargo run -p ehp-harness --bin ehp -- all --jobs 8`),
+//! which adds scenario overrides, sweeps, parallel batches, and shape
+//! checks. The [`Report`] type also moved to the harness and is
+//! re-exported here for compatibility.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
-pub mod report;
+pub mod microbench;
 
-pub use report::Report;
+pub use ehp_harness::report::Report;
+pub use ehp_harness::run_default;

@@ -1,0 +1,211 @@
+//! A minimal, dependency-free microbenchmark runner with a
+//! Criterion-compatible surface.
+//!
+//! The build environment is fully offline, so the `criterion` crate can
+//! never resolve; the benches under `benches/` only use a small slice of
+//! its API (`bench_function`, `benchmark_group` + `bench_with_input`,
+//! `black_box`, the `criterion_group!`/`criterion_main!` macros), and
+//! this module implements exactly that slice: warm up, run a fixed
+//! number of timed samples, report mean wall-clock time per iteration.
+//! It measures real time and makes no statistical claims — good enough
+//! to spot order-of-magnitude regressions, which is all the benches are
+//! for.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+pub use crate::{criterion_group, criterion_main};
+
+/// The benchmark driver (mirrors `criterion::Criterion`).
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion { sample_size: 100 }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function(
+        &mut self,
+        name: &str,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Criterion {
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b);
+        b.report(name);
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A parameterised benchmark id (mirrors `criterion::BenchmarkId`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// An id labelled only by a parameter value.
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            parameter: parameter.to_string(),
+        }
+    }
+}
+
+/// A benchmark group (mirrors `criterion::BenchmarkGroup`).
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one parameterised benchmark inside the group.
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let mut b = Bencher::new(self.criterion.sample_size);
+        f(&mut b, input);
+        b.report(&format!("{}/{}", self.name, id.parameter));
+        self
+    }
+
+    /// Ends the group (a no-op here; kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// The per-benchmark timing loop (mirrors `criterion::Bencher`).
+#[derive(Debug)]
+pub struct Bencher {
+    samples: usize,
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    fn new(samples: usize) -> Bencher {
+        Bencher {
+            samples,
+            elapsed: Duration::ZERO,
+            iters: 0,
+        }
+    }
+
+    /// Times `f`: one warm-up call, then `sample_size` timed calls.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        black_box(f());
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+        self.iters = self.samples as u64;
+    }
+
+    fn report(&self, name: &str) {
+        if self.iters == 0 {
+            println!("{name:<48} (no measurement)");
+            return;
+        }
+        let per_iter = self.elapsed.as_nanos() as f64 / self.iters as f64;
+        let (value, unit) = if per_iter >= 1e6 {
+            (per_iter / 1e6, "ms")
+        } else if per_iter >= 1e3 {
+            (per_iter / 1e3, "us")
+        } else {
+            (per_iter, "ns")
+        };
+        println!(
+            "{name:<48} {value:>10.2} {unit}/iter  ({} samples)",
+            self.iters
+        );
+    }
+}
+
+/// Declares a benchmark group function (mirrors
+/// `criterion::criterion_group!`; both invocation forms supported).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::microbench::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench `main` (mirrors `criterion::criterion_main!`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_the_closure() {
+        let mut calls = 0u32;
+        Criterion::default()
+            .sample_size(5)
+            .bench_function("shim/self_test", |b| {
+                b.iter(|| {
+                    calls += 1;
+                    black_box(calls)
+                });
+            });
+        // One warm-up call plus five timed samples.
+        assert_eq!(calls, 6);
+    }
+
+    #[test]
+    fn groups_run_each_input() {
+        let mut c = Criterion::default().sample_size(2);
+        let mut seen = Vec::new();
+        let mut g = c.benchmark_group("shim/group");
+        for n in [1u32, 2, 3] {
+            g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+                b.iter(|| n * 2);
+            });
+            seen.push(n);
+        }
+        g.finish();
+        assert_eq!(seen, vec![1, 2, 3]);
+    }
+}

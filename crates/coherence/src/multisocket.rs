@@ -127,8 +127,7 @@ impl MultiSocketCoherence {
     }
 
     fn home_socket(&self, addr: u64) -> u32 {
-        u32::try_from(addr / self.cfg.socket_span).expect("address in range")
-            % self.cfg.sockets
+        u32::try_from(addr / self.cfg.socket_span).expect("address in range") % self.cfg.sockets
     }
 
     fn lookup(&self, agent: AgentId) -> (u32, AgentClass) {
@@ -157,9 +156,7 @@ impl MultiSocketCoherence {
         let cross = home != socket;
         let line = addr / 128;
 
-        let hw = class == AgentClass::Cpu
-            || !cross
-            || self.cfg.gpu_hw_coherent_cross_socket;
+        let hw = class == AgentClass::Cpu || !cross || self.cfg.gpu_hw_coherent_cross_socket;
 
         if hw {
             let action = self.directories[home as usize].read(agent, line);
@@ -196,9 +193,7 @@ impl MultiSocketCoherence {
         let cross = home != socket;
         let line = addr / 128;
 
-        let hw = class == AgentClass::Cpu
-            || !cross
-            || self.cfg.gpu_hw_coherent_cross_socket;
+        let hw = class == AgentClass::Cpu || !cross || self.cfg.gpu_hw_coherent_cross_socket;
 
         if hw {
             let action = self.directories[home as usize].write(agent, line);
@@ -313,7 +308,7 @@ mod tests {
         // Release publishes exactly that one dirty line.
         assert_eq!(n.release(GPU1, SyncScope::System), 1);
         // A line no one released is never flagged stale.
-        let fresh = n.read(GPU0, SPAN + 0x0);
+        let fresh = n.read(GPU0, SPAN);
         assert!(!fresh.stale_risk, "never-released line is not stale");
     }
 
@@ -321,7 +316,7 @@ mod tests {
     fn release_acquire_clears_staleness() {
         let mut n = node();
         let addr = SPAN + 0x4000; // remote for both GPU0 (socket 0)
-        // GPU0 caches a remote line via the software path.
+                                  // GPU0 caches a remote line via the software path.
         n.read(GPU0, addr);
         // GPU1 (also remote to socket... socket 1 is home: GPU1 is local)
         // Use GPU1 writing an address homed on socket 2: remote for both.

@@ -110,7 +110,10 @@ impl ProbeFilter {
     /// State of a line as the directory sees it.
     #[must_use]
     pub fn state(&self, line: u64) -> LineState {
-        self.lines.get(&line).cloned().unwrap_or(LineState::Uncached)
+        self.lines
+            .get(&line)
+            .cloned()
+            .unwrap_or(LineState::Uncached)
     }
 
     /// Current version (write count) of a line.
@@ -135,11 +138,13 @@ impl ProbeFilter {
                 let local = sharers.contains(&agent);
                 sharers.insert(agent);
                 self.lines.insert(line, LineState::Shared(sharers));
-                CoherenceAction::silent(if local { DataSource::Local } else { DataSource::Memory })
+                CoherenceAction::silent(if local {
+                    DataSource::Local
+                } else {
+                    DataSource::Memory
+                })
             }
-            LineState::Owned(owner) if owner == agent => {
-                CoherenceAction::silent(DataSource::Local)
-            }
+            LineState::Owned(owner) if owner == agent => CoherenceAction::silent(DataSource::Local),
             LineState::Owned(owner) => {
                 // Downgrade the owner to sharer; dirty data is forwarded
                 // cache-to-cache and written back.
@@ -179,13 +184,15 @@ impl ProbeFilter {
                 self.lines.insert(line, LineState::Owned(agent));
                 CoherenceAction {
                     probes: others,
-                    data_from: if local { DataSource::Local } else { DataSource::Memory },
+                    data_from: if local {
+                        DataSource::Local
+                    } else {
+                        DataSource::Memory
+                    },
                     writeback: false,
                 }
             }
-            LineState::Owned(owner) if owner == agent => {
-                CoherenceAction::silent(DataSource::Local)
-            }
+            LineState::Owned(owner) if owner == agent => CoherenceAction::silent(DataSource::Local),
             LineState::Owned(owner) => {
                 self.probes_sent.inc();
                 self.cache_to_cache.inc();

@@ -98,10 +98,9 @@ impl ScopeTracker {
         match self.visible.get(&line) {
             // Published by someone else while we hold a cached copy: stale
             // unless we wrote it ourselves.
-            Some(&publisher) if publisher != agent => self
-                .valid
-                .get(&agent)
-                .is_none_or(|v| !v.contains(&line)),
+            Some(&publisher) if publisher != agent => {
+                self.valid.get(&agent).is_none_or(|v| !v.contains(&line))
+            }
             _ => true,
         }
     }

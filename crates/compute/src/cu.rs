@@ -240,7 +240,11 @@ mod tests {
             .unwrap();
         assert_eq!(r, 8192, "paper: up to 8192 ops/cycle/CU with 4:2 sparsity");
         assert_eq!(
-            GpuArch::Cdna3.ops_per_clock_sparse(ExecUnit::Matrix, DataType::Int8, Sparsity::FourTwo),
+            GpuArch::Cdna3.ops_per_clock_sparse(
+                ExecUnit::Matrix,
+                DataType::Int8,
+                Sparsity::FourTwo
+            ),
             Some(8192)
         );
     }
@@ -248,15 +252,23 @@ mod tests {
     #[test]
     fn cdna2_has_no_sparsity() {
         assert_eq!(
-            GpuArch::Cdna2.ops_per_clock_sparse(ExecUnit::Matrix, DataType::Fp16, Sparsity::FourTwo),
+            GpuArch::Cdna2.ops_per_clock_sparse(
+                ExecUnit::Matrix,
+                DataType::Fp16,
+                Sparsity::FourTwo
+            ),
             None
         );
     }
 
     #[test]
     fn vector_fp32_doubled_in_cdna3() {
-        let c2 = GpuArch::Cdna2.ops_per_clock(ExecUnit::Vector, DataType::Fp32).unwrap();
-        let c3 = GpuArch::Cdna3.ops_per_clock(ExecUnit::Vector, DataType::Fp32).unwrap();
+        let c2 = GpuArch::Cdna2
+            .ops_per_clock(ExecUnit::Vector, DataType::Fp32)
+            .unwrap();
+        let c3 = GpuArch::Cdna3
+            .ops_per_clock(ExecUnit::Vector, DataType::Fp32)
+            .unwrap();
         assert_eq!(c3, 2 * c2);
     }
 

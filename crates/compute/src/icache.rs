@@ -155,7 +155,9 @@ mod tests {
         let s = IcacheStudy::cdna3_default();
         // "with minimal impact on die area" — the shared organisation is
         // no bigger.
-        assert!(s.relative_area(IcacheOrg::SharedPerPair) <= s.relative_area(IcacheOrg::PrivatePerCu));
+        assert!(
+            s.relative_area(IcacheOrg::SharedPerPair) <= s.relative_area(IcacheOrg::PrivatePerCu)
+        );
     }
 
     #[test]

@@ -158,7 +158,12 @@ impl KernelTiming {
 /// ```
 ///
 #[must_use]
-pub fn estimate(cu: &CuModel, res: &CuResources, prog: &KernelProgram, mem: &MemoryEnv) -> KernelTiming {
+pub fn estimate(
+    cu: &CuModel,
+    res: &CuResources,
+    prog: &KernelProgram,
+    mem: &MemoryEnv,
+) -> KernelTiming {
     let occupancy = Occupancy::compute(res, &prog.resources);
 
     let mut issue = 0u64;

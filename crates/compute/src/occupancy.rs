@@ -121,8 +121,7 @@ impl Occupancy {
         let by_lds = if k.lds_per_workgroup == Bytes::ZERO {
             u32::MAX
         } else {
-            u32::try_from(cu.lds.as_u64() / k.lds_per_workgroup.as_u64())
-                .unwrap_or(u32::MAX)
+            u32::try_from(cu.lds.as_u64() / k.lds_per_workgroup.as_u64()).unwrap_or(u32::MAX)
         };
         let by_wg_slots = cu.max_workgroups;
 

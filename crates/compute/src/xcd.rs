@@ -190,7 +190,10 @@ mod tests {
     #[test]
     fn xcd_peak_scales_with_cus() {
         let xcd = XcdModel::new(XcdSpec::mi300());
-        let per_cu = xcd.cu().peak_flops(ExecUnit::Matrix, DataType::Fp16).unwrap();
+        let per_cu = xcd
+            .cu()
+            .peak_flops(ExecUnit::Matrix, DataType::Fp16)
+            .unwrap();
         let total = xcd.peak_flops(ExecUnit::Matrix, DataType::Fp16).unwrap();
         assert!((total / per_cu - 38.0).abs() < 1e-9);
     }

@@ -92,12 +92,7 @@ impl ApuSystem {
         });
         let l2s = (0..spec.gpu_chiplets)
             .map(|_| {
-                InfinityCacheSlice::new(
-                    spec.xcd_spec().l2,
-                    16,
-                    128,
-                    PrefetcherConfig::disabled(),
-                )
+                InfinityCacheSlice::new(spec.xcd_spec().l2, 16, 128, PrefetcherConfig::disabled())
             })
             .collect();
         ApuSystem {
@@ -205,12 +200,7 @@ impl ApuSystem {
         base_addr: u64,
     ) -> ProgramRun {
         let cu_model = ehp_compute::cu::CuModel::new(self.spec.xcd_spec().cu);
-        let timing = estimate(
-            &cu_model,
-            &CuResources::cdna3(),
-            prog,
-            &MemoryEnv::mi300(),
-        );
+        let timing = estimate(&cu_model, &CuResources::cdna3(), prog, &MemoryEnv::mi300());
         let wg_cycles = timing.total_cycles;
         let pkt = AqlPacket::dispatch_1d(
             workgroups * u32::from(prog.resources.waves_per_workgroup as u16) * 64,
@@ -255,9 +245,7 @@ impl ApuSystem {
             dispatch,
             timing,
             memory_done,
-            bytes_streamed: ehp_sim_core::units::Bytes(
-                lines_per_wg * u64::from(workgroups) * 128,
-            ),
+            bytes_streamed: ehp_sim_core::units::Bytes(lines_per_wg * u64::from(workgroups) * 128),
             l2_hit_rate: (total > 0).then(|| hits as f64 / total as f64),
         }
     }

@@ -84,7 +84,7 @@ impl Ehpv4Audit {
             &mi300_fab,
             NodeKey::Chiplet(0),
             NodeKey::HbmStack(7),
-            NodeKey::Chiplet(6), // a CCD (chiplets 6-8 sit on IOD 3)
+            NodeKey::Chiplet(6),  // a CCD (chiplets 6-8 sit on IOD 3)
             NodeKey::HbmStack(6), // local stack on IOD 3
             &Floorplan::mi300a(),
         );
@@ -103,8 +103,7 @@ impl Ehpv4Audit {
     /// Bandwidth advantage of MI300A on the GPU→far-HBM path.
     #[must_use]
     pub fn cross_package_bw_advantage(&self) -> f64 {
-        self.mi300a.gpu_far_hbm_bw.as_bytes_per_sec()
-            / self.ehpv4.gpu_far_hbm_bw.as_bytes_per_sec()
+        self.mi300a.gpu_far_hbm_bw.as_bytes_per_sec() / self.ehpv4.gpu_far_hbm_bw.as_bytes_per_sec()
     }
 
     /// Energy advantage (EHPv4 joules ÷ MI300A joules) on that path.
@@ -151,7 +150,10 @@ mod tests {
     #[test]
     fn challenge_4_wasted_links() {
         let a = Ehpv4Audit::run();
-        assert_eq!(a.ehpv4_wasted_if_links, 6, "half the server IOD's links idle");
+        assert_eq!(
+            a.ehpv4_wasted_if_links, 6,
+            "half the server IOD's links idle"
+        );
     }
 
     #[test]

@@ -39,18 +39,18 @@ pub mod node;
 pub mod node_fabric;
 pub mod partition;
 pub mod powertherm;
-pub mod ras;
 pub mod products;
 pub mod progmodel;
+pub mod ras;
 pub mod shim;
 
 pub use apu::ApuSystem;
-pub use powertherm::{ControllerConfig, OperatingPoint, PowerThermalController};
-pub use ras::{CheckpointPlan, NodeBom, NodeFitRates, RasSummary};
 pub use modular::{ModularVariant, VariantEval};
 pub use node::{NodeAudit, NodeTopology};
 pub use node_fabric::NodeFabric;
 pub use partition::{ComputePartitioning, PartitionConfig};
+pub use powertherm::{ControllerConfig, OperatingPoint, PowerThermalController};
 pub use products::{Product, ProductSpec};
 pub use progmodel::{ExecutionModel, Phase, Timeline, WorkloadShape};
+pub use ras::{CheckpointPlan, NodeBom, NodeFitRates, RasSummary};
 pub use shim::{LibraryCall, Shim, Target};

@@ -131,7 +131,9 @@ impl ModularVariant {
     #[must_use]
     pub fn tdp(&self) -> Power {
         let base = 200.0; // IODs + HBM + fabric
-        Power::from_watts(base + f64::from(self.xcd_iods()) * 110.0 + f64::from(self.ccd_iods) * 60.0)
+        Power::from_watts(
+            base + f64::from(self.xcd_iods()) * 110.0 + f64::from(self.ccd_iods) * 60.0,
+        )
     }
 
     /// Figure of merit for a mixed HPC workload: seconds for a phase of
@@ -215,7 +217,10 @@ mod tests {
         let x = ModularVariant::new(0);
         assert_eq!((x.xcds(), x.ccds(), x.cus()), (8, 0, 304));
         let a = ModularVariant::new(1);
-        assert_eq!((a.xcds(), a.ccds(), a.cus(), a.cpu_cores()), (6, 3, 228, 24));
+        assert_eq!(
+            (a.xcds(), a.ccds(), a.cus(), a.cpu_cores()),
+            (6, 3, 228, 24)
+        );
     }
 
     #[test]

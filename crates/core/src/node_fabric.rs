@@ -67,13 +67,7 @@ impl NodeFabric {
 
     /// Sends `size` bytes from socket `from` to socket `to` at `at`.
     /// Returns `None` if the sockets are not connected.
-    pub fn send(
-        &mut self,
-        at: SimTime,
-        from: usize,
-        to: usize,
-        size: Bytes,
-    ) -> Option<Transfer> {
+    pub fn send(&mut self, at: SimTime, from: usize, to: usize, size: Bytes) -> Option<Transfer> {
         self.fabric.send(
             at,
             NodeKey::External(from as u32),
@@ -164,7 +158,13 @@ mod tests {
         // Stream 1 GiB remotely: limited by the 128 GB/s pair bundle,
         // not the 5.3 TB/s HBM.
         let t = f
-            .remote_access(SimTime::ZERO, 0, 1, Bytes::from_gib(1), SimTime::from_nanos(120))
+            .remote_access(
+                SimTime::ZERO,
+                0,
+                1,
+                Bytes::from_gib(1),
+                SimTime::from_nanos(120),
+            )
             .unwrap();
         let achieved = Bytes::from_gib(1).as_f64() / t.as_secs() / 1e9;
         assert!(achieved < 130.0, "achieved {achieved:.0} GB/s");

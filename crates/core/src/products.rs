@@ -8,10 +8,9 @@ use ehp_compute::xcd::XcdSpec;
 use ehp_mem::hbm::HbmGeneration;
 use ehp_sim_core::time::Frequency;
 use ehp_sim_core::units::{Bandwidth, Bytes, Power};
-use serde::Serialize;
 
 /// Which product a model describes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Product {
     /// The MI250X accelerator (CDNA 2, two GCDs, discrete).
     Mi250x,
@@ -187,8 +186,7 @@ impl ProductSpec {
     /// Aggregate off-package I/O bandwidth (bidirectional).
     #[must_use]
     pub fn io_bandwidth(&self) -> Bandwidth {
-        (self.x16_per_direction + self.x16_per_direction)
-            .scale(f64::from(self.x16_links))
+        (self.x16_per_direction + self.x16_per_direction).scale(f64::from(self.x16_links))
     }
 
     /// Peak Infinity Cache bandwidth, if present (17 TB/s on MI300).
@@ -245,7 +243,7 @@ impl ProductSpec {
 }
 
 /// Generational uplift ratios versus a baseline product (Figure 19).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Uplift {
     /// FP64 vector ratio.
     pub fp64_vector: Option<f64>,
@@ -320,7 +318,11 @@ mod tests {
         assert_eq!(m.memory_capacity(), Bytes::from_gib(128));
         // "peak memory bandwidth has also improved by 70%"
         let up = a.uplift_over(&m);
-        assert!((1.55..1.75).contains(&up.memory_bandwidth), "{}", up.memory_bandwidth);
+        assert!(
+            (1.55..1.75).contains(&up.memory_bandwidth),
+            "{}",
+            up.memory_bandwidth
+        );
         // "total memory capacity is also 50% greater" (MI300X).
         assert!((x.uplift_over(&m).memory_capacity - 1.5).abs() < 1e-9);
     }

@@ -224,12 +224,7 @@ impl ExecutionModel {
         )
     }
 
-    fn gpu_time(
-        xcd: &XcdModel,
-        xcds: u32,
-        shape: &WorkloadShape,
-        bw: Bandwidth,
-    ) -> SimTime {
+    fn gpu_time(xcd: &XcdModel, xcds: u32, shape: &WorkloadShape, bw: Bandwidth) -> SimTime {
         let bytes = shape.bytes_in + shape.bytes_out;
         xcd.roofline_time(
             shape.unit,
@@ -266,7 +261,14 @@ impl ExecutionModel {
                 tl.push(
                     "post",
                     t,
-                    Self::cpu_time(ccd, *ccds, shape.cpu_post_flops, shape.bytes_out, *mem_bw, shape.cpu_efficiency),
+                    Self::cpu_time(
+                        ccd,
+                        *ccds,
+                        shape.cpu_post_flops,
+                        shape.bytes_out,
+                        *mem_bw,
+                        shape.cpu_efficiency,
+                    ),
                 );
             }
             ExecutionModel::DiscreteGpu {
@@ -289,7 +291,14 @@ impl ExecutionModel {
                 tl.push(
                     "post",
                     t,
-                    Self::cpu_time(ccd, *ccds, shape.cpu_post_flops, shape.bytes_out, *host_bw, shape.cpu_efficiency),
+                    Self::cpu_time(
+                        ccd,
+                        *ccds,
+                        shape.cpu_post_flops,
+                        shape.bytes_out,
+                        *host_bw,
+                        shape.cpu_efficiency,
+                    ),
                 );
             }
             ExecutionModel::Apu {
@@ -308,7 +317,14 @@ impl ExecutionModel {
                 tl.push(
                     "post",
                     t,
-                    Self::cpu_time(ccd, *ccds, shape.cpu_post_flops, shape.bytes_out, *cpu_hbm_bw, shape.cpu_efficiency),
+                    Self::cpu_time(
+                        ccd,
+                        *ccds,
+                        shape.cpu_post_flops,
+                        shape.bytes_out,
+                        *cpu_hbm_bw,
+                        shape.cpu_efficiency,
+                    ),
                 );
             }
         }
@@ -360,7 +376,11 @@ impl ExecutionModel {
         let mut cpu_free = t;
         for c in 0..chunks {
             let produced = t + kernel_chunk * u64::from(c + 1);
-            let start = if produced > cpu_free { produced } else { cpu_free };
+            let start = if produced > cpu_free {
+                produced
+            } else {
+                cpu_free
+            };
             cpu_free = tl.push("post", start, post_chunk);
         }
         tl

@@ -122,9 +122,7 @@ impl CheckpointPlan {
     /// Young's optimal checkpoint interval: `sqrt(2·δ·M)`.
     #[must_use]
     pub fn optimal_interval(&self) -> SimTime {
-        SimTime::from_secs_f64(
-            (2.0 * self.checkpoint_cost.as_secs() * self.mtbf.as_secs()).sqrt(),
-        )
+        SimTime::from_secs_f64((2.0 * self.checkpoint_cost.as_secs() * self.mtbf.as_secs()).sqrt())
     }
 
     /// Machine efficiency at a checkpoint interval `tau`: useful work ÷
@@ -260,7 +258,11 @@ mod tests {
         let s = summarize(9_408, SimTime::from_secs_f64(90.0));
         assert!(s.system_mtbf_h < s.node_mtbf_h);
         assert!((s.failures_per_day - 24.0 / s.system_mtbf_h).abs() < 1e-9);
-        assert!(s.efficiency > 0.7, "exascale machines still compute: {}", s.efficiency);
+        assert!(
+            s.efficiency > 0.7,
+            "exascale machines still compute: {}",
+            s.efficiency
+        );
     }
 
     #[test]

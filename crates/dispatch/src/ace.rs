@@ -45,7 +45,10 @@ impl WorkgroupPolicy {
     #[must_use]
     pub fn assign(self, wg: u64, total: u64, n_xcds: u32) -> u32 {
         assert!(n_xcds > 0, "need at least one XCD");
-        assert!(total > 0 && wg < total, "workgroup {wg} out of range {total}");
+        assert!(
+            total > 0 && wg < total,
+            "workgroup {wg} out of range {total}"
+        );
         let n = u64::from(n_xcds);
         let idx = match self {
             WorkgroupPolicy::RoundRobin => wg % n,
@@ -65,7 +68,9 @@ impl WorkgroupPolicy {
     /// Number of workgroups this policy sends to XCD `xcd`.
     #[must_use]
     pub fn count_for(self, xcd: u32, total: u64, n_xcds: u32) -> u64 {
-        (0..total).filter(|&wg| self.assign(wg, total, n_xcds) == xcd).count() as u64
+        (0..total)
+            .filter(|&wg| self.assign(wg, total, n_xcds) == xcd)
+            .count() as u64
     }
 }
 
@@ -133,8 +138,8 @@ impl AceEngine {
         // Combined launch throughput of all ACEs: one workgroup every
         // cycles_per_launch / ace_count cycles (modelled by striding).
         for (i, wg) in wg_indices.into_iter().enumerate() {
-            let launch_ready = decoded
-                + Cycle(self.cycles_per_launch.0 * (i as u64 / u64::from(self.ace_count)));
+            let launch_ready =
+                decoded + Cycle(self.cycles_per_launch.0 * (i as u64 / u64::from(self.ace_count)));
             let (start, done) = self.cus.submit(launch_ready, Cycle(duration(wg)));
             first_launch.get_or_insert(start);
             if done > all_done {
@@ -202,7 +207,10 @@ mod tests {
             assert_eq!(counts.iter().sum::<u64>(), total, "{policy:?} covers all");
             let max = counts.iter().max().unwrap();
             let min = counts.iter().min().unwrap();
-            assert!(max - min <= total / u64::from(n) / 4, "{policy:?} balanced: {counts:?}");
+            assert!(
+                max - min <= total / u64::from(n) / 4,
+                "{policy:?} balanced: {counts:?}"
+            );
         }
     }
 

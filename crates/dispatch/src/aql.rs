@@ -148,7 +148,10 @@ impl AqlPacket {
     /// Panics if either argument is zero.
     #[must_use]
     pub fn dispatch_1d(grid: u32, workgroup: u16) -> AqlPacket {
-        assert!(grid > 0 && workgroup > 0, "dispatch dimensions must be non-zero");
+        assert!(
+            grid > 0 && workgroup > 0,
+            "dispatch dimensions must be non-zero"
+        );
         AqlPacket {
             header: AqlHeader {
                 packet_type: PacketType::KernelDispatch,
@@ -184,13 +187,19 @@ impl AqlPacket {
     /// workgroups").
     #[must_use]
     pub fn total_workgroups(&self) -> u64 {
-        self.workgroups_per_dim().iter().map(|&d| u64::from(d)).product()
+        self.workgroups_per_dim()
+            .iter()
+            .map(|&d| u64::from(d))
+            .product()
     }
 
     /// Total workitems ("each with Z threads").
     #[must_use]
     pub fn total_workitems(&self) -> u64 {
-        self.grid_size.iter().map(|&d| u64::from(d.max(1))).product()
+        self.grid_size
+            .iter()
+            .map(|&d| u64::from(d.max(1)))
+            .product()
     }
 
     /// Validates the packet's semantic constraints.
@@ -243,9 +252,12 @@ impl AqlPacket {
         if bytes.len() != PACKET_BYTES {
             return Err(AqlError::BadLength(bytes.len()));
         }
-        let le16 = |r: std::ops::Range<usize>| u16::from_le_bytes(bytes[r].try_into().expect("2 bytes"));
-        let le32 = |r: std::ops::Range<usize>| u32::from_le_bytes(bytes[r].try_into().expect("4 bytes"));
-        let le64 = |r: std::ops::Range<usize>| u64::from_le_bytes(bytes[r].try_into().expect("8 bytes"));
+        let le16 =
+            |r: std::ops::Range<usize>| u16::from_le_bytes(bytes[r].try_into().expect("2 bytes"));
+        let le32 =
+            |r: std::ops::Range<usize>| u32::from_le_bytes(bytes[r].try_into().expect("4 bytes"));
+        let le64 =
+            |r: std::ops::Range<usize>| u64::from_le_bytes(bytes[r].try_into().expect("8 bytes"));
         Ok(AqlPacket {
             header: AqlHeader::decode(le16(0..2))?,
             setup_dims: le16(2..4),

@@ -175,11 +175,7 @@ impl MultiXcdDispatcher {
     /// # Panics
     ///
     /// Panics if the packet fails validation.
-    pub fn dispatch(
-        &mut self,
-        pkt: &AqlPacket,
-        duration: impl FnMut(u64) -> u64,
-    ) -> DispatchRun {
+    pub fn dispatch(&mut self, pkt: &AqlPacket, duration: impl FnMut(u64) -> u64) -> DispatchRun {
         self.dispatch_at(Cycle::ZERO, pkt, duration)
     }
 
@@ -226,8 +222,7 @@ impl MultiXcdDispatcher {
                     count: wgs.len() as u64,
                 },
             ));
-            let (first, done) =
-                self.engines[x].launch(at, wgs.iter().copied(), &mut duration);
+            let (first, done) = self.engines[x].launch(at, wgs.iter().copied(), &mut duration);
             if !wgs.is_empty() {
                 first_launch = Some(first_launch.map_or(first, |f: Cycle| f.min(first)));
             }
@@ -266,7 +261,10 @@ impl MultiXcdDispatcher {
         // store must become visible at the appropriate coherence scope
         // (one more fabric traversal).
         let completion_at = nominated_sees_all + self.cfg.sync_latency;
-        events.push((completion_at, DispatchEvent::CompletionSignaled { xcd: nominated }));
+        events.push((
+            completion_at,
+            DispatchEvent::CompletionSignaled { xcd: nominated },
+        ));
 
         events.sort_by_key(|&(t, _)| t);
         DispatchRun {
@@ -333,14 +331,22 @@ mod tests {
         let run = d.dispatch(&big_packet(), |_| 500);
         // 6 packet reads, 6 subset launches, 6 drains, 5 sync messages
         // (nominated XCD is local), 1 completion.
-        let count = |f: &dyn Fn(&DispatchEvent) -> bool| {
-            run.events.iter().filter(|(_, e)| f(e)).count()
-        };
+        let count =
+            |f: &dyn Fn(&DispatchEvent) -> bool| run.events.iter().filter(|(_, e)| f(e)).count();
         assert_eq!(count(&|e| matches!(e, DispatchEvent::PacketRead { .. })), 6);
-        assert_eq!(count(&|e| matches!(e, DispatchEvent::SubsetLaunched { .. })), 6);
+        assert_eq!(
+            count(&|e| matches!(e, DispatchEvent::SubsetLaunched { .. })),
+            6
+        );
         assert_eq!(count(&|e| matches!(e, DispatchEvent::XcdDrained { .. })), 6);
-        assert_eq!(count(&|e| matches!(e, DispatchEvent::SyncMessage { .. })), 5);
-        assert_eq!(count(&|e| matches!(e, DispatchEvent::CompletionSignaled { .. })), 1);
+        assert_eq!(
+            count(&|e| matches!(e, DispatchEvent::SyncMessage { .. })),
+            5
+        );
+        assert_eq!(
+            count(&|e| matches!(e, DispatchEvent::CompletionSignaled { .. })),
+            1
+        );
         // Completion is the final event.
         assert!(matches!(
             run.events.last().unwrap().1,
@@ -367,7 +373,9 @@ mod tests {
                 xcds,
                 ..DispatcherConfig::mi300a_partition()
             };
-            MultiXcdDispatcher::new(cfg).dispatch(&pkt, |_| 2_000).last_retire
+            MultiXcdDispatcher::new(cfg)
+                .dispatch(&pkt, |_| 2_000)
+                .last_retire
         };
         let two = run_with(2);
         let six = run_with(6);

@@ -34,7 +34,7 @@ pub mod stream;
 pub use ace::{AceEngine, WorkgroupPolicy};
 pub use aql::{AqlError, AqlHeader, AqlPacket, PacketType};
 pub use dispatcher::{DispatchEvent, DispatchRun, DispatcherConfig, MultiXcdDispatcher};
-pub use multiqueue::{Arbitration, ArbitratedDispatch, QueueArbiter};
+pub use multiqueue::{ArbitratedDispatch, Arbitration, QueueArbiter};
 pub use queue::UserQueue;
 pub use signal::CompletionSignal;
 pub use stream::{PacketOutcome, QueueProcessor, SignalPool, StreamError};

@@ -61,10 +61,7 @@ impl QueueArbiter {
     /// Creates an arbiter.
     #[must_use]
     pub fn new(policy: Arbitration) -> QueueArbiter {
-        QueueArbiter {
-            policy,
-            next_rr: 0,
-        }
+        QueueArbiter { policy, next_rr: 0 }
     }
 
     /// The policy.
@@ -87,9 +84,7 @@ impl QueueArbiter {
                 }
                 None
             }
-            Arbitration::StrictPriority => {
-                (0..n).find(|&q| queues[q].pending() > 0)
-            }
+            Arbitration::StrictPriority => (0..n).find(|&q| queues[q].pending() > 0),
         }
     }
 

@@ -177,7 +177,10 @@ mod tests {
         let mut q = UserQueue::new(2).unwrap();
         q.submit(&AqlPacket::dispatch_1d(64, 64)).unwrap();
         q.submit(&AqlPacket::dispatch_1d(64, 64)).unwrap();
-        assert_eq!(q.submit(&AqlPacket::dispatch_1d(64, 64)), Err(QueueError::Full));
+        assert_eq!(
+            q.submit(&AqlPacket::dispatch_1d(64, 64)),
+            Err(QueueError::Full)
+        );
         // Draining frees a slot.
         q.consume().unwrap();
         assert!(q.submit(&AqlPacket::dispatch_1d(64, 64)).is_ok());
@@ -187,7 +190,8 @@ mod tests {
     fn ring_wraps_around() {
         let mut q = UserQueue::new(4).unwrap();
         for round in 0..10u32 {
-            q.submit(&AqlPacket::dispatch_1d((round + 1) * 64, 64)).unwrap();
+            q.submit(&AqlPacket::dispatch_1d((round + 1) * 64, 64))
+                .unwrap();
             let p = q.consume().unwrap().unwrap();
             assert_eq!(p.total_workgroups(), u64::from(round + 1));
         }

@@ -41,7 +41,11 @@ impl CompletionSignal {
         assert!(initial >= 0, "signal initial value must be non-negative");
         CompletionSignal {
             value: initial,
-            completed_at: if initial == 0 { Some(Cycle::ZERO) } else { None },
+            completed_at: if initial == 0 {
+                Some(Cycle::ZERO)
+            } else {
+                None
+            },
         }
     }
 

@@ -12,9 +12,9 @@ use std::collections::HashMap;
 
 use ehp_sim_core::time::Cycle;
 
-use crate::aql::PacketType;
 #[cfg(test)]
 use crate::aql::AqlPacket;
+use crate::aql::PacketType;
 use crate::dispatcher::{DispatchRun, MultiXcdDispatcher};
 use crate::queue::{QueueError, UserQueue};
 
@@ -190,7 +190,8 @@ impl QueueProcessor {
                     };
                     let run = dispatcher.dispatch_at(start, &pkt, |wg| duration(index, wg));
                     if pkt.completion_signal != 0 {
-                        self.signals.complete(pkt.completion_signal, run.completion_at);
+                        self.signals
+                            .complete(pkt.completion_signal, run.completion_at);
                     }
                     all_prior_done = all_prior_done.max(run.completion_at);
                     outcomes.push(PacketOutcome::Dispatched {
@@ -207,10 +208,7 @@ impl QueueProcessor {
                         match self.signals.completion(d) {
                             Some(t) => resolved = resolved.max(t),
                             None => {
-                                return Err(StreamError::UnresolvableBarrier {
-                                    index,
-                                    signal: d,
-                                })
+                                return Err(StreamError::UnresolvableBarrier { index, signal: d })
                             }
                         }
                     }
@@ -277,8 +275,10 @@ mod tests {
         q.submit(&kernel(1, false)).unwrap();
         q.submit(&kernel(2, true)).unwrap(); // barrier bit
         let out = proc.run(Cycle(0), &mut q, &mut d, |_, _| 10_000).unwrap();
-        let (PacketOutcome::Dispatched { run: r1, .. }, PacketOutcome::Dispatched { started: s2, .. }) =
-            (&out[0], &out[1])
+        let (
+            PacketOutcome::Dispatched { run: r1, .. },
+            PacketOutcome::Dispatched { started: s2, .. },
+        ) = (&out[0], &out[1])
         else {
             panic!("expected two dispatches");
         };

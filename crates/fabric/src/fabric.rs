@@ -68,7 +68,9 @@ impl FabricSim {
         let pipes = topo
             .edges()
             .iter()
-            .map(|e| BandwidthPipe::with_energy("edge", e.spec.per_direction, e.spec.energy_per_byte))
+            .map(|e| {
+                BandwidthPipe::with_energy("edge", e.spec.per_direction, e.spec.energy_per_byte)
+            })
             .collect();
         FabricSim {
             topo,
@@ -186,10 +188,20 @@ mod tests {
     fn local_hbm_faster_than_remote() {
         let mut fab = mi300x();
         let local = fab
-            .send(SimTime::ZERO, NodeKey::Chiplet(0), NodeKey::HbmStack(0), Bytes::from_kib(64))
+            .send(
+                SimTime::ZERO,
+                NodeKey::Chiplet(0),
+                NodeKey::HbmStack(0),
+                Bytes::from_kib(64),
+            )
             .unwrap();
         let remote = fab
-            .send(SimTime::ZERO, NodeKey::Chiplet(0), NodeKey::HbmStack(7), Bytes::from_kib(64))
+            .send(
+                SimTime::ZERO,
+                NodeKey::Chiplet(0),
+                NodeKey::HbmStack(7),
+                Bytes::from_kib(64),
+            )
             .unwrap();
         assert!(local.latency() < remote.latency());
         assert!(local.energy < remote.energy);
@@ -229,9 +241,17 @@ mod tests {
     fn unreachable_returns_none() {
         let mut fab = mi300x();
         assert!(fab
-            .send(SimTime::ZERO, NodeKey::Iod(0), NodeKey::External(1), Bytes(64))
+            .send(
+                SimTime::ZERO,
+                NodeKey::Iod(0),
+                NodeKey::External(1),
+                Bytes(64)
+            )
             .is_none());
-        assert_eq!(fab.path_latency(NodeKey::Iod(0), NodeKey::External(1)), None);
+        assert_eq!(
+            fab.path_latency(NodeKey::Iod(0), NodeKey::External(1)),
+            None
+        );
     }
 
     #[test]
@@ -291,7 +311,12 @@ mod tests {
             .path_latency(NodeKey::Chiplet(0), NodeKey::HbmStack(0))
             .unwrap();
         let t = fab
-            .send(SimTime::ZERO, NodeKey::Chiplet(0), NodeKey::HbmStack(0), Bytes(1))
+            .send(
+                SimTime::ZERO,
+                NodeKey::Chiplet(0),
+                NodeKey::HbmStack(0),
+                Bytes(1),
+            )
             .unwrap();
         // 1-byte transfer: essentially pure latency.
         assert!(t.latency() >= probe);

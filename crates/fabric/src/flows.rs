@@ -108,8 +108,7 @@ impl<'a> FlowSolver<'a> {
         }
 
         loop {
-            let active: Vec<usize> =
-                (0..flows.len()).filter(|&i| !frozen[i]).collect();
+            let active: Vec<usize> = (0..flows.len()).filter(|&i| !frozen[i]).collect();
             if active.is_empty() {
                 break;
             }
@@ -204,10 +203,7 @@ mod tests {
     fn single_flow_gets_bottleneck_bandwidth() {
         let topo = Topology::mi300_package(2, 0);
         let solver = FlowSolver::new(&topo);
-        let rates = solver.solve(&[Flow::greedy(
-            NodeKey::Chiplet(0),
-            NodeKey::HbmStack(0),
-        )]);
+        let rates = solver.solve(&[Flow::greedy(NodeKey::Chiplet(0), NodeKey::HbmStack(0))]);
         // Bottleneck is the HBM PHY: 662.5 GB/s.
         assert!((rates[0].rate.as_gb_s() - 662.5).abs() < 1.0);
         assert!(rates[0].link_limited);
@@ -247,10 +243,7 @@ mod tests {
     fn unroutable_flow_gets_zero() {
         let topo = Topology::mi300_package(2, 0);
         let solver = FlowSolver::new(&topo);
-        let rates = solver.solve(&[Flow::greedy(
-            NodeKey::Iod(0),
-            NodeKey::External(77),
-        )]);
+        let rates = solver.solve(&[Flow::greedy(NodeKey::Iod(0), NodeKey::External(77))]);
         assert_eq!(rates[0].rate.as_gb_s(), 0.0);
         assert!(!rates[0].link_limited);
     }
@@ -310,7 +303,10 @@ mod tests {
             flows.push(Flow::greedy(NodeKey::Chiplet(c), NodeKey::HbmStack(7)));
         }
         let rates = solver.solve(&flows);
-        let min = rates.iter().map(|r| r.rate.as_gb_s()).fold(f64::MAX, f64::min);
+        let min = rates
+            .iter()
+            .map(|r| r.rate.as_gb_s())
+            .fold(f64::MAX, f64::min);
         let max = rates.iter().map(|r| r.rate.as_gb_s()).fold(0.0, f64::max);
         assert!(min > 0.0, "no starvation");
         // Max-min: chiplets sharing the same bottleneck get equal rates;

@@ -331,9 +331,7 @@ mod tests {
     #[test]
     fn ehpv4_cross_traffic_uses_serdes() {
         let t = Topology::ehpv4_package();
-        let path = t
-            .route(NodeKey::Chiplet(2), NodeKey::HbmStack(7))
-            .unwrap();
+        let path = t.route(NodeKey::Chiplet(2), NodeKey::HbmStack(7)).unwrap();
         let serdes_hops = path
             .iter()
             .filter(|&&ei| t.edges()[ei].spec.tech == LinkTech::Serdes2D)
@@ -344,9 +342,7 @@ mod tests {
     #[test]
     fn mi300_cross_traffic_uses_usr_only() {
         let t = Topology::mi300_package(2, 0);
-        let path = t
-            .route(NodeKey::Chiplet(0), NodeKey::HbmStack(7))
-            .unwrap();
+        let path = t.route(NodeKey::Chiplet(0), NodeKey::HbmStack(7)).unwrap();
         for &ei in &path {
             let tech = t.edges()[ei].spec.tech;
             assert!(

@@ -1,0 +1,7 @@
+//! The `ehp` CLI: list, run, batch, and shape-check the paper
+//! experiments. See `ehp help` or the crate docs.
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    std::process::exit(ehp_harness::cli::run(&argv));
+}

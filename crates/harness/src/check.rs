@@ -1,0 +1,215 @@
+//! Expected-shape checks (`ehp check`): committed ranges for the
+//! headline metric of each experiment, anchored to the paper's claims.
+//! A metric drifting out of its range is a regression in the *model*,
+//! not noise — every range is written around a deterministic default
+//! scenario — so the CLI exits non-zero on any failure.
+
+use std::collections::BTreeMap;
+
+use crate::executor::Outcome;
+
+/// One expected range for a named metric of one experiment.
+#[derive(Debug, Clone, Copy)]
+pub struct ShapeRange {
+    /// Experiment id the metric belongs to.
+    pub experiment: &'static str,
+    /// Metric key inside that experiment's result.
+    pub metric: &'static str,
+    /// Inclusive lower bound.
+    pub min: f64,
+    /// Inclusive upper bound.
+    pub max: f64,
+    /// The paper claim this range encodes.
+    pub why: &'static str,
+}
+
+/// The committed expected-shape table.
+///
+/// Bounds are deliberately loose enough to survive benign model
+/// refinements but tight enough to catch sign errors, unit slips, and
+/// broken wiring.
+#[must_use]
+pub fn expected_shapes() -> &'static [ShapeRange] {
+    &[
+        ShapeRange {
+            experiment: "table1",
+            metric: "cdna3_fp16_matrix_ops_per_clock",
+            min: 2048.0,
+            max: 2048.0,
+            why: "Table 1: CDNA 3 FP16 matrix is exactly 2048 ops/clock/CU",
+        },
+        ShapeRange {
+            experiment: "table1",
+            metric: "fp16_matrix_uplift_vs_cdna2",
+            min: 1.9,
+            max: 2.1,
+            why: "Table 1: FP16 matrix doubled over CDNA 2",
+        },
+        ShapeRange {
+            experiment: "figure7",
+            metric: "usr_aggregate_tb_s",
+            min: 2.0,
+            max: 20.0,
+            why: "Figure 7: USR aggregate is 'multiple TB/s'",
+        },
+        ShapeRange {
+            experiment: "figure13",
+            metric: "sync_overhead_cycles",
+            min: 1.0,
+            max: 20_000.0,
+            why: "Figure 13: multi-XCD sync costs cycles but stays small",
+        },
+        ShapeRange {
+            experiment: "figure14",
+            metric: "apu_vs_discrete_speedup",
+            min: 1.0,
+            max: 10.0,
+            why: "Figure 14: unified memory beats copy-in/copy-out",
+        },
+        ShapeRange {
+            experiment: "figure16",
+            metric: "all_iod_variants_accept",
+            min: 1.0,
+            max: 1.0,
+            why: "Figure 16: every IOD variant hosts the unmirrored chiplet",
+        },
+        ShapeRange {
+            experiment: "figure19",
+            metric: "mi300a_mem_bw_uplift",
+            min: 1.6,
+            max: 1.8,
+            why: "Figure 19: memory bandwidth 'improved by 70%'",
+        },
+        ShapeRange {
+            experiment: "figure19",
+            metric: "mi300a_io_bw_uplift",
+            min: 1.9,
+            max: 2.1,
+            why: "Figure 19: I/O bandwidth 'doubled'",
+        },
+        ShapeRange {
+            experiment: "figure20",
+            metric: "openfoam_speedup",
+            min: 2.5,
+            max: 3.0,
+            why: "Figure 20: OpenFOAM ~2.75x from zero-copy unified memory",
+        },
+        ShapeRange {
+            experiment: "figure20",
+            metric: "min_speedup",
+            min: 1.0,
+            max: 5.0,
+            why: "Figure 20: every HPC workload speeds up on MI300A",
+        },
+        ShapeRange {
+            experiment: "figure21",
+            metric: "vllm_advantage",
+            min: 2.0,
+            max: 4.0,
+            why: "Figure 21: 'more than 2x' vLLM-to-vLLM improvement",
+        },
+        ShapeRange {
+            experiment: "figure21",
+            metric: "decode_fraction",
+            min: 0.5,
+            max: 1.0,
+            why: "Figure 21: decode (bandwidth-bound) dominates median latency",
+        },
+        ShapeRange {
+            experiment: "ehpv4_audit",
+            metric: "usr_density_advantage",
+            min: 10.0,
+            max: 100.0,
+            why: "Section V.A: USR density advantage over 2D SerDes '>10x'",
+        },
+        ShapeRange {
+            experiment: "microarch_audit",
+            metric: "l1_bandwidth_factor",
+            min: 2.0,
+            max: 2.0,
+            why: "Section IV.B: CDNA 3 doubles the L1 data path",
+        },
+        ShapeRange {
+            experiment: "ic_sweep",
+            metric: "ic_peak_tb_s",
+            min: 16.0,
+            max: 18.0,
+            why: "Section IV.C: ~17 TB/s Infinity Cache service rate",
+        },
+        ShapeRange {
+            experiment: "ic_sweep",
+            metric: "hbm_peak_tb_s",
+            min: 5.0,
+            max: 5.6,
+            why: "Section IV.C: ~5.3 TB/s HBM3 behind the cache",
+        },
+    ]
+}
+
+/// One range evaluated against a batch.
+#[derive(Debug, Clone)]
+pub struct CheckFinding {
+    /// The range that was evaluated.
+    pub range: ShapeRange,
+    /// The observed value, if the experiment ran and emitted the metric.
+    pub observed: Option<f64>,
+    /// Whether the observation exists and lies inside the range.
+    pub pass: bool,
+}
+
+/// Evaluates the committed ranges against completed outcomes (keyed by
+/// experiment id; the default-scenario run of each experiment).
+#[must_use]
+pub fn evaluate(outcomes: &[Outcome]) -> Vec<CheckFinding> {
+    let by_exp: BTreeMap<&str, &Outcome> = outcomes
+        .iter()
+        .filter(|o| o.is_ok())
+        .map(|o| (o.scenario.experiment.as_str(), o))
+        .collect();
+    expected_shapes()
+        .iter()
+        .map(|range| {
+            let observed = by_exp
+                .get(range.experiment)
+                .and_then(|o| o.metrics.get(range.metric))
+                .copied();
+            let pass = observed.is_some_and(|v| v >= range.min && v <= range.max && v.is_finite());
+            CheckFinding {
+                range: *range,
+                observed,
+                pass,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_table_is_well_formed() {
+        let shapes = expected_shapes();
+        // The acceptance bar: ranges for at least 8 distinct experiments.
+        let mut exps: Vec<&str> = shapes.iter().map(|s| s.experiment).collect();
+        exps.sort_unstable();
+        exps.dedup();
+        assert!(exps.len() >= 8, "only {} experiments covered", exps.len());
+        for s in shapes {
+            assert!(s.min <= s.max, "{}/{} inverted", s.experiment, s.metric);
+            assert!(
+                crate::registry::find(s.experiment).is_some(),
+                "{} not in registry",
+                s.experiment
+            );
+            assert!(!s.why.is_empty());
+        }
+    }
+
+    #[test]
+    fn evaluate_flags_missing_outcomes() {
+        let findings = evaluate(&[]);
+        assert_eq!(findings.len(), expected_shapes().len());
+        assert!(findings.iter().all(|f| !f.pass && f.observed.is_none()));
+    }
+}

@@ -1,0 +1,323 @@
+//! The parallel batch executor.
+//!
+//! Runs a list of scenarios across `jobs` worker threads pulling from a
+//! shared work queue (std primitives only — the environment cannot
+//! vendor `crossbeam`, and a mutex-guarded deque is indistinguishable at
+//! this granularity: scenarios run for milliseconds to seconds, not
+//! nanoseconds). Three properties the rest of the system depends on:
+//!
+//! * **Panic isolation** — each scenario runs under `catch_unwind`; a
+//!   panicking experiment becomes a `Panicked` outcome instead of taking
+//!   the batch down.
+//! * **Deterministic seeds** — scenarios without an explicit seed get
+//!   one derived from the batch base seed and the scenario *name* (not
+//!   its position), so adding or reordering scenarios never perturbs the
+//!   randomness of the others.
+//! * **Deterministic summaries** — outcomes are stored by input index
+//!   regardless of completion order, and [`BatchResult::summary_json`]
+//!   excludes wall-clock times, so two same-seed runs of the same batch
+//!   produce byte-identical `run_summary.json` files. Timings go to a
+//!   separate sidecar ([`BatchResult::timing_json`]).
+
+use std::collections::BTreeMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use ehp_sim_core::json::Json;
+use ehp_sim_core::rng::SplitMix64;
+
+use crate::experiment::ExperimentResult;
+use crate::registry;
+use crate::scenario::Scenario;
+
+/// Batch-level knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchConfig {
+    /// Worker threads (`--jobs`); clamped to at least 1.
+    pub jobs: usize,
+    /// Base seed every derived scenario seed mixes in.
+    pub base_seed: u64,
+}
+
+impl Default for BatchConfig {
+    fn default() -> BatchConfig {
+        BatchConfig {
+            jobs: 1,
+            base_seed: 0,
+        }
+    }
+}
+
+/// How one scenario ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OutcomeStatus {
+    /// The experiment returned a result.
+    Ok,
+    /// The experiment was not in the registry.
+    UnknownExperiment,
+    /// The experiment panicked; the payload is the panic message.
+    Panicked(String),
+}
+
+/// One scenario's outcome.
+#[derive(Debug)]
+pub struct Outcome {
+    /// The scenario as executed (seed resolved).
+    pub scenario: Scenario,
+    /// How it ended.
+    pub status: OutcomeStatus,
+    /// Metrics from the result (empty on panic).
+    pub metrics: BTreeMap<String, f64>,
+    /// Rendered report text (empty on panic).
+    pub report_text: String,
+    /// Figure payload, if the experiment produced one.
+    pub payload: Option<Json>,
+    /// Wall-clock run time of this scenario.
+    pub wall: Duration,
+}
+
+/// A completed batch, in input order.
+#[derive(Debug)]
+pub struct BatchResult {
+    /// Per-scenario outcomes, ordered as the scenarios were given.
+    pub outcomes: Vec<Outcome>,
+    /// Wall-clock time of the whole batch.
+    pub wall: Duration,
+}
+
+/// Derives a scenario seed from the batch base seed and scenario name.
+///
+/// FNV-1a over the name feeds a SplitMix64 stream keyed by the base
+/// seed: stable across runs, platforms, and scenario orderings. Masked
+/// to 53 bits so the seed survives the f64-backed JSON summary exactly.
+#[must_use]
+pub fn derive_seed(base_seed: u64, name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    SplitMix64::new(base_seed ^ h).next_u64() & ((1 << 53) - 1)
+}
+
+/// Runs every scenario through the registry on `cfg.jobs` workers.
+#[must_use]
+pub fn run_batch(scenarios: &[Scenario], cfg: &BatchConfig) -> BatchResult {
+    let start = Instant::now();
+    // Resolve seeds up front so the outcome records what actually ran.
+    let resolved: Vec<Scenario> = scenarios
+        .iter()
+        .map(|sc| {
+            let mut sc = sc.clone();
+            if sc.seed.is_none() {
+                sc.seed = Some(derive_seed(cfg.base_seed, &sc.name));
+            }
+            sc
+        })
+        .collect();
+
+    let queue: Mutex<Vec<usize>> = Mutex::new((0..resolved.len()).rev().collect());
+    let slots: Vec<Mutex<Option<Outcome>>> = resolved.iter().map(|_| Mutex::new(None)).collect();
+
+    let jobs = cfg.jobs.max(1).min(resolved.len().max(1));
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| loop {
+                let Some(i) = queue.lock().unwrap().pop() else {
+                    return;
+                };
+                let outcome = run_one(&resolved[i]);
+                *slots[i].lock().unwrap() = Some(outcome);
+            });
+        }
+    });
+
+    let outcomes = slots
+        .into_iter()
+        .map(|slot| slot.into_inner().unwrap().expect("worker filled slot"))
+        .collect();
+    BatchResult {
+        outcomes,
+        wall: start.elapsed(),
+    }
+}
+
+fn run_one(scenario: &Scenario) -> Outcome {
+    let start = Instant::now();
+    let Some(exp) = registry::find(&scenario.experiment) else {
+        return Outcome {
+            scenario: scenario.clone(),
+            status: OutcomeStatus::UnknownExperiment,
+            metrics: BTreeMap::new(),
+            report_text: String::new(),
+            payload: None,
+            wall: start.elapsed(),
+        };
+    };
+    // Experiments take &Scenario and build fresh state; unwind safety
+    // holds because a panicking run's partial state is discarded whole.
+    let run = catch_unwind(AssertUnwindSafe(|| exp.run(scenario)));
+    let wall = start.elapsed();
+    match run {
+        Ok(ExperimentResult {
+            report,
+            metrics,
+            payload,
+        }) => Outcome {
+            scenario: scenario.clone(),
+            status: OutcomeStatus::Ok,
+            metrics,
+            report_text: report.text().to_string(),
+            payload,
+            wall,
+        },
+        Err(panic) => Outcome {
+            scenario: scenario.clone(),
+            status: OutcomeStatus::Panicked(panic_message(&*panic)),
+            metrics: BTreeMap::new(),
+            report_text: String::new(),
+            payload: None,
+            wall,
+        },
+    }
+}
+
+fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+impl Outcome {
+    /// `true` if the scenario completed.
+    #[must_use]
+    pub fn is_ok(&self) -> bool {
+        self.status == OutcomeStatus::Ok
+    }
+
+    fn status_json(&self) -> Json {
+        match &self.status {
+            OutcomeStatus::Ok => Json::from("ok"),
+            OutcomeStatus::UnknownExperiment => Json::from("unknown_experiment"),
+            OutcomeStatus::Panicked(msg) => Json::object([("panicked", Json::from(msg.as_str()))]),
+        }
+    }
+}
+
+impl BatchResult {
+    /// Number of scenarios that completed.
+    #[must_use]
+    pub fn ok_count(&self) -> usize {
+        self.outcomes.iter().filter(|o| o.is_ok()).count()
+    }
+
+    /// The deterministic batch summary: scenario, seed, status, metrics.
+    /// Excludes timing (see [`BatchResult::timing_json`]) so the bytes
+    /// are identical across same-seed runs.
+    #[must_use]
+    pub fn summary_json(&self) -> Json {
+        let scenarios: Vec<Json> = self
+            .outcomes
+            .iter()
+            .map(|o| {
+                Json::object([
+                    ("scenario", o.scenario.to_json()),
+                    ("status", o.status_json()),
+                    (
+                        "metrics",
+                        Json::Obj(
+                            o.metrics
+                                .iter()
+                                .map(|(k, v)| (k.clone(), Json::Num(*v)))
+                                .collect(),
+                        ),
+                    ),
+                ])
+            })
+            .collect();
+        Json::object([
+            ("schema", Json::from("ehp-run-summary/v1")),
+            ("total", Json::from(self.outcomes.len())),
+            ("ok", Json::from(self.ok_count())),
+            ("scenarios", Json::Arr(scenarios)),
+        ])
+    }
+
+    /// Wall-clock timings, separated from the summary because they are
+    /// the one non-reproducible output of a batch.
+    #[must_use]
+    pub fn timing_json(&self) -> Json {
+        let per: Vec<Json> = self
+            .outcomes
+            .iter()
+            .map(|o| {
+                Json::object([
+                    ("name", Json::from(o.scenario.name.as_str())),
+                    ("wall_ms", Json::Num(o.wall.as_secs_f64() * 1e3)),
+                ])
+            })
+            .collect();
+        Json::object([
+            ("batch_wall_ms", Json::Num(self.wall.as_secs_f64() * 1e3)),
+            ("scenarios", Json::Arr(per)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derive_seed_is_stable_and_name_keyed() {
+        assert_eq!(derive_seed(7, "a"), derive_seed(7, "a"));
+        assert_ne!(derive_seed(7, "a"), derive_seed(7, "b"));
+        assert_ne!(derive_seed(7, "a"), derive_seed(8, "a"));
+    }
+
+    #[test]
+    fn unknown_experiment_is_isolated() {
+        let r = run_batch(
+            &[Scenario::default_for("no_such_experiment")],
+            &BatchConfig::default(),
+        );
+        assert_eq!(r.outcomes.len(), 1);
+        assert_eq!(r.outcomes[0].status, OutcomeStatus::UnknownExperiment);
+        assert_eq!(r.ok_count(), 0);
+    }
+
+    #[test]
+    fn outcomes_keep_input_order_under_parallelism() {
+        let scenarios: Vec<Scenario> = ["table1", "figure16", "table1", "figure16"]
+            .iter()
+            .enumerate()
+            .map(|(i, id)| {
+                let mut sc = Scenario::default_for(id);
+                sc.name = format!("{id}#{i}");
+                sc
+            })
+            .collect();
+        let r = run_batch(
+            &scenarios,
+            &BatchConfig {
+                jobs: 4,
+                base_seed: 0,
+            },
+        );
+        let names: Vec<&str> = r
+            .outcomes
+            .iter()
+            .map(|o| o.scenario.name.as_str())
+            .collect();
+        assert_eq!(
+            names,
+            vec!["table1#0", "figure16#1", "table1#2", "figure16#3"]
+        );
+        assert_eq!(r.ok_count(), 4);
+    }
+}

@@ -1,0 +1,97 @@
+//! The [`Experiment`] trait and its structured result type.
+
+use std::collections::BTreeMap;
+
+use ehp_sim_core::json::Json;
+
+use crate::report::Report;
+use crate::scenario::Scenario;
+
+/// One paper experiment: a pure function from a [`Scenario`] to an
+/// [`ExperimentResult`].
+///
+/// Implementations must be deterministic given the scenario (including
+/// its seed) — the batch runner relies on this for reproducible
+/// summaries — and panic-free for the default scenario (the runner
+/// isolates panics, but a panicking default is a bug).
+pub trait Experiment: Sync {
+    /// Stable registry id (e.g. `"figure20"`).
+    fn id(&self) -> &'static str;
+    /// One-line human description.
+    fn title(&self) -> &'static str;
+    /// Runs the experiment.
+    fn run(&self, scenario: &Scenario) -> ExperimentResult;
+}
+
+/// What an experiment produces: a human-readable report, named numeric
+/// metrics (what `ehp check` and regression gates consume), and an
+/// optional JSON payload (the figure's data series).
+#[derive(Debug)]
+pub struct ExperimentResult {
+    /// The rendered text report.
+    pub report: Report,
+    /// Named scalar metrics, sorted for deterministic output.
+    pub metrics: BTreeMap<String, f64>,
+    /// Figure data rows, written to `target/figures/<name>.json`.
+    pub payload: Option<Json>,
+}
+
+impl ExperimentResult {
+    /// Starts a result around a report.
+    #[must_use]
+    pub fn new(report: Report) -> ExperimentResult {
+        ExperimentResult {
+            report,
+            metrics: BTreeMap::new(),
+            payload: None,
+        }
+    }
+
+    /// Records a named metric (non-finite values are stored as-is and
+    /// serialised as `null`; `ehp check` treats them as failures).
+    pub fn metric(&mut self, name: &str, value: f64) {
+        self.metrics.insert(name.to_string(), value);
+    }
+
+    /// Attaches the figure payload.
+    pub fn set_payload(&mut self, payload: Json) {
+        self.payload = Some(payload);
+    }
+
+    /// Metrics as a JSON object.
+    #[must_use]
+    pub fn metrics_json(&self) -> Json {
+        Json::Obj(
+            self.metrics
+                .iter()
+                .map(|(k, v)| (k.clone(), Json::Num(*v)))
+                .collect(),
+        )
+    }
+}
+
+/// An [`Experiment`] backed by a plain function — how the registry
+/// stores every experiment without allocation.
+#[derive(Debug, Clone, Copy)]
+pub struct FnExperiment {
+    /// Stable registry id.
+    pub id: &'static str,
+    /// One-line description.
+    pub title: &'static str,
+    /// The experiment body.
+    pub runner: fn(&Scenario) -> ExperimentResult,
+}
+
+impl Experiment for FnExperiment {
+    fn id(&self) -> &'static str {
+        self.id
+    }
+
+    fn title(&self) -> &'static str {
+        self.title
+    }
+
+    fn run(&self, scenario: &Scenario) -> ExperimentResult {
+        (self.runner)(scenario)
+    }
+}

@@ -1,0 +1,80 @@
+//! The **Section III.A** analysis: why EHPv3's aggressive 3D stacking
+//! could not be productised in the Frontier timeframe — assembly
+//! complexity, beyond-two-high stacking, and heat dissipation — audited
+//! with the same yardstick for V-Cache, EHPv3 and MI300A.
+
+use ehp_package::ehpv3::{audit, StackedAssembly};
+use ehp_sim_core::json::Json;
+
+use crate::experiment::ExperimentResult;
+use crate::report::Report;
+use crate::scenario::Scenario;
+
+pub(crate) fn run(sc: &Scenario) -> ExperimentResult {
+    let mut rep = Report::new(&sc.name);
+
+    let assemblies = [
+        StackedAssembly::v_cache(),
+        StackedAssembly::ehpv3_complex(),
+        StackedAssembly::mi300a_complex(),
+    ];
+
+    rep.section("Assembly audits");
+    rep.row(format!(
+        "  {:<16} {:>6} {:>8} {:>8} {:>12} {:>12} {:>10}",
+        "assembly", "dies", "bonds", ">2-high", "W/mm^2", "coolable", "complexity"
+    ));
+    let mut rows = Vec::new();
+    for a in &assemblies {
+        let v = audit(a);
+        rep.row(format!(
+            "  {:<16} {:>6} {:>8} {:>8} {:>12.2} {:>12} {:>10}",
+            v.name,
+            v.dies_handled,
+            v.bonding_steps,
+            if v.beyond_two_high { "yes" } else { "no" },
+            v.power_density,
+            if v.exceeds_cooling { "NO" } else { "yes" },
+            v.complexity
+        ));
+        rows.push(Json::object([
+            ("assembly", Json::from(v.name)),
+            ("dies_handled", Json::from(v.dies_handled)),
+            ("bonding_steps", Json::from(v.bonding_steps)),
+            ("beyond_two_high", Json::from(v.beyond_two_high)),
+            ("power_density", Json::Num(v.power_density)),
+            ("exceeds_cooling", Json::from(v.exceeds_cooling)),
+            ("complexity", Json::from(v.complexity)),
+        ]));
+    }
+
+    rep.section("Section III.A claims");
+    let e = audit(&StackedAssembly::ehpv3_complex());
+    let v = audit(&StackedAssembly::v_cache());
+    let m = audit(&StackedAssembly::mi300a_complex());
+    rep.kv(
+        "dies handled/tested vs V-Cache",
+        format!("{}x", e.dies_handled / v.dies_handled),
+    );
+    rep.kv("EHPv3 goes beyond a two-high stack", e.beyond_two_high);
+    rep.kv("EHPv3 heat exceeds Frontier-era cooling", e.exceeds_cooling);
+    rep.kv("MI300A stays coolable", !m.exceeds_cooling);
+    let ordering_holds = v.complexity < m.complexity && m.complexity < e.complexity;
+    rep.kv(
+        "complexity ordering V-Cache < MI300A < EHPv3",
+        ordering_holds,
+    );
+    rep.row("");
+    rep.row("  Verdict: the EHP vision was sound; EHPv3's integration was ahead");
+    rep.row("  of the manufacturable envelope in the Frontier window. MI300A");
+    rep.row("  reaches similar integration within a two-high, side-by-side-HBM");
+    rep.row("  organisation once hybrid bonding matured.");
+
+    let mut res = ExperimentResult::new(rep);
+    res.metric("ehpv3_exceeds_cooling", f64::from(e.exceeds_cooling));
+    res.metric("mi300a_coolable", f64::from(!m.exceeds_cooling));
+    res.metric("complexity_ordering_holds", f64::from(ordering_holds));
+    res.metric("dies_vs_vcache", (e.dies_handled / v.dies_handled) as f64);
+    res.set_payload(Json::Arr(rows));
+    res
+}

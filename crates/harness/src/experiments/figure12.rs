@@ -1,0 +1,115 @@
+//! **Figure 12**: (a) representative power distributions for
+//! compute-intensive vs memory-intensive scenarios, and (b)/(c) thermal
+//! simulation heat maps for both scenarios over the MI300A floorplan.
+//!
+//! Scenario parameters: `socket_power_w` (default 550).
+
+use ehp_package::floorplan::Floorplan;
+use ehp_power::budget::{PowerDomain, SocketPowerManager, WorkloadProfile};
+use ehp_sim_core::json::Json;
+use ehp_sim_core::units::Power;
+use ehp_thermal::{ThermalConfig, ThermalSolver};
+
+use crate::experiment::ExperimentResult;
+use crate::report::Report;
+use crate::scenario::Scenario;
+
+fn assign(fp: &mut Floorplan, pm: &SocketPowerManager) {
+    let d = pm.current();
+    fp.assign_power("xcd", d.get(PowerDomain::ComputeChiplets).scale(0.88));
+    fp.assign_power("ccd", d.get(PowerDomain::ComputeChiplets).scale(0.12));
+    fp.assign_power(
+        "iod",
+        d.get(PowerDomain::InfinityCache) + d.get(PowerDomain::DataFabric),
+    );
+    fp.assign_power("usr", d.get(PowerDomain::UsrPhys));
+    fp.assign_power("hbm_phy", d.get(PowerDomain::HbmPhys));
+    fp.assign_power(
+        "hbm_stack",
+        d.get(PowerDomain::HbmDram) + d.get(PowerDomain::Io),
+    );
+}
+
+pub(crate) fn run(sc: &Scenario) -> ExperimentResult {
+    let mut rep = Report::new(&sc.name);
+    let socket_power = sc.f64("socket_power_w", 550.0);
+    let mut pm = SocketPowerManager::new(Power::from_watts(socket_power));
+    let mut rows = Vec::new();
+    let mut compute_xcd_fraction = 0.0;
+
+    rep.section("(a) normalised power distributions");
+    for (label, profile) in [
+        ("compute-intensive", WorkloadProfile::ComputeIntensive),
+        ("memory-intensive", WorkloadProfile::MemoryIntensive),
+    ] {
+        let dist = pm.apply_profile(profile);
+        rep.row(format!("  scenario: {label} (total {})", dist.total()));
+        for (domain, frac) in dist.normalized() {
+            rep.row(format!("    {:<18} {:>5.1}%", domain.name(), frac * 100.0));
+            if label == "compute-intensive" && domain == PowerDomain::ComputeChiplets {
+                compute_xcd_fraction = frac;
+            }
+            rows.push(Json::object([
+                ("scenario", Json::from(label)),
+                ("domain", Json::from(domain.name())),
+                ("fraction", Json::Num(frac)),
+            ]));
+        }
+    }
+
+    let solver = ThermalSolver::new(ThermalConfig::default());
+    let mut max_by_label = [0.0f64; 2];
+    for (k, (label, profile, panel)) in [
+        ("GPU-intensive", WorkloadProfile::ComputeIntensive, "(b)"),
+        ("memory-intensive", WorkloadProfile::MemoryIntensive, "(c)"),
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        pm.apply_profile(profile);
+        let mut fp = Floorplan::mi300a();
+        assign(&mut fp, &pm);
+        let field = solver.solve(&fp);
+        let (max_t, _) = field.max();
+        max_by_label[k] = max_t;
+
+        rep.section(&format!("{panel} thermal map, {label} scenario"));
+        rep.kv("max temperature", format!("{max_t:.1} C"));
+        let xcd_mean = fp
+            .regions_matching("xcd")
+            .filter_map(|r| field.mean_over(&r.rect))
+            .sum::<f64>()
+            / 6.0;
+        let usr_mean = fp
+            .regions_matching("usr")
+            .filter_map(|r| field.mean_over(&r.rect))
+            .sum::<f64>()
+            / 3.0;
+        let hbm_phy_mean = fp
+            .regions_matching("hbm_phy")
+            .filter_map(|r| field.mean_over(&r.rect))
+            .sum::<f64>()
+            / 8.0;
+        rep.kv("mean XCD temperature", format!("{xcd_mean:.1} C"));
+        rep.kv("mean USR PHY temperature", format!("{usr_mean:.1} C"));
+        rep.kv("mean HBM PHY temperature", format!("{hbm_phy_mean:.1} C"));
+        rep.row("");
+        // One character per ~2 mm cell.
+        let coarse = ThermalSolver::new(ThermalConfig {
+            nx: 70,
+            ny: 28,
+            ..ThermalConfig::default()
+        });
+        let small = coarse.solve(&fp);
+        for line in small.ascii_map(" .:-=+*#%@").lines() {
+            rep.row(format!("  {line}"));
+        }
+    }
+
+    let mut res = ExperimentResult::new(rep);
+    res.metric("compute_chiplet_power_fraction", compute_xcd_fraction);
+    res.metric("compute_scenario_max_c", max_by_label[0]);
+    res.metric("memory_scenario_max_c", max_by_label[1]);
+    res.set_payload(Json::Arr(rows));
+    res
+}

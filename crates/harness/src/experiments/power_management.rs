@@ -1,0 +1,133 @@
+//! The Section V.D/V.E power-management story as a running system: the
+//! closed power→thermal→DVFS loop, the vertical power shifting between
+//! IOD and compute chiplets, and the bond-interface power-delivery check
+//! of Figure 11.
+//!
+//! Scenario parameters: `socket_power_w` (default 550), `shift_w`
+//! (default 60).
+
+use ehp_core::powertherm::{ControllerConfig, PowerThermalController};
+use ehp_package::bond::{BpvTarget, HybridBondInterface, MAX_DROP_FRACTION};
+use ehp_power::budget::{PowerDomain, SocketPowerManager, WorkloadProfile};
+use ehp_power::dvfs::DvfsCurve;
+use ehp_sim_core::json::Json;
+use ehp_sim_core::units::Power;
+use ehp_thermal::ThermalConfig;
+
+use crate::experiment::ExperimentResult;
+use crate::report::Report;
+use crate::scenario::Scenario;
+
+pub(crate) fn run(sc: &Scenario) -> ExperimentResult {
+    let mut rep = Report::new(&sc.name);
+    let socket_w = sc.f64("socket_power_w", 550.0);
+
+    rep.section(&format!(
+        "Closed power/thermal/DVFS loop (MI300A, {socket_w:.0} W)"
+    ));
+    let mut rows = Vec::new();
+    let mut tight_safe = false;
+    for (label, tj) in [("roomy (95 C)", 95.0), ("tight (42 C)", 42.0)] {
+        let mut c = PowerThermalController::new(
+            ControllerConfig {
+                tj_limit_c: tj,
+                thermal: ThermalConfig {
+                    nx: 35,
+                    ny: 28,
+                    ..ThermalConfig::default()
+                },
+                ..ControllerConfig::default()
+            },
+            Power::from_watts(socket_w),
+        );
+        let op = c.converge(WorkloadProfile::ComputeIntensive);
+        rep.row(format!(
+            "  Tj limit {label}: peak {:.1} C after {} iterations, compute {}, XCD clock {:.0}% of nominal, safe: {}",
+            op.peak_c,
+            op.iterations,
+            op.compute_power,
+            op.xcd_perf_factor * 100.0,
+            op.thermally_safe
+        ));
+        if tj < 50.0 {
+            tight_safe = op.thermally_safe;
+        }
+        rows.push(Json::object([
+            ("tj_limit_c", Json::Num(tj)),
+            ("peak_c", Json::Num(op.peak_c)),
+            ("iterations", Json::from(op.iterations)),
+            ("xcd_perf_factor", Json::Num(op.xcd_perf_factor)),
+            ("thermally_safe", Json::from(op.thermally_safe)),
+        ]));
+    }
+
+    rep.section("Vertical power shifting and what it buys (DVFS)");
+    let mut pm = SocketPowerManager::new(Power::from_watts(socket_w));
+    pm.apply_profile(WorkloadProfile::MemoryIntensive);
+    let xcd = DvfsCurve::mi300_xcd();
+    let before = pm.current().get(PowerDomain::ComputeChiplets);
+    let per_xcd_before = before.scale(0.88 / 6.0);
+    pm.shift(
+        PowerDomain::HbmDram,
+        PowerDomain::ComputeChiplets,
+        Power::from_watts(sc.f64("shift_w", 60.0)),
+    );
+    let after = pm.current().get(PowerDomain::ComputeChiplets);
+    let per_xcd_after = after.scale(0.88 / 6.0);
+    rep.kv("compute allocation before", before);
+    rep.kv("compute allocation after +60 W shift", after);
+    let clock_before = xcd.perf_factor(per_xcd_before);
+    let clock_after = xcd.perf_factor(per_xcd_after);
+    rep.kv("XCD clock factor before", format!("{clock_before:.2}"));
+    rep.kv("XCD clock factor after", format!("{clock_after:.2}"));
+    pm.check_budget().expect("budget respected");
+    rep.kv("TDP respected after shift", true);
+
+    rep.section("Figure 11: bond-pad via landing and power delivery");
+    let xcd_current = 70.0; // ~55 W at 0.8 V
+    let vcache_style = HybridBondInterface {
+        bpv: BpvTarget::TopLevelMetal,
+        ..HybridBondInterface::mi300_compute()
+    };
+    let mi300 = HybridBondInterface::mi300_compute();
+    rep.kv(
+        "V-Cache-style BPV->top-metal drop at XCD current",
+        format!(
+            "{:.1}% (budget {:.0}%) -> {}",
+            vcache_style.drop_fraction(xcd_current) * 100.0,
+            MAX_DROP_FRACTION * 100.0,
+            if vcache_style.drop_fraction(xcd_current) > MAX_DROP_FRACTION {
+                "INADEQUATE"
+            } else {
+                "ok"
+            }
+        ),
+    );
+    rep.kv(
+        "MI300 BPV->aluminium-RDL drop at XCD current",
+        format!(
+            "{:.2}% -> {}",
+            mi300.drop_fraction(xcd_current) * 100.0,
+            if mi300.drop_fraction(xcd_current) <= MAX_DROP_FRACTION {
+                "ok"
+            } else {
+                "INADEQUATE"
+            }
+        ),
+    );
+    rep.kv(
+        "interface I2R loss at 70 A",
+        format!("{:.2} W", mi300.i2r_loss_w(xcd_current)),
+    );
+
+    let mut res = ExperimentResult::new(rep);
+    res.metric("tight_limit_thermally_safe", f64::from(tight_safe));
+    res.metric("clock_gain_from_shift", clock_after - clock_before);
+    res.metric("mi300_bond_drop_fraction", mi300.drop_fraction(xcd_current));
+    res.metric(
+        "vcache_bond_drop_fraction",
+        vcache_style.drop_fraction(xcd_current),
+    );
+    res.set_payload(Json::Arr(rows));
+    res
+}

@@ -1,0 +1,58 @@
+//! `ehp-harness`: the experiment registry, declarative scenarios, and a
+//! parallel batch runner with structured metrics.
+//!
+//! The harness owns everything between "which paper artefact do I want"
+//! and "files on disk":
+//!
+//! * [`registry`] — every experiment (Table 1, Figures 7–21, the audits,
+//!   the Infinity-Cache sweep) behind one [`experiment::Experiment`]
+//!   trait, addressable by stable id.
+//! * [`scenario`] — declarative inputs: product-config overrides and
+//!   parameter sweeps as JSON spec files that expand into concrete
+//!   scenarios.
+//! * [`executor`] — the `--jobs N` batch runner: per-scenario panic
+//!   isolation, deterministic name-derived seeds, and a batch summary
+//!   whose bytes are identical across same-seed runs.
+//! * [`check`] — committed expected-shape ranges (`ehp check`): the
+//!   paper's headline numbers as a regression gate.
+//! * [`report`] / [`output`] — the text/JSON result writers; everything
+//!   lands under one `target/figures/` layout.
+//!
+//! The `ehp` binary ([`cli`]) is a thin front end over these modules,
+//! and the historical per-figure binaries in `ehp-bench` delegate here.
+
+pub mod check;
+pub mod cli;
+pub mod executor;
+pub mod experiment;
+mod experiments;
+pub mod output;
+pub mod registry;
+pub mod report;
+pub mod scenario;
+
+pub use experiment::{Experiment, ExperimentResult};
+pub use report::Report;
+pub use scenario::{Scenario, ScenarioSpec};
+
+/// Runs one experiment's default scenario, prints its report, and writes
+/// its artifacts — the body of every thin per-figure binary.
+///
+/// # Panics
+///
+/// Panics if `id` is not in the registry (a per-figure binary whose id
+/// drifted out of the registry is a build error, not a user error).
+pub fn run_default(id: &str) {
+    let exp = registry::find(id).unwrap_or_else(|| panic!("experiment {id:?} not registered"));
+    let sc = Scenario::default_for(id);
+    let result = exp.run(&sc);
+    result.report.print();
+    if let Err(e) = output::write_report_text(&sc.name, result.report.text()) {
+        eprintln!("warning: cannot write report for {id}: {e}");
+    }
+    if let Some(payload) = &result.payload {
+        if let Err(e) = output::write_figure_json(&sc.name, payload) {
+            eprintln!("warning: cannot write payload for {id}: {e}");
+        }
+    }
+}

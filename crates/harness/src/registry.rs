@@ -1,0 +1,153 @@
+//! The experiment registry: every paper artefact the repo reproduces,
+//! addressable by a stable id.
+
+use crate::experiment::{Experiment, FnExperiment};
+use crate::experiments;
+
+/// Every registered experiment, in paper order.
+static REGISTRY: &[FnExperiment] = &[
+    FnExperiment {
+        id: "table1",
+        title: "Table 1: CDNA 2 vs CDNA 3 peak ops/clock/CU",
+        runner: experiments::table1::run,
+    },
+    FnExperiment {
+        id: "figure7",
+        title: "Figure 7: MI300A IOD interface bandwidths",
+        runner: experiments::figure7::run,
+    },
+    FnExperiment {
+        id: "figure12",
+        title: "Figure 12: power distributions and thermal maps",
+        runner: experiments::figure12::run,
+    },
+    FnExperiment {
+        id: "figure13",
+        title: "Figure 13: cooperative multi-XCD dispatch flow",
+        runner: experiments::figure13::run,
+    },
+    FnExperiment {
+        id: "figure14",
+        title: "Figure 14: CPU-only vs discrete GPU vs APU data movement",
+        runner: experiments::figure14::run,
+    },
+    FnExperiment {
+        id: "figure15",
+        title: "Figure 15: fine-grained CPU/GPU overlap via chunk flags",
+        runner: experiments::figure15::run,
+    },
+    FnExperiment {
+        id: "figure16",
+        title: "Figure 16: CCD->XCD modular swap (MI300A -> MI300X)",
+        runner: experiments::figure16::run,
+    },
+    FnExperiment {
+        id: "figure17",
+        title: "Figure 17: compute/memory partitioning modes",
+        runner: experiments::figure17::run,
+    },
+    FnExperiment {
+        id: "figure18",
+        title: "Figure 18: exemplary MI300A/MI300X node architectures",
+        runner: experiments::figure18::run,
+    },
+    FnExperiment {
+        id: "figure19",
+        title: "Figure 19: generational uplift over MI250X",
+        runner: experiments::figure19::run,
+    },
+    FnExperiment {
+        id: "figure20",
+        title: "Figure 20: HPC speedups of MI300A over MI250X",
+        runner: experiments::figure20::run,
+    },
+    FnExperiment {
+        id: "figure21",
+        title: "Figure 21: Llama-2 70B inference latency on MI300X",
+        runner: experiments::figure21::run,
+    },
+    FnExperiment {
+        id: "frontier_node",
+        title: "Figure 2: the Frontier node as four conjoined EHPs",
+        runner: experiments::frontier_node::run,
+    },
+    FnExperiment {
+        id: "modular_platform",
+        title: "Section VII: modular platform design space + exascale RAS",
+        runner: experiments::modular_platform::run,
+    },
+    FnExperiment {
+        id: "power_management",
+        title: "Section V.D/V.E: power/thermal/DVFS management loop",
+        runner: experiments::power_management::run,
+    },
+    FnExperiment {
+        id: "ehpv3_audit",
+        title: "Section III.A: why EHPv3 3D stacking was not productised",
+        runner: experiments::ehpv3_audit::run,
+    },
+    FnExperiment {
+        id: "ehpv4_audit",
+        title: "Figure 4: remaining EHPv4 challenges vs MI300A",
+        runner: experiments::ehpv4_audit::run,
+    },
+    FnExperiment {
+        id: "microarch_audit",
+        title: "Section IV.B: icache sharing, occupancy, L1 data path",
+        runner: experiments::microarch_audit::run,
+    },
+    FnExperiment {
+        id: "packaging_audit",
+        title: "Figures 9/10 + Section V.A: mirroring, TSVs, beachfront",
+        runner: experiments::packaging_audit::run,
+    },
+    FnExperiment {
+        id: "ic_sweep",
+        title: "Section IV.C: Infinity Cache / interleave trace sweep",
+        runner: experiments::ic_sweep::run,
+    },
+];
+
+/// All experiments, in paper order.
+#[must_use]
+pub fn all() -> &'static [FnExperiment] {
+    REGISTRY
+}
+
+/// All experiment ids, in paper order.
+#[must_use]
+pub fn ids() -> Vec<&'static str> {
+    REGISTRY.iter().map(|e| e.id).collect()
+}
+
+/// Looks up an experiment by id.
+#[must_use]
+pub fn find(id: &str) -> Option<&'static dyn Experiment> {
+    REGISTRY
+        .iter()
+        .find(|e| e.id == id)
+        .map(|e| e as &dyn Experiment)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_unique_and_findable() {
+        let ids = ids();
+        for (i, id) in ids.iter().enumerate() {
+            assert!(find(id).is_some(), "{id} must resolve");
+            assert!(!ids[i + 1..].contains(id), "{id} duplicated");
+        }
+        assert!(find("nonexistent").is_none());
+    }
+
+    #[test]
+    fn registry_covers_all_paper_artefacts() {
+        assert!(ids().len() >= 20);
+        for required in ["table1", "figure20", "figure21", "ic_sweep"] {
+            assert!(find(required).is_some());
+        }
+    }
+}

@@ -1,14 +1,19 @@
-//! Plain-text + JSON experiment reports.
+//! Plain-text experiment reports (moved here from `ehp-bench` so the
+//! harness owns the whole reporting path; `ehp_bench::Report` re-exports
+//! this type).
 
 use std::fmt::Write as _;
-use std::fs;
-use std::path::PathBuf;
 
-use serde::Serialize;
+use ehp_sim_core::json::ToJson;
 
-/// A simple experiment report: titled sections of aligned rows, plus an
-/// optional JSON payload written under `target/figures/`.
-#[derive(Debug, Default)]
+use crate::output;
+
+/// A simple experiment report: titled sections of aligned rows. JSON
+/// payloads travel separately (see
+/// [`ExperimentResult`](crate::experiment::ExperimentResult)); the
+/// legacy [`Report::dump_json`] entry point routes through the shared
+/// result-writer so everything lands under one `target/figures/` layout.
+#[derive(Debug, Default, Clone)]
 pub struct Report {
     name: String,
     text: String,
@@ -25,6 +30,12 @@ impl Report {
         let bar = "=".repeat(64);
         let _ = writeln!(r.text, "{bar}\n{name}\n{bar}");
         r
+    }
+
+    /// The experiment id this report belongs to.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
     }
 
     /// Adds a section header.
@@ -53,23 +64,12 @@ impl Report {
         println!("{}", self.text);
     }
 
-    /// Writes a JSON payload to `target/figures/<name>.json`; failures
-    /// are reported to stderr but not fatal (the text output is the
-    /// deliverable).
-    pub fn dump_json<T: Serialize>(&self, payload: &T) {
-        let dir = PathBuf::from("target/figures");
-        if let Err(e) = fs::create_dir_all(&dir) {
-            eprintln!("warning: cannot create {}: {e}", dir.display());
-            return;
-        }
-        let path = dir.join(format!("{}.json", self.name));
-        match serde_json::to_string_pretty(payload) {
-            Ok(s) => {
-                if let Err(e) = fs::write(&path, s) {
-                    eprintln!("warning: cannot write {}: {e}", path.display());
-                }
-            }
-            Err(e) => eprintln!("warning: cannot serialise {}: {e}", self.name),
+    /// Writes a JSON payload to `<figures dir>/<name>.json` via the
+    /// shared result-writer; failures are reported to stderr but not
+    /// fatal (the text output is the deliverable).
+    pub fn dump_json<T: ToJson + ?Sized>(&self, payload: &T) {
+        if let Err(e) = output::write_figure_json(&self.name, &payload.to_json()) {
+            eprintln!("warning: cannot write {} payload: {e}", self.name);
         }
     }
 }
@@ -90,5 +90,6 @@ mod tests {
         assert!(t.contains("key"));
         assert!(t.contains("42"));
         assert!(t.contains("plain"));
+        assert_eq!(r.name(), "test");
     }
 }

@@ -123,17 +123,20 @@ impl MemoryChannel {
             CacheOutcome::Hit | CacheOutcome::PrefetchedHit => {
                 self.icache_energy += self.cfg.icache_energy_per_byte.scale(size.as_f64());
                 let served = self.icache_pipe.request(at, size);
-                (served + self.cfg.icache_hit_latency, ServicePoint::InfinityCache)
+                (
+                    served + self.cfg.icache_hit_latency,
+                    ServicePoint::InfinityCache,
+                )
             }
             CacheOutcome::Miss { writeback } => {
                 // Demand fill from HBM, then delivery through the slice.
-                let fetched = self.hbm.access(at, addr, size.max(Bytes(self.cfg.line_bytes)));
+                let fetched = self
+                    .hbm
+                    .access(at, addr, size.max(Bytes(self.cfg.line_bytes)));
                 if let Some(victim) = writeback {
                     // Background writeback occupies HBM bandwidth but is
                     // off the critical path.
-                    let _ = self
-                        .hbm
-                        .access(fetched, victim, Bytes(self.cfg.line_bytes));
+                    let _ = self.hbm.access(fetched, victim, Bytes(self.cfg.line_bytes));
                 }
                 (fetched, ServicePoint::Hbm)
             }
@@ -144,7 +147,9 @@ impl MemoryChannel {
             let fetch_done = self.hbm.access(done, pa, Bytes(self.cfg.line_bytes));
             if let Some(slice) = self.slice.as_mut() {
                 if let Some(victim) = slice.fill_prefetch(pa) {
-                    let _ = self.hbm.access(fetch_done, victim, Bytes(self.cfg.line_bytes));
+                    let _ = self
+                        .hbm
+                        .access(fetch_done, victim, Bytes(self.cfg.line_bytes));
                 }
             }
         }
@@ -195,10 +200,7 @@ mod tests {
         let (t_hit_abs, p2) = ch.access(t_miss, 0x1000, Bytes(128), false);
         assert_eq!(p2, ServicePoint::InfinityCache);
         let t_hit = t_hit_abs - t_miss;
-        assert!(
-            t_hit < t_miss,
-            "cache hit {t_hit} should beat HBM {t_miss}"
-        );
+        assert!(t_hit < t_miss, "cache hit {t_hit} should beat HBM {t_miss}");
     }
 
     #[test]

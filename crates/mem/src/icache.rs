@@ -136,7 +136,10 @@ impl InfinityCacheSlice {
             "capacity must divide into whole sets"
         );
         let num_sets = lines / ways as u64;
-        assert!(num_sets.is_power_of_two(), "set count must be a power of two");
+        assert!(
+            num_sets.is_power_of_two(),
+            "set count must be a power of two"
+        );
         InfinityCacheSlice {
             sets: vec![Vec::with_capacity(ways); num_sets as usize],
             ways,
@@ -204,8 +207,7 @@ impl InfinityCacheSlice {
             let victim = set.swap_remove(vi);
             if victim.dirty {
                 self.writebacks.inc();
-                let victim_line =
-                    (victim.tag << self.set_mask.trailing_ones()) | set_idx as u64;
+                let victim_line = (victim.tag << self.set_mask.trailing_ones()) | set_idx as u64;
                 victim_addr = Some(victim_line * self.line_bytes);
             }
         }
@@ -387,10 +389,7 @@ mod tests {
         // Insert a 5th line -> evicts line 1.
         s.access(4 * stride, false);
         assert!(s.access(0, false).is_hit(), "recently used survives");
-        assert!(
-            !s.access(stride, false).is_hit(),
-            "LRU victim was evicted"
-        );
+        assert!(!s.access(stride, false).is_hit(), "LRU victim was evicted");
     }
 
     #[test]
@@ -438,8 +437,7 @@ mod tests {
 
     #[test]
     fn stream_prefetcher_trains_and_hits() {
-        let mut s =
-            InfinityCacheSlice::new(Bytes::from_kib(64), 4, 128, PrefetcherConfig::mi300());
+        let mut s = InfinityCacheSlice::new(Bytes::from_kib(64), 4, 128, PrefetcherConfig::mi300());
         // Walk sequential lines; after training, later lines should be
         // prefetched hits.
         let mut prefetched_hits = 0;
@@ -453,7 +451,10 @@ mod tests {
                 s.fill_prefetch(pa);
             }
         }
-        assert!(prefetched_hits > 40, "got {prefetched_hits} prefetched hits");
+        assert!(
+            prefetched_hits > 40,
+            "got {prefetched_hits} prefetched hits"
+        );
         assert!(s.prefetches_issued() > 0);
     }
 
@@ -468,8 +469,7 @@ mod tests {
 
     #[test]
     fn random_stream_does_not_train() {
-        let mut s =
-            InfinityCacheSlice::new(Bytes::from_kib(64), 4, 128, PrefetcherConfig::mi300());
+        let mut s = InfinityCacheSlice::new(Bytes::from_kib(64), 4, 128, PrefetcherConfig::mi300());
         let mut rng = ehp_sim_core::rng::SplitMix64::new(1);
         let mut issued = 0;
         for _ in 0..256 {

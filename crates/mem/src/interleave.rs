@@ -181,8 +181,7 @@ impl Interleaver {
                 // the per-socket space; here we use a simple split by
                 // address quadrant within a 64 GiB nominal window per domain.
                 let domain = ((addr >> 34) & 0b11) as u32;
-                let local =
-                    self.hash_stack(granule_idx, u64::from(stacks_per_domain)) as u32;
+                let local = self.hash_stack(granule_idx, u64::from(stacks_per_domain)) as u32;
                 (domain, domain * stacks_per_domain + local)
             }
         };
@@ -242,7 +241,7 @@ mod tests {
     #[test]
     fn same_4k_granule_same_stack() {
         let il = Interleaver::new(InterleaveConfig::mi300()).unwrap();
-        let base = 0x12345_000u64 & !0xFFF;
+        let base = 0x1234_5000_u64 & !0xFFF;
         let s0 = il.place(base).stack;
         for off in (0..4096).step_by(64) {
             assert_eq!(il.place(base + off).stack, s0);

@@ -91,7 +91,9 @@ impl MemorySubsystem {
     pub fn new(cfg: MemConfig) -> MemorySubsystem {
         let interleaver = Interleaver::new(cfg.interleave).expect("valid interleave config");
         let n = cfg.interleave.total_channels() as usize;
-        let channels = (0..n).map(|_| MemoryChannel::new(cfg.channel.clone())).collect();
+        let channels = (0..n)
+            .map(|_| MemoryChannel::new(cfg.channel.clone()))
+            .collect();
         MemorySubsystem {
             interleaver,
             channels,
@@ -124,7 +126,11 @@ impl MemorySubsystem {
     /// Issues a batch of independent requests all arriving at `at` and
     /// returns the time the last one completes — the basic bandwidth
     /// experiment.
-    pub fn access_batch(&mut self, at: SimTime, reqs: impl IntoIterator<Item = MemRequest>) -> SimTime {
+    pub fn access_batch(
+        &mut self,
+        at: SimTime,
+        reqs: impl IntoIterator<Item = MemRequest>,
+    ) -> SimTime {
         let mut last = at;
         for r in reqs {
             let resp = self.access(at, r);

@@ -6,9 +6,7 @@
 //! pointer-chase) so cache/interleave/bandwidth behaviour can be
 //! measured rather than assumed.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
+use ehp_sim_core::rng::SplitMix64;
 use ehp_sim_core::time::SimTime;
 use ehp_sim_core::units::{Bandwidth, Bytes};
 
@@ -95,27 +93,25 @@ impl TraceConfig {
             (0.0..=1.0).contains(&self.write_fraction),
             "write fraction out of range"
         );
-        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut rng = SplitMix64::new(self.seed);
         let lines = self.footprint / self.line;
         let mut chase_state = 0x9E37_79B9u64 % lines;
         let mut out = Vec::with_capacity(self.accesses as usize);
         for i in 0..self.accesses {
             let line_idx = match self.pattern {
                 Pattern::Sequential => i % lines,
-                Pattern::Strided { stride } => {
-                    (i * stride.max(self.line) / self.line) % lines
-                }
-                Pattern::Random => rng.gen_range(0..lines),
+                Pattern::Strided { stride } => (i * stride.max(self.line) / self.line) % lines,
+                Pattern::Random => rng.next_below(lines),
                 Pattern::Hot {
                     hot_fraction,
                     hot_bytes,
                 } => {
                     assert!((0.0..=1.0).contains(&hot_fraction));
                     let hot_lines = (hot_bytes / self.line).max(1);
-                    if rng.gen_bool(hot_fraction) {
-                        rng.gen_range(0..hot_lines.min(lines))
+                    if rng.chance(hot_fraction) {
+                        rng.next_below(hot_lines.min(lines))
                     } else {
-                        rng.gen_range(0..lines)
+                        rng.next_below(lines)
                     }
                 }
                 Pattern::PointerChase => {
@@ -128,7 +124,7 @@ impl TraceConfig {
                 }
             };
             let addr = line_idx * self.line;
-            let kind = if rng.gen_bool(self.write_fraction) {
+            let kind = if rng.chance(self.write_fraction) {
                 AccessKind::Write
             } else {
                 AccessKind::Read

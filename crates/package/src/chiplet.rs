@@ -38,10 +38,10 @@ impl Footprint {
     #[must_use]
     pub fn of(kind: ChipletKind) -> Footprint {
         let (w, h) = match kind {
-            ChipletKind::Xcd => (13.0, 8.8),        // ~115 mm²
-            ChipletKind::Ccd => (9.4, 7.6),         // ~71 mm²
-            ChipletKind::Iod => (21.6, 17.1),       // ~370 mm²
-            ChipletKind::HbmStack => (11.0, 10.0),  // ~110 mm²
+            ChipletKind::Xcd => (13.0, 8.8),         // ~115 mm²
+            ChipletKind::Ccd => (9.4, 7.6),          // ~71 mm²
+            ChipletKind::Iod => (21.6, 17.1),        // ~370 mm²
+            ChipletKind::HbmStack => (11.0, 10.0),   // ~110 mm²
             ChipletKind::Interposer => (47.0, 47.0), // > 2200 mm² stitched
         };
         Footprint { kind, w, h }
@@ -92,7 +92,12 @@ mod tests {
     #[test]
     fn every_die_fits_reticle_but_total_does_not() {
         let reticle = reticle_limit();
-        for kind in [ChipletKind::Xcd, ChipletKind::Ccd, ChipletKind::Iod, ChipletKind::HbmStack] {
+        for kind in [
+            ChipletKind::Xcd,
+            ChipletKind::Ccd,
+            ChipletKind::Iod,
+            ChipletKind::HbmStack,
+        ] {
             let f = Footprint::of(kind);
             assert!(
                 f.w <= reticle.w && f.h <= reticle.h,

@@ -96,7 +96,9 @@ impl Floorplan {
         &'a self,
         prefix: &'a str,
     ) -> impl Iterator<Item = &'a Region> + 'a {
-        self.regions.iter().filter(move |r| r.name.starts_with(prefix))
+        self.regions
+            .iter()
+            .filter(move |r| r.name.starts_with(prefix))
     }
 
     /// Distributes `total` power equally among regions matching `prefix`.
@@ -345,11 +347,7 @@ impl Floorplan {
                 (block_x + 2.0 * iod.w - 1.5, s - 4)
             };
             let y = block_y + 1.0 + f64::from(col) * 8.4;
-            fp.add(
-                format!("hbm_phy{s}"),
-                Rect::new(x, y, 1.5, 7.5),
-                Layer::Phy,
-            );
+            fp.add(format!("hbm_phy{s}"), Rect::new(x, y, 1.5, 7.5), Layer::Phy);
         }
         fp
     }
@@ -372,10 +370,7 @@ impl Floorplan {
         for (g, x) in [(0u32, 2.0), (1u32, 52.0)] {
             fp.add(format!("gpu{g}"), Rect::new(x, 8.0, 16.0, 40.0), Layer::Iod);
             for k in 0..4u32 {
-                let (dx, dy) = (
-                    1.0 + f64::from(k % 2) * 7.0,
-                    2.0 + f64::from(k / 2) * 22.0,
-                );
+                let (dx, dy) = (1.0 + f64::from(k % 2) * 7.0, 2.0 + f64::from(k / 2) * 22.0);
                 fp.add(
                     format!("hbm_stack{}", g * 4 + k),
                     Rect::new(x + dx, 8.0 + dy, 7.0, 9.0),
@@ -425,12 +420,11 @@ mod tests {
         let mut fp = Floorplan::mi300a();
         fp.assign_power("xcd", Power::from_watts(300.0));
         let grid = fp.power_density_grid(70, 56);
-        let max = grid
-            .iter()
-            .flatten()
-            .cloned()
-            .fold(0.0f64, f64::max);
-        assert!(max > 0.3, "XCD power density should exceed 0.3 W/mm², got {max}");
+        let max = grid.iter().flatten().cloned().fold(0.0f64, f64::max);
+        assert!(
+            max > 0.3,
+            "XCD power density should exceed 0.3 W/mm², got {max}"
+        );
         // Package corners are cold.
         assert_eq!(grid[0][0], 0.0);
     }

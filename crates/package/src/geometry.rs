@@ -57,8 +57,10 @@ impl Rect {
     /// Panics if width or height is negative or not finite.
     #[must_use]
     pub fn new(x: f64, y: f64, w: f64, h: f64) -> Rect {
-        assert!(w.is_finite() && h.is_finite() && w >= 0.0 && h >= 0.0,
-                "invalid rect {w}x{h}");
+        assert!(
+            w.is_finite() && h.is_finite() && w >= 0.0 && h >= 0.0,
+            "invalid rect {w}x{h}"
+        );
         Rect {
             origin: Point::new(x, y),
             w,
@@ -189,14 +191,22 @@ impl Transform {
     pub fn apply_rect(self, r: &Rect, w: f64, h: f64) -> Rect {
         let a = self.apply_point(r.origin, w, h);
         let b = self.apply_point(r.max_corner(), w, h);
-        Rect::new(a.x.min(b.x), a.y.min(b.y), (a.x - b.x).abs(), (a.y - b.y).abs())
+        Rect::new(
+            a.x.min(b.x),
+            a.y.min(b.y),
+            (a.x - b.x).abs(),
+            (a.y - b.y).abs(),
+        )
     }
 
     /// Composition: applying `self` then `other`.
     #[must_use]
     pub fn then(self, other: Transform) -> Transform {
         use Transform::*;
-        match (self.is_mirrored() ^ other.is_mirrored(), self.rot() ^ other.rot()) {
+        match (
+            self.is_mirrored() ^ other.is_mirrored(),
+            self.rot() ^ other.rot(),
+        ) {
             (false, false) => Identity,
             (false, true) => Rot180,
             (true, false) => MirrorX,

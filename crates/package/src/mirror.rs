@@ -257,7 +257,9 @@ impl IodInstance {
     /// instance.
     #[must_use]
     pub fn accepts_chiplet(&self, chiplet_pins: &[Point]) -> bool {
-        self.interface.alignment(chiplet_pins, self.variant).is_some()
+        self.interface
+            .alignment(chiplet_pins, self.variant)
+            .is_some()
     }
 }
 
@@ -316,7 +318,10 @@ mod tests {
         // The heart of Figure 9: a chiral pin pattern cannot land on a
         // mirrored IOD by rotation alone.
         let iface = mi300_base_interface();
-        assert_eq!(iface.alignment(&mi300_chiplet_pins(), IodVariant::Mirrored), None);
+        assert_eq!(
+            iface.alignment(&mi300_chiplet_pins(), IodVariant::Mirrored),
+            None
+        );
         assert_eq!(
             iface.alignment(&mi300_chiplet_pins(), IodVariant::MirroredRot180),
             None

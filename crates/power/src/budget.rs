@@ -343,7 +343,11 @@ mod tests {
         let mut pm = mi300a();
         pm.apply_profile(WorkloadProfile::ComputeIntensive);
         let io = pm.current().get(PowerDomain::Io);
-        let moved = pm.shift(PowerDomain::Io, PowerDomain::HbmDram, Power::from_watts(1e6));
+        let moved = pm.shift(
+            PowerDomain::Io,
+            PowerDomain::HbmDram,
+            Power::from_watts(1e6),
+        );
         assert_eq!(moved, io, "cannot move more than the source has");
         assert_eq!(pm.current().get(PowerDomain::Io), Power::ZERO);
     }

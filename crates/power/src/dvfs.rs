@@ -56,7 +56,10 @@ impl DvfsCurve {
             fmin.as_hz() <= nominal.as_hz() && nominal.as_hz() <= fmax.as_hz(),
             "require fmin <= nominal <= fmax"
         );
-        assert!(dynamic_at_nominal.as_watts() > 0.0, "dynamic power must be positive");
+        assert!(
+            dynamic_at_nominal.as_watts() > 0.0,
+            "dynamic power must be positive"
+        );
         DvfsCurve {
             static_power,
             dynamic_at_nominal,
@@ -120,8 +123,7 @@ impl DvfsCurve {
         let dynamic_budget = budget.saturating_sub(self.static_power).as_watts();
         let nominal_dyn = self.dynamic_at_nominal.as_watts();
         let ratio = (dynamic_budget / nominal_dyn).cbrt();
-        let hz = (self.nominal.as_hz() * ratio)
-            .clamp(self.fmin.as_hz(), self.fmax.as_hz());
+        let hz = (self.nominal.as_hz() * ratio).clamp(self.fmin.as_hz(), self.fmax.as_hz());
         Frequency::from_hz(hz)
     }
 

@@ -29,6 +29,7 @@
 
 pub mod event;
 pub mod ids;
+pub mod json;
 pub mod resource;
 pub mod rng;
 pub mod stats;
@@ -37,6 +38,7 @@ pub mod units;
 
 pub use event::EventQueue;
 pub use ids::{ChannelId, ChipletId, CuId, IodId, NodeId, SocketId};
+pub use json::{Json, ToJson};
 pub use rng::SplitMix64;
 pub use time::{Cycle, Frequency, SimTime};
 pub use units::{Bandwidth, Bytes, Energy, Power};

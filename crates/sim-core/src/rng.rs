@@ -1,9 +1,10 @@
 //! A small deterministic RNG (SplitMix64) for seed derivation and cheap
 //! stochastic decisions inside the simulation kernel.
 //!
-//! Higher-level crates that need rich distributions use the `rand` crate
-//! seeded *from* a [`SplitMix64`] stream, so every simulation remains a
-//! pure function of its top-level seed. SplitMix64 is the standard seeding
+//! Higher-level crates draw all of their randomness from [`SplitMix64`]
+//! streams (the workspace has no third-party RNG dependency), so every
+//! simulation remains a pure function of its top-level seed and every
+//! batch run is reproducible. SplitMix64 is the standard seeding
 //! generator from Steele et al., "Fast Splittable Pseudorandom Number
 //! Generators" (OOPSLA 2014); it is tiny, passes BigCrush on 64-bit
 //! outputs, and splits cleanly into independent streams.

@@ -2,11 +2,18 @@
 //! utilisation meters.
 //!
 //! Every simulator component exposes its observable behaviour through
-//! these types; the figure-regeneration binaries read them out at the end
-//! of a run.
+//! these types; the experiment harness reads them out at the end of a
+//! run. Each sink supports three export paths:
+//!
+//! * [`Display`](fmt::Display) — human-readable one-liners,
+//! * [`ToJson`] / [`snapshot`](Counter::snapshot) — structured values the
+//!   harness folds into an `ExperimentResult`,
+//! * [`merge`](Counter::merge) — combining sinks from parallel shards
+//!   (e.g. per-channel meters) into one aggregate before export.
 
 use core::fmt;
 
+use crate::json::{Json, ToJson};
 use crate::time::Cycle;
 
 /// A monotonically increasing event counter.
@@ -53,6 +60,27 @@ impl Counter {
     #[must_use]
     pub fn name(&self) -> &'static str {
         self.name
+    }
+
+    /// Folds another counter's count into this one.
+    pub fn merge(&mut self, other: &Counter) {
+        self.value += other.value;
+    }
+
+    /// A structured snapshot of the current state.
+    #[must_use]
+    pub fn snapshot(&self) -> Json {
+        self.to_json()
+    }
+}
+
+impl ToJson for Counter {
+    fn to_json(&self) -> Json {
+        Json::object([
+            ("kind", Json::from("counter")),
+            ("name", Json::from(self.name)),
+            ("value", Json::from(self.value)),
+        ])
     }
 }
 
@@ -127,6 +155,34 @@ impl Accumulator {
     #[must_use]
     pub fn name(&self) -> &'static str {
         self.name
+    }
+
+    /// Folds another accumulator's samples into this one.
+    pub fn merge(&mut self, other: &Accumulator) {
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// A structured snapshot of the current state.
+    #[must_use]
+    pub fn snapshot(&self) -> Json {
+        self.to_json()
+    }
+}
+
+impl ToJson for Accumulator {
+    fn to_json(&self) -> Json {
+        Json::object([
+            ("kind", Json::from("accumulator")),
+            ("name", Json::from(self.name)),
+            ("count", Json::from(self.count)),
+            ("sum", Json::from(self.sum)),
+            ("mean", self.mean().to_json()),
+            ("min", self.min().to_json()),
+            ("max", self.max().to_json()),
+        ])
     }
 }
 
@@ -216,7 +272,11 @@ impl Log2Histogram {
         for (i, &b) in self.buckets.iter().enumerate() {
             seen += b;
             if seen >= target {
-                return Some(if i >= 63 { u64::MAX } else { (1u64 << (i + 1)) - 1 });
+                return Some(if i >= 63 {
+                    u64::MAX
+                } else {
+                    (1u64 << (i + 1)) - 1
+                });
             }
         }
         Some(u64::MAX)
@@ -232,6 +292,45 @@ impl Log2Histogram {
     #[must_use]
     pub fn name(&self) -> &'static str {
         self.name
+    }
+
+    /// Folds another histogram's buckets into this one.
+    pub fn merge(&mut self, other: &Log2Histogram) {
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+    }
+
+    /// A structured snapshot: populated buckets keyed by their log₂ lower
+    /// bound, plus count/mean/tail summaries.
+    #[must_use]
+    pub fn snapshot(&self) -> Json {
+        self.to_json()
+    }
+}
+
+impl ToJson for Log2Histogram {
+    fn to_json(&self) -> Json {
+        let buckets = Json::Obj(
+            self.buckets
+                .iter()
+                .enumerate()
+                .filter(|(_, &b)| b > 0)
+                .map(|(i, &b)| (format!("{i}"), Json::from(b)))
+                .collect(),
+        );
+        Json::object([
+            ("kind", Json::from("log2_histogram")),
+            ("name", Json::from(self.name)),
+            ("count", Json::from(self.count)),
+            ("sum", Json::from(self.sum)),
+            ("mean", self.mean().to_json()),
+            ("p50_upper", self.quantile_upper_bound(0.5).to_json()),
+            ("p99_upper", self.quantile_upper_bound(0.99).to_json()),
+            ("buckets", buckets),
+        ])
     }
 }
 
@@ -299,6 +398,27 @@ impl UtilizationMeter {
     #[must_use]
     pub fn name(&self) -> &'static str {
         self.name
+    }
+
+    /// Folds another meter's busy time into this one.
+    pub fn merge(&mut self, other: &UtilizationMeter) {
+        self.busy += other.busy;
+    }
+
+    /// A structured snapshot of the current state.
+    #[must_use]
+    pub fn snapshot(&self) -> Json {
+        self.to_json()
+    }
+}
+
+impl ToJson for UtilizationMeter {
+    fn to_json(&self) -> Json {
+        Json::object([
+            ("kind", Json::from("utilization_meter")),
+            ("name", Json::from(self.name)),
+            ("busy_cycles", Json::from(self.busy.0)),
+        ])
     }
 }
 
@@ -387,5 +507,76 @@ mod tests {
         let mut h = Log2Histogram::new("h");
         h.record(1);
         let _ = h.quantile_upper_bound(1.5);
+    }
+
+    #[test]
+    fn counter_merge_and_snapshot() {
+        let mut a = Counter::new("hits");
+        a.add(3);
+        let mut b = Counter::new("hits");
+        b.add(4);
+        a.merge(&b);
+        assert_eq!(a.value(), 7);
+        let snap = a.snapshot();
+        assert_eq!(snap.get("value").and_then(|v| v.as_u64()), Some(7));
+        assert_eq!(snap.get("name").and_then(|v| v.as_str()), Some("hits"));
+    }
+
+    #[test]
+    fn accumulator_merge_matches_combined_stream() {
+        let mut split_a = Accumulator::new("lat");
+        let mut split_b = Accumulator::new("lat");
+        let mut combined = Accumulator::new("lat");
+        for (i, v) in [5.0, 1.0, 9.0, 2.0].iter().enumerate() {
+            if i % 2 == 0 {
+                split_a.record(*v);
+            } else {
+                split_b.record(*v);
+            }
+            combined.record(*v);
+        }
+        split_a.merge(&split_b);
+        assert_eq!(split_a, combined);
+    }
+
+    #[test]
+    fn accumulator_merge_with_empty_keeps_stats() {
+        let mut a = Accumulator::new("lat");
+        a.record(2.0);
+        a.merge(&Accumulator::new("lat"));
+        assert_eq!(a.mean(), Some(2.0));
+        assert_eq!(a.min(), Some(2.0));
+    }
+
+    #[test]
+    fn histogram_merge_matches_combined_stream() {
+        let mut a = Log2Histogram::new("h");
+        let mut b = Log2Histogram::new("h");
+        let mut combined = Log2Histogram::new("h");
+        for v in [1u64, 7, 300, 4096] {
+            a.record(v);
+            combined.record(v);
+        }
+        for v in [2u64, 9, 1_000_000] {
+            b.record(v);
+            combined.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, combined);
+        let snap = a.snapshot();
+        assert_eq!(snap.get("count").and_then(|v| v.as_u64()), Some(7));
+        assert!(snap.get("buckets").and_then(|b| b.as_obj()).is_some());
+    }
+
+    #[test]
+    fn meter_merge_and_snapshot() {
+        let mut a = UtilizationMeter::new("ch");
+        a.add_busy(Cycle(10));
+        let mut b = UtilizationMeter::new("ch");
+        b.add_busy(Cycle(30));
+        a.merge(&b);
+        assert!((a.utilization(Cycle(80)) - 0.5).abs() < 1e-12);
+        let snap = a.snapshot();
+        assert_eq!(snap.get("busy_cycles").and_then(|v| v.as_u64()), Some(40));
     }
 }

@@ -23,9 +23,15 @@ impl TemperatureField {
     #[must_use]
     pub fn new(origin: Point, cell_w: f64, cell_h: f64, data: Vec<Vec<f64>>) -> TemperatureField {
         assert!(cell_w > 0.0 && cell_h > 0.0, "cell size must be positive");
-        assert!(!data.is_empty() && !data[0].is_empty(), "field must be non-empty");
+        assert!(
+            !data.is_empty() && !data[0].is_empty(),
+            "field must be non-empty"
+        );
         let w = data[0].len();
-        assert!(data.iter().all(|r| r.len() == w), "field must be rectangular");
+        assert!(
+            data.iter().all(|r| r.len() == w),
+            "field must be rectangular"
+        );
         TemperatureField {
             origin,
             cell_w,

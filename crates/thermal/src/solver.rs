@@ -110,8 +110,7 @@ impl ThermalSolver {
                         nsum += t[j + 1][i];
                         ncount += 1.0;
                     }
-                    let new_t =
-                        (g * nsum + p[j][i] + h_cell * c.coolant_c) / (g * ncount + h_cell);
+                    let new_t = (g * nsum + p[j][i] + h_cell * c.coolant_c) / (g * ncount + h_cell);
                     max_delta = max_delta.max((new_t - t[j][i]).abs());
                     t[j][i] = new_t;
                 }
@@ -204,9 +203,15 @@ mod tests {
         fp.add("hot", Rect::new(9.0, 9.0, 2.0, 2.0), Layer::Compute);
         fp.assign_power("hot", Power::from_watts(50.0));
         let field = ThermalSolver::new(small_cfg()).solve(&fp);
-        let center = field.sample(ehp_package::geometry::Point::new(10.0, 10.0)).unwrap();
-        let near = field.sample(ehp_package::geometry::Point::new(13.0, 10.0)).unwrap();
-        let far = field.sample(ehp_package::geometry::Point::new(19.0, 10.0)).unwrap();
+        let center = field
+            .sample(ehp_package::geometry::Point::new(10.0, 10.0))
+            .unwrap();
+        let near = field
+            .sample(ehp_package::geometry::Point::new(13.0, 10.0))
+            .unwrap();
+        let far = field
+            .sample(ehp_package::geometry::Point::new(19.0, 10.0))
+            .unwrap();
         assert!(center.as_f64() > near.as_f64());
         assert!(near.as_f64() > far.as_f64());
         assert!(far.as_f64() >= 30.0 - 1e-9, "never below coolant");

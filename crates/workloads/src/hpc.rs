@@ -13,7 +13,6 @@ use ehp_compute::dtype::{DataType, ExecUnit};
 use ehp_core::products::Product;
 use ehp_sim_core::time::SimTime;
 use ehp_sim_core::units::{Bandwidth, Bytes};
-use serde::Serialize;
 
 /// A machine as seen by the workload models.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -188,7 +187,7 @@ impl HpcWorkload {
 }
 
 /// One bar of Figure 20.
-#[derive(Debug, Clone, Serialize, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Figure20Row {
     /// Workload name.
     pub workload: &'static str,

@@ -10,7 +10,6 @@
 
 use ehp_sim_core::time::SimTime;
 use ehp_sim_core::units::{Bandwidth, Bytes};
-use serde::Serialize;
 
 /// A GPU platform as the LLM model sees it.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -185,7 +184,7 @@ impl InferenceConfig {
 }
 
 /// The latency breakdown of one inference run.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct InferenceLatency {
     /// Prefill (prompt processing) time in seconds.
     pub prefill_s: f64,
@@ -240,7 +239,9 @@ pub fn estimate_latency(
     let n = f64::from(platform.gpus);
     let peak_flops = match cfg.precision {
         WeightPrecision::Fp16 => platform.fp16_flops,
-        WeightPrecision::Fp8 => platform.fp8_flops.ok_or(InferenceError::PrecisionUnsupported)?,
+        WeightPrecision::Fp8 => platform
+            .fp8_flops
+            .ok_or(InferenceError::PrecisionUnsupported)?,
     } * n;
     let bw = platform.mem_bw.as_bytes_per_sec() * n;
 
@@ -252,8 +253,8 @@ pub fn estimate_latency(
 
     // Decode: each token streams the weights once (batch 1), plus the
     // per-layer all-reduces.
-    let per_token_s = weights / (bw * stack.decode_eff)
-        + f64::from(cfg.layers) * platform.allreduce.as_secs();
+    let per_token_s =
+        weights / (bw * stack.decode_eff) + f64::from(cfg.layers) * platform.allreduce.as_secs();
 
     let total_s = prefill_s + per_token_s * f64::from(cfg.tokens_out);
     Ok(InferenceLatency {
@@ -264,7 +265,7 @@ pub fn estimate_latency(
 }
 
 /// One bar of Figure 21.
-#[derive(Debug, Clone, Serialize, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Figure21Row {
     /// Scenario label.
     pub scenario: &'static str,
@@ -405,8 +406,18 @@ mod tests {
     fn fp8_halves_decode_weight_traffic() {
         let base = GpuPlatform::baseline_platform();
         let stack = SoftwareStack::tensorrt_llm_fp8();
-        let fp16 = estimate_latency(&base, &stack, &InferenceConfig::llama2_70b(WeightPrecision::Fp16)).unwrap();
-        let fp8 = estimate_latency(&base, &stack, &InferenceConfig::llama2_70b(WeightPrecision::Fp8)).unwrap();
+        let fp16 = estimate_latency(
+            &base,
+            &stack,
+            &InferenceConfig::llama2_70b(WeightPrecision::Fp16),
+        )
+        .unwrap();
+        let fp8 = estimate_latency(
+            &base,
+            &stack,
+            &InferenceConfig::llama2_70b(WeightPrecision::Fp8),
+        )
+        .unwrap();
         // Same stack: per-token time roughly halves (minus all-reduce floor).
         assert!(fp8.per_token_s < 0.6 * fp16.per_token_s + 80.0 * base.allreduce.as_secs());
     }

@@ -78,8 +78,7 @@ impl ScalingStudy {
                 .expect("sockets connected")
                 .as_secs();
             let n = sockets as f64;
-            2.0 * (n - 1.0) / n * self.comm_bytes.as_f64() / pair_bw
-                + 2.0 * (n - 1.0) * lat
+            2.0 * (n - 1.0) / n * self.comm_bytes.as_f64() / pair_bw + 2.0 * (n - 1.0) * lat
         } else {
             0.0
         };

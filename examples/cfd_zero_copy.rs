@@ -20,8 +20,10 @@ fn main() {
     println!("Per-run times ({} outer iterations):", w.iterations);
     println!("  MI250X (discrete, host link): {t_base}");
     println!("  MI300A (APU, zero-copy):      {t_apu}");
-    println!("  speedup: {:.2}x (paper: ~2.75x)\n",
-             t_base.as_secs() / t_apu.as_secs());
+    println!(
+        "  speedup: {:.2}x (paper: ~2.75x)\n",
+        t_base.as_secs() / t_apu.as_secs()
+    );
 
     // Where the time goes on the discrete machine.
     let step_base = mi250x.step_time(&w);
@@ -31,8 +33,10 @@ fn main() {
     println!("Discrete-GPU step anatomy:");
     println!("  total step:           {step_base}");
     println!("  without host copies:  {step_no_xfer}");
-    println!("  copy share:           {:.0}%\n",
-             (1.0 - step_no_xfer.as_secs() / step_base.as_secs()) * 100.0);
+    println!(
+        "  copy share:           {:.0}%\n",
+        (1.0 - step_no_xfer.as_secs() / step_base.as_secs()) * 100.0
+    );
 
     // The same story at the phase-timeline level (Figure 14), using a
     // transfer-heavy shape.

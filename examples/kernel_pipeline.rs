@@ -61,7 +61,11 @@ fn main() {
     println!("Packet log:");
     for o in &out {
         match o {
-            PacketOutcome::Dispatched { index, started, run } => println!(
+            PacketOutcome::Dispatched {
+                index,
+                started,
+                run,
+            } => println!(
                 "  [{index:>2}] kernel   start {:>9} -> complete {:>9}  ({} wgs over {} XCDs)",
                 started.0,
                 run.completion_at.0,

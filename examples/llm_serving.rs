@@ -18,9 +18,15 @@ fn main() {
     // PCIe back to EPYC hosts.
     let node = NodeTopology::eight_mi300x();
     let audit = node.audit().expect("valid topology");
-    println!("Node: {} sockets, fully connected: {}", node.sockets().len(),
-             audit.accelerators_fully_connected);
-    println!("  bisection bandwidth: {:.0} GB/s", audit.bisection_bandwidth.as_gb_s());
+    println!(
+        "Node: {} sockets, fully connected: {}",
+        node.sockets().len(),
+        audit.accelerators_fully_connected
+    );
+    println!(
+        "  bisection bandwidth: {:.0} GB/s",
+        audit.bisection_bandwidth.as_gb_s()
+    );
     println!("  aggregate HBM: {}\n", audit.coherent_hbm_capacity);
 
     // Capacity: a 70B FP16 model fits a single 192 GB MI300X.

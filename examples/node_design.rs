@@ -25,12 +25,20 @@ fn main() {
         "  single reticle ({:.0} mm perimeter): {:.0} mm usable -> {}",
         reticle_limit().perimeter(),
         audit.single_reticle.available_mm(),
-        if audit.single_reticle.meets(&audit.demand) { "OK" } else { "INSUFFICIENT" }
+        if audit.single_reticle.meets(&audit.demand) {
+            "OK"
+        } else {
+            "INSUFFICIENT"
+        }
     );
     println!(
         "  four IODs: {:.0} mm usable -> {}\n",
         audit.four_iods.available_mm(),
-        if audit.four_iods.meets(&audit.demand) { "OK" } else { "INSUFFICIENT" }
+        if audit.four_iods.meets(&audit.demand) {
+            "OK"
+        } else {
+            "INSUFFICIENT"
+        }
     );
 
     // What if a design only needed 4 HBM stacks? Then one die suffices —
@@ -42,13 +50,21 @@ fn main() {
     let single = BeachfrontSupply::single_die(reticle_limit());
     println!(
         "With only 4 HBM stacks, one reticle-limit die {} the demand.\n",
-        if single.meets(&half_demand) { "meets" } else { "still misses" }
+        if single.meets(&half_demand) {
+            "meets"
+        } else {
+            "still misses"
+        }
     );
 
     // 2. Fabric quality of two candidate packages under the same traffic.
     println!("Candidate package fabrics (64 MiB chiplet->far-HBM transfer):");
     for (name, topo, chiplet) in [
-        ("MI300-style (USR mesh)", Topology::mi300_package(2, 0), 0u32),
+        (
+            "MI300-style (USR mesh)",
+            Topology::mi300_package(2, 0),
+            0u32,
+        ),
         ("EHPv4-style (SerDes hub)", Topology::ehpv4_package(), 2u32),
     ] {
         let mut fab = FabricSim::new(topo);
@@ -78,7 +94,10 @@ fn main() {
     // 3. Node topologies: the two exemplary configurations of Figure 18.
     for (name, node) in [
         ("4x MI300A (Figure 18a)", NodeTopology::quad_mi300a()),
-        ("8x MI300X + hosts (Figure 18b)", NodeTopology::eight_mi300x()),
+        (
+            "8x MI300X + hosts (Figure 18b)",
+            NodeTopology::eight_mi300x(),
+        ),
     ] {
         let a = node.audit().expect("valid");
         println!("{name}:");

@@ -18,7 +18,11 @@ fn main() {
     println!("== {} ==", spec.name);
     println!("  CUs: {} ({} XCDs)", spec.total_cus(), spec.gpu_chiplets);
     println!("  CPU cores: {} ({} CCDs)", spec.cpu_cores, spec.ccds);
-    println!("  HBM: {} at {}", spec.memory_capacity(), spec.memory_bandwidth());
+    println!(
+        "  HBM: {} at {}",
+        spec.memory_capacity(),
+        spec.memory_bandwidth()
+    );
 
     // 2. The CPU initialises data in unified memory (no hipMalloc, no
     //    hipMemcpy) ...
@@ -36,9 +40,15 @@ fn main() {
     let pkt = AqlPacket::dispatch_1d(228 * 256, 256); // 228 workgroups
     let run = apu.launch_kernel(&pkt, |_wg| 10_000);
     println!("\nKernel dispatch:");
-    println!("  workgroups: {} split {:?}", run.workgroups_launched, run.per_xcd);
-    println!("  completion signalled at {} (sync overhead {})",
-             run.completion_at, run.sync_overhead());
+    println!(
+        "  workgroups: {} split {:?}",
+        run.workgroups_launched, run.per_xcd
+    );
+    println!(
+        "  completion signalled at {} (sync overhead {})",
+        run.completion_at,
+        run.sync_overhead()
+    );
 
     // 4. The GPU touches the CPU-written lines; the probe filter forwards
     //    the dirty data — that's the hardware coherence the programming
@@ -49,7 +59,10 @@ fn main() {
     }
     println!("\nGPU consumed the 64 CPU-written lines by {t2}");
     println!("  coherence probes sent: {}", apu.coherence().probes_sent());
-    println!("  cache-to-cache transfers: {}", apu.coherence().cache_to_cache());
+    println!(
+        "  cache-to-cache transfers: {}",
+        apu.coherence().cache_to_cache()
+    );
 
     // 5. Memory-subsystem statistics.
     let mem = apu.memory();

@@ -22,7 +22,8 @@ fn run_kernel_with_memory(
     lines_per_wg: u64,
 ) -> (Cycle, SimTime, MemorySubsystem) {
     let mut q = UserQueue::new(16).expect("power-of-two queue");
-    q.submit(&AqlPacket::dispatch_1d(workgroups * 64, 64)).expect("space");
+    q.submit(&AqlPacket::dispatch_1d(workgroups * 64, 64))
+        .expect("space");
 
     let cfg = DispatcherConfig::mi300a_partition().with_policy(policy);
     let mut d = MultiXcdDispatcher::new(cfg);
@@ -49,8 +50,7 @@ fn run_kernel_with_memory(
 
 #[test]
 fn full_path_dispatch_to_memory() {
-    let (completion, mem_done, mem) =
-        run_kernel_with_memory(WorkgroupPolicy::RoundRobin, 228, 64);
+    let (completion, mem_done, mem) = run_kernel_with_memory(WorkgroupPolicy::RoundRobin, 228, 64);
     assert!(completion > Cycle(0));
     assert!(mem_done > SimTime::ZERO);
     assert_eq!(mem.reads(), 228 * 64);

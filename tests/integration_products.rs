@@ -54,9 +54,7 @@ fn apu_socket_matches_spec_numbers() {
         .into_iter()
         .find(|i| i.name.contains("HBM"))
         .expect("HBM row");
-    assert!(
-        (hbm.aggregate().as_tb_s() - spec.memory_bandwidth().as_tb_s()).abs() < 1e-9
-    );
+    assert!((hbm.aggregate().as_tb_s() - spec.memory_bandwidth().as_tb_s()).abs() < 1e-9);
     // Power manager runs at the spec TDP.
     assert_eq!(apu.power().tdp().as_watts(), spec.tdp.as_watts());
 }
@@ -99,7 +97,8 @@ fn modular_swap_works_geometrically_and_logically() {
     }
     // Performance: the swap buys FLOPS.
     let f = |s: &ehp_core::products::ProductSpec| {
-        s.peak_tflops(ExecUnit::Matrix, DataType::Fp16).expect("fp16")
+        s.peak_tflops(ExecUnit::Matrix, DataType::Fp16)
+            .expect("fp16")
     };
     assert!(f(&x) > f(&a));
 }
@@ -137,8 +136,11 @@ fn uplift_is_internally_consistent() {
         let s = p.spec();
         let u = s.uplift_over(&m);
         // Recompute one ratio by hand.
-        let fp64 = s.peak_tflops(ExecUnit::Matrix, DataType::Fp64).expect("fp64")
-            / m.peak_tflops(ExecUnit::Matrix, DataType::Fp64).expect("fp64");
+        let fp64 = s
+            .peak_tflops(ExecUnit::Matrix, DataType::Fp64)
+            .expect("fp64")
+            / m.peak_tflops(ExecUnit::Matrix, DataType::Fp64)
+                .expect("fp64");
         assert!((u.fp64_matrix.expect("both support fp64") - fp64).abs() < 1e-12);
         // Self-uplift is identity.
         let self_u = s.uplift_over(&s);

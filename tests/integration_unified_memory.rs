@@ -23,10 +23,8 @@ fn producer_consumer_round_trip_through_socket() {
     for i in 0..lines {
         t = apu.write(t, CPU, i * 128);
     }
-    let produce_done = t;
-
     // GPU consumes it: every line is forwarded coherently.
-    let mut t = produce_done;
+    let produce_done = t;
     for i in 0..lines {
         t = apu.read(t, GPU, i * 128);
     }
@@ -110,9 +108,9 @@ fn unified_memory_flag_in_socket_sim() {
     // The Figure 15 spin-loop: GPU writes a flag; the CPU's next read
     // must be sourced from the GPU's cache, not stale memory.
     let mut apu = ApuSystem::new(Product::Mi300a);
-    apu.write(SimTime::ZERO, GPU, 0xF1A6_00);
-    let line = 0xF1A6_00 / 128;
+    apu.write(SimTime::ZERO, GPU, 0x00F1_A600);
+    let line = 0x00F1_A600 / 128;
     assert_eq!(apu.coherence().version(line), 1);
-    apu.read(SimTime::ZERO, CPU, 0xF1A6_00);
+    apu.read(SimTime::ZERO, CPU, 0x00F1_A600);
     assert_eq!(apu.coherence().observed_version(CPU, line), 1);
 }

