@@ -40,6 +40,15 @@ fi
 
 step "benches compile" cargo build --benches --offline
 
+# Perf smoke: the sharded-replay bench must stay within 30% of the
+# checked-in baseline (machine-speed differences are normalised by the
+# calibration loop saved alongside the baseline; see
+# crates/bench/src/microbench.rs). Regenerate after intentional perf
+# changes with:
+#   cargo bench --bench replay -- --save-baseline crates/bench/baselines/replay.json
+step "perf smoke (replay)" cargo bench --offline --bench replay -- \
+    --baseline crates/bench/baselines/replay.json --threshold 0.30
+
 # Shape-fidelity gate: every experiment runs, and headline metrics stay
 # inside the committed expected ranges (see crates/harness/src/check.rs).
 step "ehp all" ./target/release/ehp all --jobs 8 --quiet

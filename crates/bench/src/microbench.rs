@@ -5,18 +5,97 @@
 //! never resolve; the benches under `benches/` only use a small slice of
 //! its API (`bench_function`, `benchmark_group` + `bench_with_input`,
 //! `black_box`, the `criterion_group!`/`criterion_main!` macros), and
-//! this module implements exactly that slice: warm up, run a fixed
-//! number of timed samples, report mean wall-clock time per iteration.
-//! It measures real time and makes no statistical claims — good enough
-//! to spot order-of-magnitude regressions, which is all the benches are
-//! for.
+//! this module implements exactly that slice. Each sample is timed
+//! individually, so every benchmark reports mean, standard deviation,
+//! minimum and maximum wall-clock time per iteration.
+//!
+//! Beyond reporting, the runner supports regression gating for CI:
+//!
+//! * `--save-baseline <name>` writes every benchmark's statistics to a
+//!   JSON baseline file after the run.
+//! * `--baseline <name>` compares the run against a saved baseline and
+//!   exits non-zero if any benchmark's per-iteration *minimum* regressed
+//!   by more than the threshold (`--threshold <fraction>`, default
+//!   0.30). The minimum, not the mean, is gated: background load only
+//!   inflates samples, so the min stays stable on a noisy CI box while
+//!   still moving on any real slowdown.
+//! * `--sample-size <n>` overrides the default sample count globally.
+//!
+//! A `<name>` containing `/` or ending in `.json` is used as a literal
+//! path (so checked-in baselines like `crates/bench/baselines/replay.json`
+//! work); anything else resolves to `target/microbench/<name>.json`.
+//!
+//! Baselines carry a `calibration_ns` measurement of a fixed integer
+//! workload taken on the machine that saved them; comparisons scale the
+//! saved means by the ratio of current to saved calibration, so a
+//! baseline generated on a faster or slower machine still gates on
+//! *relative* regressions rather than raw machine speed.
 
 use std::fmt::Display;
-use std::time::{Duration, Instant};
+use std::path::PathBuf;
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+use ehp_sim_core::json::Json;
+use ehp_sim_core::stats::Accumulator;
 
 pub use std::hint::black_box;
 
 pub use crate::{criterion_group, criterion_main};
+
+/// One finished benchmark, as recorded in the results registry.
+#[derive(Debug, Clone)]
+struct Record {
+    name: String,
+    mean_ns: f64,
+    stddev_ns: f64,
+    min_ns: f64,
+    max_ns: f64,
+    samples: u64,
+}
+
+static RESULTS: Mutex<Vec<Record>> = Mutex::new(Vec::new());
+
+/// Options parsed once from the process arguments. Unknown flags are
+/// ignored because cargo passes its own (e.g. `--bench`).
+#[derive(Debug, Clone)]
+struct Options {
+    save_baseline: Option<String>,
+    baseline: Option<String>,
+    threshold: f64,
+    sample_size: Option<usize>,
+}
+
+fn options() -> &'static Options {
+    static OPTIONS: OnceLock<Options> = OnceLock::new();
+    OPTIONS.get_or_init(|| {
+        let mut opts = Options {
+            save_baseline: None,
+            baseline: None,
+            threshold: 0.30,
+            sample_size: None,
+        };
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--save-baseline" => opts.save_baseline = args.next(),
+                "--baseline" => opts.baseline = args.next(),
+                "--threshold" => {
+                    if let Some(v) = args.next().and_then(|s| s.parse::<f64>().ok()) {
+                        opts.threshold = v.max(0.0);
+                    }
+                }
+                "--sample-size" => {
+                    if let Some(v) = args.next().and_then(|s| s.parse::<usize>().ok()) {
+                        opts.sample_size = Some(v.max(1));
+                    }
+                }
+                _ => {} // cargo's own flags, bench name filters, etc.
+            }
+        }
+        opts
+    })
+}
 
 /// The benchmark driver (mirrors `criterion::Criterion`).
 #[derive(Debug, Clone)]
@@ -26,15 +105,18 @@ pub struct Criterion {
 
 impl Default for Criterion {
     fn default() -> Criterion {
-        Criterion { sample_size: 100 }
+        Criterion {
+            sample_size: options().sample_size.unwrap_or(100),
+        }
     }
 }
 
 impl Criterion {
-    /// Sets the number of timed samples per benchmark.
+    /// Sets the number of timed samples per benchmark. A
+    /// `--sample-size` flag on the command line wins over this.
     #[must_use]
     pub fn sample_size(mut self, n: usize) -> Criterion {
-        self.sample_size = n.max(1);
+        self.sample_size = options().sample_size.unwrap_or(n.max(1));
         self
     }
 
@@ -103,48 +185,239 @@ impl BenchmarkGroup<'_> {
 #[derive(Debug)]
 pub struct Bencher {
     samples: usize,
-    elapsed: Duration,
-    iters: u64,
+    acc: Accumulator,
 }
 
 impl Bencher {
     fn new(samples: usize) -> Bencher {
         Bencher {
             samples,
-            elapsed: Duration::ZERO,
-            iters: 0,
+            acc: Accumulator::new("sample_ns"),
         }
     }
 
-    /// Times `f`: one warm-up call, then `sample_size` timed calls.
+    /// Times `f`: one warm-up call, then `sample_size` individually
+    /// timed calls so the spread (stddev/min/max) is observable.
     pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
         black_box(f());
-        let start = Instant::now();
+        self.acc = Accumulator::new("sample_ns");
         for _ in 0..self.samples {
+            let start = Instant::now();
             black_box(f());
+            self.acc.record(start.elapsed().as_nanos() as f64);
         }
-        self.elapsed = start.elapsed();
-        self.iters = self.samples as u64;
     }
 
     fn report(&self, name: &str) {
-        if self.iters == 0 {
+        let (Some(mean), Some(sd), Some(min), Some(max)) = (
+            self.acc.mean(),
+            self.acc.stddev(),
+            self.acc.min(),
+            self.acc.max(),
+        ) else {
             println!("{name:<48} (no measurement)");
             return;
-        }
-        let per_iter = self.elapsed.as_nanos() as f64 / self.iters as f64;
-        let (value, unit) = if per_iter >= 1e6 {
-            (per_iter / 1e6, "ms")
-        } else if per_iter >= 1e3 {
-            (per_iter / 1e3, "us")
+        };
+        let (scale, unit) = if mean >= 1e6 {
+            (1e6, "ms")
+        } else if mean >= 1e3 {
+            (1e3, "us")
         } else {
-            (per_iter, "ns")
+            (1.0, "ns")
         };
         println!(
-            "{name:<48} {value:>10.2} {unit}/iter  ({} samples)",
-            self.iters
+            "{name:<48} {:>10.2} \u{b1} {:.2} {unit}/iter  [{:.2} .. {:.2}]  ({} samples)",
+            mean / scale,
+            sd / scale,
+            min / scale,
+            max / scale,
+            self.acc.count(),
+        );
+        RESULTS.lock().unwrap().push(Record {
+            name: name.to_string(),
+            mean_ns: mean,
+            stddev_ns: sd,
+            min_ns: min,
+            max_ns: max,
+            samples: self.acc.count(),
+        });
+    }
+}
+
+/// Measures a fixed integer workload (best of five) as a machine-speed
+/// reference stored with each baseline. The multiply-add recurrence is
+/// loop-carried, so the optimiser cannot collapse it.
+fn calibrate() -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..5 {
+        let start = Instant::now();
+        let mut x: u64 = 0x9E37_79B9_7F4A_7C15;
+        for i in 0..1_000_000u64 {
+            x = x.wrapping_mul(0x2545_F491_4F6C_DD1D).wrapping_add(i);
+        }
+        black_box(x);
+        best = best.min(start.elapsed().as_nanos() as f64);
+    }
+    best
+}
+
+/// Workspace root. Cargo runs bench binaries with the *package*
+/// directory as CWD, so relative baseline paths must anchor here to
+/// mean the same thing as in a shell at the repo root (where `ci.sh`
+/// spells out `crates/bench/baselines/replay.json`).
+fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+/// Resolves a baseline name to a path: names containing `/` or ending
+/// in `.json` are literal paths (relative ones anchored at the
+/// workspace root); anything else lands under `target/microbench/`.
+fn baseline_path(name: &str) -> PathBuf {
+    let p = if name.contains('/') || name.ends_with(".json") {
+        PathBuf::from(name)
+    } else {
+        PathBuf::from("target/microbench").join(format!("{name}.json"))
+    };
+    if p.is_absolute() {
+        p
+    } else {
+        workspace_root().join(p)
+    }
+}
+
+fn baseline_json(records: &[Record], calibration_ns: f64) -> Json {
+    let benches: Vec<(String, Json)> = records
+        .iter()
+        .map(|r| {
+            (
+                r.name.clone(),
+                Json::object([
+                    ("mean_ns", Json::Num(r.mean_ns)),
+                    ("stddev_ns", Json::Num(r.stddev_ns)),
+                    ("min_ns", Json::Num(r.min_ns)),
+                    ("max_ns", Json::Num(r.max_ns)),
+                    ("samples", Json::from(r.samples)),
+                ]),
+            )
+        })
+        .collect();
+    Json::object([
+        ("schema", Json::from("ehp-microbench-baseline/v1")),
+        ("calibration_ns", Json::Num(calibration_ns)),
+        ("benches", Json::Obj(benches.into_iter().collect())),
+    ])
+}
+
+fn save_baseline(name: &str, records: &[Record]) -> Result<PathBuf, String> {
+    let path = baseline_path(name);
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
+        }
+    }
+    let json = baseline_json(records, calibrate());
+    std::fs::write(&path, json.to_string_pretty() + "\n")
+        .map_err(|e| format!("writing {}: {e}", path.display()))?;
+    Ok(path)
+}
+
+fn compare_against_baseline(name: &str, records: &[Record], threshold: f64) -> Result<u32, String> {
+    let path = baseline_path(name);
+    let text = std::fs::read_to_string(&path)
+        .map_err(|e| format!("reading baseline {}: {e}", path.display()))?;
+    let json = Json::parse(&text).map_err(|e| format!("parsing {}: {e:?}", path.display()))?;
+    let saved_cal = json
+        .get("calibration_ns")
+        .and_then(Json::as_f64)
+        .ok_or_else(|| format!("{}: missing calibration_ns", path.display()))?;
+    let benches = json
+        .get("benches")
+        .and_then(Json::as_obj)
+        .ok_or_else(|| format!("{}: missing benches object", path.display()))?;
+
+    // Scale saved times to this machine's speed: a 2x-slower machine
+    // has a 2x-larger calibration and expects 2x-larger times.
+    let cal_ratio = calibrate() / saved_cal;
+    println!(
+        "\nbaseline {} (machine-speed ratio {cal_ratio:.3})",
+        path.display()
+    );
+
+    let mut regressions = 0u32;
+    let mut compared = 0u32;
+    for r in records {
+        // Gate on the per-iteration *minimum*: background load can only
+        // inflate samples, so the min is the noise-robust statistic — a
+        // real regression shifts it, a busy CI box does not.
+        let Some(saved_min) = benches
+            .get(&r.name)
+            .and_then(|b| b.get("min_ns"))
+            .and_then(Json::as_f64)
+        else {
+            println!("  {:<46} not in baseline (skipped)", r.name);
+            continue;
+        };
+        compared += 1;
+        let expected = saved_min * cal_ratio;
+        let delta = r.min_ns / expected - 1.0;
+        let verdict = if delta > threshold {
+            regressions += 1;
+            "REGRESSED"
+        } else {
+            "ok"
+        };
+        println!(
+            "  {:<46} {:>+7.1}% vs expected {:.2} us  {verdict}",
+            r.name,
+            delta * 100.0,
+            expected / 1e3,
         );
     }
+    if compared == 0 {
+        return Err(format!(
+            "{}: no benchmark matched the baseline",
+            path.display()
+        ));
+    }
+    Ok(regressions)
+}
+
+/// Saves/compares baselines from the accumulated results and returns
+/// the process exit code. Called by `criterion_main!` after all groups
+/// have run.
+#[must_use]
+pub fn finalize() -> i32 {
+    let records: Vec<Record> = std::mem::take(&mut *RESULTS.lock().unwrap());
+    let opts = options();
+    if let Some(name) = &opts.save_baseline {
+        match save_baseline(name, &records) {
+            Ok(path) => println!("\nsaved baseline to {}", path.display()),
+            Err(e) => {
+                eprintln!("error: {e}");
+                return 1;
+            }
+        }
+    }
+    if let Some(name) = &opts.baseline {
+        match compare_against_baseline(name, &records, opts.threshold) {
+            Ok(0) => println!(
+                "no regressions beyond {:.0}% threshold",
+                opts.threshold * 100.0
+            ),
+            Ok(n) => {
+                eprintln!(
+                    "error: {n} benchmark(s) regressed beyond the {:.0}% threshold",
+                    opts.threshold * 100.0
+                );
+                return 1;
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                return 1;
+            }
+        }
+    }
+    0
 }
 
 /// Declares a benchmark group function (mirrors
@@ -166,11 +439,14 @@ macro_rules! criterion_group {
 }
 
 /// Declares the bench `main` (mirrors `criterion::criterion_main!`).
+/// After all groups run, [`finalize`] handles `--save-baseline` /
+/// `--baseline` and sets the exit code (non-zero on regression).
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $( $group(); )+
+            std::process::exit($crate::microbench::finalize());
         }
     };
 }
@@ -207,5 +483,73 @@ mod tests {
         }
         g.finish();
         assert_eq!(seen, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn per_sample_stats_are_recorded() {
+        let mut b = Bencher::new(16);
+        b.iter(|| black_box(3u64).wrapping_mul(5));
+        assert_eq!(b.acc.count(), 16);
+        let (mean, min, max) = (
+            b.acc.mean().unwrap(),
+            b.acc.min().unwrap(),
+            b.acc.max().unwrap(),
+        );
+        assert!(min <= mean && mean <= max);
+        assert!(b.acc.stddev().unwrap() >= 0.0);
+    }
+
+    #[test]
+    fn baseline_round_trip_detects_regressions() {
+        let fast = Record {
+            name: "x/1".to_string(),
+            mean_ns: 1000.0,
+            stddev_ns: 10.0,
+            min_ns: 980.0,
+            max_ns: 1020.0,
+            samples: 8,
+        };
+        let json = baseline_json(std::slice::from_ref(&fast), calibrate());
+        let dir = std::env::temp_dir().join("ehp-microbench-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("b.json");
+        std::fs::write(&path, json.to_string_pretty()).unwrap();
+        let name = path.to_str().unwrap().to_string();
+
+        // Same speed: no regression.
+        let same = compare_against_baseline(&name, std::slice::from_ref(&fast), 0.30).unwrap();
+        assert_eq!(same, 0);
+        // 3x slower: regression past any reasonable threshold.
+        let slow = Record {
+            mean_ns: 3000.0,
+            min_ns: 2900.0,
+            ..fast.clone()
+        };
+        let n = compare_against_baseline(&name, &[slow], 0.30).unwrap();
+        assert_eq!(n, 1);
+        // A bench absent from the baseline is skipped, not an error —
+        // but a run where nothing matches is.
+        let stranger = Record {
+            name: "y/2".to_string(),
+            ..fast
+        };
+        assert!(compare_against_baseline(&name, &[stranger], 0.30).is_err());
+    }
+
+    #[test]
+    fn baseline_path_resolution() {
+        let root = workspace_root();
+        assert_eq!(
+            baseline_path("replay"),
+            root.join("target/microbench/replay.json")
+        );
+        assert_eq!(
+            baseline_path("crates/bench/baselines/replay.json"),
+            root.join("crates/bench/baselines/replay.json")
+        );
+        assert_eq!(baseline_path("local.json"), root.join("local.json"));
+        // Absolute paths pass through untouched.
+        let abs = std::env::temp_dir().join("b.json");
+        assert_eq!(baseline_path(abs.to_str().unwrap()), abs);
     }
 }

@@ -177,6 +177,7 @@ fn execute_and_write(scenarios: &[Scenario], args: &Args, quiet: bool) -> BatchR
     let cfg = BatchConfig {
         jobs: args.jobs,
         base_seed: args.base_seed,
+        progress: !args.quiet,
     };
     let result = run_batch(scenarios, &cfg);
     for o in &result.outcomes {
@@ -259,6 +260,7 @@ fn cmd_check(args: &Args) -> i32 {
     let cfg = BatchConfig {
         jobs: args.jobs,
         base_seed: args.base_seed,
+        progress: !args.quiet,
     };
     let result = run_batch(&scenarios, &cfg);
 

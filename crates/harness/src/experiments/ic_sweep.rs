@@ -10,7 +10,12 @@
 //! `channel_granule` (default 256), `hashed` (default true), `pattern`
 //! (`sequential` | `strided` | `random` | `hot` | `chase`; default
 //! `hot`), `footprint_mib` (default 64), `accesses` (default 40000),
-//! `write_fraction` (default 0.3). The trace seed is the scenario seed.
+//! `write_fraction` (default 0.3), `jobs` (replay worker threads;
+//! default 1). The trace seed is the scenario seed. Sharded replay
+//! (`jobs` > 1) partitions the trace by memory channel and produces
+//! results bit-identical to the sequential path; `chase` always
+//! replays sequentially because each address depends on the previous
+//! completion.
 
 use ehp_mem::subsystem::{MemConfig, MemorySubsystem};
 use ehp_mem::trace::{replay, Pattern, TraceConfig};
@@ -52,6 +57,7 @@ pub(crate) fn run(sc: &Scenario) -> ExperimentResult {
         write_fraction: sc.f64("write_fraction", 0.3).clamp(0.0, 1.0),
         line: 128,
         seed: sc.effective_seed(),
+        jobs: sc.u64("jobs", 1).max(1) as usize,
     };
 
     let mut mem = MemorySubsystem::new(cfg.clone());
@@ -81,6 +87,7 @@ pub(crate) fn run(sc: &Scenario) -> ExperimentResult {
     );
     rep.kv("pattern", format!("{pattern:?}"));
     rep.kv("trace seed", trace.seed);
+    rep.kv("replay jobs", trace.jobs);
 
     let r = replay(&mut mem, &trace);
 

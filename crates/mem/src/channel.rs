@@ -7,6 +7,7 @@
 //! background.
 
 use ehp_sim_core::resource::BandwidthPipe;
+use ehp_sim_core::stats::Accumulator;
 use ehp_sim_core::time::SimTime;
 use ehp_sim_core::units::{Bandwidth, Bytes, Energy};
 
@@ -83,6 +84,10 @@ pub struct MemoryChannel {
     hbm: HbmChannelModel,
     icache_pipe: BandwidthPipe,
     icache_energy: Energy,
+    latency: Accumulator,
+    /// Reused prefetch-address scratch buffer: steady-state accesses
+    /// perform no heap allocation.
+    prefetch_scratch: Vec<u64>,
 }
 
 impl MemoryChannel {
@@ -94,12 +99,15 @@ impl MemoryChannel {
         });
         let hbm = HbmChannelModel::new(cfg.hbm_timings, cfg.hbm_rate);
         let icache_pipe = BandwidthPipe::new("icache_slice", cfg.icache_rate);
+        let scratch_cap = cfg.prefetcher.degree as usize;
         MemoryChannel {
             cfg,
             slice,
             hbm,
             icache_pipe,
             icache_energy: Energy::ZERO,
+            latency: Accumulator::new("mem_latency_ns"),
+            prefetch_scratch: Vec::with_capacity(scratch_cap),
         }
     }
 
@@ -113,11 +121,13 @@ impl MemoryChannel {
     ) -> (SimTime, ServicePoint) {
         let Some(slice) = self.slice.as_mut() else {
             // No memory-side cache: straight to HBM.
-            return (self.hbm.access(at, addr, size), ServicePoint::Hbm);
+            let done = self.hbm.access(at, addr, size);
+            self.latency.record((done - at).as_nanos_f64());
+            return (done, ServicePoint::Hbm);
         };
 
         let outcome = slice.access(addr, is_write);
-        let prefetches = slice.take_prefetches(addr);
+        slice.take_prefetches_into(addr, &mut self.prefetch_scratch);
 
         let (done, point) = match outcome {
             CacheOutcome::Hit | CacheOutcome::PrefetchedHit => {
@@ -143,7 +153,8 @@ impl MemoryChannel {
         };
 
         // Prefetch fills consume HBM bandwidth in the background.
-        for pa in prefetches {
+        for i in 0..self.prefetch_scratch.len() {
+            let pa = self.prefetch_scratch[i];
             let fetch_done = self.hbm.access(done, pa, Bytes(self.cfg.line_bytes));
             if let Some(slice) = self.slice.as_mut() {
                 if let Some(victim) = slice.fill_prefetch(pa) {
@@ -154,6 +165,7 @@ impl MemoryChannel {
             }
         }
 
+        self.latency.record((done - at).as_nanos_f64());
         (done, point)
     }
 
@@ -179,6 +191,16 @@ impl MemoryChannel {
     #[must_use]
     pub fn icache_bytes(&self) -> Bytes {
         self.icache_pipe.bytes_moved()
+    }
+
+    /// Per-channel access-latency statistics (nanoseconds). Kept on the
+    /// channel — not the subsystem — so sharded replay workers record
+    /// latency without any shared state, and merging per-channel
+    /// accumulators in channel order reproduces the sequential stream
+    /// bit for bit.
+    #[must_use]
+    pub fn latency(&self) -> &Accumulator {
+        &self.latency
     }
 
     /// Channel configuration.

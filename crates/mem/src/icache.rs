@@ -220,10 +220,11 @@ impl InfinityCacheSlice {
         victim_addr
     }
 
-    /// Runs the stream detector; returns line addresses to prefetch.
-    fn prefetch_candidates(&mut self, line: u64) -> Vec<u64> {
+    /// Runs the stream detector; returns whether the stream is trained
+    /// (the caller then prefetches `degree` lines ahead of `line`).
+    fn stream_trained(&mut self, line: u64) -> bool {
         if !self.pf.enabled {
-            return Vec::new();
+            return false;
         }
         match self.last_line {
             Some(prev) if line == prev + 1 => self.stream_len += 1,
@@ -231,13 +232,7 @@ impl InfinityCacheSlice {
             _ => self.stream_len = 0,
         }
         self.last_line = Some(line);
-        if self.stream_len >= self.pf.train_threshold {
-            (1..=u64::from(self.pf.degree))
-                .map(|d| (line + d) * self.line_bytes)
-                .collect()
-        } else {
-            Vec::new()
-        }
+        self.stream_len >= self.pf.train_threshold
     }
 
     /// Looks up `addr`, updating replacement and dirty state.
@@ -272,18 +267,29 @@ impl InfinityCacheSlice {
     /// Call after [`InfinityCacheSlice::access`]; separated so callers can
     /// decide whether to act on them.
     pub fn take_prefetches(&mut self, addr: u64) -> Vec<u64> {
+        let mut out = Vec::new();
+        self.take_prefetches_into(addr, &mut out);
+        out
+    }
+
+    /// Allocation-free variant of [`InfinityCacheSlice::take_prefetches`]:
+    /// clears `out` and appends the prefetch addresses. Replay hot paths
+    /// pass a reused scratch buffer so steady-state replay performs no
+    /// per-access allocation.
+    pub fn take_prefetches_into(&mut self, addr: u64, out: &mut Vec<u64>) {
+        out.clear();
         let line = self.line_of(addr);
-        let cands = self.prefetch_candidates(line);
-        let mut out = Vec::with_capacity(cands.len());
-        for a in cands {
-            let l = self.line_of(a);
+        if !self.stream_trained(line) {
+            return;
+        }
+        for d in 1..=u64::from(self.pf.degree) {
+            let l = line + d;
             let set_idx = self.set_of(l);
             let tag = self.tag_of(l);
             if !self.sets[set_idx].iter().any(|x| x.tag == tag) {
-                out.push(a);
+                out.push(l * self.line_bytes);
             }
         }
-        out
     }
 
     /// Installs a prefetched line; returns dirty victim address if any.

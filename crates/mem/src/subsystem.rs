@@ -76,7 +76,6 @@ pub struct MemorySubsystem {
     channels: Vec<MemoryChannel>,
     reads: Counter,
     writes: Counter,
-    latency: Accumulator,
     bytes: Bytes,
 }
 
@@ -99,7 +98,6 @@ impl MemorySubsystem {
             channels,
             reads: Counter::new("mem_reads"),
             writes: Counter::new("mem_writes"),
-            latency: Accumulator::new("mem_latency_ns"),
             bytes: Bytes::ZERO,
         }
     }
@@ -115,12 +113,112 @@ impl MemorySubsystem {
             self.writes.inc();
         }
         self.bytes += req.size;
-        self.latency.record((completes_at - at).as_nanos_f64());
         MemResponse {
             completes_at,
             channel: placement.channel,
             served_by,
         }
+    }
+
+    /// Replays independent (issue-at-zero) request streams across the
+    /// channels on `jobs` worker threads, each owning a disjoint
+    /// contiguous block of channels.
+    ///
+    /// `buckets_for(lo, hi)` is called once per worker — concurrently,
+    /// from that worker's thread — and must return one request bucket per
+    /// channel in `[lo, hi)`, each holding that channel's requests in
+    /// trace order. Because [`Interleaver::place`] deterministically
+    /// steers every address to exactly one channel, replaying each
+    /// channel's sub-stream in order evolves precisely the state the
+    /// sequential loop would have produced: all merged statistics
+    /// (counters, per-channel latency accumulators, completion-time
+    /// maximum) are **bit-identical** to a sequential
+    /// [`MemorySubsystem::access`] loop over the same trace.
+    ///
+    /// Returns the time the last access completes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a bucket batch has the wrong arity or a worker panics.
+    pub fn replay_sharded<F>(&mut self, jobs: usize, buckets_for: F) -> SimTime
+    where
+        F: Fn(usize, usize) -> Vec<Vec<MemRequest>> + Sync,
+    {
+        let n = self.channels.len();
+        let jobs = jobs.clamp(1, n.max(1));
+        let chunk = n.div_ceil(jobs);
+
+        let totals: Vec<ShardTotals> = if jobs == 1 {
+            vec![Self::replay_channel_block(
+                &mut self.channels,
+                0,
+                &buckets_for,
+            )]
+        } else {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = self
+                    .channels
+                    .chunks_mut(chunk)
+                    .enumerate()
+                    .map(|(w, block)| {
+                        let buckets_for = &buckets_for;
+                        scope.spawn(move || {
+                            Self::replay_channel_block(block, w * chunk, buckets_for)
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("replay shard worker panicked"))
+                    .collect()
+            })
+        };
+
+        let mut last = SimTime::ZERO;
+        for t in totals {
+            self.reads.add(t.reads);
+            self.writes.add(t.writes);
+            self.bytes += t.bytes;
+            if t.last > last {
+                last = t.last;
+            }
+        }
+        last
+    }
+
+    /// Replays one worker's channel block (channels `lo..lo + len`);
+    /// shared by the inline (jobs = 1) and threaded paths so both evolve
+    /// state identically.
+    fn replay_channel_block<F>(
+        block: &mut [MemoryChannel],
+        lo: usize,
+        buckets_for: &F,
+    ) -> ShardTotals
+    where
+        F: Fn(usize, usize) -> Vec<Vec<MemRequest>>,
+    {
+        let buckets = buckets_for(lo, lo + block.len());
+        assert_eq!(
+            buckets.len(),
+            block.len(),
+            "bucket batch arity must match the channel block"
+        );
+        let mut totals = ShardTotals::default();
+        for (ch, reqs) in block.iter_mut().zip(&buckets) {
+            for r in reqs {
+                let (done, _) = ch.access(SimTime::ZERO, r.addr, r.size, r.is_write());
+                if done > totals.last {
+                    totals.last = done;
+                }
+                if r.is_read() {
+                    totals.reads += 1;
+                } else {
+                    totals.writes += 1;
+                }
+                totals.bytes += r.size;
+            }
+        }
+        totals
     }
 
     /// Issues a batch of independent requests all arriving at `at` and
@@ -172,9 +270,25 @@ impl MemorySubsystem {
     }
 
     /// Mean access latency in nanoseconds; `None` before any access.
+    ///
+    /// Computed by merging the per-channel latency accumulators in
+    /// channel-index order — the same fold both the sequential access
+    /// loop and sharded replay produce, so the value is bit-identical
+    /// across the two paths.
     #[must_use]
     pub fn mean_latency_ns(&self) -> Option<f64> {
-        self.latency.mean()
+        self.latency_stats().mean()
+    }
+
+    /// Socket-wide latency statistics: the per-channel accumulators
+    /// merged in channel-index order.
+    #[must_use]
+    pub fn latency_stats(&self) -> Accumulator {
+        let mut acc = Accumulator::new("mem_latency_ns");
+        for c in &self.channels {
+            acc.merge(c.latency());
+        }
+        acc
     }
 
     /// Aggregate peak HBM bandwidth across channels.
@@ -209,6 +323,15 @@ impl MemorySubsystem {
         let secs = end.as_secs();
         (secs > 0.0).then(|| Bandwidth::from_bytes_per_sec(self.bytes.as_f64() / secs))
     }
+}
+
+/// Per-shard aggregates a replay worker hands back for merging.
+#[derive(Debug, Default, Clone, Copy)]
+struct ShardTotals {
+    last: SimTime,
+    reads: u64,
+    writes: u64,
+    bytes: Bytes,
 }
 
 #[cfg(test)]

@@ -64,6 +64,11 @@ pub struct TraceConfig {
     pub line: u64,
     /// RNG seed.
     pub seed: u64,
+    /// Replay worker threads. `1` (the default) replays sequentially;
+    /// higher values shard the replay by channel ownership (see
+    /// [`replay`]). Purely a performance knob: results are bit-identical
+    /// at any value.
+    pub jobs: usize,
 }
 
 impl TraceConfig {
@@ -77,17 +82,24 @@ impl TraceConfig {
             write_fraction: 0.3,
             line: 128,
             seed: 0xEAD5,
+            jobs: 1,
         }
     }
 
-    /// Generates the address/kind trace.
+    /// Streams the trace through `f`, one request at a time, in trace
+    /// order, without materialising it.
+    ///
+    /// This is the single source of truth for trace generation: because
+    /// the whole stream is a pure function of the config, sharded replay
+    /// workers regenerate it independently (from the same SplitMix64
+    /// seed) and keep only the requests for channels they own — no trace
+    /// buffer is shared, copied, or even fully allocated.
     ///
     /// # Panics
     ///
     /// Panics if the footprint is smaller than one line or fractions are
     /// out of range.
-    #[must_use]
-    pub fn generate(&self) -> Vec<MemRequest> {
+    pub fn for_each(&self, mut f: impl FnMut(MemRequest)) {
         assert!(self.footprint >= self.line, "footprint too small");
         assert!(
             (0.0..=1.0).contains(&self.write_fraction),
@@ -96,7 +108,6 @@ impl TraceConfig {
         let mut rng = SplitMix64::new(self.seed);
         let lines = self.footprint / self.line;
         let mut chase_state = 0x9E37_79B9u64 % lines;
-        let mut out = Vec::with_capacity(self.accesses as usize);
         for i in 0..self.accesses {
             let line_idx = match self.pattern {
                 Pattern::Sequential => i % lines,
@@ -129,13 +140,25 @@ impl TraceConfig {
             } else {
                 AccessKind::Read
             };
-            out.push(MemRequest {
+            f(MemRequest {
                 addr,
                 size: Bytes(self.line),
                 kind,
                 agent: ehp_sim_core::ids::AgentId(0),
             });
         }
+    }
+
+    /// Generates the address/kind trace as a vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the footprint is smaller than one line or fractions are
+    /// out of range.
+    #[must_use]
+    pub fn generate(&self) -> Vec<MemRequest> {
+        let mut out = Vec::with_capacity(self.accesses as usize);
+        self.for_each(|req| out.push(req));
         out
     }
 }
@@ -158,20 +181,57 @@ pub struct ReplayResult {
 /// Independent patterns issue at time zero (bandwidth-style); the
 /// pointer chase issues each access after the previous completes
 /// (latency-style).
+///
+/// With `cfg.jobs > 1`, independent patterns replay **sharded**: the
+/// interleaver steers every address to exactly one channel, so each
+/// worker thread regenerates the trace from the shared seed, keeps the
+/// requests for the contiguous channel block it owns, and replays them
+/// in trace order against its own channels. Merged results are
+/// bit-identical to the sequential path at any job count (see the
+/// `replay_determinism` suite). [`Pattern::PointerChase`] carries a
+/// cross-shard dependency — each address derives from the previous
+/// completion — so it always falls back to the sequential path.
 #[must_use]
 pub fn replay(mem: &mut MemorySubsystem, cfg: &TraceConfig) -> ReplayResult {
-    let trace = cfg.generate();
+    let dependent = cfg.pattern == Pattern::PointerChase;
+    if dependent || cfg.jobs <= 1 {
+        return replay_sequential(mem, cfg);
+    }
+
+    let interleaver = mem.interleaver().clone();
+    let last = mem.replay_sharded(cfg.jobs, |lo, hi| {
+        let mut buckets = vec![Vec::new(); hi - lo];
+        cfg.for_each(|req| {
+            let c = interleaver.channel_of(req.addr).index();
+            if (lo..hi).contains(&c) {
+                buckets[c - lo].push(req);
+            }
+        });
+        buckets
+    });
+    finish(mem, cfg, last)
+}
+
+/// The sequential reference replay: one [`MemorySubsystem::access`] call
+/// per request, in trace order. [`replay`] with `jobs > 1` must produce
+/// bit-identical results to this path.
+#[must_use]
+pub fn replay_sequential(mem: &mut MemorySubsystem, cfg: &TraceConfig) -> ReplayResult {
     let dependent = cfg.pattern == Pattern::PointerChase;
     let mut t = SimTime::ZERO;
     let mut last = SimTime::ZERO;
-    for req in trace {
+    cfg.for_each(|req| {
         let issue = if dependent { t } else { SimTime::ZERO };
         let resp = mem.access(issue, req);
         t = resp.completes_at;
         if t > last {
             last = t;
         }
-    }
+    });
+    finish(mem, cfg, last)
+}
+
+fn finish(mem: &MemorySubsystem, cfg: &TraceConfig, last: SimTime) -> ReplayResult {
     let total = Bytes(cfg.accesses * cfg.line);
     ReplayResult {
         elapsed: last,
@@ -240,6 +300,51 @@ mod tests {
         let mut other = cfg;
         other.seed += 1;
         assert_ne!(cfg.generate(), other.generate());
+    }
+
+    #[test]
+    fn for_each_streams_the_generated_trace() {
+        let cfg = TraceConfig {
+            accesses: 2_000,
+            ..TraceConfig::new(Pattern::Hot {
+                hot_fraction: 0.8,
+                hot_bytes: 1 << 20,
+            })
+        };
+        let mut streamed = Vec::new();
+        cfg.for_each(|r| streamed.push(r));
+        assert_eq!(streamed, cfg.generate());
+    }
+
+    #[test]
+    fn sharded_replay_matches_sequential() {
+        let cfg = TraceConfig {
+            accesses: 20_000,
+            jobs: 4,
+            ..TraceConfig::new(Pattern::Random)
+        };
+        let mut seq_mem = MemorySubsystem::new(MemConfig::mi300_hbm3());
+        let seq = replay_sequential(&mut seq_mem, &cfg);
+        let mut par_mem = MemorySubsystem::new(MemConfig::mi300_hbm3());
+        let par = replay(&mut par_mem, &cfg);
+        assert_eq!(seq, par);
+        assert_eq!(seq_mem.reads(), par_mem.reads());
+        assert_eq!(seq_mem.writes(), par_mem.writes());
+        assert_eq!(seq_mem.bytes_served(), par_mem.bytes_served());
+    }
+
+    #[test]
+    fn pointer_chase_ignores_jobs() {
+        // The dependent pattern cannot shard; jobs > 1 must silently take
+        // the sequential path and still produce the sequential result.
+        let cfg = TraceConfig {
+            accesses: 5_000,
+            jobs: 8,
+            ..TraceConfig::new(Pattern::PointerChase)
+        };
+        let mut a = MemorySubsystem::new(MemConfig::mi300_hbm3());
+        let mut b = MemorySubsystem::new(MemConfig::mi300_hbm3());
+        assert_eq!(replay(&mut a, &cfg), replay_sequential(&mut b, &cfg));
     }
 
     #[test]

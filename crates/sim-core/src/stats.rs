@@ -90,12 +90,13 @@ impl fmt::Display for Counter {
     }
 }
 
-/// Running sum/min/max/mean over `f64` samples.
+/// Running sum/min/max/mean/stddev over `f64` samples.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Accumulator {
     name: &'static str,
     count: u64,
     sum: f64,
+    sumsq: f64,
     min: f64,
     max: f64,
 }
@@ -108,6 +109,7 @@ impl Accumulator {
             name,
             count: 0,
             sum: 0.0,
+            sumsq: 0.0,
             min: f64::INFINITY,
             max: f64::NEG_INFINITY,
         }
@@ -117,6 +119,7 @@ impl Accumulator {
     pub fn record(&mut self, sample: f64) {
         self.count += 1;
         self.sum += sample;
+        self.sumsq += sample * sample;
         self.min = self.min.min(sample);
         self.max = self.max.max(sample);
     }
@@ -151,6 +154,20 @@ impl Accumulator {
         (self.count > 0).then_some(self.max)
     }
 
+    /// Population variance (E[x²] − E[x]², clamped at zero); `None` if
+    /// empty.
+    #[must_use]
+    pub fn variance(&self) -> Option<f64> {
+        self.mean()
+            .map(|m| (self.sumsq / self.count as f64 - m * m).max(0.0))
+    }
+
+    /// Population standard deviation; `None` if empty.
+    #[must_use]
+    pub fn stddev(&self) -> Option<f64> {
+        self.variance().map(f64::sqrt)
+    }
+
     /// Display name.
     #[must_use]
     pub fn name(&self) -> &'static str {
@@ -161,6 +178,7 @@ impl Accumulator {
     pub fn merge(&mut self, other: &Accumulator) {
         self.count += other.count;
         self.sum += other.sum;
+        self.sumsq += other.sumsq;
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);
     }
@@ -182,6 +200,7 @@ impl ToJson for Accumulator {
             ("mean", self.mean().to_json()),
             ("min", self.min().to_json()),
             ("max", self.max().to_json()),
+            ("stddev", self.stddev().to_json()),
         ])
     }
 }
@@ -454,6 +473,22 @@ mod tests {
         assert_eq!(a.min(), Some(1.0));
         assert_eq!(a.max(), Some(10.0));
         assert!((a.sum() - 16.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accumulator_stddev() {
+        let mut a = Accumulator::new("s");
+        assert_eq!(a.stddev(), None);
+        for v in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            a.record(v);
+        }
+        // Classic example: population stddev is exactly 2.
+        assert!((a.stddev().unwrap() - 2.0).abs() < 1e-12);
+        // Constant samples: zero spread, never NaN from rounding.
+        let mut c = Accumulator::new("c");
+        c.record(3.0);
+        c.record(3.0);
+        assert_eq!(c.stddev(), Some(0.0));
     }
 
     #[test]

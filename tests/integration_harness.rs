@@ -20,6 +20,7 @@ fn full_registry_runs_ok_in_parallel() {
         &BatchConfig {
             jobs: 8,
             base_seed: 42,
+            progress: false,
         },
     );
     assert_eq!(result.outcomes.len(), scenarios.len());
@@ -68,6 +69,7 @@ fn same_seed_batches_produce_identical_summaries() {
         &BatchConfig {
             jobs: 1,
             base_seed: 7,
+            progress: false,
         },
     );
     let b = run_batch(
@@ -75,6 +77,7 @@ fn same_seed_batches_produce_identical_summaries() {
         &BatchConfig {
             jobs: 4,
             base_seed: 7,
+            progress: false,
         },
     );
     let text_a = a.summary_json().to_string_pretty();
@@ -91,6 +94,7 @@ fn different_base_seed_changes_derived_seeds_only() {
         &BatchConfig {
             jobs: 1,
             base_seed: 1,
+            progress: false,
         },
     );
     let b = run_batch(
@@ -98,6 +102,7 @@ fn different_base_seed_changes_derived_seeds_only() {
         &BatchConfig {
             jobs: 1,
             base_seed: 2,
+            progress: false,
         },
     );
     assert_ne!(
@@ -112,6 +117,7 @@ fn different_base_seed_changes_derived_seeds_only() {
         &BatchConfig {
             jobs: 1,
             base_seed: 1,
+            progress: false,
         },
     );
     assert_eq!(c.outcomes[0].scenario.seed, Some(99));
@@ -187,6 +193,7 @@ fn expected_shapes_pass_on_default_scenarios() {
         &BatchConfig {
             jobs: 4,
             base_seed: 0,
+            progress: false,
         },
     );
     let findings = check::evaluate(&result.outcomes);
@@ -219,6 +226,7 @@ fn panicking_scenario_is_isolated_from_the_batch() {
         &BatchConfig {
             jobs: 2,
             base_seed: 0,
+            progress: false,
         },
     );
     match &result.outcomes[0].status {

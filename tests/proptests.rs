@@ -310,6 +310,7 @@ fn traces_in_footprint() {
             write_fraction: rng.next_f64(),
             line: 128,
             seed: rng.next_u64(),
+            jobs: 1,
         };
         let t1 = cfg.generate();
         assert_eq!(t1.len(), 256);

@@ -1,0 +1,127 @@
+//! Determinism suite for sharded trace replay: for every access
+//! pattern, every memory configuration, and every parallelism level,
+//! `replay` with `jobs` > 1 must produce a [`ReplayResult`] and
+//! subsystem-level statistics bit-identical to the sequential
+//! reference path. This is the contract that makes the `jobs` knob
+//! safe to flip in scenario specs: parallelism changes wall-clock
+//! time and nothing else.
+//!
+//! The sharding rule that makes this possible: the interleaver steers
+//! each address to exactly one channel, each worker owns a contiguous
+//! block of channels and replays only that block's requests in trace
+//! order, and floating-point aggregates are merged per channel in
+//! channel-index order by both paths. `PointerChase` is the one
+//! pattern that cannot shard (each address derives from the previous
+//! completion time), so `replay` must fall back to the sequential
+//! path for it at any `jobs` value.
+
+use ehp_mem::subsystem::{MemConfig, MemorySubsystem};
+use ehp_mem::trace::{replay, replay_sequential, Pattern, TraceConfig};
+
+const PATTERNS: [(&str, Pattern); 5] = [
+    ("sequential", Pattern::Sequential),
+    ("strided", Pattern::Strided { stride: 1024 }),
+    ("random", Pattern::Random),
+    (
+        "hot",
+        Pattern::Hot {
+            hot_fraction: 0.9,
+            hot_bytes: 4 << 20,
+        },
+    ),
+    ("chase", Pattern::PointerChase),
+];
+
+fn assert_sharded_matches_sequential(label: &str, make: impl Fn() -> MemorySubsystem) {
+    for (pname, pattern) in PATTERNS {
+        let base = TraceConfig {
+            accesses: 30_000,
+            footprint: 1 << 26,
+            write_fraction: 0.3,
+            seed: 0xD1CE,
+            ..TraceConfig::new(pattern)
+        };
+        let mut seq = make();
+        let want = replay_sequential(&mut seq, &base);
+
+        for jobs in [1usize, 2, 8] {
+            let cfg = TraceConfig { jobs, ..base };
+            let mut mem = make();
+            let got = replay(&mut mem, &cfg);
+            let ctx = format!("{label}/{pname} jobs={jobs}");
+            assert_eq!(got, want, "{ctx}: ReplayResult diverged");
+            // The merged subsystem state must match too — counters
+            // exactly, floating-point aggregates bit for bit.
+            assert_eq!(mem.reads(), seq.reads(), "{ctx}: reads");
+            assert_eq!(mem.writes(), seq.writes(), "{ctx}: writes");
+            assert_eq!(mem.bytes_served(), seq.bytes_served(), "{ctx}: bytes");
+            assert_eq!(
+                mem.mean_latency_ns(),
+                seq.mean_latency_ns(),
+                "{ctx}: mean latency must be bit-identical, not just close"
+            );
+            assert_eq!(
+                mem.icache_hit_rate(),
+                seq.icache_hit_rate(),
+                "{ctx}: icache hit rate"
+            );
+            assert_eq!(mem.energy_used(), seq.energy_used(), "{ctx}: energy");
+        }
+    }
+}
+
+#[test]
+fn sharded_replay_is_bit_identical_mi300() {
+    assert_sharded_matches_sequential("mi300_hbm3", || {
+        MemorySubsystem::new(MemConfig::mi300_hbm3())
+    });
+}
+
+#[test]
+fn sharded_replay_is_bit_identical_mi300_nps4() {
+    assert_sharded_matches_sequential("mi300_nps4", || {
+        MemorySubsystem::new(MemConfig::mi300_nps4())
+    });
+}
+
+#[test]
+fn sharded_replay_is_bit_identical_mi250x() {
+    // No Infinity Cache slices: exercises the HBM-only channel path.
+    assert_sharded_matches_sequential("mi250x_hbm2e", || {
+        MemorySubsystem::new(MemConfig::mi250x_hbm2e())
+    });
+}
+
+#[test]
+fn jobs_beyond_channel_count_clamp_and_stay_identical() {
+    let cfg = TraceConfig {
+        accesses: 10_000,
+        footprint: 1 << 24,
+        jobs: 1024, // far more than 128 channels
+        ..TraceConfig::new(Pattern::Random)
+    };
+    let mut seq = MemorySubsystem::new(MemConfig::mi300_hbm3());
+    let want = replay_sequential(&mut seq, &cfg);
+    let mut mem = MemorySubsystem::new(MemConfig::mi300_hbm3());
+    assert_eq!(replay(&mut mem, &cfg), want);
+}
+
+#[test]
+fn write_heavy_traces_shard_identically() {
+    // Dirty-victim writebacks are the subtlest per-channel state; an
+    // all-write trace maximises them.
+    let base = TraceConfig {
+        accesses: 20_000,
+        footprint: 1 << 22, // small footprint: heavy eviction traffic
+        write_fraction: 1.0,
+        ..TraceConfig::new(Pattern::Random)
+    };
+    let mut seq = MemorySubsystem::new(MemConfig::mi300_hbm3());
+    let want = replay_sequential(&mut seq, &base);
+    for jobs in [2usize, 8] {
+        let cfg = TraceConfig { jobs, ..base };
+        let mut mem = MemorySubsystem::new(MemConfig::mi300_hbm3());
+        assert_eq!(replay(&mut mem, &cfg), want, "jobs={jobs}");
+        assert_eq!(mem.mean_latency_ns(), seq.mean_latency_ns());
+    }
+}
