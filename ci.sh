@@ -49,6 +49,14 @@ step "benches compile" cargo build --benches --offline
 step "perf smoke (replay)" cargo bench --offline --bench replay -- \
     --baseline crates/bench/baselines/replay.json --threshold 0.30
 
+# Same gate for the fabric hot path (dense-index route table + solver,
+# DESIGN.md §9). The bench itself also hard-asserts that the dense
+# solver stays >= 2x the pre-refactor reference and byte-identical to it.
+# Regenerate after intentional perf changes with:
+#   cargo bench --bench fabric -- --save-baseline crates/bench/baselines/fabric.json
+step "perf smoke (fabric)" cargo bench --offline --bench fabric -- \
+    --baseline crates/bench/baselines/fabric.json --threshold 0.30
+
 # Shape-fidelity gate: every experiment runs, and headline metrics stay
 # inside the committed expected ranges (see crates/harness/src/check.rs).
 step "ehp all" ./target/release/ehp all --jobs 8 --quiet

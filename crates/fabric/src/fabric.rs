@@ -1,8 +1,6 @@
 //! The timed fabric simulator: transfers traverse routed paths with
 //! per-link contention and energy accounting.
 
-use std::collections::HashMap;
-
 use ehp_sim_core::resource::BandwidthPipe;
 use ehp_sim_core::time::SimTime;
 use ehp_sim_core::units::{Bandwidth, Bytes, Energy};
@@ -39,6 +37,10 @@ impl Transfer {
 /// at message granularity — adequate for the message sizes and contention
 /// questions in this project) and pays each hop's propagation latency.
 ///
+/// Construction precomputes the topology's all-pairs route table, so
+/// every routing query below is a borrowed-slice lookup — no BFS, no
+/// per-pair cache, no allocation on the send hot path (DESIGN.md §9).
+///
 /// # Example
 ///
 /// ```
@@ -56,15 +58,16 @@ impl Transfer {
 pub struct FabricSim {
     topo: Topology,
     pipes: Vec<BandwidthPipe>,
-    route_cache: HashMap<(NodeKey, NodeKey), Option<Vec<usize>>>,
     total_bytes: Bytes,
     total_energy: Energy,
 }
 
 impl FabricSim {
-    /// Wraps a topology in a timed simulator.
+    /// Wraps a topology in a timed simulator; precomputes the route
+    /// table if the topology was mutated since its last build.
     #[must_use]
-    pub fn new(topo: Topology) -> FabricSim {
+    pub fn new(mut topo: Topology) -> FabricSim {
+        topo.precompute_routes();
         let pipes = topo
             .edges()
             .iter()
@@ -75,7 +78,6 @@ impl FabricSim {
         FabricSim {
             topo,
             pipes,
-            route_cache: HashMap::new(),
             total_bytes: Bytes::ZERO,
             total_energy: Energy::ZERO,
         }
@@ -85,13 +87,6 @@ impl FabricSim {
     #[must_use]
     pub fn topology(&self) -> &Topology {
         &self.topo
-    }
-
-    fn path(&mut self, from: NodeKey, to: NodeKey) -> Option<Vec<usize>> {
-        self.route_cache
-            .entry((from, to))
-            .or_insert_with(|| self.topo.route(from, to))
-            .clone()
     }
 
     /// Sends `size` bytes from `from` to `to` starting at `at`.
@@ -104,10 +99,11 @@ impl FabricSim {
         to: NodeKey,
         size: Bytes,
     ) -> Option<Transfer> {
-        let path = self.path(from, to)?;
+        let path = self.topo.route_slice(from, to)?;
         let mut t = at;
         let mut energy = Energy::ZERO;
-        for &ei in &path {
+        for &ei in path {
+            let ei = ei as usize;
             let spec = self.topo.edges()[ei].spec;
             let before = self.pipes[ei].energy_used();
             t = self.pipes[ei].request(t, size) + spec.latency;
@@ -128,10 +124,10 @@ impl FabricSim {
     /// only, ignoring queueing).
     #[must_use]
     pub fn path_latency(&self, from: NodeKey, to: NodeKey) -> Option<SimTime> {
-        let path = self.topo.route(from, to)?;
+        let path = self.topo.route_slice(from, to)?;
         Some(
             path.iter()
-                .map(|&ei| self.topo.edges()[ei].spec.latency)
+                .map(|&ei| self.topo.edges()[ei as usize].spec.latency)
                 .sum(),
         )
     }
@@ -139,9 +135,9 @@ impl FabricSim {
     /// The bottleneck (minimum per-direction) bandwidth along a path.
     #[must_use]
     pub fn path_bandwidth(&self, from: NodeKey, to: NodeKey) -> Option<Bandwidth> {
-        let path = self.topo.route(from, to)?;
+        let path = self.topo.route_slice(from, to)?;
         path.iter()
-            .map(|&ei| self.topo.edges()[ei].spec.per_direction)
+            .map(|&ei| self.topo.edges()[ei as usize].spec.per_direction)
             .min_by(|a, b| a.partial_cmp(b).expect("finite bandwidths"))
     }
 
@@ -149,11 +145,11 @@ impl FabricSim {
     /// along the route (no queueing).
     #[must_use]
     pub fn path_energy(&self, from: NodeKey, to: NodeKey, size: Bytes) -> Option<Energy> {
-        let path = self.topo.route(from, to)?;
+        let path = self.topo.route_slice(from, to)?;
         Some(
             path.iter()
                 .map(|&ei| {
-                    self.topo.edges()[ei]
+                    self.topo.edges()[ei as usize]
                         .spec
                         .energy_per_byte
                         .scale(size.as_f64())

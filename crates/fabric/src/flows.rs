@@ -7,12 +7,23 @@
 //! The allocator implements progressive filling (max-min fairness),
 //! which is what a well-arbitrated fabric converges to, and is the right
 //! tool for the paper's bandwidth claims under contention.
+//!
+//! ## Dense fast path (DESIGN.md §9)
+//!
+//! Sweep studies solve many flow sets over one fixed topology, so the
+//! solver works entirely in dense per-edge/per-flow arrays held in a
+//! reusable [`SolverWorkspace`]: routes come from the topology's
+//! precomputed table (BFS only as a fallback on mutated topologies), and
+//! a warmed-up workspace allocates nothing per [`FlowSolver::solve_into`]
+//! call. Links are visited in edge-index order, so every floating-point
+//! reduction sees the same values as the pre-refactor solver — outputs
+//! are bit-identical (pinned by differential tests against
+//! [`reference::solve`]).
 
-use std::collections::HashMap;
-
+use ehp_sim_core::json::{Json, ToJson};
 use ehp_sim_core::units::Bandwidth;
 
-use crate::topology::{NodeKey, Topology};
+use crate::topology::{BfsScratch, NodeKey, Topology};
 
 /// One continuous flow.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -48,6 +59,80 @@ pub struct FlowRate {
     pub link_limited: bool,
 }
 
+impl ToJson for FlowRate {
+    fn to_json(&self) -> Json {
+        Json::object([
+            ("from", self.flow.from.to_json()),
+            ("to", self.flow.to.to_json()),
+            (
+                "demand_bytes_per_sec",
+                self.flow.demand.map(Bandwidth::as_bytes_per_sec).to_json(),
+            ),
+            (
+                "rate_bytes_per_sec",
+                Json::Num(self.rate.as_bytes_per_sec()),
+            ),
+            ("link_limited", Json::Bool(self.link_limited)),
+        ])
+    }
+}
+
+/// Reusable dense scratch state for [`FlowSolver`]: per-flow rates,
+/// flattened routes, per-edge capacities and saturation flags, and the
+/// active-flow list. After the first solve of a given problem size,
+/// subsequent solves allocate nothing.
+#[derive(Debug, Clone, Default)]
+pub struct SolverWorkspace {
+    // Per-flow state.
+    rate: Vec<f64>,
+    frozen: Vec<bool>,
+    routed: Vec<bool>,
+    route_off: Vec<u32>,
+    route_edges: Vec<u32>,
+    // Per-edge state (indexed by directed edge index).
+    cap: Vec<f64>,
+    in_cap: Vec<bool>,
+    crossing: Vec<u32>,
+    saturated: Vec<bool>,
+    // Scratch.
+    active: Vec<u32>,
+    bfs: BfsScratch,
+    bfs_out: Vec<u32>,
+}
+
+impl SolverWorkspace {
+    /// Creates an empty workspace (buffers grow on first use).
+    #[must_use]
+    pub fn new() -> SolverWorkspace {
+        SolverWorkspace::default()
+    }
+
+    fn reset(&mut self, flows: usize, edges: usize) {
+        self.rate.clear();
+        self.rate.resize(flows, 0.0);
+        self.frozen.clear();
+        self.frozen.resize(flows, false);
+        self.routed.clear();
+        self.routed.resize(flows, false);
+        self.route_off.clear();
+        self.route_off.push(0);
+        self.route_edges.clear();
+        self.cap.clear();
+        self.cap.resize(edges, 0.0);
+        self.in_cap.clear();
+        self.in_cap.resize(edges, false);
+        self.crossing.clear();
+        self.crossing.resize(edges, 0);
+        self.saturated.clear();
+        self.saturated.resize(edges, false);
+        self.active.clear();
+    }
+
+    fn route(&self, i: usize) -> &[u32] {
+        &self.route_edges[self.route_off[i] as usize..self.route_off[i + 1] as usize]
+    }
+}
+
 /// Max-min fair allocator over a topology.
 ///
 /// # Examples
@@ -76,16 +161,179 @@ impl<'a> FlowSolver<'a> {
     /// Solves the max-min fair allocation. Flows whose route does not
     /// exist are returned with zero rate and `link_limited = false`.
     ///
-    /// Progressive filling: raise every unfrozen flow's rate uniformly
-    /// until a link saturates or a flow hits its demand; freeze those;
-    /// repeat.
+    /// Convenience wrapper that allocates a one-shot [`SolverWorkspace`];
+    /// sweeps should hold a workspace and call
+    /// [`FlowSolver::solve_with`] / [`FlowSolver::solve_into`].
     #[must_use]
     pub fn solve(&self, flows: &[Flow]) -> Vec<FlowRate> {
+        self.solve_with(flows, &mut SolverWorkspace::new())
+    }
+
+    /// Solves using a caller-held workspace, returning a fresh result
+    /// vector.
+    #[must_use]
+    pub fn solve_with(&self, flows: &[Flow], ws: &mut SolverWorkspace) -> Vec<FlowRate> {
+        let mut out = Vec::with_capacity(flows.len());
+        self.solve_into(flows, ws, &mut out);
+        out
+    }
+
+    /// Solves into caller-owned buffers: with a warmed-up workspace and a
+    /// result vector of sufficient capacity, performs zero heap
+    /// allocations.
+    ///
+    /// Progressive filling: raise every unfrozen flow's rate uniformly
+    /// until a link saturates or a flow hits its demand; freeze those;
+    /// repeat. Links are scanned in directed-edge-index order; because
+    /// the per-round increment is a pure `min` reduction and per-edge
+    /// updates are independent, the result is bit-identical to the
+    /// map-based [`reference::solve`].
+    pub fn solve_into(&self, flows: &[Flow], ws: &mut SolverWorkspace, out: &mut Vec<FlowRate>) {
+        let n_edges = self.topo.edges().len();
+        ws.reset(flows.len(), n_edges);
+
+        // Route each flow once: borrowed from the precomputed table when
+        // the topology is frozen, BFS into workspace scratch otherwise.
+        let table = self.topo.routes_ready();
+        for (i, f) in flows.iter().enumerate() {
+            if table {
+                if let Some(path) = self.topo.route_slice(f.from, f.to) {
+                    ws.routed[i] = true;
+                    ws.route_edges.extend_from_slice(path);
+                }
+            } else if self
+                .topo
+                .route_into(f.from, f.to, &mut ws.bfs, &mut ws.bfs_out)
+            {
+                ws.routed[i] = true;
+                ws.route_edges.extend_from_slice(&ws.bfs_out);
+            }
+            ws.route_off.push(ws.route_edges.len() as u32);
+            // Unroutable flows and self-flows (empty route) start frozen.
+            if !ws.routed[i] || ws.route(i).is_empty() {
+                ws.frozen[i] = true;
+            }
+        }
+
+        // Remaining capacity per directed edge, over the edges any
+        // initially active flow crosses.
+        for i in 0..flows.len() {
+            if ws.frozen[i] {
+                continue;
+            }
+            for k in ws.route_off[i] as usize..ws.route_off[i + 1] as usize {
+                let e = ws.route_edges[k] as usize;
+                if !ws.in_cap[e] {
+                    ws.in_cap[e] = true;
+                    ws.cap[e] = self.topo.edges()[e].spec.per_direction.as_bytes_per_sec();
+                }
+            }
+        }
+
+        loop {
+            ws.active.clear();
+            for i in 0..flows.len() {
+                if !ws.frozen[i] {
+                    ws.active.push(i as u32);
+                }
+            }
+            if ws.active.is_empty() {
+                break;
+            }
+
+            // How much headroom can every active flow gain uniformly?
+            // Per link: remaining / active flows crossing it.
+            ws.crossing[..n_edges].fill(0);
+            for a in 0..ws.active.len() {
+                let i = ws.active[a] as usize;
+                for k in ws.route_off[i] as usize..ws.route_off[i + 1] as usize {
+                    ws.crossing[ws.route_edges[k] as usize] += 1;
+                }
+            }
+            let mut delta = f64::INFINITY;
+            for e in 0..n_edges {
+                if ws.crossing[e] > 0 {
+                    delta = delta.min(ws.cap[e] / f64::from(ws.crossing[e]));
+                }
+            }
+            // Demand ceilings.
+            for a in 0..ws.active.len() {
+                let i = ws.active[a] as usize;
+                if let Some(d) = flows[i].demand {
+                    delta = delta.min(d.as_bytes_per_sec() - ws.rate[i]);
+                }
+            }
+            if !delta.is_finite() || delta <= 1e-6 {
+                // No constraining link and no demand: flows are capped by
+                // nothing in the model — freeze at current rate.
+                break;
+            }
+
+            // Apply the increment.
+            for a in 0..ws.active.len() {
+                ws.rate[ws.active[a] as usize] += delta;
+            }
+            for e in 0..n_edges {
+                if ws.crossing[e] > 0 {
+                    ws.cap[e] -= delta * f64::from(ws.crossing[e]);
+                }
+            }
+
+            // Freeze flows on saturated links or at their demand.
+            for e in 0..n_edges {
+                ws.saturated[e] = ws.in_cap[e] && ws.cap[e] <= 1e-3;
+            }
+            for a in 0..ws.active.len() {
+                let i = ws.active[a] as usize;
+                let on_saturated = ws.route(i).iter().any(|&e| ws.saturated[e as usize]);
+                let at_demand = flows[i]
+                    .demand
+                    .is_some_and(|d| ws.rate[i] >= d.as_bytes_per_sec() - 1e-3);
+                if on_saturated || at_demand {
+                    ws.frozen[i] = true;
+                }
+            }
+        }
+
+        out.clear();
+        out.extend(flows.iter().enumerate().map(|(i, &flow)| {
+            FlowRate {
+                flow,
+                rate: Bandwidth::from_bytes_per_sec(ws.rate[i].max(0.0)),
+                link_limited: ws.routed[i]
+                    && flow
+                        .demand
+                        .is_none_or(|d| ws.rate[i] < d.as_bytes_per_sec() - 1e-3),
+            }
+        }));
+    }
+
+    /// Aggregate throughput of a flow set.
+    #[must_use]
+    pub fn aggregate(&self, flows: &[Flow]) -> Bandwidth {
+        self.solve(flows).iter().map(|r| r.rate).sum()
+    }
+}
+
+/// The pre-refactor map-based solver, kept verbatim as the differential
+/// oracle for the dense fast path: property tests assert byte-identical
+/// output (via [`ToJson`]) and `benches/fabric.rs` measures the speedup
+/// against it. Not part of the supported API.
+pub mod reference {
+    use std::collections::HashMap;
+
+    use ehp_sim_core::units::Bandwidth;
+
+    use super::{Flow, FlowRate};
+    use crate::topology::Topology;
+
+    /// Progressive-filling max-min allocation with `HashMap`-keyed link
+    /// capacities and a fresh BFS per flow — the original algorithm.
+    #[must_use]
+    pub fn solve(topo: &Topology, flows: &[Flow]) -> Vec<FlowRate> {
         // Route each flow once (directed edge indices).
-        let routes: Vec<Option<Vec<usize>>> = flows
-            .iter()
-            .map(|f| self.topo.route(f.from, f.to))
-            .collect();
+        let routes: Vec<Option<Vec<usize>>> =
+            flows.iter().map(|f| topo.route_bfs(f.from, f.to)).collect();
 
         let mut rate = vec![0.0f64; flows.len()];
         let mut frozen = vec![false; flows.len()];
@@ -103,7 +351,7 @@ impl<'a> FlowSolver<'a> {
             }
             for &e in r.as_ref().expect("active flow has route") {
                 cap.entry(e)
-                    .or_insert_with(|| self.topo.edges()[e].spec.per_direction.as_bytes_per_sec());
+                    .or_insert_with(|| topo.edges()[e].spec.per_direction.as_bytes_per_sec());
             }
         }
 
@@ -113,8 +361,6 @@ impl<'a> FlowSolver<'a> {
                 break;
             }
 
-            // How much headroom can every active flow gain uniformly?
-            // Per link: remaining / active flows crossing it.
             let mut delta = f64::INFINITY;
             for (&e, &remaining) in &cap {
                 let crossing = active
@@ -125,19 +371,15 @@ impl<'a> FlowSolver<'a> {
                     delta = delta.min(remaining / crossing as f64);
                 }
             }
-            // Demand ceilings.
             for &i in &active {
                 if let Some(d) = flows[i].demand {
                     delta = delta.min(d.as_bytes_per_sec() - rate[i]);
                 }
             }
             if !delta.is_finite() || delta <= 1e-6 {
-                // No constraining link and no demand: flows are capped by
-                // nothing in the model — freeze at current rate.
                 break;
             }
 
-            // Apply the increment.
             for &i in &active {
                 rate[i] += delta;
             }
@@ -152,7 +394,6 @@ impl<'a> FlowSolver<'a> {
                 }
             }
 
-            // Freeze flows on saturated links or at their demand.
             let saturated: Vec<usize> = cap
                 .iter()
                 .filter(|(_, &rem)| rem <= 1e-3)
@@ -185,12 +426,6 @@ impl<'a> FlowSolver<'a> {
                         .is_none_or(|d| rate[i] < d.as_bytes_per_sec() - 1e-3),
             })
             .collect()
-    }
-
-    /// Aggregate throughput of a flow set.
-    #[must_use]
-    pub fn aggregate(&self, flows: &[Flow]) -> Bandwidth {
-        self.solve(flows).iter().map(|r| r.rate).sum()
     }
 }
 
@@ -312,5 +547,71 @@ mod tests {
         // Max-min: chiplets sharing the same bottleneck get equal rates;
         // different IODs may differ, but not wildly.
         assert!(max / min < 8.0, "min {min} max {max}");
+    }
+
+    #[test]
+    fn workspace_reuse_matches_one_shot_solve() {
+        let topo = Topology::mi300_package(2, 0);
+        let solver = FlowSolver::new(&topo);
+        let mut ws = SolverWorkspace::new();
+        let mut out = Vec::new();
+        for round in 0..3 {
+            let mut flows = Vec::new();
+            for c in 0..8u32 {
+                for s in 0..8u32 {
+                    if (c + s + round) % 3 != 0 {
+                        flows.push(Flow::greedy(NodeKey::Chiplet(c), NodeKey::HbmStack(s)));
+                    }
+                }
+            }
+            solver.solve_into(&flows, &mut ws, &mut out);
+            assert_eq!(out, solver.solve(&flows), "round {round}");
+        }
+    }
+
+    #[test]
+    fn dense_solver_matches_reference_exactly() {
+        // Bit-identical, not approximately equal: the dense rewrite must
+        // not perturb any experiment output.
+        let topo = Topology::mi300_package(2, 3);
+        let mut flows = Vec::new();
+        for c in 0..9u32 {
+            for s in 0..8u32 {
+                let demand = (c % 3 == 0).then(|| Bandwidth::from_gb_s(f64::from(40 + s * 17)));
+                flows.push(Flow {
+                    from: NodeKey::Chiplet(c),
+                    to: NodeKey::HbmStack(s),
+                    demand,
+                });
+            }
+        }
+        let dense = FlowSolver::new(&topo).solve(&flows);
+        let refr = reference::solve(&topo, &flows);
+        assert_eq!(
+            dense.to_json().to_string_compact(),
+            refr.to_json().to_string_compact()
+        );
+    }
+
+    #[test]
+    fn solver_works_without_precomputed_table() {
+        // A hand-built (table-less) topology takes the BFS fallback and
+        // still matches the reference.
+        let mut topo = Topology::new();
+        topo.add_link(NodeKey::Iod(0), NodeKey::Iod(1), LinkTech::Usr.spec());
+        topo.add_link(NodeKey::Iod(1), NodeKey::Iod(2), LinkTech::Serdes2D.spec());
+        assert!(!topo.routes_ready());
+        let flows = [
+            Flow::greedy(NodeKey::Iod(0), NodeKey::Iod(2)),
+            Flow::greedy(NodeKey::Iod(0), NodeKey::Iod(1)),
+            Flow::greedy(NodeKey::Iod(2), NodeKey::Iod(2)),
+            Flow::greedy(NodeKey::Iod(0), NodeKey::External(9)),
+        ];
+        let dense = FlowSolver::new(&topo).solve(&flows);
+        let refr = reference::solve(&topo, &flows);
+        assert_eq!(
+            dense.to_json().to_string_compact(),
+            refr.to_json().to_string_compact()
+        );
     }
 }

@@ -17,6 +17,11 @@
 //!   `ehpv4_audit` experiment can quantify the difference.
 //! * Section VIII / Figure 18 — each socket exposes eight x16 links
 //!   (128 GB/s each) for scale-out topologies.
+//!
+//! The hot data structures are flattened onto dense integer indices
+//! (CSR adjacency, precomputed all-pairs route table, allocation-free
+//! max-min solver workspace); see DESIGN.md §9 for the representation
+//! and invalidation rules.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -27,6 +32,6 @@ pub mod link;
 pub mod topology;
 
 pub use fabric::{FabricSim, Transfer};
-pub use flows::{Flow, FlowRate, FlowSolver};
+pub use flows::{Flow, FlowRate, FlowSolver, SolverWorkspace};
 pub use link::{LinkSpec, LinkTech};
-pub use topology::{NodeKey, Topology};
+pub use topology::{BfsScratch, NodeKey, Topology};

@@ -4,10 +4,25 @@
 //! I/O ports); edges are links with a [`LinkSpec`]. Builders construct the
 //! MI300-style 2×2 IOD package and the EHPv4-style server-IOD package so
 //! experiments can contrast them.
+//!
+//! ## Dense-index fast path (DESIGN.md §9)
+//!
+//! Every node is interned to a stable dense id (`NodeKey → u32`, first
+//! appearance order) at [`Topology::add_link`] time; adjacency lives in a
+//! CSR (compressed sparse row) layout over those ids, and
+//! [`Topology::precompute_routes`] flattens all-pairs shortest paths into
+//! one contiguous route table so steady-state consumers
+//! ([`FabricSim`](crate::fabric::FabricSim),
+//! [`FlowSolver`](crate::flows::FlowSolver)) never run BFS per query.
+//! Any mutation (`add_link`) invalidates the table; the builders return
+//! with it already precomputed. Table-served routes are bit-identical to
+//! [`Topology::route_bfs`] — the property tests under `tests/` pin this
+//! for random topologies.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::HashMap;
 
 use ehp_sim_core::ids::LinkId;
+use ehp_sim_core::json::{Json, ToJson};
 
 use crate::link::{LinkSpec, LinkTech};
 
@@ -26,6 +41,12 @@ pub enum NodeKey {
     External(u32),
 }
 
+impl ToJson for NodeKey {
+    fn to_json(&self) -> Json {
+        Json::Str(format!("{self:?}"))
+    }
+}
+
 /// A directed edge in the topology (one direction of a full-duplex link).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Edge {
@@ -38,6 +59,29 @@ pub struct Edge {
     /// Identifier for contention accounting (both directions of one
     /// physical link share an id but have independent pipes).
     pub link: LinkId,
+}
+
+/// The flattened all-pairs route table: for each `(src, dst)` dense-id
+/// pair (row-major), the shortest path as a run of directed edge indices
+/// inside one contiguous array.
+#[derive(Debug, Clone, Default)]
+struct RouteTable {
+    /// `node_count² + 1` offsets into `edges`.
+    off: Vec<u32>,
+    /// Concatenated per-pair edge-index runs.
+    edges: Vec<u32>,
+    /// Per-pair reachability (distinguishes "empty path" from "no path").
+    reach: Vec<bool>,
+}
+
+/// Reusable BFS scratch so repeated route computations on unfrozen
+/// topologies allocate nothing after warm-up.
+#[derive(Debug, Clone, Default)]
+pub struct BfsScratch {
+    /// Per-node discovering edge index; `u32::MAX` = undiscovered.
+    prev: Vec<u32>,
+    /// BFS frontier (drained by index, no ring buffer needed).
+    queue: Vec<u32>,
 }
 
 /// The fabric topology: a small directed multigraph.
@@ -55,7 +99,23 @@ pub struct Edge {
 #[derive(Debug, Clone, Default)]
 pub struct Topology {
     edges: Vec<Edge>,
-    adjacency: HashMap<NodeKey, Vec<usize>>,
+    /// Dense endpoint ids of each edge (parallel to `edges`), so the BFS
+    /// hot loops never hash a `NodeKey`.
+    edge_src: Vec<u32>,
+    edge_dst: Vec<u32>,
+    /// `NodeKey → dense id` (first-appearance order; stable under growth).
+    node_ids: HashMap<NodeKey, u32>,
+    /// Dense id → key.
+    node_table: Vec<NodeKey>,
+    /// All nodes in sorted order, maintained incrementally for `nodes()`.
+    nodes_sorted: Vec<NodeKey>,
+    /// CSR adjacency: `csr_off[u]..csr_off[u+1]` indexes `csr_edges`,
+    /// which holds outgoing edge indices in insertion order.
+    csr_off: Vec<u32>,
+    csr_edges: Vec<u32>,
+    /// Precomputed all-pairs routes; `None` whenever the edge set has
+    /// changed since the last [`Topology::precompute_routes`].
+    routes: Option<RouteTable>,
     next_link: u32,
 }
 
@@ -66,21 +126,61 @@ impl Topology {
         Topology::default()
     }
 
+    fn intern(&mut self, key: NodeKey) -> u32 {
+        if let Some(&id) = self.node_ids.get(&key) {
+            return id;
+        }
+        let id = u32::try_from(self.node_table.len()).expect("node count fits u32");
+        self.node_ids.insert(key, id);
+        self.node_table.push(key);
+        let pos = self
+            .nodes_sorted
+            .binary_search(&key)
+            .expect_err("new node not yet present");
+        self.nodes_sorted.insert(pos, key);
+        id
+    }
+
+    /// Rebuilds the CSR adjacency from the edge list (stable counting
+    /// sort by source node, so per-node neighbour order is edge insertion
+    /// order — the BFS tie-break rule).
+    fn rebuild_csr(&mut self) {
+        let n = self.node_table.len();
+        self.csr_off.clear();
+        self.csr_off.resize(n + 1, 0);
+        for &src in &self.edge_src {
+            self.csr_off[src as usize + 1] += 1;
+        }
+        for u in 0..n {
+            self.csr_off[u + 1] += self.csr_off[u];
+        }
+        self.csr_edges.resize(self.edges.len(), 0);
+        let mut cursor: Vec<u32> = self.csr_off[..n].to_vec();
+        for (ei, &src) in self.edge_src.iter().enumerate() {
+            let slot = &mut cursor[src as usize];
+            self.csr_edges[*slot as usize] = ei as u32;
+            *slot += 1;
+        }
+    }
+
     /// Adds a full-duplex link (two directed edges sharing a [`LinkId`]);
-    /// returns the id.
+    /// returns the id. Invalidates any precomputed route table.
     pub fn add_link(&mut self, a: NodeKey, b: NodeKey, spec: LinkSpec) -> LinkId {
         let id = LinkId(self.next_link);
         self.next_link += 1;
         for (from, to) in [(a, b), (b, a)] {
-            let idx = self.edges.len();
+            let (src, dst) = (self.intern(from), self.intern(to));
             self.edges.push(Edge {
                 from,
                 to,
                 spec,
                 link: id,
             });
-            self.adjacency.entry(from).or_default().push(idx);
+            self.edge_src.push(src);
+            self.edge_dst.push(dst);
         }
+        self.rebuild_csr();
+        self.routes = None;
         id
     }
 
@@ -96,54 +196,219 @@ impl Topology {
         self.next_link as usize
     }
 
-    /// All nodes that appear in the graph.
+    /// Number of distinct nodes in the graph.
     #[must_use]
-    pub fn nodes(&self) -> Vec<NodeKey> {
-        let mut v: Vec<_> = self.adjacency.keys().copied().collect();
-        v.sort();
-        v
+    pub fn node_count(&self) -> usize {
+        self.node_table.len()
+    }
+
+    /// The dense id of a node, if it appears in the graph.
+    #[must_use]
+    pub fn node_id(&self, key: NodeKey) -> Option<usize> {
+        self.node_ids.get(&key).map(|&id| id as usize)
+    }
+
+    /// The node with dense id `id` (first-appearance order).
+    ///
+    /// # Panics
+    /// If `id >= node_count()`.
+    #[must_use]
+    pub fn node_key(&self, id: usize) -> NodeKey {
+        self.node_table[id]
+    }
+
+    /// All nodes that appear in the graph, in sorted order. Served from
+    /// the dense node table maintained at construction — no per-call
+    /// collection or sort.
+    #[must_use]
+    pub fn nodes(&self) -> &[NodeKey] {
+        &self.nodes_sorted
+    }
+
+    /// Whether the all-pairs route table is built and current.
+    #[must_use]
+    pub fn routes_ready(&self) -> bool {
+        self.routes.is_some()
+    }
+
+    /// Builds the flat all-pairs route table (one full BFS per source
+    /// over the CSR adjacency). Idempotent; `add_link` invalidates it.
+    /// The builders and [`FabricSim::new`](crate::fabric::FabricSim::new)
+    /// call this, so steady-state routing never re-runs BFS.
+    pub fn precompute_routes(&mut self) {
+        if self.routes.is_some() {
+            return;
+        }
+        let n = self.node_table.len();
+        let mut table = RouteTable {
+            off: Vec::with_capacity(n * n + 1),
+            edges: Vec::new(),
+            reach: vec![false; n * n],
+        };
+        table.off.push(0);
+        let mut prev = vec![u32::MAX; n];
+        let mut queue: Vec<u32> = Vec::with_capacity(n);
+        let mut path: Vec<u32> = Vec::new();
+        for src in 0..n as u32 {
+            // Full single-source BFS: discovery order (and therefore
+            // every prev pointer) matches the truncated per-pair BFS in
+            // `route_bfs`, because truncation never rewrites the prev of
+            // an already-discovered node.
+            prev.fill(u32::MAX);
+            queue.clear();
+            queue.push(src);
+            let mut head = 0;
+            while head < queue.len() {
+                let u = queue[head] as usize;
+                head += 1;
+                let (lo, hi) = (self.csr_off[u] as usize, self.csr_off[u + 1] as usize);
+                for &ei in &self.csr_edges[lo..hi] {
+                    let v = self.edge_dst[ei as usize];
+                    if v != src && prev[v as usize] == u32::MAX {
+                        prev[v as usize] = ei;
+                        queue.push(v);
+                    }
+                }
+            }
+            for dst in 0..n as u32 {
+                let pair = src as usize * n + dst as usize;
+                if dst == src {
+                    table.reach[pair] = true;
+                } else if prev[dst as usize] != u32::MAX {
+                    table.reach[pair] = true;
+                    path.clear();
+                    let mut cur = dst;
+                    while cur != src {
+                        let ei = prev[cur as usize];
+                        path.push(ei);
+                        cur = self.edge_src[ei as usize];
+                    }
+                    table.edges.extend(path.iter().rev());
+                }
+                table.off.push(table.edges.len() as u32);
+            }
+        }
+        self.routes = Some(table);
+    }
+
+    /// Table-served route as a borrowed slice of directed edge indices
+    /// (empty for `from == to`); `None` if unreachable. This is the
+    /// allocation-free steady-state path.
+    ///
+    /// # Panics
+    /// If the route table has not been built (call
+    /// [`Topology::precompute_routes`] after the last mutation).
+    #[must_use]
+    pub fn route_slice(&self, from: NodeKey, to: NodeKey) -> Option<&[u32]> {
+        if from == to {
+            return Some(&[]);
+        }
+        let table = self
+            .routes
+            .as_ref()
+            .expect("route table not built: call precompute_routes()");
+        let n = self.node_table.len();
+        let (src, dst) = (self.node_id(from)?, self.node_id(to)?);
+        let pair = src * n + dst;
+        table.reach[pair].then(|| {
+            let (lo, hi) = (table.off[pair] as usize, table.off[pair + 1] as usize);
+            &table.edges[lo..hi]
+        })
     }
 
     /// Shortest path (fewest hops, ties broken by insertion order) from
     /// `from` to `to` as a list of directed edge indices. Returns `None`
-    /// if unreachable.
+    /// if unreachable. Served from the precomputed table when current,
+    /// otherwise falls back to a fresh BFS.
     #[must_use]
     pub fn route(&self, from: NodeKey, to: NodeKey) -> Option<Vec<usize>> {
         if from == to {
             return Some(Vec::new());
         }
-        let mut prev: HashMap<NodeKey, usize> = HashMap::new();
-        let mut queue = VecDeque::new();
-        queue.push_back(from);
-        while let Some(n) = queue.pop_front() {
-            if n == to {
+        if self.routes.is_some() {
+            return self
+                .route_slice(from, to)
+                .map(|p| p.iter().map(|&ei| ei as usize).collect());
+        }
+        self.route_bfs(from, to)
+    }
+
+    /// Always-BFS route (the pre-table algorithm), kept as the oracle for
+    /// differential tests and the route-table build.
+    #[must_use]
+    pub fn route_bfs(&self, from: NodeKey, to: NodeKey) -> Option<Vec<usize>> {
+        if from == to {
+            return Some(Vec::new());
+        }
+        let mut scratch = BfsScratch::default();
+        let mut out = Vec::new();
+        self.route_into(from, to, &mut scratch, &mut out)
+            .then(|| out.iter().map(|&ei| ei as usize).collect())
+    }
+
+    /// BFS route into caller-owned buffers (allocation-free after
+    /// warm-up): fills `out` with the path's directed edge indices and
+    /// returns whether `to` is reachable (`from == to` is reachable with
+    /// an empty path).
+    pub fn route_into(
+        &self,
+        from: NodeKey,
+        to: NodeKey,
+        scratch: &mut BfsScratch,
+        out: &mut Vec<u32>,
+    ) -> bool {
+        out.clear();
+        if from == to {
+            return true;
+        }
+        let n = self.node_table.len();
+        let (Some(src), Some(dst)) = (self.node_id(from), self.node_id(to)) else {
+            return false;
+        };
+        let (src, dst) = (src as u32, dst as u32);
+        scratch.prev.clear();
+        scratch.prev.resize(n, u32::MAX);
+        scratch.queue.clear();
+        scratch.queue.push(src);
+        let mut head = 0;
+        while head < scratch.queue.len() {
+            let u = scratch.queue[head] as usize;
+            head += 1;
+            if u as u32 == dst {
                 break;
             }
-            for &ei in self.adjacency.get(&n).map_or(&[][..], |v| v.as_slice()) {
-                let e = &self.edges[ei];
-                if e.to != from && !prev.contains_key(&e.to) {
-                    prev.insert(e.to, ei);
-                    queue.push_back(e.to);
+            let (lo, hi) = (self.csr_off[u] as usize, self.csr_off[u + 1] as usize);
+            for &ei in &self.csr_edges[lo..hi] {
+                let v = self.edge_dst[ei as usize];
+                if v != src && scratch.prev[v as usize] == u32::MAX {
+                    scratch.prev[v as usize] = ei;
+                    scratch.queue.push(v);
                 }
             }
         }
-        prev.contains_key(&to).then(|| {
-            let mut path = Vec::new();
-            let mut cur = to;
-            while cur != from {
-                let ei = prev[&cur];
-                path.push(ei);
-                cur = self.edges[ei].from;
-            }
-            path.reverse();
-            path
-        })
+        if scratch.prev[dst as usize] == u32::MAX {
+            return false;
+        }
+        let mut cur = dst;
+        while cur != src {
+            let ei = scratch.prev[cur as usize];
+            out.push(ei);
+            cur = self.edge_src[ei as usize];
+        }
+        out.reverse();
+        true
     }
 
     /// Hop count between two nodes, if reachable.
     #[must_use]
     pub fn hops(&self, from: NodeKey, to: NodeKey) -> Option<usize> {
-        self.route(from, to).map(|p| p.len())
+        if from == to {
+            return Some(0);
+        }
+        if self.routes.is_some() {
+            return self.route_slice(from, to).map(<[u32]>::len);
+        }
+        self.route_bfs(from, to).map(|p| p.len())
     }
 
     /// Builds the MI300-style package fabric: four IODs in a 2×2 grid
@@ -153,7 +418,7 @@ impl Topology {
     /// stacks per IOD, and two x16 I/O ports per IOD.
     ///
     /// Chiplet indices are assigned IOD-major: chiplets on IOD *i* come
-    /// before chiplets on IOD *i+1*.
+    /// before chiplets on IOD *i+1*. The route table is precomputed.
     #[must_use]
     pub fn mi300_package(xcds_per_iod: u32, ccds: u32) -> Topology {
         let mut t = Topology::new();
@@ -185,6 +450,7 @@ impl Topology {
         for port in 0..8u32 {
             t.add_link(NodeKey::IoPort(port), NodeKey::Iod(port / 2), x16);
         }
+        t.precompute_routes();
         t
     }
 
@@ -231,6 +497,7 @@ impl Topology {
         for port in 0..2u32 {
             t.add_link(NodeKey::IoPort(port), NodeKey::Iod(0), x16);
         }
+        t.precompute_routes();
         t
     }
 }
@@ -273,6 +540,20 @@ mod tests {
     }
 
     #[test]
+    fn nodes_is_sorted_and_dense_ids_are_stable() {
+        let t = Topology::mi300_package(2, 0);
+        assert!(
+            t.nodes().windows(2).all(|w| w[0] < w[1]),
+            "sorted, no dupes"
+        );
+        assert_eq!(t.nodes().len(), t.node_count());
+        for (id, &key) in (0..t.node_count()).map(|id| (id, &t.node_table[id])) {
+            assert_eq!(t.node_id(key), Some(id));
+            assert_eq!(t.node_key(id), key);
+        }
+    }
+
+    #[test]
     fn adjacent_iods_one_hop_diagonal_two() {
         let t = Topology::mi300_package(2, 0);
         assert_eq!(t.hops(NodeKey::Iod(0), NodeKey::Iod(1)), Some(1));
@@ -310,12 +591,55 @@ mod tests {
     fn route_to_self_is_empty() {
         let t = Topology::mi300_package(2, 0);
         assert_eq!(t.route(NodeKey::Iod(0), NodeKey::Iod(0)), Some(vec![]));
+        assert_eq!(
+            t.route_slice(NodeKey::Iod(0), NodeKey::Iod(0)),
+            Some(&[][..])
+        );
     }
 
     #[test]
     fn unknown_node_unreachable() {
         let t = Topology::mi300_package(2, 0);
         assert_eq!(t.route(NodeKey::Iod(0), NodeKey::External(99)), None);
+        assert_eq!(t.route_slice(NodeKey::Iod(0), NodeKey::External(99)), None);
+    }
+
+    #[test]
+    fn table_matches_bfs_on_builders() {
+        for t in [
+            Topology::mi300_package(2, 0),
+            Topology::mi300_package(2, 3),
+            Topology::ehpv4_package(),
+        ] {
+            assert!(t.routes_ready());
+            for &a in t.nodes() {
+                for &b in t.nodes() {
+                    assert_eq!(t.route(a, b), t.route_bfs(a, b), "{a:?} -> {b:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn add_link_invalidates_route_table() {
+        let mut t = Topology::mi300_package(2, 0);
+        assert!(t.routes_ready());
+        t.add_link(
+            NodeKey::External(0),
+            NodeKey::IoPort(0),
+            LinkTech::X16InfinityFabric.spec(),
+        );
+        assert!(!t.routes_ready(), "mutation must drop the table");
+        // BFS fallback still answers, and rebuilding restores the table.
+        assert!(t
+            .route(NodeKey::External(0), NodeKey::HbmStack(0))
+            .is_some());
+        t.precompute_routes();
+        assert!(t.routes_ready());
+        assert_eq!(
+            t.route(NodeKey::External(0), NodeKey::HbmStack(0)),
+            t.route_bfs(NodeKey::External(0), NodeKey::HbmStack(0)),
+        );
     }
 
     #[test]

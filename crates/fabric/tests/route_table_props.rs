@@ -1,0 +1,162 @@
+//! Property tests for the dense-index fabric fast path (DESIGN.md §9):
+//! over SplitMix64-generated random topologies, the precomputed route
+//! table must agree with a fresh BFS for every (src, dst) pair, and the
+//! dense allocation-free solver must produce byte-identical output
+//! (via `ToJson`) to the pre-refactor reference solver.
+
+use ehp_fabric::flows::{reference, Flow, FlowSolver, SolverWorkspace};
+use ehp_fabric::link::LinkTech;
+use ehp_fabric::topology::{NodeKey, Topology};
+use ehp_sim_core::json::ToJson;
+use ehp_sim_core::rng::SplitMix64;
+use ehp_sim_core::units::Bandwidth;
+
+const TECHS: [LinkTech; 6] = [
+    LinkTech::HybridBond3D,
+    LinkTech::Usr,
+    LinkTech::HbmPhy,
+    LinkTech::Serdes2D,
+    LinkTech::X16InfinityFabric,
+    LinkTech::X16Pcie,
+];
+
+fn random_key(rng: &mut SplitMix64, id_space: u64) -> NodeKey {
+    let id = rng.next_below(id_space) as u32;
+    match rng.next_below(5) {
+        0 => NodeKey::Iod(id),
+        1 => NodeKey::Chiplet(id),
+        2 => NodeKey::HbmStack(id),
+        3 => NodeKey::IoPort(id),
+        _ => NodeKey::External(id),
+    }
+}
+
+/// A random multigraph: sometimes one cluster, sometimes two clusters
+/// with no links between them so unreachable pairs are exercised too.
+fn random_topology(rng: &mut SplitMix64) -> Topology {
+    let mut t = Topology::new();
+    let nodes: Vec<NodeKey> = (0..2 + rng.next_below(10))
+        .map(|_| random_key(rng, 16))
+        .collect();
+    let split = if rng.chance(0.3) && nodes.len() >= 4 {
+        nodes.len() / 2
+    } else {
+        nodes.len()
+    };
+    let links = nodes.len() as u64 + rng.next_below(2 * nodes.len() as u64 + 1);
+    for _ in 0..links {
+        // Pick both endpoints inside one cluster (self-links allowed:
+        // the router must tolerate degenerate edges).
+        let cluster = if (rng.next_below(nodes.len() as u64) as usize) < split {
+            &nodes[..split]
+        } else {
+            &nodes[split..]
+        };
+        if cluster.is_empty() {
+            continue;
+        }
+        let a = cluster[rng.next_below(cluster.len() as u64) as usize];
+        let b = cluster[rng.next_below(cluster.len() as u64) as usize];
+        let tech = TECHS[rng.next_below(TECHS.len() as u64) as usize];
+        t.add_link(a, b, tech.spec());
+    }
+    t
+}
+
+#[test]
+fn route_table_matches_fresh_bfs_for_every_pair() {
+    let mut rng = SplitMix64::new(0x5EED_F00D);
+    for case in 0..150 {
+        let mut topo = random_topology(&mut rng);
+        topo.precompute_routes();
+        let mut probes: Vec<NodeKey> = topo.nodes().to_vec();
+        // Nodes absent from the graph must stay unreachable both ways.
+        probes.push(NodeKey::External(999));
+        for &a in &probes {
+            for &b in &probes {
+                let table = topo.route(a, b);
+                let bfs = topo.route_bfs(a, b);
+                assert_eq!(table, bfs, "case {case}: {a:?} -> {b:?}");
+                assert_eq!(
+                    topo.hops(a, b),
+                    bfs.map(|p| p.len()),
+                    "case {case}: hops {a:?} -> {b:?}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn dense_solver_is_byte_identical_to_reference() {
+    let mut rng = SplitMix64::new(0xFAB_1234);
+    // One workspace reused across every case: reuse must never leak
+    // state between solves.
+    let mut ws = SolverWorkspace::new();
+    let mut out = Vec::new();
+    for case in 0..120 {
+        let mut topo = random_topology(&mut rng);
+        if rng.chance(0.5) {
+            // Exercise both the table-served and BFS-fallback route paths.
+            topo.precompute_routes();
+        }
+        let nodes: Vec<NodeKey> = topo.nodes().to_vec();
+        let mut flows = Vec::new();
+        for _ in 0..rng.next_below(24) {
+            let from = if rng.chance(0.05) {
+                NodeKey::External(777) // unroutable
+            } else {
+                nodes[rng.next_below(nodes.len() as u64) as usize]
+            };
+            let to = if rng.chance(0.1) {
+                from // self-flow: empty route
+            } else {
+                nodes[rng.next_below(nodes.len() as u64) as usize]
+            };
+            let demand = rng
+                .chance(0.4)
+                .then(|| Bandwidth::from_gb_s(1.0 + rng.next_f64() * 400.0));
+            flows.push(Flow { from, to, demand });
+        }
+        FlowSolver::new(&topo).solve_into(&flows, &mut ws, &mut out);
+        let refr = reference::solve(&topo, &flows);
+        assert_eq!(
+            out.to_json().to_string_compact(),
+            refr.to_json().to_string_compact(),
+            "case {case}: dense and reference solver outputs diverge"
+        );
+    }
+}
+
+#[test]
+fn builder_topologies_solve_byte_identical_at_scale() {
+    // The MI300X-scale all-to-all pattern every experiment sweeps.
+    for topo in [
+        Topology::mi300_package(2, 0),
+        Topology::mi300_package(2, 3),
+        Topology::ehpv4_package(),
+    ] {
+        let chiplets: Vec<NodeKey> = topo
+            .nodes()
+            .iter()
+            .copied()
+            .filter(|n| matches!(n, NodeKey::Chiplet(_)))
+            .collect();
+        let stacks: Vec<NodeKey> = topo
+            .nodes()
+            .iter()
+            .copied()
+            .filter(|n| matches!(n, NodeKey::HbmStack(_)))
+            .collect();
+        let flows: Vec<Flow> = chiplets
+            .iter()
+            .flat_map(|&c| stacks.iter().map(move |&s| Flow::greedy(c, s)))
+            .collect();
+        let dense = FlowSolver::new(&topo).solve(&flows);
+        let refr = reference::solve(&topo, &flows);
+        assert_eq!(
+            dense.to_json().to_string_compact(),
+            refr.to_json().to_string_compact()
+        );
+    }
+}

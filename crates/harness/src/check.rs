@@ -123,6 +123,62 @@ pub fn expected_shapes() -> &'static [ShapeRange] {
             why: "Section V.A: USR density advantage over 2D SerDes '>10x'",
         },
         ShapeRange {
+            experiment: "ehpv4_audit",
+            metric: "streaming_advantage",
+            min: 1.5,
+            max: 3.0,
+            why: "Figure 4: the USR mesh saturates the HBM under all-to-all \
+                  streaming; the SerDes hub cannot (~2x aggregate)",
+        },
+        ShapeRange {
+            experiment: "ehpv4_audit",
+            metric: "cross_package_bw_advantage",
+            min: 8.0,
+            max: 14.0,
+            why: "Figure 4 challenge 2: DDR-provisioned IF links hold \
+                  cross-package HBM traffic ~10x below the USR path",
+        },
+        ShapeRange {
+            experiment: "ehpv4_audit",
+            metric: "cross_package_energy_advantage",
+            min: 2.5,
+            max: 4.5,
+            why: "Section V.A: 2D SerDes costs ~5x the pJ/bit of USR; the \
+                  far-HBM path mix nets ~3x transport energy",
+        },
+        ShapeRange {
+            experiment: "figure18",
+            metric: "quad_mi300a_bisection_gb_s",
+            min: 900.0,
+            max: 1100.0,
+            why: "Figure 18a: 4x MI300A all-to-all with two x16 IF links \
+                  per pair gives a ~1 TB/s bisection",
+        },
+        ShapeRange {
+            experiment: "figure18",
+            metric: "remote_stream_gb_s",
+            min: 110.0,
+            max: 130.0,
+            why: "Figure 18a: remote load-store streams at the 128 GB/s \
+                  inter-socket bundle, not at HBM rate",
+        },
+        ShapeRange {
+            experiment: "frontier_node",
+            metric: "cpu_gpu_stream_gb_s",
+            min: 55.0,
+            max: 70.0,
+            why: "Figure 2: Frontier's CPU->GPU stream rides one x16-class \
+                  IF bundle (~64 GB/s per direction)",
+        },
+        ShapeRange {
+            experiment: "frontier_node",
+            metric: "hpcg_speedup_4gpu",
+            min: 3.0,
+            max: 4.0,
+            why: "Figure 2: HPCG strong-scales near-linearly across the \
+                  node's four fully connected GPUs",
+        },
+        ShapeRange {
             experiment: "microarch_audit",
             metric: "l1_bandwidth_factor",
             min: 2.0,
