@@ -26,6 +26,12 @@ step() {
 step "build (release)" cargo build --release --offline
 step "tests" cargo test -q --offline
 
+# Determinism & hot-path static analysis (DESIGN.md §10): fails on any
+# unwaived finding — hash-order iteration, wall-clock reads, f32
+# truncation, allocations inside `// lint:hot-path` fences, or scenario
+# specs that don't match their experiment's parameter schema.
+step "ehp lint" ./target/release/ehp lint
+
 if cargo fmt --version >/dev/null 2>&1; then
     step "rustfmt" cargo fmt --all -- --check
 else

@@ -7,7 +7,7 @@
 //! line granularity with explicit action records (who gets probed, where
 //! data comes from) so timing layers can charge the right costs.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 use ehp_sim_core::ids::AgentId;
 use ehp_sim_core::stats::Counter;
@@ -18,7 +18,7 @@ pub enum LineState {
     /// Not cached by any agent; memory is the only copy.
     Uncached,
     /// Cached read-only by one or more agents.
-    Shared(HashSet<AgentId>),
+    Shared(BTreeSet<AgentId>),
     /// Owned (potentially dirty) by exactly one agent.
     Owned(AgentId),
 }
@@ -72,12 +72,12 @@ impl CoherenceAction {
 /// ```
 #[derive(Debug)]
 pub struct ProbeFilter {
-    lines: HashMap<u64, LineState>,
+    lines: BTreeMap<u64, LineState>,
     /// Monotonic version per line: each write bumps it. Readers observing
     /// the directory-correct version is the protocol's safety property.
-    versions: HashMap<u64, u64>,
+    versions: BTreeMap<u64, u64>,
     /// Version each agent last observed/produced per line.
-    observed: HashMap<(AgentId, u64), u64>,
+    observed: BTreeMap<(AgentId, u64), u64>,
     reads: Counter,
     writes: Counter,
     probes_sent: Counter,
@@ -96,9 +96,9 @@ impl ProbeFilter {
     #[must_use]
     pub fn new() -> ProbeFilter {
         ProbeFilter {
-            lines: HashMap::new(),
-            versions: HashMap::new(),
-            observed: HashMap::new(),
+            lines: BTreeMap::new(),
+            versions: BTreeMap::new(),
+            observed: BTreeMap::new(),
             reads: Counter::new("pf_reads"),
             writes: Counter::new("pf_writes"),
             probes_sent: Counter::new("pf_probes"),
@@ -131,7 +131,7 @@ impl ProbeFilter {
         let action = match state {
             LineState::Uncached => {
                 self.lines
-                    .insert(line, LineState::Shared(HashSet::from([agent])));
+                    .insert(line, LineState::Shared(BTreeSet::from([agent])));
                 CoherenceAction::silent(DataSource::Memory)
             }
             LineState::Shared(mut sharers) => {
@@ -152,7 +152,7 @@ impl ProbeFilter {
                 self.writebacks.inc();
                 self.cache_to_cache.inc();
                 self.lines
-                    .insert(line, LineState::Shared(HashSet::from([owner, agent])));
+                    .insert(line, LineState::Shared(BTreeSet::from([owner, agent])));
                 CoherenceAction {
                     probes: vec![owner],
                     data_from: DataSource::Cache(owner),
@@ -303,7 +303,7 @@ mod tests {
         let act = pf.read(A, 0);
         assert_eq!(act.data_from, DataSource::Memory);
         assert!(act.probes.is_empty());
-        assert_eq!(pf.state(0), LineState::Shared(HashSet::from([A])));
+        assert_eq!(pf.state(0), LineState::Shared(BTreeSet::from([A])));
     }
 
     #[test]
@@ -312,7 +312,7 @@ mod tests {
         pf.read(A, 0);
         let act = pf.read(B, 0);
         assert!(act.probes.is_empty());
-        assert_eq!(pf.state(0), LineState::Shared(HashSet::from([A, B])));
+        assert_eq!(pf.state(0), LineState::Shared(BTreeSet::from([A, B])));
     }
 
     #[test]
@@ -342,7 +342,7 @@ mod tests {
         assert_eq!(act.probes, vec![A]);
         assert_eq!(act.data_from, DataSource::Cache(A));
         assert!(act.writeback);
-        assert_eq!(pf.state(0), LineState::Shared(HashSet::from([A, B])));
+        assert_eq!(pf.state(0), LineState::Shared(BTreeSet::from([A, B])));
     }
 
     #[test]
@@ -370,7 +370,7 @@ mod tests {
         pf.read(A, 0);
         pf.read(B, 0);
         pf.evict(A, 0);
-        assert_eq!(pf.state(0), LineState::Shared(HashSet::from([B])));
+        assert_eq!(pf.state(0), LineState::Shared(BTreeSet::from([B])));
         pf.evict(B, 0);
         assert_eq!(pf.state(0), LineState::Uncached);
     }
@@ -402,7 +402,7 @@ mod tests {
         pf.write(A, 0);
         pf.read(B, 64);
         assert_eq!(pf.state(0), LineState::Owned(A));
-        assert_eq!(pf.state(64), LineState::Shared(HashSet::from([B])));
+        assert_eq!(pf.state(64), LineState::Shared(BTreeSet::from([B])));
         assert_eq!(pf.probes_sent(), 0);
     }
 

@@ -11,7 +11,7 @@
 //! counts the flush/invalidate traffic each scope transition costs — the
 //! quantity the hardware-coherent CPU path avoids paying.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 use ehp_sim_core::ids::AgentId;
 use ehp_sim_core::stats::Counter;
@@ -47,10 +47,10 @@ pub enum SyncScope {
 /// ```
 #[derive(Debug)]
 pub struct ScopeTracker {
-    dirty: HashMap<AgentId, HashSet<u64>>,
-    valid: HashMap<AgentId, HashSet<u64>>,
+    dirty: BTreeMap<AgentId, BTreeSet<u64>>,
+    valid: BTreeMap<AgentId, BTreeSet<u64>>,
     /// Lines made globally visible, with the releasing agent.
-    visible: HashMap<u64, AgentId>,
+    visible: BTreeMap<u64, AgentId>,
     flushes: Counter,
     invalidations: Counter,
     releases: Counter,
@@ -68,9 +68,9 @@ impl ScopeTracker {
     #[must_use]
     pub fn new() -> ScopeTracker {
         ScopeTracker {
-            dirty: HashMap::new(),
-            valid: HashMap::new(),
-            visible: HashMap::new(),
+            dirty: BTreeMap::new(),
+            valid: BTreeMap::new(),
+            visible: BTreeMap::new(),
             flushes: Counter::new("scope_flushes"),
             invalidations: Counter::new("scope_invalidations"),
             releases: Counter::new("scope_releases"),
@@ -119,7 +119,7 @@ impl ScopeTracker {
         let drained: Vec<u64> = self
             .dirty
             .get_mut(&agent)
-            .map(|d| d.drain().collect())
+            .map(|d| std::mem::take(d).into_iter().collect())
             .unwrap_or_default();
         let n = drained.len() as u64;
         self.flushes.add(n);
@@ -162,13 +162,13 @@ impl ScopeTracker {
     /// Dirty-line count for an agent.
     #[must_use]
     pub fn dirty_lines(&self, agent: AgentId) -> usize {
-        self.dirty.get(&agent).map_or(0, HashSet::len)
+        self.dirty.get(&agent).map_or(0, BTreeSet::len)
     }
 
     /// Cached (valid) line count for an agent.
     #[must_use]
     pub fn valid_lines(&self, agent: AgentId) -> usize {
-        self.valid.get(&agent).map_or(0, HashSet::len)
+        self.valid.get(&agent).map_or(0, BTreeSet::len)
     }
 
     /// Total line flushes performed by releases.

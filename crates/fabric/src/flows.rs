@@ -189,6 +189,7 @@ impl<'a> FlowSolver<'a> {
     /// updates are independent, the result is bit-identical to the
     /// map-based [`reference::solve`].
     pub fn solve_into(&self, flows: &[Flow], ws: &mut SolverWorkspace, out: &mut Vec<FlowRate>) {
+        // lint:hot-path
         let n_edges = self.topo.edges().len();
         ws.reset(flows.len(), n_edges);
 
@@ -306,6 +307,7 @@ impl<'a> FlowSolver<'a> {
                         .is_none_or(|d| ws.rate[i] < d.as_bytes_per_sec() - 1e-3),
             }
         }));
+        // lint:hot-path-end
     }
 
     /// Aggregate throughput of a flow set.

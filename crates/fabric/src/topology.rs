@@ -300,6 +300,7 @@ impl Topology {
     /// [`Topology::precompute_routes`] after the last mutation).
     #[must_use]
     pub fn route_slice(&self, from: NodeKey, to: NodeKey) -> Option<&[u32]> {
+        // lint:hot-path
         if from == to {
             return Some(&[]);
         }
@@ -314,6 +315,7 @@ impl Topology {
             let (lo, hi) = (table.off[pair] as usize, table.off[pair + 1] as usize);
             &table.edges[lo..hi]
         })
+        // lint:hot-path-end
     }
 
     /// Shortest path (fewest hops, ties broken by insertion order) from

@@ -1,0 +1,11 @@
+//! Standalone `ehp-lint` binary: identical to `ehp lint`, for CI steps
+//! and editors that want the linter without the full CLI.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let json = std::env::args().skip(1).any(|a| a == "--json");
+    let cwd = std::env::current_dir().unwrap_or_else(|_| ".".into());
+    #[allow(clippy::cast_sign_loss)]
+    ExitCode::from(ehp_harness::lint::run(&cwd, json) as u8)
+}

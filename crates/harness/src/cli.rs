@@ -5,15 +5,17 @@
 //! ehp run <exp...> [options]       run selected experiments / spec files
 //! ehp all [--jobs N]              run the whole registry in parallel
 //! ehp check [--jobs N]            run + compare against expected shapes
+//! ehp lint [--json]               static determinism/hot-path analysis
 //! ```
 //!
 //! Options: `--jobs N` worker threads, `--seed N` batch base seed,
 //! `--param k=v` parameter override (repeatable; `v` parsed as JSON,
 //! falling back to a string), `--spec FILE` scenario spec file
-//! (repeatable), `--quiet` suppress report text.
+//! (repeatable), `--quiet` suppress report text, `--json`
+//! machine-readable lint findings.
 //!
 //! Argument parsing is hand-rolled: the environment is offline and the
-//! surface is four subcommands.
+//! surface is five subcommands.
 
 use std::collections::BTreeMap;
 
@@ -31,6 +33,7 @@ struct Args {
     jobs: usize,
     base_seed: u64,
     quiet: bool,
+    json: bool,
     params: BTreeMap<String, Json>,
     seed_override: Option<u64>,
     specs: Vec<String>,
@@ -56,6 +59,10 @@ pub fn run(argv: &[String]) -> i32 {
         "run" => cmd_run(&args),
         "all" => cmd_all(&args),
         "check" => cmd_check(&args),
+        "lint" => {
+            let cwd = std::env::current_dir().unwrap_or_else(|_| ".".into());
+            crate::lint::run(&cwd, args.json)
+        }
         "help" | "--help" | "-h" => {
             print_usage();
             0
@@ -76,13 +83,15 @@ fn print_usage() {
          ehp run <exp...> [options]       run selected experiments\n\
          ehp all [options]                run the whole registry\n\
          ehp check [options]              run + verify expected shapes\n\
+         ehp lint [--json]                lint the workspace (DESIGN.md §10)\n\
          \n\
          options:\n\
            --jobs N        worker threads (default 1)\n\
            --seed N        batch base seed (default 0)\n\
            --param k=v     scenario parameter override (repeatable)\n\
            --spec FILE     scenario spec file (repeatable)\n\
-           --quiet         suppress report text"
+           --quiet         suppress report text\n\
+           --json          machine-readable lint findings"
     );
 }
 
@@ -122,6 +131,7 @@ fn parse_args(rest: &[String]) -> Result<Args, String> {
             }
             "--spec" => args.specs.push(value_of("--spec")?.to_string()),
             "--quiet" | "-q" => args.quiet = true,
+            "--json" => args.json = true,
             flag if flag.starts_with('-') => {
                 return Err(format!("unknown option {flag:?}"));
             }

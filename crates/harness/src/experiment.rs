@@ -2,6 +2,7 @@
 
 use std::collections::BTreeMap;
 
+use ehp_lint::ParamSpec;
 use ehp_sim_core::json::Json;
 
 use crate::report::Report;
@@ -19,6 +20,11 @@ pub trait Experiment: Sync {
     fn id(&self) -> &'static str;
     /// One-line human description.
     fn title(&self) -> &'static str;
+    /// The scenario parameters this experiment reads. `ehp lint` (S1)
+    /// rejects scenario specs naming anything else.
+    fn params(&self) -> &'static [ParamSpec] {
+        &[]
+    }
     /// Runs the experiment.
     fn run(&self, scenario: &Scenario) -> ExperimentResult;
 }
@@ -78,6 +84,8 @@ pub struct FnExperiment {
     pub id: &'static str,
     /// One-line description.
     pub title: &'static str,
+    /// Declared scenario parameters (the experiment's S1 schema).
+    pub params: &'static [ParamSpec],
     /// The experiment body.
     pub runner: fn(&Scenario) -> ExperimentResult,
 }
@@ -89,6 +97,10 @@ impl Experiment for FnExperiment {
 
     fn title(&self) -> &'static str {
         self.title
+    }
+
+    fn params(&self) -> &'static [ParamSpec] {
+        self.params
     }
 
     fn run(&self, scenario: &Scenario) -> ExperimentResult {

@@ -26,6 +26,7 @@ pub mod cli;
 pub mod executor;
 pub mod experiment;
 mod experiments;
+pub mod lint;
 pub mod output;
 pub mod registry;
 pub mod report;

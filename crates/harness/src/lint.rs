@@ -1,0 +1,56 @@
+//! Driver for `ehp lint` / the `ehp-lint` binary: binds the generic
+//! analyzer in `ehp-lint` to this workspace's experiment registry (which
+//! supplies the S1 scenario schemas) and renders the report.
+
+use std::path::Path;
+
+use ehp_lint::{find_workspace_root, lint_workspace, LintConfig, LintReport};
+
+use crate::registry;
+
+/// Runs the linter from `start_dir` (the workspace root is found by
+/// walking up). Prints findings to stdout — JSON when `json` is set,
+/// one line per finding otherwise — and returns the process exit code:
+/// 0 when every finding is waived, 1 otherwise, 2 on I/O failure.
+#[must_use]
+pub fn run(start_dir: &Path, json: bool) -> i32 {
+    let Some(root) = find_workspace_root(start_dir) else {
+        eprintln!(
+            "ehp lint: no workspace root (Cargo.toml + crates/) above {}",
+            start_dir.display()
+        );
+        return 2;
+    };
+    let schemas = registry::schemas();
+    let config = LintConfig {
+        root,
+        schemas: &schemas,
+    };
+    let report = match lint_workspace(&config) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("ehp lint: {e}");
+            return 2;
+        }
+    };
+    render(&report, json);
+    i32::from(report.unwaived_count() != 0)
+}
+
+/// Prints the report to stdout.
+fn render(report: &LintReport, json: bool) {
+    if json {
+        println!("{}", report.to_json().to_string_pretty());
+        return;
+    }
+    for f in &report.findings {
+        println!("{}", f.render());
+    }
+    println!(
+        "ehp lint: {} file(s), {} scenario spec(s): {} unwaived finding(s), {} waived",
+        report.files_scanned,
+        report.scenarios_scanned,
+        report.unwaived_count(),
+        report.waived_count()
+    );
+}

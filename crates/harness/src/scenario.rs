@@ -122,8 +122,25 @@ impl Scenario {
     }
 
     /// Rebuilds a scenario from [`Scenario::to_json`] output or a
-    /// hand-written spec without a sweep.
+    /// hand-written spec without a sweep. Unknown top-level keys are
+    /// rejected — a typo'd key would otherwise silently fall back to the
+    /// experiment's defaults.
     pub fn from_json(v: &Json) -> Result<Scenario, SpecError> {
+        Scenario::from_json_allowing(v, &["experiment", "name", "seed", "params"])
+    }
+
+    /// [`Scenario::from_json`] with an explicit top-level key allow-list
+    /// (the spec loader additionally accepts `sweep`).
+    fn from_json_allowing(v: &Json, allowed: &[&str]) -> Result<Scenario, SpecError> {
+        if let Some(obj) = v.as_obj() {
+            if let Some(unknown) = obj.keys().find(|k| !allowed.contains(&k.as_str())) {
+                return Err(SpecError::new(format!(
+                    "unknown key {unknown:?} (expected one of {allowed:?}); \
+                     `ehp lint` validates scenario specs against each \
+                     experiment's parameter schema"
+                )));
+            }
+        }
         let experiment = v
             .get("experiment")
             .and_then(Json::as_str)
@@ -193,7 +210,8 @@ pub struct ScenarioSpec {
 impl ScenarioSpec {
     /// Parses one spec object.
     pub fn from_json(v: &Json) -> Result<ScenarioSpec, SpecError> {
-        let base = Scenario::from_json(v)?;
+        let base =
+            Scenario::from_json_allowing(v, &["experiment", "name", "seed", "params", "sweep"])?;
         let mut sweep = BTreeMap::new();
         if let Some(s) = v.get("sweep") {
             let obj = s
@@ -331,9 +349,23 @@ mod tests {
             r#"{"experiment": "x", "params": 3}"#,
             r#"{"experiment": "x", "sweep": {"a": []}}"#,
             r#"{"experiment": "x", "sweep": {"a": 1}}"#,
+            r#"{"experiment": "x", "swep": {"a": [1]}}"#,
         ] {
             let v = Json::parse(src).unwrap();
             assert!(ScenarioSpec::from_json(&v).is_err(), "{src} should fail");
         }
+    }
+
+    #[test]
+    fn unknown_top_level_keys_are_rejected_with_lint_pointer() {
+        // A typo'd key must not silently fall back to defaults.
+        let v = Json::parse(r#"{"experiment": "ic_sweep", "parms": {"ic_mib": 4}}"#).unwrap();
+        let err = Scenario::from_json(&v).unwrap_err();
+        assert!(err.message.contains("parms"), "{}", err.message);
+        assert!(err.message.contains("ehp lint"), "{}", err.message);
+        // `sweep` is only legal through the spec loader.
+        let v = Json::parse(r#"{"experiment": "x", "sweep": {"a": [1]}}"#).unwrap();
+        assert!(Scenario::from_json(&v).is_err());
+        assert!(ScenarioSpec::from_json(&v).is_ok());
     }
 }

@@ -1,0 +1,131 @@
+//! The linter run against the real workspace: the tree must be clean
+//! (zero unwaived findings), every checked-in scenario spec must satisfy
+//! its experiment's schema, and the scenario loader must reject typo'd
+//! keys at load time.
+
+use std::path::Path;
+
+use ehp_harness::registry;
+use ehp_harness::scenario::ScenarioSpec;
+use ehp_lint::{find_workspace_root, lint_workspace, LintConfig, Rule};
+use ehp_sim_core::json::Json;
+
+fn workspace_root() -> std::path::PathBuf {
+    find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("workspace root above crates/harness")
+}
+
+#[test]
+fn real_workspace_has_zero_unwaived_findings() {
+    let schemas = registry::schemas();
+    let config = LintConfig {
+        root: workspace_root(),
+        schemas: &schemas,
+    };
+    let report = lint_workspace(&config).expect("lint run");
+    assert!(
+        report.files_scanned > 100,
+        "walker must cover the workspace, saw {} files",
+        report.files_scanned
+    );
+    assert!(
+        report.scenarios_scanned >= 2,
+        "walker must cover scenarios/, saw {}",
+        report.scenarios_scanned
+    );
+    let unwaived: Vec<String> = report.unwaived().map(|f| f.render()).collect();
+    assert!(
+        unwaived.is_empty(),
+        "tree must lint clean:\n{}",
+        unwaived.join("\n")
+    );
+    // The flows.rs reference-oracle waivers must be live (not stale).
+    assert!(
+        report.waived_count() >= 3,
+        "expected the checked-in waivers to cover findings, got {}",
+        report.waived_count()
+    );
+    assert!(report
+        .findings
+        .iter()
+        .any(|f| f.rule == Rule::HashIter && f.path == "crates/fabric/src/flows.rs"));
+}
+
+#[test]
+fn checked_in_scenarios_match_registry_schemas() {
+    let root = workspace_root();
+    let schemas = registry::schemas();
+    let dir = root.join("scenarios");
+    let mut seen = 0usize;
+    let mut entries: Vec<_> = std::fs::read_dir(&dir)
+        .expect("scenarios dir")
+        .map(|e| e.expect("entry").path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.extension().and_then(|e| e.to_str()) != Some("json") {
+            continue;
+        }
+        let text = std::fs::read_to_string(&path).expect("read spec");
+        let rel = path.file_name().unwrap().to_string_lossy().to_string();
+        let findings = ehp_lint::schema::validate_scenario(&rel, &text, &schemas);
+        assert!(
+            findings.is_empty(),
+            "{rel} must validate: {:?}",
+            findings.iter().map(|f| f.render()).collect::<Vec<_>>()
+        );
+        // And the loader itself must accept it.
+        ScenarioSpec::parse_file(&text).expect("loader accepts checked-in spec");
+        seen += 1;
+    }
+    assert!(seen >= 2, "expected at least two checked-in specs");
+}
+
+#[test]
+fn loader_rejects_typoed_key_in_ic_ablation() {
+    let root = workspace_root();
+    let text = std::fs::read_to_string(root.join("scenarios/ic_ablation.json")).expect("spec");
+    // Introduce the typo a user would plausibly make: `sweep` -> `swep`.
+    let typoed = text.replace("\"sweep\"", "\"swep\"");
+    assert_ne!(text, typoed, "fixture must contain a sweep block");
+    let err = ScenarioSpec::parse_file(&typoed).expect_err("typo'd key must be rejected");
+    assert!(err.to_string().contains("swep"), "{err}");
+    assert!(
+        err.to_string().contains("ehp lint"),
+        "error must point at the schema checker: {err}"
+    );
+    // And S1 flags the same typo statically.
+    let schemas = registry::schemas();
+    let findings = ehp_lint::schema::validate_scenario("ic_ablation.json", &typoed, &schemas);
+    assert!(
+        findings
+            .iter()
+            .any(|f| f.rule == Rule::ScenarioSchema && f.message.contains("swep")),
+        "{findings:?}"
+    );
+}
+
+#[test]
+fn lint_json_report_is_machine_readable() {
+    let schemas = registry::schemas();
+    let config = LintConfig {
+        root: workspace_root(),
+        schemas: &schemas,
+    };
+    let report = lint_workspace(&config).expect("lint run");
+    let json = report.to_json();
+    // Round-trips through the in-repo JSON implementation.
+    let parsed = Json::parse(&json.to_string_pretty()).expect("valid JSON");
+    assert_eq!(parsed.get("unwaived").and_then(Json::as_u64), Some(0));
+    let findings = parsed
+        .get("findings")
+        .and_then(Json::as_arr)
+        .expect("array");
+    assert_eq!(findings.len() as u64, report.findings.len() as u64);
+    for f in findings {
+        assert!(f.get("rule").and_then(Json::as_str).is_some());
+        assert!(f.get("code").and_then(Json::as_str).is_some());
+        assert!(f.get("path").and_then(Json::as_str).is_some());
+        assert!(f.get("line").and_then(Json::as_u64).is_some());
+    }
+}

@@ -1,0 +1,195 @@
+//! Lint findings: the named rules, their machine-readable form, and
+//! deterministic ordering.
+
+use std::cmp::Ordering;
+
+use ehp_sim_core::json::{Json, ToJson};
+
+/// The project invariants `ehp-lint` enforces (DESIGN.md §10).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    /// D1: no iteration over `HashMap`/`HashSet` in sim crates.
+    HashIter,
+    /// D2: no wall-clock reads outside `bench` / `harness::executor`.
+    WallClock,
+    /// D3: no `f32` truncation in accumulator paths.
+    F32Truncation,
+    /// H1: no allocation calls inside `// lint:hot-path` fences.
+    HotPathAlloc,
+    /// S1: scenario specs must match their experiment's parameter schema.
+    ScenarioSchema,
+    /// Malformed fence markers (unbalanced / nested `lint:hot-path`).
+    Fence,
+    /// Malformed waivers (unknown rule name, missing reason).
+    Waiver,
+}
+
+impl Rule {
+    /// Stable kebab-case rule name (used in waivers and output).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::HashIter => "hash-iter",
+            Rule::WallClock => "wall-clock",
+            Rule::F32Truncation => "f32-truncation",
+            Rule::HotPathAlloc => "hot-path-alloc",
+            Rule::ScenarioSchema => "scenario-schema",
+            Rule::Fence => "fence",
+            Rule::Waiver => "waiver",
+        }
+    }
+
+    /// Short code used in the issue tracker and reports.
+    #[must_use]
+    pub fn code(self) -> &'static str {
+        match self {
+            Rule::HashIter => "D1",
+            Rule::WallClock => "D2",
+            Rule::F32Truncation => "D3",
+            Rule::HotPathAlloc | Rule::Fence => "H1",
+            Rule::ScenarioSchema => "S1",
+            Rule::Waiver => "W0",
+        }
+    }
+
+    /// Resolves a waiverable rule by name (fence/waiver misuse findings
+    /// cannot themselves be waived).
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<Rule> {
+        match name {
+            "hash-iter" => Some(Rule::HashIter),
+            "wall-clock" => Some(Rule::WallClock),
+            "f32-truncation" => Some(Rule::F32Truncation),
+            "hot-path-alloc" => Some(Rule::HotPathAlloc),
+            "scenario-schema" => Some(Rule::ScenarioSchema),
+            _ => None,
+        }
+    }
+}
+
+/// One finding: a rule fired at a location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// The rule that fired.
+    pub rule: Rule,
+    /// Path relative to the workspace root, forward slashes.
+    pub path: String,
+    /// 1-based line (0 for file-level findings, e.g. unparsable JSON).
+    pub line: u32,
+    /// Human-readable description of the violation.
+    pub message: String,
+    /// `Some(reason)` if an inline or file waiver covers this finding.
+    pub waived: Option<String>,
+}
+
+impl Finding {
+    /// Builds an unwaived finding.
+    #[must_use]
+    pub fn new(rule: Rule, path: &str, line: u32, message: impl Into<String>) -> Finding {
+        Finding {
+            rule,
+            path: path.to_string(),
+            line,
+            message: message.into(),
+            waived: None,
+        }
+    }
+
+    /// Deterministic ordering: path, then line, then rule.
+    #[must_use]
+    pub fn sort_key(&self) -> (String, u32, Rule) {
+        (self.path.clone(), self.line, self.rule)
+    }
+
+    /// One-line human rendering (`path:line: [D1 hash-iter] message`).
+    #[must_use]
+    pub fn render(&self) -> String {
+        let waived = match &self.waived {
+            Some(reason) => format!(" (waived: {reason})"),
+            None => String::new(),
+        };
+        format!(
+            "{}:{}: [{} {}] {}{}",
+            self.path,
+            self.line,
+            self.rule.code(),
+            self.rule.name(),
+            self.message,
+            waived
+        )
+    }
+}
+
+impl ToJson for Finding {
+    fn to_json(&self) -> Json {
+        Json::object([
+            ("rule", Json::from(self.rule.name())),
+            ("code", Json::from(self.rule.code())),
+            ("path", Json::from(self.path.as_str())),
+            ("line", Json::from(u64::from(self.line))),
+            ("message", Json::from(self.message.as_str())),
+            (
+                "waived",
+                match &self.waived {
+                    Some(reason) => Json::from(reason.as_str()),
+                    None => Json::Null,
+                },
+            ),
+        ])
+    }
+}
+
+/// Sorts findings deterministically (path, line, rule, message) and
+/// drops exact duplicates. Distinct findings on the same line (e.g. two
+/// bad scenario parameters anchored to one line) are all kept.
+pub fn sort_dedup(findings: &mut Vec<Finding>) {
+    findings.sort_by(|a, b| match a.sort_key().cmp(&b.sort_key()) {
+        Ordering::Equal => a.message.cmp(&b.message),
+        o => o,
+    });
+    findings.dedup_by(|a, b| {
+        a.rule == b.rule && a.path == b.path && a.line == b.line && a.message == b.message
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rule_names_round_trip() {
+        for rule in [
+            Rule::HashIter,
+            Rule::WallClock,
+            Rule::F32Truncation,
+            Rule::HotPathAlloc,
+            Rule::ScenarioSchema,
+        ] {
+            assert_eq!(Rule::from_name(rule.name()), Some(rule));
+        }
+        assert_eq!(Rule::from_name("fence"), None);
+        assert_eq!(Rule::from_name("nope"), None);
+    }
+
+    #[test]
+    fn findings_sort_and_dedup() {
+        let mut f = vec![
+            Finding::new(Rule::HashIter, "b.rs", 2, "x"),
+            Finding::new(Rule::HashIter, "a.rs", 9, "y"),
+            Finding::new(Rule::HashIter, "b.rs", 2, "x"),
+            Finding::new(Rule::HashIter, "b.rs", 2, "distinct message"),
+        ];
+        sort_dedup(&mut f);
+        assert_eq!(f.len(), 3);
+        assert_eq!(f[0].path, "a.rs");
+    }
+
+    #[test]
+    fn json_shape() {
+        let f = Finding::new(Rule::WallClock, "crates/x/src/a.rs", 3, "Instant::now");
+        let j = f.to_json();
+        assert_eq!(j.get("code").and_then(Json::as_str), Some("D2"));
+        assert_eq!(j.get("line").and_then(Json::as_u64), Some(3));
+        assert_eq!(j.get("waived"), Some(&Json::Null));
+    }
+}

@@ -1,0 +1,212 @@
+//! `ehp-lint`: the in-repo determinism & hot-path static analyzer
+//! (DESIGN.md §10).
+//!
+//! The simulator's headline guarantee — byte-identical `run_summary.json`
+//! for a given seed, regardless of thread count — is carried by coding
+//! invariants that `rustc` cannot check: no hash-order iteration feeding
+//! results, no wall-clock reads in sim code, no f32 truncation in
+//! accumulator paths, no allocation in the fenced hot paths, and
+//! scenario specs that match their experiment's parameter schema. This
+//! crate checks them, offline, with its own lightweight tokenizer (the
+//! same zero-dependency philosophy as `ehp_sim_core::json`).
+//!
+//! | rule              | code | invariant                                        |
+//! |-------------------|------|--------------------------------------------------|
+//! | `hash-iter`       | D1   | no `HashMap`/`HashSet` iteration in sim crates   |
+//! | `wall-clock`      | D2   | no `Instant::now`/`SystemTime` outside bench     |
+//! | `f32-truncation`  | D3   | f64 end-to-end in accumulator paths              |
+//! | `hot-path-alloc`  | H1   | no allocation inside `// lint:hot-path` fences   |
+//! | `scenario-schema` | S1   | `scenarios/*.json` match experiment schemas      |
+//!
+//! Entry point: [`lint_workspace`]. The `ehp lint` CLI subcommand and the
+//! `ehp-lint` binary (both in `ehp-harness`, which owns the experiment
+//! registry and therefore the schemas) are thin wrappers around it.
+
+pub mod findings;
+pub mod rules;
+pub mod schema;
+pub mod tokenizer;
+pub mod waiver;
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+pub use findings::{Finding, Rule};
+pub use schema::{ExperimentSchema, ParamKind, ParamSpec};
+
+/// Name of the file-level waiver file at the workspace root.
+pub const WAIVER_FILE: &str = "lint.waivers";
+
+/// What to lint and against which schemas.
+#[derive(Debug)]
+pub struct LintConfig<'a> {
+    /// Workspace root (the directory holding `crates/` and `scenarios/`).
+    pub root: PathBuf,
+    /// Experiment parameter schemas for S1 (from the harness registry).
+    pub schemas: &'a [ExperimentSchema],
+}
+
+/// The result of linting a workspace.
+#[derive(Debug, Default)]
+pub struct LintReport {
+    /// Every finding, deterministically ordered; waived ones carry their
+    /// reason and do not fail the build.
+    pub findings: Vec<Finding>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+    /// Number of scenario specs validated.
+    pub scenarios_scanned: usize,
+}
+
+impl LintReport {
+    /// Findings not covered by a waiver — these fail the build.
+    pub fn unwaived(&self) -> impl Iterator<Item = &Finding> {
+        self.findings.iter().filter(|f| f.waived.is_none())
+    }
+
+    /// Count of unwaived findings.
+    #[must_use]
+    pub fn unwaived_count(&self) -> usize {
+        self.unwaived().count()
+    }
+
+    /// Count of waived findings.
+    #[must_use]
+    pub fn waived_count(&self) -> usize {
+        self.findings.len() - self.unwaived_count()
+    }
+
+    /// Machine-readable report (stable key order via `Json`'s BTreeMap).
+    #[must_use]
+    pub fn to_json(&self) -> ehp_sim_core::json::Json {
+        use ehp_sim_core::json::{Json, ToJson};
+        Json::object([
+            ("files_scanned", Json::from(self.files_scanned as u64)),
+            (
+                "scenarios_scanned",
+                Json::from(self.scenarios_scanned as u64),
+            ),
+            ("unwaived", Json::from(self.unwaived_count() as u64)),
+            ("waived", Json::from(self.waived_count() as u64)),
+            (
+                "findings",
+                Json::array(self.findings.iter().map(ToJson::to_json)),
+            ),
+        ])
+    }
+}
+
+/// Finds the workspace root by walking up from `start` until a directory
+/// holding both `Cargo.toml` and `crates/` appears.
+#[must_use]
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        if d.join("Cargo.toml").is_file() && d.join("crates").is_dir() {
+            return Some(d);
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}
+
+/// Lints every `crates/*/src/**/*.rs` file and every `scenarios/*.json`
+/// under `config.root`, applies inline and file-level waivers, and
+/// returns the deterministic report.
+///
+/// # Errors
+/// Propagates I/O errors from walking the tree or reading files.
+pub fn lint_workspace(config: &LintConfig) -> io::Result<LintReport> {
+    let mut report = LintReport::default();
+
+    // Source files: crates/*/src/**/*.rs, crate and file order sorted so
+    // the report is byte-stable.
+    let mut rs_files: Vec<PathBuf> = Vec::new();
+    for krate in sorted_entries(&config.root.join("crates"))? {
+        let src = krate.join("src");
+        if src.is_dir() {
+            collect_rs(&src, &mut rs_files)?;
+        }
+    }
+    for path in &rs_files {
+        let rel = rel_path(&config.root, path);
+        let text = fs::read_to_string(path)?;
+        report.findings.append(&mut rules::lint_source(&rel, &text));
+        report.files_scanned += 1;
+    }
+
+    // Scenario specs.
+    let scen_dir = config.root.join("scenarios");
+    if scen_dir.is_dir() {
+        for path in sorted_entries(&scen_dir)? {
+            if path.extension().and_then(|e| e.to_str()) != Some("json") {
+                continue;
+            }
+            let rel = rel_path(&config.root, &path);
+            let text = fs::read_to_string(&path)?;
+            report
+                .findings
+                .append(&mut schema::validate_scenario(&rel, &text, config.schemas));
+            report.scenarios_scanned += 1;
+        }
+    }
+
+    // File-level waivers; stale entries are findings so the file can't rot.
+    let waiver_path = config.root.join(WAIVER_FILE);
+    if waiver_path.is_file() {
+        let text = fs::read_to_string(&waiver_path)?;
+        let (waivers, mut errs) = waiver::parse_waiver_file(WAIVER_FILE, &text);
+        report.findings.append(&mut errs);
+        for idx in waiver::apply_file(&mut report.findings, &waivers) {
+            report.findings.push(Finding::new(
+                Rule::Waiver,
+                WAIVER_FILE,
+                0,
+                format!(
+                    "stale waiver: `{} {}` matches no finding — delete it",
+                    waivers[idx].rule.name(),
+                    waivers[idx].path
+                ),
+            ));
+        }
+    }
+
+    findings::sort_dedup(&mut report.findings);
+    Ok(report)
+}
+
+/// Directory entries sorted by name (empty if the directory is missing).
+fn sorted_entries(dir: &Path) -> io::Result<Vec<PathBuf>> {
+    if !dir.is_dir() {
+        return Ok(Vec::new());
+    }
+    let mut out: Vec<PathBuf> = fs::read_dir(dir)?
+        .collect::<io::Result<Vec<_>>>()?
+        .into_iter()
+        .map(|e| e.path())
+        .collect();
+    out.sort();
+    Ok(out)
+}
+
+/// Recursively collects `.rs` files under `dir`, sorted.
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for path in sorted_entries(dir)? {
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().and_then(|e| e.to_str()) == Some("rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Workspace-relative path with forward slashes (stable across hosts).
+fn rel_path(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}

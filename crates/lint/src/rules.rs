@@ -1,0 +1,547 @@
+//! The source-level rules: D1 hash-iter, D2 wall-clock, D3 f32, and H1
+//! hot-path allocations, evaluated over one tokenized file.
+//!
+//! The analysis is type-free by design (no rustc, no syn — the build
+//! environment is offline), so D1 uses a local declaration heuristic:
+//! an identifier counts as *hash-typed* when the file declares it with a
+//! `HashMap`/`HashSet` type ascription (`x: HashMap<..>`, struct fields,
+//! fn params) or initialises it from one (`let x = HashMap::new()`,
+//! including `std::collections::` paths). Iterating such an identifier
+//! (`for .. in &x`, `x.iter()`, `.keys()`, `.values()`, `.drain()`, ...)
+//! fires D1 unless the result demonstrably feeds a sort within the next
+//! few lines. Identifiers that acquire hash types across files or
+//! through closures are out of reach — the rule is a tripwire for the
+//! overwhelmingly common local patterns, not a proof; DESIGN.md §10
+//! spells out the limits.
+
+use std::collections::BTreeSet;
+
+use crate::findings::{Finding, Rule};
+use crate::tokenizer::{tokenize, Tok, TokKind, TokenizedFile};
+use crate::waiver;
+
+/// Hash-iteration methods that fire D1 when called on a hash-typed
+/// identifier.
+const HASH_ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+];
+
+/// Sorting methods that legitimise a hash iteration when they appear
+/// within [`SORT_WINDOW_LINES`] below the site (collect-then-sort).
+const SORT_METHODS: &[&str] = &[
+    "sort",
+    "sort_unstable",
+    "sort_by",
+    "sort_by_key",
+    "sort_unstable_by",
+    "sort_unstable_by_key",
+];
+
+/// How far below a hash-iteration site a sort may appear and still
+/// count as "feeds a sort".
+const SORT_WINDOW_LINES: u32 = 3;
+
+/// Allocation entry points banned inside `// lint:hot-path` fences:
+/// methods called with `.name(`...
+const HOT_ALLOC_METHODS: &[&str] = &["clone", "to_vec", "to_string", "to_owned", "collect"];
+
+/// ... constructor paths `Type::new` ...
+const HOT_ALLOC_TYPES: &[&str] = &["Vec", "String", "Box"];
+
+/// ... allocating macros `name!` ...
+const HOT_ALLOC_MACROS: &[&str] = &["format", "vec"];
+
+/// ... and bare allocating calls.
+const HOT_ALLOC_BARE: &[&str] = &["with_capacity"];
+
+/// Begin/end markers for H1 fences.
+const FENCE_BEGIN: &str = "lint:hot-path";
+const FENCE_END: &str = "lint:hot-path-end";
+
+/// Lints one source file. `path_rel` is workspace-relative with forward
+/// slashes (used for findings and the D2 location exemptions). Returns
+/// every finding, with inline-waived ones already marked.
+#[must_use]
+pub fn lint_source(path_rel: &str, src: &str) -> Vec<Finding> {
+    let file = tokenize(src);
+    let mut findings = Vec::new();
+
+    let (waivers, mut waiver_errors) = waiver::inline_waivers(path_rel, &file.comments);
+    findings.append(&mut waiver_errors);
+
+    check_hash_iter(path_rel, &file, &mut findings);
+    check_wall_clock(path_rel, &file, &mut findings);
+    check_f32(path_rel, &file, &mut findings);
+    check_hot_path(path_rel, &file, &mut findings);
+
+    waiver::apply_inline(&mut findings, &waivers);
+    crate::findings::sort_dedup(&mut findings);
+    findings
+}
+
+/// Identifiers declared with a `HashMap`/`HashSet` type in this file.
+fn hash_typed_idents(toks: &[Tok]) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    for i in 0..toks.len() {
+        if !(toks[i].is_ident("HashMap") || toks[i].is_ident("HashSet")) {
+            continue;
+        }
+        // Walk left over a `std::collections::`-style path prefix.
+        let mut j = i;
+        while j >= 3
+            && toks[j - 1].is_punct(':')
+            && toks[j - 2].is_punct(':')
+            && toks[j - 3].kind == TokKind::Ident
+        {
+            j -= 3;
+        }
+        if j == 0 {
+            continue;
+        }
+        // `name: HashMap<..>` (let, fn param, struct field) — possibly
+        // through `&`/`mut`.
+        let mut k = j - 1;
+        while k > 0 && (toks[k].is_punct('&') || toks[k].is_ident("mut")) {
+            k -= 1;
+        }
+        if toks[k].is_punct(':')
+            && k >= 1
+            && toks[k - 1].kind == TokKind::Ident
+            && !(k >= 2 && toks[k - 2].is_punct(':'))
+        {
+            out.insert(toks[k - 1].text.clone());
+            continue;
+        }
+        // `name = HashMap::new()` / `= std::collections::HashSet::new()`.
+        if toks[k].is_punct('=') && k >= 1 && toks[k - 1].kind == TokKind::Ident {
+            out.insert(toks[k - 1].text.clone());
+        }
+    }
+    out
+}
+
+/// D1: iteration over hash-typed identifiers.
+fn check_hash_iter(path: &str, file: &TokenizedFile, findings: &mut Vec<Finding>) {
+    let hashed = hash_typed_idents(&file.toks);
+    if hashed.is_empty() {
+        return;
+    }
+    let toks = &file.toks;
+    let mut sites: Vec<(u32, String)> = Vec::new();
+
+    // Method-call sites: `x.iter()`, `x.keys()`, ...
+    for i in 0..toks.len().saturating_sub(3) {
+        if toks[i].kind == TokKind::Ident
+            && hashed.contains(&toks[i].text)
+            && toks[i + 1].is_punct('.')
+            && toks[i + 2].kind == TokKind::Ident
+            && HASH_ITER_METHODS.contains(&toks[i + 2].text.as_str())
+            && toks[i + 3].is_punct('(')
+        {
+            sites.push((
+                toks[i + 2].line,
+                format!(
+                    "`{}.{}()` iterates a hash collection",
+                    toks[i].text,
+                    toks[i + 2].text
+                ),
+            ));
+        }
+    }
+
+    // `for pat in <expr> {`: flag when the iterable expression mentions a
+    // hash-typed identifier (e.g. `for (k, v) in &self.lines`).
+    let mut i = 0usize;
+    while i < toks.len() {
+        if !toks[i].is_ident("for") {
+            i += 1;
+            continue;
+        }
+        // Find `in` at bracket depth 0 (the pattern may contain tuples).
+        let mut j = i + 1;
+        let mut depth = 0i32;
+        while j < toks.len() {
+            match () {
+                () if toks[j].is_punct('(') || toks[j].is_punct('[') => depth += 1,
+                () if toks[j].is_punct(')') || toks[j].is_punct(']') => depth -= 1,
+                () if depth == 0 && toks[j].is_ident("in") => break,
+                () if depth == 0 && (toks[j].is_punct('{') || toks[j].is_punct(';')) => {
+                    // `impl Trait for Type {` and friends: not a loop.
+                    j = toks.len();
+                }
+                () => {}
+            }
+            j += 1;
+        }
+        if j >= toks.len() {
+            i += 1;
+            continue;
+        }
+        // Iterable expression: tokens until the body `{` at depth 0.
+        let mut k = j + 1;
+        depth = 0;
+        while k < toks.len() {
+            if toks[k].is_punct('(') || toks[k].is_punct('[') {
+                depth += 1;
+            } else if toks[k].is_punct(')') || toks[k].is_punct(']') {
+                depth -= 1;
+            } else if depth == 0 && toks[k].is_punct('{') {
+                break;
+            }
+            k += 1;
+        }
+        if let Some(t) = toks[j + 1..k]
+            .iter()
+            .find(|t| t.kind == TokKind::Ident && hashed.contains(&t.text))
+        {
+            sites.push((
+                toks[i].line,
+                format!("`for` loop iterates hash collection `{}`", t.text),
+            ));
+        }
+        i = j + 1;
+    }
+
+    // A site can match both the `for`-loop and method-call patterns;
+    // keep one finding per line.
+    sites.sort_by_key(|(line, _)| *line);
+    sites.dedup_by_key(|(line, _)| *line);
+
+    // "Feeds a sort" escape: a sort call within the window below the
+    // site means iteration order is immediately destroyed.
+    let sort_lines: Vec<u32> = toks
+        .windows(2)
+        .filter(|w| {
+            w[0].is_punct('.')
+                && w[1].kind == TokKind::Ident
+                && SORT_METHODS.contains(&w[1].text.as_str())
+        })
+        .map(|w| w[1].line)
+        .collect();
+
+    for (line, msg) in sites {
+        let sorted_after = sort_lines
+            .iter()
+            .any(|&s| s >= line && s <= line + SORT_WINDOW_LINES);
+        if !sorted_after {
+            findings.push(Finding::new(
+                Rule::HashIter,
+                path,
+                line,
+                format!("{msg}; iterate a BTree collection or index order instead, or waive with `// lint:allow(hash-iter) <reason>`"),
+            ));
+        }
+    }
+}
+
+/// D2: wall-clock reads outside the sanctioned timing sites.
+fn check_wall_clock(path: &str, file: &TokenizedFile, findings: &mut Vec<Finding>) {
+    // The batch executor times scenarios and `ehp-bench` is a benchmark
+    // harness; everything else must be simulated-time only.
+    if path.starts_with("crates/bench/") || path == "crates/harness/src/executor.rs" {
+        return;
+    }
+    let toks = &file.toks;
+    for i in 0..toks.len() {
+        if toks[i].is_ident("SystemTime") {
+            findings.push(Finding::new(
+                Rule::WallClock,
+                path,
+                toks[i].line,
+                "`SystemTime` outside bench/executor breaks replayability; use `SimTime`",
+            ));
+        }
+        if toks[i].is_ident("Instant")
+            && i + 3 < toks.len()
+            && toks[i + 1].is_punct(':')
+            && toks[i + 2].is_punct(':')
+            && toks[i + 3].is_ident("now")
+        {
+            findings.push(Finding::new(
+                Rule::WallClock,
+                path,
+                toks[i].line,
+                "`Instant::now()` outside bench/executor breaks replayability; use `SimTime`",
+            ));
+        }
+    }
+}
+
+/// D3: `f32` anywhere in sim code (all accumulators are f64; a single
+/// truncation silently changes every downstream fold).
+fn check_f32(path: &str, file: &TokenizedFile, findings: &mut Vec<Finding>) {
+    for t in &file.toks {
+        let is_f32 = t.is_ident("f32") || (t.kind == TokKind::Num && t.text.ends_with("f32"));
+        if is_f32 {
+            findings.push(Finding::new(
+                Rule::F32Truncation,
+                path,
+                t.line,
+                "`f32` truncates accumulator precision; keep f64 end-to-end",
+            ));
+        }
+    }
+}
+
+/// H1: allocation calls inside `// lint:hot-path` fences, plus fence
+/// bookkeeping errors.
+fn check_hot_path(path: &str, file: &TokenizedFile, findings: &mut Vec<Finding>) {
+    // Fences from comments. End-marker test first: BEGIN is a prefix of END.
+    let mut regions: Vec<(u32, u32)> = Vec::new();
+    let mut open: Option<u32> = None;
+    for c in &file.comments {
+        let text = c.text.trim();
+        if text.starts_with(FENCE_END) {
+            match open.take() {
+                Some(begin) => regions.push((begin, c.line)),
+                None => findings.push(Finding::new(
+                    Rule::Fence,
+                    path,
+                    c.line,
+                    "`lint:hot-path-end` without a matching `lint:hot-path`",
+                )),
+            }
+        } else if text.starts_with(FENCE_BEGIN) {
+            if let Some(begin) = open {
+                findings.push(Finding::new(
+                    Rule::Fence,
+                    path,
+                    c.line,
+                    format!("nested `lint:hot-path` (previous fence opened on line {begin})"),
+                ));
+            } else {
+                open = Some(c.line);
+            }
+        }
+    }
+    if let Some(begin) = open {
+        findings.push(Finding::new(
+            Rule::Fence,
+            path,
+            begin,
+            "`lint:hot-path` fence never closed (`lint:hot-path-end` missing)",
+        ));
+    }
+    if regions.is_empty() {
+        return;
+    }
+
+    let in_fence = |line: u32| regions.iter().any(|&(b, e)| line > b && line < e);
+    let toks = &file.toks;
+    let mut flag = |line: u32, what: String| {
+        findings.push(Finding::new(
+            Rule::HotPathAlloc,
+            path,
+            line,
+            format!("{what} allocates inside a `lint:hot-path` fence"),
+        ));
+    };
+    for i in 0..toks.len() {
+        if !in_fence(toks[i].line) {
+            continue;
+        }
+        let t = &toks[i];
+        // `.clone()`, `.collect()`, ...
+        if t.is_punct('.')
+            && i + 2 < toks.len()
+            && toks[i + 1].kind == TokKind::Ident
+            && HOT_ALLOC_METHODS.contains(&toks[i + 1].text.as_str())
+            && toks[i + 2].is_punct('(')
+        {
+            flag(toks[i + 1].line, format!("`.{}()`", toks[i + 1].text));
+        }
+        // `Vec::new(`, `String::new(`, `Box::new(`.
+        if t.kind == TokKind::Ident
+            && HOT_ALLOC_TYPES.contains(&t.text.as_str())
+            && i + 3 < toks.len()
+            && toks[i + 1].is_punct(':')
+            && toks[i + 2].is_punct(':')
+            && toks[i + 3].is_ident("new")
+        {
+            flag(t.line, format!("`{}::new()`", t.text));
+        }
+        // `format!(`, `vec![`.
+        if t.kind == TokKind::Ident
+            && HOT_ALLOC_MACROS.contains(&t.text.as_str())
+            && i + 1 < toks.len()
+            && toks[i + 1].is_punct('!')
+        {
+            flag(t.line, format!("`{}!`", t.text));
+        }
+        // `with_capacity(` through any path.
+        if t.kind == TokKind::Ident && HOT_ALLOC_BARE.contains(&t.text.as_str()) {
+            flag(t.line, format!("`{}`", t.text));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rules_of(src: &str) -> Vec<(Rule, u32, bool)> {
+        lint_source("crates/x/src/a.rs", src)
+            .into_iter()
+            .map(|f| (f.rule, f.line, f.waived.is_some()))
+            .collect()
+    }
+
+    #[test]
+    fn hash_iter_fires_on_for_and_methods() {
+        let src = "\
+use std::collections::HashMap;
+fn f(m: &HashMap<u32, f64>) -> f64 {
+    let mut s = 0.0;
+    for (_k, v) in m.iter() {
+        s += v;
+    }
+    s += m.values().sum::<f64>();
+    s
+}
+";
+        let got = rules_of(src);
+        assert_eq!(
+            got,
+            vec![(Rule::HashIter, 4, false), (Rule::HashIter, 7, false)]
+        );
+    }
+
+    #[test]
+    fn hash_iter_registration_covers_let_field_and_full_paths() {
+        for src in [
+            "struct S { lines: HashMap<u64, u64> }\nimpl S { fn g(&self) { for x in &self.lines {} } }",
+            "fn f() { let mut set = std::collections::HashSet::new(); set.insert(1); for x in set.iter() {} }",
+            "fn f(m: &mut HashMap<u32, u32>) { m.drain(); }",
+        ] {
+            assert!(
+                rules_of(src).iter().any(|(r, _, _)| *r == Rule::HashIter),
+                "should fire: {src}"
+            );
+        }
+    }
+
+    #[test]
+    fn hash_lookup_and_insert_do_not_fire() {
+        let src = "\
+use std::collections::HashMap;
+fn f(m: &mut HashMap<u32, u32>) -> Option<u32> {
+    m.insert(1, 2);
+    m.get(&1).copied()
+}
+";
+        assert!(rules_of(src).is_empty());
+    }
+
+    #[test]
+    fn feeding_a_sort_is_exempt() {
+        let src = "\
+use std::collections::HashMap;
+fn keys(m: &HashMap<u32, u32>) -> Vec<u32> {
+    let mut ks: Vec<u32> = m.keys().copied().collect();
+    ks.sort_unstable();
+    ks
+}
+";
+        assert!(rules_of(src).is_empty());
+    }
+
+    #[test]
+    fn inline_waiver_marks_not_drops() {
+        let src = "\
+use std::collections::HashMap;
+fn f(m: &HashMap<u32, u32>) -> usize {
+    // lint:allow(hash-iter) pure count, order-independent
+    m.iter().count()
+}
+";
+        assert_eq!(rules_of(src), vec![(Rule::HashIter, 4, true)]);
+    }
+
+    #[test]
+    fn wall_clock_fires_except_in_sanctioned_files() {
+        let src = "fn f() { let t = std::time::Instant::now(); }";
+        assert_eq!(rules_of(src), vec![(Rule::WallClock, 1, false)]);
+        assert!(lint_source("crates/bench/src/microbench.rs", src).is_empty());
+        assert!(lint_source("crates/harness/src/executor.rs", src).is_empty());
+        // Two mentions on one line dedupe to a single finding.
+        assert_eq!(
+            rules_of("fn f() -> std::time::SystemTime { std::time::SystemTime::now() }").len(),
+            1
+        );
+        assert_eq!(
+            rules_of("fn f() {\n let t = SystemTime::now();\n let u = Instant::now();\n}").len(),
+            2
+        );
+    }
+
+    #[test]
+    fn f32_fires_on_casts_types_and_suffixes() {
+        assert_eq!(
+            rules_of("fn f(x: f64) -> f64 { (x as f32) as f64 }").len(),
+            1
+        );
+        assert_eq!(rules_of("fn f(x: f32) {}").len(), 1);
+        assert_eq!(rules_of("const X: f64 = 1.5f32 as f64;").len(), 1);
+        assert!(rules_of("fn f(x: f64) -> f64 { x }").is_empty());
+        // `Tf32` and friends are different identifiers.
+        assert!(rules_of("enum D { Tf32 } fn f(_d: D) {}").is_empty());
+    }
+
+    #[test]
+    fn hot_path_fence_catches_allocations() {
+        let src = "\
+fn hot(xs: &[u64], out: &mut Vec<u64>) {
+    // lint:hot-path
+    out.extend_from_slice(xs);
+    let c = xs.to_vec();
+    let s = format!(\"{}\", c.len());
+    let v = Vec::new();
+    // lint:hot-path-end
+    drop((s, v));
+    let fine = xs.to_vec();
+    drop(fine);
+}
+";
+        let got = rules_of(src);
+        assert_eq!(
+            got,
+            vec![
+                (Rule::HotPathAlloc, 4, false),
+                (Rule::HotPathAlloc, 5, false),
+                (Rule::HotPathAlloc, 6, false),
+            ]
+        );
+    }
+
+    #[test]
+    fn fence_bookkeeping_errors_fire() {
+        assert_eq!(
+            rules_of("// lint:hot-path\nfn f() {}\n"),
+            vec![(Rule::Fence, 1, false)]
+        );
+        assert_eq!(
+            rules_of("// lint:hot-path-end\nfn f() {}\n"),
+            vec![(Rule::Fence, 1, false)]
+        );
+        assert_eq!(
+            rules_of("// lint:hot-path\n// lint:hot-path\nfn f() {}\n// lint:hot-path-end\n"),
+            vec![(Rule::Fence, 2, false)]
+        );
+    }
+
+    #[test]
+    fn words_inside_strings_never_fire() {
+        let src = r##"
+fn f() -> &'static str {
+    "for x in HashMap Instant::now as f32 format! Vec::new"
+}
+"##;
+        assert!(rules_of(src).is_empty());
+    }
+}

@@ -1,0 +1,131 @@
+//! Every lint rule demonstrated to fire on a committed known-bad
+//! fixture, with exact file/line assertions. If a rule regresses into
+//! silence, these tests — not a production incident — catch it.
+
+use ehp_lint::rules::lint_source;
+use ehp_lint::schema::{validate_scenario, ExperimentSchema, ParamKind, ParamSpec};
+use ehp_lint::{Finding, Rule};
+
+fn fixture(name: &str) -> String {
+    let path = format!("{}/tests/fixtures/{name}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"))
+}
+
+/// (rule, line, waived?) triples for a source fixture.
+fn fired(name: &str) -> Vec<(Rule, u32, bool)> {
+    lint_source(&format!("fixtures/{name}"), &fixture(name))
+        .into_iter()
+        .map(|f| (f.rule, f.line, f.waived.is_some()))
+        .collect()
+}
+
+#[test]
+fn d1_hash_iter_fires_and_sort_escape_holds() {
+    assert_eq!(
+        fired("d1_hash_iter.rs"),
+        vec![(Rule::HashIter, 9, false), (Rule::HashIter, 16, false)],
+        "for-loop and .values() must fire; collect-then-sort must not"
+    );
+}
+
+#[test]
+fn d2_wall_clock_fires() {
+    assert_eq!(
+        fired("d2_wall_clock.rs"),
+        vec![
+            (Rule::WallClock, 7, false),
+            (Rule::WallClock, 11, false),
+            (Rule::WallClock, 12, false),
+        ]
+    );
+}
+
+#[test]
+fn d3_f32_truncation_fires() {
+    assert_eq!(
+        fired("d3_f32.rs"),
+        vec![
+            (Rule::F32Truncation, 6, false),
+            (Rule::F32Truncation, 10, false),
+            (Rule::F32Truncation, 14, false),
+        ]
+    );
+}
+
+#[test]
+fn h1_hot_path_alloc_fires_only_inside_fence() {
+    assert_eq!(
+        fired("h1_hot_alloc.rs"),
+        vec![
+            (Rule::HotPathAlloc, 9, false),
+            (Rule::HotPathAlloc, 10, false),
+            (Rule::HotPathAlloc, 11, false),
+        ],
+        "line 18's identical .to_vec() is outside the fence"
+    );
+}
+
+#[test]
+fn inline_waivers_mark_findings_without_dropping_them() {
+    assert_eq!(
+        fired("inline_waiver.rs"),
+        vec![(Rule::HashIter, 9, true), (Rule::HashIter, 13, true)],
+        "waived findings stay in the report with waived=true"
+    );
+}
+
+/// A reduced ic_sweep-like schema for the S1 fixture (the real schemas
+/// live in the harness registry, which depends on this crate).
+const S1_SCHEMAS: &[ExperimentSchema] = &[ExperimentSchema {
+    id: "ic_sweep",
+    params: &[
+        ParamSpec {
+            name: "ic_mib",
+            kind: ParamKind::U64 { min: 0, max: 4096 },
+        },
+        ParamSpec {
+            name: "pattern",
+            kind: ParamKind::EnumStr(&["sequential", "strided", "random", "chase", "hot"]),
+        },
+        ParamSpec {
+            name: "jobs",
+            kind: ParamKind::U64 { min: 1, max: 64 },
+        },
+        ParamSpec {
+            name: "write_fraction",
+            kind: ParamKind::Num { min: 0.0, max: 1.0 },
+        },
+    ],
+}];
+
+#[test]
+fn s1_scenario_schema_fires_per_violation() {
+    let text = fixture("s1_bad_scenario.json");
+    let findings = validate_scenario("fixtures/s1_bad_scenario.json", &text, S1_SCHEMAS);
+    let lines: Vec<(u32, &str)> = findings
+        .iter()
+        .map(|f| (f.line, f.message.as_str()))
+        .collect();
+    assert_eq!(findings.len(), 4, "{lines:?}");
+    assert!(findings.iter().all(|f| f.rule == Rule::ScenarioSchema));
+    // Unknown parameter (typo'd ic_mib), line 5.
+    assert!(lines.iter().any(|(l, m)| *l == 5 && m.contains("ic_mb")));
+    // Enum mismatch, line 6.
+    assert!(lines.iter().any(|(l, m)| *l == 6 && m.contains("zigzag")));
+    // jobs out of range, line 7.
+    assert!(lines.iter().any(|(l, m)| *l == 7 && m.contains("1..=64")));
+    // Sweep value type mismatch, line 10.
+    assert!(lines.iter().any(|(l, m)| *l == 10 && m.contains("half")));
+}
+
+#[test]
+fn clean_real_shaped_scenario_passes() {
+    let src = r#"{
+  "experiment": "ic_sweep",
+  "name": "ok",
+  "params": {"ic_mib": 4, "pattern": "hot", "jobs": 2},
+  "sweep": {"write_fraction": [0.0, 0.3], "seed": [1, 2, 3]}
+}"#;
+    let findings: Vec<Finding> = validate_scenario("x.json", src, S1_SCHEMAS);
+    assert!(findings.is_empty(), "{findings:?}");
+}

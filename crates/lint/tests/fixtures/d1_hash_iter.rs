@@ -1,0 +1,23 @@
+//! Known-bad fixture for D1 (hash-iter): the `for` loop on line 9 and
+//! the `.values()` call on line 16 must fire; the collect-then-sort on
+//! lines 20-21 must not.
+
+use std::collections::HashMap;
+
+fn sum_unordered(m: &HashMap<u32, f64>) -> f64 {
+    let mut s = 0.0;
+    for (_k, v) in m {
+        s += v;
+    }
+    s
+}
+
+fn sum_values(m: &HashMap<u32, f64>) -> f64 {
+    m.values().sum()
+}
+
+fn sorted_keys(m: &HashMap<u32, f64>) -> Vec<u32> {
+    let mut ks: Vec<u32> = m.keys().copied().collect();
+    ks.sort_unstable();
+    ks
+}

@@ -1,0 +1,13 @@
+//! Known-bad fixture for D2 (wall-clock): the `Instant::now()` on line 7
+//! and the `SystemTime` mentions on lines 11 and 12 must fire.
+
+use std::time::Instant;
+
+fn elapsed() -> std::time::Duration {
+    let t0 = Instant::now();
+    t0.elapsed()
+}
+
+fn stamp() -> std::time::SystemTime {
+    std::time::SystemTime::now()
+}

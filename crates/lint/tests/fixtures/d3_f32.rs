@@ -1,0 +1,14 @@
+//! Known-bad fixture for D3 (f32-truncation): the cast on line 6, the
+//! typed parameter on line 10, and the suffixed literal on line 14 must
+//! each fire.
+
+fn truncate(x: f64) -> f64 {
+    (x as f32) as f64
+}
+
+#[allow(dead_code)]
+fn narrow(x: f32) -> f64 {
+    f64::from(x)
+}
+
+const HALF: f64 = 0.5f32 as f64;

@@ -1,0 +1,14 @@
+//! Fixture for inline waivers: both hash iterations are covered by a
+//! `lint:allow` comment (line above on line 8, same line on line 13), so
+//! the file has findings but zero *unwaived* ones.
+
+use std::collections::HashMap;
+
+fn count(m: &HashMap<u32, u32>) -> usize {
+    // lint:allow(hash-iter) pure count, order-independent
+    m.iter().count()
+}
+
+fn total(m: &HashMap<u32, u32>) -> u64 {
+    m.values().map(|&v| u64::from(v)).sum() // lint:allow(hash-iter) commutative sum over u64, order-independent
+}

@@ -277,6 +277,7 @@ impl InfinityCacheSlice {
     /// pass a reused scratch buffer so steady-state replay performs no
     /// per-access allocation.
     pub fn take_prefetches_into(&mut self, addr: u64, out: &mut Vec<u64>) {
+        // lint:hot-path
         out.clear();
         let line = self.line_of(addr);
         if !self.stream_trained(line) {
@@ -290,6 +291,7 @@ impl InfinityCacheSlice {
                 out.push(l * self.line_bytes);
             }
         }
+        // lint:hot-path-end
     }
 
     /// Installs a prefetched line; returns dirty victim address if any.

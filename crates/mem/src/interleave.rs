@@ -209,7 +209,7 @@ impl Interleaver {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::collections::HashMap;
+    use std::collections::BTreeMap;
 
     #[test]
     fn mi300_config_validates() {
@@ -262,7 +262,7 @@ mod tests {
     #[test]
     fn sequential_stream_balances_across_stacks() {
         let il = Interleaver::new(InterleaveConfig::mi300()).unwrap();
-        let mut counts: HashMap<u32, u64> = HashMap::new();
+        let mut counts: BTreeMap<u32, u64> = BTreeMap::new();
         let granules = 8_000u64;
         for g in 0..granules {
             *counts.entry(il.place(g * 4096).stack).or_default() += 1;

@@ -204,6 +204,7 @@ impl MemorySubsystem {
             "bucket batch arity must match the channel block"
         );
         let mut totals = ShardTotals::default();
+        // lint:hot-path
         for (ch, reqs) in block.iter_mut().zip(&buckets) {
             for r in reqs {
                 let (done, _) = ch.access(SimTime::ZERO, r.addr, r.size, r.is_write());
@@ -218,6 +219,7 @@ impl MemorySubsystem {
                 totals.bytes += r.size;
             }
         }
+        // lint:hot-path-end
         totals
     }
 
