@@ -26,11 +26,17 @@ step() {
 step "build (release)" cargo build --release --offline
 step "tests" cargo test -q --offline
 
-# Determinism & hot-path static analysis (DESIGN.md §10): fails on any
-# unwaived finding — hash-order iteration, wall-clock reads, f32
-# truncation, allocations inside `// lint:hot-path` fences, or scenario
-# specs that don't match their experiment's parameter schema.
+# Determinism & hot-path static analysis (DESIGN.md §10–§11): fails on
+# any unwaived finding — hash-order iteration, wall-clock reads, f32
+# truncation, ad-hoc seed literals, allocations inside (or reachable
+# from) `// lint:hot-path` fences, shared-mutable spawn captures, or
+# scenario specs that don't match their experiment's parameter schema.
+# The human run prints per-rule counts and wall time; the JSON report is
+# archived with the figure artifacts.
 step "ehp lint" ./target/release/ehp lint
+mkdir -p target/figures
+step "ehp lint --json artifact" sh -c \
+    './target/release/ehp lint --json > target/figures/lint_report.json'
 
 if cargo fmt --version >/dev/null 2>&1; then
     step "rustfmt" cargo fmt --all -- --check

@@ -3,9 +3,31 @@
 
 use std::process::ExitCode;
 
+use ehp_harness::lint::LintOptions;
+
 fn main() -> ExitCode {
-    let json = std::env::args().skip(1).any(|a| a == "--json");
+    let mut opts = LintOptions::default();
+    let mut argv = std::env::args().skip(1);
+    while let Some(a) = argv.next() {
+        match a.as_str() {
+            "--json" => opts.json = true,
+            "--no-cache" => opts.no_cache = true,
+            "--explain" => {
+                let Some(rule) = argv.next() else {
+                    eprintln!("ehp-lint: --explain needs a rule name or code");
+                    return ExitCode::from(2);
+                };
+                opts.explain = Some(rule);
+            }
+            other => {
+                eprintln!(
+                    "ehp-lint: unknown option {other:?} (usage: ehp-lint [--json] [--no-cache] [--explain <rule>])"
+                );
+                return ExitCode::from(2);
+            }
+        }
+    }
     let cwd = std::env::current_dir().unwrap_or_else(|_| ".".into());
     #[allow(clippy::cast_sign_loss)]
-    ExitCode::from(ehp_harness::lint::run(&cwd, json) as u8)
+    ExitCode::from(ehp_harness::lint::run(&cwd, &opts) as u8)
 }

@@ -5,14 +5,16 @@
 //! ehp run <exp...> [options]       run selected experiments / spec files
 //! ehp all [--jobs N]              run the whole registry in parallel
 //! ehp check [--jobs N]            run + compare against expected shapes
-//! ehp lint [--json]               static determinism/hot-path analysis
+//! ehp lint [--json] [--no-cache] [--explain <rule>]
+//!                                  static determinism/hot-path analysis
 //! ```
 //!
 //! Options: `--jobs N` worker threads, `--seed N` batch base seed,
 //! `--param k=v` parameter override (repeatable; `v` parsed as JSON,
 //! falling back to a string), `--spec FILE` scenario spec file
 //! (repeatable), `--quiet` suppress report text, `--json`
-//! machine-readable lint findings.
+//! machine-readable lint findings, `--no-cache` skip the incremental
+//! lint cache, `--explain <rule>` print one lint rule's documentation.
 //!
 //! Argument parsing is hand-rolled: the environment is offline and the
 //! surface is five subcommands.
@@ -34,6 +36,8 @@ struct Args {
     base_seed: u64,
     quiet: bool,
     json: bool,
+    no_cache: bool,
+    explain: Option<String>,
     params: BTreeMap<String, Json>,
     seed_override: Option<u64>,
     specs: Vec<String>,
@@ -61,7 +65,12 @@ pub fn run(argv: &[String]) -> i32 {
         "check" => cmd_check(&args),
         "lint" => {
             let cwd = std::env::current_dir().unwrap_or_else(|_| ".".into());
-            crate::lint::run(&cwd, args.json)
+            let opts = crate::lint::LintOptions {
+                json: args.json,
+                no_cache: args.no_cache,
+                explain: args.explain.clone(),
+            };
+            crate::lint::run(&cwd, &opts)
         }
         "help" | "--help" | "-h" => {
             print_usage();
@@ -83,7 +92,8 @@ fn print_usage() {
          ehp run <exp...> [options]       run selected experiments\n\
          ehp all [options]                run the whole registry\n\
          ehp check [options]              run + verify expected shapes\n\
-         ehp lint [--json]                lint the workspace (DESIGN.md §10)\n\
+         ehp lint [--json] [--no-cache] [--explain <rule>]\n\
+                                          lint the workspace (DESIGN.md §10–§11)\n\
          \n\
          options:\n\
            --jobs N        worker threads (default 1)\n\
@@ -91,7 +101,9 @@ fn print_usage() {
            --param k=v     scenario parameter override (repeatable)\n\
            --spec FILE     scenario spec file (repeatable)\n\
            --quiet         suppress report text\n\
-           --json          machine-readable lint findings"
+           --json          machine-readable lint findings\n\
+           --no-cache      skip the incremental lint cache\n\
+           --explain RULE  print one lint rule's documentation (name or code)"
     );
 }
 
@@ -132,6 +144,8 @@ fn parse_args(rest: &[String]) -> Result<Args, String> {
             "--spec" => args.specs.push(value_of("--spec")?.to_string()),
             "--quiet" | "-q" => args.quiet = true,
             "--json" => args.json = true,
+            "--no-cache" => args.no_cache = true,
+            "--explain" => args.explain = Some(value_of("--explain")?.to_string()),
             flag if flag.starts_with('-') => {
                 return Err(format!("unknown option {flag:?}"));
             }

@@ -21,6 +21,7 @@ fn real_workspace_has_zero_unwaived_findings() {
     let config = LintConfig {
         root: workspace_root(),
         schemas: &schemas,
+        use_cache: false,
     };
     let report = lint_workspace(&config).expect("lint run");
     assert!(
@@ -33,12 +34,22 @@ fn real_workspace_has_zero_unwaived_findings() {
         "walker must cover scenarios/, saw {}",
         report.scenarios_scanned
     );
-    let unwaived: Vec<String> = report.unwaived().map(|f| f.render()).collect();
-    assert!(
-        unwaived.is_empty(),
-        "tree must lint clean:\n{}",
-        unwaived.join("\n")
-    );
+    // Hold the tree clean across all eight evaluable rules (plus the
+    // fence/waiver bookkeeping rules), naming the rule on failure.
+    for &rule in Rule::ALL {
+        let unwaived: Vec<String> = report
+            .unwaived()
+            .filter(|f| f.rule == rule)
+            .map(|f| f.render())
+            .collect();
+        assert!(
+            unwaived.is_empty(),
+            "rule {} ({}) must hold the tree clean:\n{}",
+            rule.code(),
+            rule.name(),
+            unwaived.join("\n")
+        );
+    }
     // The flows.rs reference-oracle waivers must be live (not stale).
     assert!(
         report.waived_count() >= 3,
@@ -111,6 +122,7 @@ fn lint_json_report_is_machine_readable() {
     let config = LintConfig {
         root: workspace_root(),
         schemas: &schemas,
+        use_cache: false,
     };
     let report = lint_workspace(&config).expect("lint run");
     let json = report.to_json();
@@ -127,5 +139,42 @@ fn lint_json_report_is_machine_readable() {
         assert!(f.get("code").and_then(Json::as_str).is_some());
         assert!(f.get("path").and_then(Json::as_str).is_some());
         assert!(f.get("line").and_then(Json::as_u64).is_some());
+        assert!(f.get("chain").and_then(Json::as_arr).is_some());
     }
+}
+
+#[test]
+fn cached_rerun_hits_every_file_and_reports_byte_identically() {
+    let schemas = registry::schemas();
+    let config = LintConfig {
+        root: workspace_root(),
+        schemas: &schemas,
+        use_cache: true,
+    };
+    // First run primes the cache (some files may already be cached from
+    // an earlier `ehp lint`; either way the report must not depend on it).
+    let first = lint_workspace(&config).expect("first lint run");
+    let second = lint_workspace(&config).expect("second lint run");
+    assert_eq!(
+        second.cache_hits, second.files_scanned,
+        "unchanged tree must hit the cache for every file ({} misses)",
+        second.cache_misses
+    );
+    assert_eq!(
+        first.to_json().to_string_pretty(),
+        second.to_json().to_string_pretty(),
+        "cached rerun must produce a byte-identical report"
+    );
+    // And the cached report matches an uncached run too.
+    let uncached = lint_workspace(&LintConfig {
+        root: workspace_root(),
+        schemas: &schemas,
+        use_cache: false,
+    })
+    .expect("uncached lint run");
+    assert_eq!(
+        uncached.to_json().to_string_pretty(),
+        second.to_json().to_string_pretty(),
+        "cache must be semantically invisible"
+    );
 }

@@ -1,0 +1,466 @@
+//! Workspace call graph and the H2 `hot-path-reach` pass.
+//!
+//! The symbol table maps function names (and `(owner, name)` pairs for
+//! methods) to their defining [`FnItem`]s across every indexed file.
+//! For each call site inside a `lint:hot-path` fence, a breadth-first
+//! walk follows resolvable calls until it reaches a function that
+//! allocates; the shortest such chain becomes the finding's evidence
+//! (`via path:line \`name\`` hops in the report).
+//!
+//! Resolution is deliberately conservative about *qualified* names:
+//! `Vec::new(..)` only resolves to a workspace `impl Vec` (there is
+//! none), never to every `new` in the tree, and `recv.route(..)` with a
+//! declaration-typed receiver (`ws: &mut SolverWorkspace`) only resolves
+//! within that type — so `SolverWorkspace::route` is not confused with
+//! the allocating `Topology::route`. Unresolvable calls (std, closures,
+//! trait objects) are skipped: H2 extends H1, it does not replace it.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use crate::findings::{Finding, Rule};
+use crate::parse::FileIndex;
+
+/// BFS depth cap: chains longer than this are beyond what a reviewer
+/// can audit and almost certainly heuristic noise.
+const MAX_CHAIN: usize = 8;
+
+/// Method names ubiquitous on std types (`Option::expect`,
+/// `Vec::push`, iterator adapters, ...). A method call with an
+/// *unknown* receiver type never fans out to a same-named workspace
+/// method for these — otherwise every `.expect("...")` in a fenced
+/// region would resolve to e.g. a workspace `ParamKind::expect` and
+/// fabricate an allocation chain. Typed receivers (`self`, declaration
+/// heuristic, `Type::` qualification) still resolve these names
+/// precisely.
+const COMMON_STD_METHODS: &[&str] = &[
+    "all",
+    "and_then",
+    "any",
+    "as_bytes",
+    "as_mut",
+    "as_ref",
+    "as_slice",
+    "as_str",
+    "begin",
+    "binary_search",
+    "borrow",
+    "borrow_mut",
+    "chain",
+    "chunks",
+    "chunks_mut",
+    "clear",
+    "cmp",
+    "contains",
+    "contains_key",
+    "copied",
+    "copy_from_slice",
+    "count",
+    "drain",
+    "end",
+    "entry",
+    "enumerate",
+    "eq",
+    "err",
+    "expect",
+    "extend",
+    "extend_from_slice",
+    "fill",
+    "filter",
+    "filter_map",
+    "find",
+    "find_map",
+    "first",
+    "flat_map",
+    "flatten",
+    "fold",
+    "get",
+    "get_mut",
+    "insert",
+    "into",
+    "is_empty",
+    "iter",
+    "iter_mut",
+    "join",
+    "keys",
+    "last",
+    "len",
+    "lock",
+    "map",
+    "map_or",
+    "max",
+    "min",
+    "next",
+    "ok",
+    "ok_or",
+    "or_else",
+    "or_insert_with",
+    "parse",
+    "pop",
+    "position",
+    "push",
+    "remove",
+    "resize",
+    "retain",
+    "rev",
+    "skip",
+    "sort",
+    "sort_by",
+    "sort_by_key",
+    "sort_unstable",
+    "split",
+    "split_at",
+    "split_at_mut",
+    "starts_with",
+    "sum",
+    "swap",
+    "take",
+    "trim",
+    "truncate",
+    "unwrap",
+    "unwrap_or",
+    "unwrap_or_default",
+    "unwrap_or_else",
+    "values",
+    "values_mut",
+    "windows",
+    "write",
+    "zip",
+];
+
+/// A function key: (file index, fn index).
+type FnKey = (usize, usize);
+
+struct Symbols<'a> {
+    files: &'a [(String, FileIndex)],
+    /// name → definitions (test items excluded).
+    by_name: BTreeMap<&'a str, Vec<FnKey>>,
+    /// (owner, name) → definitions.
+    by_owner: BTreeMap<(&'a str, &'a str), Vec<FnKey>>,
+}
+
+impl<'a> Symbols<'a> {
+    fn build(files: &'a [(String, FileIndex)]) -> Symbols<'a> {
+        let mut by_name: BTreeMap<&str, Vec<FnKey>> = BTreeMap::new();
+        let mut by_owner: BTreeMap<(&str, &str), Vec<FnKey>> = BTreeMap::new();
+        for (fi, (_, index)) in files.iter().enumerate() {
+            for (gi, f) in index.fns.iter().enumerate() {
+                if f.is_test {
+                    continue;
+                }
+                by_name.entry(&f.name).or_default().push((fi, gi));
+                if let Some(owner) = &f.owner {
+                    by_owner
+                        .entry((owner.as_str(), f.name.as_str()))
+                        .or_default()
+                        .push((fi, gi));
+                }
+            }
+        }
+        Symbols {
+            files,
+            by_name,
+            by_owner,
+        }
+    }
+
+    /// Resolves one call site made from `caller` (used for `Self::` and
+    /// `self.` receivers) in file `file_idx`. Deterministic order.
+    fn resolve(&self, call: &crate::parse::CallSite, file_idx: usize, caller: FnKey) -> Vec<FnKey> {
+        let caller_owner = self.files[caller.0].1.fns[caller.1].owner.as_deref();
+        let owned = |owner: Option<&str>, name: &str| -> Vec<FnKey> {
+            owner
+                .and_then(|o| self.by_owner.get(&(o, name)))
+                .cloned()
+                .unwrap_or_default()
+        };
+        if let Some(q) = call.qual.as_deref() {
+            // Qualified calls resolve only within the named type —
+            // `Vec::new` must not match every workspace `new`.
+            let owner = if q == "Self" { caller_owner } else { Some(q) };
+            return owned(owner, &call.callee);
+        }
+        if call.method {
+            if let Some(r) = call.recv.as_deref() {
+                if r == "self" {
+                    return owned(caller_owner, &call.callee);
+                }
+                // Declaration-typed receiver: resolve within that type
+                // only (even when empty — a `HashMap` receiver must not
+                // fan out to every same-named workspace method).
+                if let Some(ty) = self.files[file_idx].1.typed.get(r) {
+                    if ty != "?" {
+                        return owned(Some(ty), &call.callee);
+                    }
+                }
+            }
+            // Unknown receiver: every non-test method with this name —
+            // unless the name is a common std method, where name-only
+            // fan-out would misattribute std calls to workspace code.
+            if COMMON_STD_METHODS.contains(&call.callee.as_str()) {
+                return Vec::new();
+            }
+            return self
+                .by_name
+                .get(call.callee.as_str())
+                .map(|v| {
+                    v.iter()
+                        .copied()
+                        .filter(|&(fi, gi)| self.files[fi].1.fns[gi].has_self)
+                        .collect()
+                })
+                .unwrap_or_default();
+        }
+        // Bare call: free functions with this name.
+        self.by_name
+            .get(call.callee.as_str())
+            .map(|v| {
+                v.iter()
+                    .copied()
+                    .filter(|&(fi, gi)| !self.files[fi].1.fns[gi].has_self)
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+}
+
+/// Display name for a function: `Owner::name` or `name`.
+fn fn_label(index: &FileIndex, gi: usize) -> String {
+    let f = &index.fns[gi];
+    match &f.owner {
+        Some(o) => format!("{o}::{}", f.name),
+        None => f.name.clone(),
+    }
+}
+
+/// Runs the H2 `hot-path-reach` pass over a set of per-file indexes.
+/// `files` must be sorted by path for deterministic output. Emits one
+/// finding per fenced call site whose callee transitively allocates,
+/// carrying the shortest call chain as evidence.
+#[must_use]
+pub fn check_reachable_allocs(files: &[(String, FileIndex)]) -> Vec<Finding> {
+    let symbols = Symbols::build(files);
+    let mut findings = Vec::new();
+    for (fi, (path, index)) in files.iter().enumerate() {
+        for (gi, f) in index.fns.iter().enumerate() {
+            if f.is_test {
+                continue;
+            }
+            for call in f.calls.iter().filter(|c| c.in_fence) {
+                if let Some(finding) = trace_call(&symbols, path, fi, (fi, gi), call) {
+                    findings.push(finding);
+                }
+            }
+        }
+    }
+    findings
+}
+
+/// BFS from one fenced call site; returns the finding for the shortest
+/// allocation chain, if any callee transitively allocates.
+fn trace_call(
+    symbols: &Symbols<'_>,
+    path: &str,
+    file_idx: usize,
+    caller: FnKey,
+    call: &crate::parse::CallSite,
+) -> Option<Finding> {
+    let mut queue: VecDeque<(FnKey, Vec<String>)> = VecDeque::new();
+    let mut visited: BTreeSet<FnKey> = BTreeSet::new();
+    for key @ (tfi, tgi) in symbols.resolve(call, file_idx, caller) {
+        if visited.insert(key) {
+            let index = &symbols.files[tfi].1;
+            queue.push_back((
+                key,
+                vec![format!(
+                    "{}:{} `{}`",
+                    symbols.files[tfi].0,
+                    index.fns[tgi].line,
+                    fn_label(index, tgi)
+                )],
+            ));
+        }
+    }
+    while let Some(((tfi, tgi), chain)) = queue.pop_front() {
+        let (tpath, index) = &symbols.files[tfi];
+        let f = &index.fns[tgi];
+        if let Some(alloc) = f.allocs.first() {
+            let mut chain = chain;
+            chain.push(format!("{tpath}:{} {}", alloc.line, alloc.what));
+            return Some(
+                Finding::new(
+                    Rule::HotPathReach,
+                    path,
+                    call.line,
+                    format!(
+                        "`{}` is called inside a `lint:hot-path` fence but reaches an allocation ({} in `{}`)",
+                        call.callee,
+                        alloc.what,
+                        fn_label(index, tgi),
+                    ),
+                )
+                .with_chain(chain),
+            );
+        }
+        if chain.len() >= MAX_CHAIN {
+            continue;
+        }
+        for next in &f.calls {
+            for key @ (nfi, ngi) in symbols.resolve(next, tfi, (tfi, tgi)) {
+                if visited.insert(key) {
+                    let nindex = &symbols.files[nfi].1;
+                    let mut c = chain.clone();
+                    c.push(format!(
+                        "{}:{} `{}`",
+                        symbols.files[nfi].0,
+                        nindex.fns[ngi].line,
+                        fn_label(nindex, ngi)
+                    ));
+                    queue.push_back((key, c));
+                }
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_file;
+    use crate::tokenizer::tokenize;
+
+    fn index_all(sources: &[(&str, &str)]) -> Vec<(String, FileIndex)> {
+        sources
+            .iter()
+            .map(|(p, s)| ((*p).to_string(), parse_file(p, &tokenize(s)).0))
+            .collect()
+    }
+
+    #[test]
+    fn two_hop_chain_is_reported_with_evidence() {
+        let fenced = "\
+fn hot(xs: &[u64], out: &mut [u64]) {
+    // lint:hot-path
+    for (o, &x) in out.iter_mut().zip(xs) {
+        *o = expand(x);
+    }
+    // lint:hot-path-end
+}
+";
+        let helper = "\
+pub fn expand(x: u64) -> u64 {
+    widen(x) + 1
+}
+pub fn widen(x: u64) -> u64 {
+    let scratch: Vec<u64> = Vec::new();
+    scratch.len() as u64 + x
+}
+";
+        let files = index_all(&[
+            ("crates/x/src/fenced.rs", fenced),
+            ("crates/x/src/helper.rs", helper),
+        ]);
+        let findings = check_reachable_allocs(&files);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        let f = &findings[0];
+        assert_eq!(f.rule, Rule::HotPathReach);
+        assert_eq!(f.path, "crates/x/src/fenced.rs");
+        assert_eq!(f.line, 4);
+        assert_eq!(
+            f.chain,
+            vec![
+                "crates/x/src/helper.rs:1 `expand`".to_string(),
+                "crates/x/src/helper.rs:4 `widen`".to_string(),
+                "crates/x/src/helper.rs:5 `Vec::new()`".to_string(),
+            ]
+        );
+    }
+
+    #[test]
+    fn clean_helpers_do_not_fire() {
+        let files = index_all(&[(
+            "crates/x/src/a.rs",
+            "\
+fn hot(x: u64) -> u64 {
+    // lint:hot-path
+    let y = double(x);
+    // lint:hot-path-end
+    y
+}
+fn double(x: u64) -> u64 { x * 2 }
+",
+        )]);
+        assert!(check_reachable_allocs(&files).is_empty());
+    }
+
+    #[test]
+    fn typed_receiver_does_not_cross_types() {
+        // `ws.route(..)` must resolve to `Workspace::route` (clean), not
+        // to the allocating `Topology::route`.
+        let files = index_all(&[(
+            "crates/x/src/a.rs",
+            "\
+struct Workspace { routes: Vec<u32> }
+impl Workspace {
+    fn route(&self, i: usize) -> u32 { self.routes[i] }
+}
+struct Topology;
+impl Topology {
+    fn route(&self, i: usize) -> Vec<u32> { (0..i as u32).collect() }
+}
+fn hot(ws: &Workspace) -> u32 {
+    // lint:hot-path
+    let r = ws.route(3);
+    // lint:hot-path-end
+    r
+}
+",
+        )]);
+        assert!(check_reachable_allocs(&files).is_empty());
+    }
+
+    #[test]
+    fn self_and_qualified_calls_resolve_within_owner() {
+        let files = index_all(&[(
+            "crates/x/src/a.rs",
+            "\
+struct S;
+impl S {
+    fn hot(&self) {
+        // lint:hot-path
+        self.step();
+        // lint:hot-path-end
+    }
+    fn step(&self) { S::scratch(); }
+    fn scratch() { let v = Vec::new(); drop(v); }
+}
+",
+        )]);
+        let findings = check_reachable_allocs(&files);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].chain.len(), 3);
+        assert!(findings[0].chain[0].ends_with("`S::step`"));
+        assert!(findings[0].chain[1].ends_with("`S::scratch`"));
+    }
+
+    #[test]
+    fn recursion_terminates_and_test_fns_are_invisible() {
+        let files = index_all(&[(
+            "crates/x/src/a.rs",
+            "\
+fn hot() {
+    // lint:hot-path
+    ping();
+    // lint:hot-path-end
+}
+fn ping() { pong(); }
+fn pong() { ping(); }
+#[cfg(test)]
+mod tests {
+    fn ping() { let v: Vec<u8> = Vec::new(); }
+}
+",
+        )]);
+        assert!(check_reachable_allocs(&files).is_empty());
+    }
+}

@@ -5,7 +5,7 @@ use std::cmp::Ordering;
 
 use ehp_sim_core::json::{Json, ToJson};
 
-/// The project invariants `ehp-lint` enforces (DESIGN.md §10).
+/// The project invariants `ehp-lint` enforces (DESIGN.md §10–§11).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Rule {
     /// D1: no iteration over `HashMap`/`HashSet` in sim crates.
@@ -14,8 +14,17 @@ pub enum Rule {
     WallClock,
     /// D3: no `f32` truncation in accumulator paths.
     F32Truncation,
+    /// D4: seeds outside bench/tests must derive from config state or a
+    /// named constant, never an inline ad-hoc literal.
+    SeedDiscipline,
     /// H1: no allocation calls inside `// lint:hot-path` fences.
     HotPathAlloc,
+    /// H2: no function reachable from a `// lint:hot-path` fence through
+    /// the workspace call graph may allocate.
+    HotPathReach,
+    /// R1: `thread::scope`/`spawn` closures may not capture `&mut`,
+    /// `RefCell`, `Cell`, or `Rc` state shared across spawns.
+    ThreadCapture,
     /// S1: scenario specs must match their experiment's parameter schema.
     ScenarioSchema,
     /// Malformed fence markers (unbalanced / nested `lint:hot-path`).
@@ -32,7 +41,10 @@ impl Rule {
             Rule::HashIter => "hash-iter",
             Rule::WallClock => "wall-clock",
             Rule::F32Truncation => "f32-truncation",
+            Rule::SeedDiscipline => "seed-discipline",
             Rule::HotPathAlloc => "hot-path-alloc",
+            Rule::HotPathReach => "hot-path-reach",
+            Rule::ThreadCapture => "thread-capture",
             Rule::ScenarioSchema => "scenario-schema",
             Rule::Fence => "fence",
             Rule::Waiver => "waiver",
@@ -46,11 +58,29 @@ impl Rule {
             Rule::HashIter => "D1",
             Rule::WallClock => "D2",
             Rule::F32Truncation => "D3",
+            Rule::SeedDiscipline => "D4",
             Rule::HotPathAlloc | Rule::Fence => "H1",
+            Rule::HotPathReach => "H2",
+            Rule::ThreadCapture => "R1",
             Rule::ScenarioSchema => "S1",
             Rule::Waiver => "W0",
         }
     }
+
+    /// Every rule a workspace run can evaluate, in code order — the
+    /// stable enumeration used for per-rule report counts.
+    pub const ALL: &'static [Rule] = &[
+        Rule::HashIter,
+        Rule::WallClock,
+        Rule::F32Truncation,
+        Rule::SeedDiscipline,
+        Rule::HotPathAlloc,
+        Rule::HotPathReach,
+        Rule::ThreadCapture,
+        Rule::ScenarioSchema,
+        Rule::Fence,
+        Rule::Waiver,
+    ];
 
     /// Resolves a waiverable rule by name (fence/waiver misuse findings
     /// cannot themselves be waived).
@@ -60,9 +90,100 @@ impl Rule {
             "hash-iter" => Some(Rule::HashIter),
             "wall-clock" => Some(Rule::WallClock),
             "f32-truncation" => Some(Rule::F32Truncation),
+            "seed-discipline" => Some(Rule::SeedDiscipline),
             "hot-path-alloc" => Some(Rule::HotPathAlloc),
+            "hot-path-reach" => Some(Rule::HotPathReach),
+            "thread-capture" => Some(Rule::ThreadCapture),
             "scenario-schema" => Some(Rule::ScenarioSchema),
             _ => None,
+        }
+    }
+
+    /// Resolves any rule by name, including the bookkeeping rules that
+    /// cannot be waived — used by the incremental cache round trip and
+    /// `--explain`.
+    #[must_use]
+    pub fn from_name_any(name: &str) -> Option<Rule> {
+        match name {
+            "fence" => Some(Rule::Fence),
+            "waiver" => Some(Rule::Waiver),
+            other => Rule::from_name(other),
+        }
+    }
+
+    /// One-paragraph explanation of the rule, printed by
+    /// `ehp lint --explain <rule>`.
+    #[must_use]
+    pub fn explain(self) -> &'static str {
+        match self {
+            Rule::HashIter => {
+                "D1 hash-iter: iterating a HashMap/HashSet feeds hash-order \
+                 (which varies across runs and platforms) into downstream \
+                 results, breaking byte-identical replays. Iterate a BTree \
+                 collection or dense index order instead. Escape: binding the \
+                 collected result with `let` and sorting that binding in one \
+                 of the next statements (collect-then-sort destroys the \
+                 nondeterministic order, so it is allowed)."
+            }
+            Rule::WallClock => {
+                "D2 wall-clock: Instant::now()/SystemTime read real time, so \
+                 two identical runs observe different values. Sim code must \
+                 use SimTime only; crates/bench and the batch executor are \
+                 the sanctioned timing sites."
+            }
+            Rule::F32Truncation => {
+                "D3 f32-truncation: accumulators are f64 end-to-end; a single \
+                 f32 truncation silently perturbs every downstream fold and \
+                 the run summary stops being bit-identical across refactors."
+            }
+            Rule::SeedDiscipline => {
+                "D4 seed-discipline: every SplitMix64::new/seed construction \
+                 outside crates/bench and #[cfg(test)] modules must derive \
+                 from a scenario/config field, a function argument, or a \
+                 named constant. Inline ad-hoc literals (SplitMix64::new(42)) \
+                 create untracked randomness the harness cannot replay or \
+                 sweep."
+            }
+            Rule::HotPathAlloc => {
+                "H1 hot-path-alloc: no allocation calls (Vec::new, .clone(), \
+                 .to_vec(), .collect(), format!, vec!, with_capacity, ...) \
+                 between // lint:hot-path and // lint:hot-path-end. The \
+                 fenced regions are the replay/solver inner loops; steady \
+                 state must reuse caller-held workspaces."
+            }
+            Rule::HotPathReach => {
+                "H2 hot-path-reach: a function *called* from inside a \
+                 // lint:hot-path fence must not allocate anywhere in its \
+                 body, transitively through the workspace call graph. The \
+                 finding prints the full call chain from the fenced call \
+                 site to the allocation so the hop that needs a workspace \
+                 (or a reasoned waiver) is obvious."
+            }
+            Rule::ThreadCapture => {
+                "R1 thread-capture: std::thread::scope/spawn closures may \
+                 not capture &mut borrows of state declared outside the \
+                 closure, nor RefCell/Cell/Rc values (non-Sync shared \
+                 mutation races across spawns). Mutex/atomic/channel state \
+                 and move-per-worker partitions (chunks_mut handed to each \
+                 worker by value) are the sanctioned patterns."
+            }
+            Rule::ScenarioSchema => {
+                "S1 scenario-schema: scenarios/*.json must match the \
+                 parameter schema its experiment declares in the registry: \
+                 known keys, right kinds, in-range values, for both params \
+                 and sweep axes."
+            }
+            Rule::Fence => {
+                "fence: lint:hot-path / lint:hot-path-end markers must be \
+                 balanced and unnested; a broken fence silently disables H1 \
+                 and H2 for the region, so it is itself a finding."
+            }
+            Rule::Waiver => {
+                "waiver: lint:allow(<rule>) <reason> and lint.waivers \
+                 entries must name a known rule and carry a non-empty \
+                 reason; stale file-level entries (matching no finding) are \
+                 findings so silence stays auditable."
+            }
         }
     }
 }
@@ -78,6 +199,9 @@ pub struct Finding {
     pub line: u32,
     /// Human-readable description of the violation.
     pub message: String,
+    /// Call-chain evidence (H2): each hop as `path:line name`, root call
+    /// first, the allocation site last. Empty for single-site rules.
+    pub chain: Vec<String>,
     /// `Some(reason)` if an inline or file waiver covers this finding.
     pub waived: Option<String>,
 }
@@ -91,8 +215,16 @@ impl Finding {
             path: path.to_string(),
             line,
             message: message.into(),
+            chain: Vec::new(),
             waived: None,
         }
+    }
+
+    /// Attaches call-chain evidence (H2).
+    #[must_use]
+    pub fn with_chain(mut self, chain: Vec<String>) -> Finding {
+        self.chain = chain;
+        self
     }
 
     /// Deterministic ordering: path, then line, then rule.
@@ -101,14 +233,15 @@ impl Finding {
         (self.path.clone(), self.line, self.rule)
     }
 
-    /// One-line human rendering (`path:line: [D1 hash-iter] message`).
+    /// One-line human rendering (`path:line: [D1 hash-iter] message`),
+    /// with the call chain appended hop by hop when present.
     #[must_use]
     pub fn render(&self) -> String {
         let waived = match &self.waived {
             Some(reason) => format!(" (waived: {reason})"),
             None => String::new(),
         };
-        format!(
+        let mut out = format!(
             "{}:{}: [{} {}] {}{}",
             self.path,
             self.line,
@@ -116,7 +249,34 @@ impl Finding {
             self.rule.name(),
             self.message,
             waived
-        )
+        );
+        for hop in &self.chain {
+            out.push_str("\n    via ");
+            out.push_str(hop);
+        }
+        out
+    }
+
+    /// Rebuilds a finding from its [`ToJson`] form (incremental cache).
+    #[must_use]
+    pub fn from_json(j: &Json) -> Option<Finding> {
+        let rule = Rule::from_name_any(j.get("rule")?.as_str()?)?;
+        let chain = match j.get("chain") {
+            Some(c) => c
+                .as_arr()?
+                .iter()
+                .map(|h| h.as_str().map(str::to_string))
+                .collect::<Option<Vec<_>>>()?,
+            None => Vec::new(),
+        };
+        Some(Finding {
+            rule,
+            path: j.get("path")?.as_str()?.to_string(),
+            line: u32::try_from(j.get("line")?.as_u64()?).ok()?,
+            message: j.get("message")?.as_str()?.to_string(),
+            chain,
+            waived: j.get("waived").and_then(|w| w.as_str()).map(str::to_string),
+        })
     }
 }
 
@@ -128,6 +288,10 @@ impl ToJson for Finding {
             ("path", Json::from(self.path.as_str())),
             ("line", Json::from(u64::from(self.line))),
             ("message", Json::from(self.message.as_str())),
+            (
+                "chain",
+                Json::array(self.chain.iter().map(|h| Json::from(h.as_str()))),
+            ),
             (
                 "waived",
                 match &self.waived {
@@ -162,13 +326,41 @@ mod tests {
             Rule::HashIter,
             Rule::WallClock,
             Rule::F32Truncation,
+            Rule::SeedDiscipline,
             Rule::HotPathAlloc,
+            Rule::HotPathReach,
+            Rule::ThreadCapture,
             Rule::ScenarioSchema,
         ] {
             assert_eq!(Rule::from_name(rule.name()), Some(rule));
         }
         assert_eq!(Rule::from_name("fence"), None);
         assert_eq!(Rule::from_name("nope"), None);
+        for rule in Rule::ALL {
+            assert_eq!(Rule::from_name_any(rule.name()), Some(*rule));
+            assert!(!rule.explain().is_empty());
+        }
+    }
+
+    #[test]
+    fn finding_json_round_trips_including_chain() {
+        let f = Finding::new(
+            Rule::HotPathReach,
+            "crates/x/src/a.rs",
+            9,
+            "reaches `Vec::new()`",
+        )
+        .with_chain(vec![
+            "crates/x/src/a.rs:9 helper".to_string(),
+            "crates/x/src/b.rs:4 `Vec::new()`".to_string(),
+        ]);
+        let back = Finding::from_json(&f.to_json()).expect("round trip");
+        assert_eq!(back, f);
+        assert!(f.render().contains("via crates/x/src/b.rs:4"));
+
+        let mut waived = Finding::new(Rule::Fence, "lint.waivers", 0, "stale");
+        waived.waived = Some("because".to_string());
+        assert_eq!(Finding::from_json(&waived.to_json()), Some(waived));
     }
 
     #[test]

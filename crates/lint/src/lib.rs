@@ -1,13 +1,15 @@
 //! `ehp-lint`: the in-repo determinism & hot-path static analyzer
-//! (DESIGN.md §10).
+//! (DESIGN.md §10–§11).
 //!
 //! The simulator's headline guarantee — byte-identical `run_summary.json`
 //! for a given seed, regardless of thread count — is carried by coding
 //! invariants that `rustc` cannot check: no hash-order iteration feeding
 //! results, no wall-clock reads in sim code, no f32 truncation in
-//! accumulator paths, no allocation in the fenced hot paths, and
-//! scenario specs that match their experiment's parameter schema. This
-//! crate checks them, offline, with its own lightweight tokenizer (the
+//! accumulator paths, no allocation in (or reachable from) the fenced
+//! hot paths, no shared mutable captures in worker closures, seeds
+//! traceable to a scenario or named constant, and scenario specs that
+//! match their experiment's parameter schema. This crate checks them,
+//! offline, with its own lightweight tokenizer and item parser (the
 //! same zero-dependency philosophy as `ehp_sim_core::json`).
 //!
 //! | rule              | code | invariant                                        |
@@ -15,14 +17,25 @@
 //! | `hash-iter`       | D1   | no `HashMap`/`HashSet` iteration in sim crates   |
 //! | `wall-clock`      | D2   | no `Instant::now`/`SystemTime` outside bench     |
 //! | `f32-truncation`  | D3   | f64 end-to-end in accumulator paths              |
+//! | `seed-discipline` | D4   | seeds derive from config/constants, not literals |
 //! | `hot-path-alloc`  | H1   | no allocation inside `// lint:hot-path` fences   |
+//! | `hot-path-reach`  | H2   | no allocation reachable through fenced calls     |
+//! | `thread-capture`  | R1   | no shared mutable capture in spawn closures      |
 //! | `scenario-schema` | S1   | `scenarios/*.json` match experiment schemas      |
+//!
+//! D1–D3, D4, H1, and R1 are single-file rules and cache per file
+//! (content-hash keyed, `target/lint-cache.json`); H2 walks the
+//! workspace call graph built from the per-file indexes and is
+//! recomputed every run, as are S1 and the waiver file.
 //!
 //! Entry point: [`lint_workspace`]. The `ehp lint` CLI subcommand and the
 //! `ehp-lint` binary (both in `ehp-harness`, which owns the experiment
 //! registry and therefore the schemas) are thin wrappers around it.
 
+pub mod cache;
+pub mod callgraph;
 pub mod findings;
+pub mod parse;
 pub mod rules;
 pub mod schema;
 pub mod tokenizer;
@@ -33,10 +46,14 @@ use std::io;
 use std::path::{Path, PathBuf};
 
 pub use findings::{Finding, Rule};
+pub use parse::FileIndex;
 pub use schema::{ExperimentSchema, ParamKind, ParamSpec};
 
 /// Name of the file-level waiver file at the workspace root.
 pub const WAIVER_FILE: &str = "lint.waivers";
+
+/// Cache location relative to the workspace root.
+pub const CACHE_REL_PATH: &str = "target/lint-cache.json";
 
 /// What to lint and against which schemas.
 #[derive(Debug)]
@@ -45,6 +62,8 @@ pub struct LintConfig<'a> {
     pub root: PathBuf,
     /// Experiment parameter schemas for S1 (from the harness registry).
     pub schemas: &'a [ExperimentSchema],
+    /// Use (and refresh) the incremental cache at [`CACHE_REL_PATH`].
+    pub use_cache: bool,
 }
 
 /// The result of linting a workspace.
@@ -57,6 +76,10 @@ pub struct LintReport {
     pub files_scanned: usize,
     /// Number of scenario specs validated.
     pub scenarios_scanned: usize,
+    /// Files whose single-file findings and index came from the cache.
+    pub cache_hits: usize,
+    /// Files that were (re-)tokenized and analyzed this run.
+    pub cache_misses: usize,
 }
 
 impl LintReport {
@@ -78,6 +101,8 @@ impl LintReport {
     }
 
     /// Machine-readable report (stable key order via `Json`'s BTreeMap).
+    /// Cache hit/miss counters are deliberately excluded: a cached run
+    /// must produce a byte-identical report to an uncached one.
     #[must_use]
     pub fn to_json(&self) -> ehp_sim_core::json::Json {
         use ehp_sim_core::json::{Json, ToJson};
@@ -111,17 +136,58 @@ pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
     None
 }
 
+/// Lints a set of in-memory sources: every single-file rule plus the
+/// cross-file H2 reachability pass, with inline waivers applied. The
+/// pure core of [`lint_workspace`], used directly by tests.
+#[must_use]
+pub fn lint_sources(sources: &[(&str, &str)]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let mut indexes: Vec<(String, FileIndex)> = Vec::new();
+    for (path, text) in sources {
+        let a = rules::analyze(path, text);
+        findings.extend(a.findings);
+        indexes.push(((*path).to_string(), a.index));
+    }
+    append_reachability(&mut findings, &indexes);
+    findings::sort_dedup(&mut findings);
+    findings
+}
+
+/// Runs H2 over the per-file indexes and appends its findings, applying
+/// each root file's inline waivers.
+fn append_reachability(findings: &mut Vec<Finding>, indexes: &[(String, FileIndex)]) {
+    let mut h2 = callgraph::check_reachable_allocs(indexes);
+    for f in &mut h2 {
+        if let Some((_, index)) = indexes.iter().find(|(p, _)| *p == f.path) {
+            waiver::apply_inline(std::slice::from_mut(f), &index.waivers);
+        }
+    }
+    findings.append(&mut h2);
+}
+
 /// Lints every `crates/*/src/**/*.rs` file and every `scenarios/*.json`
 /// under `config.root`, applies inline and file-level waivers, and
 /// returns the deterministic report.
+///
+/// With `config.use_cache`, unchanged files (by content hash) replay
+/// their cached findings and index without re-tokenizing; the refreshed
+/// cache is written back to `target/lint-cache.json` best-effort. The
+/// report is byte-identical either way.
 ///
 /// # Errors
 /// Propagates I/O errors from walking the tree or reading files.
 pub fn lint_workspace(config: &LintConfig) -> io::Result<LintReport> {
     let mut report = LintReport::default();
+    let cache_path = config.root.join(CACHE_REL_PATH);
+    let old_cache = if config.use_cache {
+        cache::LintCache::load(&cache_path)
+    } else {
+        cache::LintCache::default()
+    };
+    let mut new_cache = cache::LintCache::default();
 
     // Source files: crates/*/src/**/*.rs, crate and file order sorted so
-    // the report is byte-stable.
+    // the report (and the call-graph walk) is byte-stable.
     let mut rs_files: Vec<PathBuf> = Vec::new();
     for krate in sorted_entries(&config.root.join("crates"))? {
         let src = krate.join("src");
@@ -129,12 +195,35 @@ pub fn lint_workspace(config: &LintConfig) -> io::Result<LintReport> {
             collect_rs(&src, &mut rs_files)?;
         }
     }
+    let mut indexes: Vec<(String, FileIndex)> = Vec::new();
     for path in &rs_files {
         let rel = rel_path(&config.root, path);
         let text = fs::read_to_string(path)?;
-        report.findings.append(&mut rules::lint_source(&rel, &text));
+        let hash = cache::content_hash(&text);
+        if let Some(e) = old_cache.lookup(&rel, hash) {
+            report.cache_hits += 1;
+            report.findings.extend(e.findings.iter().cloned());
+            indexes.push((rel.clone(), e.index.clone()));
+            new_cache.entries.insert(rel, e.clone());
+        } else {
+            report.cache_misses += 1;
+            let a = rules::analyze(&rel, &text);
+            report.findings.extend(a.findings.iter().cloned());
+            new_cache.entries.insert(
+                rel.clone(),
+                cache::CacheEntry {
+                    hash,
+                    findings: a.findings,
+                    index: a.index.clone(),
+                },
+            );
+            indexes.push((rel, a.index));
+        }
         report.files_scanned += 1;
     }
+
+    // Cross-file pass: H2 allocation reachability over the call graph.
+    append_reachability(&mut report.findings, &indexes);
 
     // Scenario specs.
     let scen_dir = config.root.join("scenarios");
@@ -173,6 +262,10 @@ pub fn lint_workspace(config: &LintConfig) -> io::Result<LintReport> {
     }
 
     findings::sort_dedup(&mut report.findings);
+    if config.use_cache {
+        // Best-effort: a read-only target dir must not fail the lint.
+        let _ = new_cache.save(&cache_path);
+    }
     Ok(report)
 }
 

@@ -1,0 +1,1073 @@
+//! The per-file item parser: a lightweight semantic layer on top of the
+//! tokenizer (DESIGN.md §11).
+//!
+//! [`parse_file`] extracts every function item (name, owning `impl`
+//! type, `#[cfg(test)]`/`#[test]` context), its outgoing call sites and
+//! allocation sites, the `// lint:hot-path` fence regions, seed
+//! construction sites, and `spawn` closure captures — everything the
+//! cross-file rules (H2 hot-path-reach, R1 thread-capture, D4
+//! seed-discipline) and the incremental cache need, without keeping the
+//! token stream around.
+//!
+//! Like the rest of the linter the parser is type-free and heuristic: a
+//! declaration heuristic maps identifiers to type names (`ws: &mut
+//! SolverWorkspace`, `x = RefCell::new(..)`, struct fields), which the
+//! call graph uses to resolve method receivers. It is a tripwire, not a
+//! proof — DESIGN.md §11 spells out the limits.
+
+use std::collections::BTreeMap;
+
+use ehp_sim_core::json::Json;
+
+use crate::findings::{Finding, Rule};
+use crate::tokenizer::{Tok, TokKind, TokenizedFile};
+use crate::waiver::{self, InlineWaiver};
+
+/// Begin marker for H1/H2 fences.
+pub const FENCE_BEGIN: &str = "lint:hot-path";
+/// End marker for H1/H2 fences.
+pub const FENCE_END: &str = "lint:hot-path-end";
+
+/// Allocation entry points: methods called as `.name(`...
+pub const ALLOC_METHODS: &[&str] = &["clone", "to_vec", "to_string", "to_owned", "collect"];
+/// ... constructor paths `Type::new` ...
+pub const ALLOC_TYPES: &[&str] = &["Vec", "String", "Box"];
+/// ... allocating macros `name!` ...
+pub const ALLOC_MACROS: &[&str] = &["format", "vec"];
+/// ... and bare allocating calls.
+pub const ALLOC_BARE: &[&str] = &["with_capacity"];
+
+/// Cell-like types whose capture by a spawn closure races (R1).
+const CELL_TYPES: &[&str] = &["RefCell", "Cell", "Rc"];
+
+/// Keywords that look like `ident (` but are not calls.
+const NON_CALL_KEYWORDS: &[&str] = &[
+    "if", "while", "for", "match", "loop", "return", "move", "in", "let", "else", "Some", "None",
+    "Ok", "Err",
+];
+
+/// One outgoing call site inside a function body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CallSite {
+    /// Called function name (last path segment / method name).
+    pub callee: String,
+    /// Path qualifier directly before the name (`Vec::new` → `Vec`,
+    /// `Self::f` → `Self`), if the call was path-qualified.
+    pub qual: Option<String>,
+    /// Receiver identifier for `recv.name(..)` method calls, when the
+    /// receiver is a simple identifier (`self` included).
+    pub recv: Option<String>,
+    /// `true` for `.name(` method-call syntax.
+    pub method: bool,
+    /// 1-based source line of the callee name.
+    pub line: u32,
+    /// Whether the call site sits inside a `lint:hot-path` fence.
+    pub in_fence: bool,
+}
+
+/// One allocation site inside a function body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllocSite {
+    /// Human label, e.g. `` `Vec::new()` `` or `` `.clone()` ``.
+    pub what: String,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+/// One function item.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FnItem {
+    /// Function name.
+    pub name: String,
+    /// `impl` target type, for methods and associated functions.
+    pub owner: Option<String>,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Inside a `#[cfg(test)]` module (or carries a `test` attribute).
+    pub is_test: bool,
+    /// Whether the parameter list mentions `self`.
+    pub has_self: bool,
+    /// Outgoing calls, in source order.
+    pub calls: Vec<CallSite>,
+    /// Allocation sites anywhere in the body, in source order.
+    pub allocs: Vec<AllocSite>,
+}
+
+/// One `SplitMix64::new(..)` construction site (D4).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SeedSite {
+    /// 1-based source line.
+    pub line: u32,
+    /// The argument is built from literals only — no identifier (config
+    /// field, named constant, function argument) anywhere in it.
+    pub literal_only: bool,
+    /// Inside test code.
+    pub in_test: bool,
+}
+
+/// What a spawn closure captured that it must not (R1).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CaptureKind {
+    /// `&mut x` where `x` is declared outside the closure.
+    MutBorrow,
+    /// Use of an identifier declared as `RefCell`/`Cell`/`Rc` outside
+    /// the closure; payload is the type name.
+    CellLike(String),
+}
+
+/// One illegal capture inside a spawn closure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Capture {
+    /// Captured identifier.
+    pub ident: String,
+    /// 1-based source line of the capture.
+    pub line: u32,
+    /// How it was captured.
+    pub kind: CaptureKind,
+}
+
+/// One `spawn(..)` call and its closure's illegal captures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpawnSite {
+    /// 1-based source line of the `spawn` identifier.
+    pub line: u32,
+    /// Inside test code.
+    pub in_test: bool,
+    /// Illegal captures, in source order.
+    pub captures: Vec<Capture>,
+}
+
+/// Everything the cross-file passes need to know about one file. This
+/// is what the incremental cache stores per content hash, so a cached
+/// file never needs re-tokenizing.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FileIndex {
+    /// Function items, in source order.
+    pub fns: Vec<FnItem>,
+    /// `lint:hot-path` fence regions as `(begin_line, end_line)`.
+    pub fences: Vec<(u32, u32)>,
+    /// Seed construction sites (D4).
+    pub seeds: Vec<SeedSite>,
+    /// Spawn closure captures (R1).
+    pub spawns: Vec<SpawnSite>,
+    /// Inline `lint:allow` waivers (kept so cross-file findings computed
+    /// later can still be waived at their root line).
+    pub waivers: Vec<InlineWaiver>,
+    /// Declaration-heuristic identifier types (`ws` → `SolverWorkspace`);
+    /// ambiguous identifiers map to `"?"`.
+    pub typed: BTreeMap<String, String>,
+}
+
+/// Extracts fence regions from a file's comments; unbalanced or nested
+/// markers become [`Rule::Fence`] findings.
+#[must_use]
+pub fn fence_regions(path: &str, file: &TokenizedFile) -> (Vec<(u32, u32)>, Vec<Finding>) {
+    let mut regions = Vec::new();
+    let mut findings = Vec::new();
+    let mut open: Option<u32> = None;
+    for c in &file.comments {
+        let text = c.text.trim();
+        // End-marker test first: BEGIN is a prefix of END.
+        if text.starts_with(FENCE_END) {
+            match open.take() {
+                Some(begin) => regions.push((begin, c.line)),
+                None => findings.push(Finding::new(
+                    Rule::Fence,
+                    path,
+                    c.line,
+                    "`lint:hot-path-end` without a matching `lint:hot-path`",
+                )),
+            }
+        } else if text.starts_with(FENCE_BEGIN) {
+            if let Some(begin) = open {
+                findings.push(Finding::new(
+                    Rule::Fence,
+                    path,
+                    c.line,
+                    format!("nested `lint:hot-path` (previous fence opened on line {begin})"),
+                ));
+            } else {
+                open = Some(c.line);
+            }
+        }
+    }
+    if let Some(begin) = open {
+        findings.push(Finding::new(
+            Rule::Fence,
+            path,
+            begin,
+            "`lint:hot-path` fence never closed (`lint:hot-path-end` missing)",
+        ));
+    }
+    (regions, findings)
+}
+
+/// Whether `line` falls strictly inside any fence region.
+#[must_use]
+pub fn in_fence(regions: &[(u32, u32)], line: u32) -> bool {
+    regions.iter().any(|&(b, e)| line > b && line < e)
+}
+
+/// Declaration-heuristic identifier typing: `name: [&][mut] Type`,
+/// struct fields, fn params, and `name = Type::new(..)`-style inits.
+/// Identifiers ascribed two different types collapse to `"?"`.
+fn typed_idents(toks: &[Tok]) -> BTreeMap<String, String> {
+    let mut out: BTreeMap<String, String> = BTreeMap::new();
+    let mut record = |name: &str, ty: &str| {
+        match out.get(name) {
+            Some(prev) if prev != ty => out.insert(name.to_string(), "?".to_string()),
+            Some(_) => None,
+            None => out.insert(name.to_string(), ty.to_string()),
+        };
+    };
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if t.kind != TokKind::Ident || !t.text.starts_with(char::is_uppercase) {
+            continue;
+        }
+        // Walk left over a `std::collections::`-style path prefix.
+        let mut j = i;
+        while j >= 3
+            && toks[j - 1].is_punct(':')
+            && toks[j - 2].is_punct(':')
+            && toks[j - 3].kind == TokKind::Ident
+        {
+            j -= 3;
+        }
+        if j == 0 {
+            continue;
+        }
+        // `name: [&][mut] Type` (let, fn param, struct field).
+        let mut k = j - 1;
+        while k > 0 && (toks[k].is_punct('&') || toks[k].is_ident("mut")) {
+            k -= 1;
+        }
+        if toks[k].is_punct(':')
+            && k >= 1
+            && toks[k - 1].kind == TokKind::Ident
+            && !(k >= 2 && toks[k - 2].is_punct(':'))
+        {
+            record(&toks[k - 1].text, &t.text);
+            continue;
+        }
+        // `name = Type::new(..)` / `= Type::default()` / `= Type::with_capacity(..)`.
+        if toks[k].is_punct('=')
+            && k >= 1
+            && toks[k - 1].kind == TokKind::Ident
+            && i + 4 < toks.len()
+            && toks[i + 1].is_punct(':')
+            && toks[i + 2].is_punct(':')
+            && toks[i + 3].kind == TokKind::Ident
+            && matches!(
+                toks[i + 3].text.as_str(),
+                "new" | "default" | "with_capacity"
+            )
+            && toks[i + 4].is_punct('(')
+        {
+            record(&toks[k - 1].text, &t.text);
+        }
+    }
+    out
+}
+
+/// Finds the index of the matching close for the open delimiter at
+/// `open` (which must hold `(`, `[`, or `{`); returns `toks.len()` when
+/// unbalanced.
+fn matching_close(toks: &[Tok], open: usize) -> usize {
+    let mut depth = 0i32;
+    for (j, t) in toks.iter().enumerate().skip(open) {
+        if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+            depth -= 1;
+            if depth == 0 {
+                return j;
+            }
+        }
+    }
+    toks.len()
+}
+
+/// Scope kinds tracked while walking the brace structure.
+enum Scope {
+    Mod { is_test: bool },
+    Impl { ty: Option<String> },
+    Fn { idx: usize },
+    Block,
+}
+
+/// Parses one tokenized file into its [`FileIndex`]. Fence bookkeeping
+/// errors and malformed inline waivers are returned as findings.
+#[must_use]
+pub fn parse_file(path: &str, file: &TokenizedFile) -> (FileIndex, Vec<Finding>) {
+    let (fences, mut findings) = fence_regions(path, file);
+    let (waivers, mut waiver_errors) = waiver::inline_waivers(path, &file.comments);
+    findings.append(&mut waiver_errors);
+
+    let toks = &file.toks;
+    let typed = typed_idents(toks);
+    let mut index = FileIndex {
+        fences,
+        waivers,
+        typed,
+        ..FileIndex::default()
+    };
+
+    let mut scopes: Vec<Scope> = Vec::new();
+    let mut pending: Option<Scope> = None;
+    let mut pending_test_attr = false;
+
+    let in_test_scope = |scopes: &[Scope]| {
+        scopes
+            .iter()
+            .any(|s| matches!(s, Scope::Mod { is_test: true }))
+    };
+    let current_impl = |scopes: &[Scope]| {
+        scopes.iter().rev().find_map(|s| match s {
+            Scope::Impl { ty } => Some(ty.clone()),
+            _ => None,
+        })
+    };
+    let current_fn = |scopes: &[Scope]| {
+        scopes.iter().rev().find_map(|s| match s {
+            Scope::Fn { idx } => Some(*idx),
+            _ => None,
+        })
+    };
+
+    let mut i = 0usize;
+    while i < toks.len() {
+        let t = &toks[i];
+
+        // Attribute group: `#[ ... ]`. A `test` ident anywhere inside
+        // (covers `#[test]` and `#[cfg(test)]`) marks the next item.
+        if t.is_punct('#') && i + 1 < toks.len() && toks[i + 1].is_punct('[') {
+            let close = matching_close(toks, i + 1);
+            if toks[i + 2..close].iter().any(|t| t.is_ident("test")) {
+                pending_test_attr = true;
+            }
+            i = close + 1;
+            continue;
+        }
+
+        // `mod name {` opens a module scope; `mod name;` declares a file
+        // module (no scope).
+        if t.is_ident("mod") && i + 1 < toks.len() && toks[i + 1].kind == TokKind::Ident {
+            pending = Some(Scope::Mod {
+                is_test: pending_test_attr || in_test_scope(&scopes),
+            });
+            pending_test_attr = false;
+            i += 2;
+            continue;
+        }
+
+        // `impl [<..>] [Trait for] Type {`.
+        if t.is_ident("impl") {
+            let mut angle = 0i32;
+            let mut last_ident: Option<String> = None;
+            let mut after_for: Option<String> = None;
+            let mut saw_for = false;
+            let mut j = i + 1;
+            while j < toks.len() && !toks[j].is_punct('{') && !toks[j].is_punct(';') {
+                let tj = &toks[j];
+                if tj.is_punct('<') {
+                    angle += 1;
+                } else if tj.is_punct('>') {
+                    angle -= 1;
+                } else if angle == 0 && tj.is_ident("where") {
+                    break;
+                } else if angle == 0 && tj.is_ident("for") {
+                    saw_for = true;
+                } else if angle == 0 && tj.kind == TokKind::Ident {
+                    if saw_for {
+                        after_for = Some(tj.text.clone());
+                    } else {
+                        last_ident = Some(tj.text.clone());
+                    }
+                }
+                j += 1;
+            }
+            pending = Some(Scope::Impl {
+                ty: if saw_for { after_for } else { last_ident },
+            });
+            pending_test_attr = false;
+            i += 1;
+            continue;
+        }
+
+        // `fn name ( .. )`.
+        if t.is_ident("fn") && i + 1 < toks.len() && toks[i + 1].kind == TokKind::Ident {
+            let name = toks[i + 1].text.clone();
+            let line = t.line;
+            // Find the parameter list (skipping generics) and check for
+            // `self`; then decide body `{` vs trait signature `;`.
+            let mut j = i + 2;
+            let mut angle = 0i32;
+            while j < toks.len() && !(angle == 0 && toks[j].is_punct('(')) {
+                if toks[j].is_punct('<') {
+                    angle += 1;
+                } else if toks[j].is_punct('>') {
+                    angle -= 1;
+                }
+                j += 1;
+            }
+            let has_self = if j < toks.len() {
+                let close = matching_close(toks, j);
+                toks[j..close.min(toks.len())]
+                    .iter()
+                    .any(|t| t.is_ident("self"))
+            } else {
+                false
+            };
+            let idx = index.fns.len();
+            index.fns.push(FnItem {
+                name,
+                owner: current_impl(&scopes).flatten(),
+                line,
+                is_test: pending_test_attr || in_test_scope(&scopes),
+                has_self,
+                calls: Vec::new(),
+                allocs: Vec::new(),
+            });
+            pending = Some(Scope::Fn { idx });
+            pending_test_attr = false;
+            i += 2;
+            continue;
+        }
+
+        if t.is_punct('{') {
+            scopes.push(pending.take().unwrap_or(Scope::Block));
+            i += 1;
+            continue;
+        }
+        if t.is_punct('}') {
+            scopes.pop();
+            i += 1;
+            continue;
+        }
+        if t.is_punct(';') {
+            // Cancels any item header still waiting for a body
+            // (`mod x;`, trait method signatures).
+            pending = None;
+            i += 1;
+            continue;
+        }
+
+        // Seed sites: `SplitMix64::new( .. )` (D4) — recorded anywhere,
+        // including outside fns (consts), with literal-arg detection.
+        if t.is_ident("SplitMix64")
+            && i + 4 < toks.len()
+            && toks[i + 1].is_punct(':')
+            && toks[i + 2].is_punct(':')
+            && toks[i + 3].is_ident("new")
+            && toks[i + 4].is_punct('(')
+        {
+            let close = matching_close(toks, i + 4);
+            let args = &toks[i + 5..close.min(toks.len())];
+            let literal_only = args.iter().any(|t| t.kind == TokKind::Num)
+                && args
+                    .iter()
+                    .all(|t| t.kind == TokKind::Num || t.kind == TokKind::Punct);
+            index.seeds.push(SeedSite {
+                line: t.line,
+                literal_only,
+                in_test: pending_test_attr
+                    || in_test_scope(&scopes)
+                    || current_fn(&scopes).is_some_and(|idx| index.fns[idx].is_test),
+            });
+            // Fall through: the site is also recorded as a call below.
+        }
+
+        // Spawn closures: `spawn( [move] |..| body )` (R1).
+        if t.is_ident("spawn") && i + 1 < toks.len() && toks[i + 1].is_punct('(') {
+            let close = matching_close(toks, i + 1);
+            let spawn_args = &toks[i + 2..close.min(toks.len())];
+            index.spawns.push(scan_spawn(
+                t.line,
+                spawn_args,
+                &index.typed,
+                pending_test_attr
+                    || in_test_scope(&scopes)
+                    || current_fn(&scopes).is_some_and(|idx| index.fns[idx].is_test),
+            ));
+        }
+
+        // Calls and allocation sites attribute to the innermost fn; item
+        // headers awaiting a body (`pending`) are signature tokens, not
+        // body code.
+        if pending.is_none() {
+            if let Some(idx) = current_fn(&scopes) {
+                scan_alloc(toks, i, &mut index.fns[idx].allocs);
+                scan_call(toks, i, &index.fences, &mut index.fns[idx].calls);
+            }
+        }
+        pending_test_attr = false;
+        i += 1;
+    }
+
+    (index, findings)
+}
+
+/// Records an allocation site if the token at `i` starts one (the H1
+/// pattern set, applied file-wide so H2 can test callee bodies).
+fn scan_alloc(toks: &[Tok], i: usize, out: &mut Vec<AllocSite>) {
+    let t = &toks[i];
+    // `.clone()`, `.collect()`, ...
+    if t.is_punct('.')
+        && i + 2 < toks.len()
+        && toks[i + 1].kind == TokKind::Ident
+        && ALLOC_METHODS.contains(&toks[i + 1].text.as_str())
+        && toks[i + 2].is_punct('(')
+    {
+        out.push(AllocSite {
+            what: format!("`.{}()`", toks[i + 1].text),
+            line: toks[i + 1].line,
+        });
+    }
+    // `Vec::new(`, `String::new(`, `Box::new(`.
+    if t.kind == TokKind::Ident
+        && ALLOC_TYPES.contains(&t.text.as_str())
+        && i + 3 < toks.len()
+        && toks[i + 1].is_punct(':')
+        && toks[i + 2].is_punct(':')
+        && toks[i + 3].is_ident("new")
+    {
+        out.push(AllocSite {
+            what: format!("`{}::new()`", t.text),
+            line: t.line,
+        });
+    }
+    // `format!(`, `vec![`.
+    if t.kind == TokKind::Ident
+        && ALLOC_MACROS.contains(&t.text.as_str())
+        && i + 1 < toks.len()
+        && toks[i + 1].is_punct('!')
+    {
+        out.push(AllocSite {
+            what: format!("`{}!`", t.text),
+            line: t.line,
+        });
+    }
+    // `with_capacity(` through any path.
+    if t.kind == TokKind::Ident && ALLOC_BARE.contains(&t.text.as_str()) {
+        out.push(AllocSite {
+            what: format!("`{}`", t.text),
+            line: t.line,
+        });
+    }
+}
+
+/// Records a call site if the token at `i` starts one.
+fn scan_call(toks: &[Tok], i: usize, fences: &[(u32, u32)], out: &mut Vec<CallSite>) {
+    let t = &toks[i];
+    // Method call `recv.name(`; allocation methods are recorded by
+    // `scan_alloc` instead.
+    if t.is_punct('.')
+        && i + 2 < toks.len()
+        && toks[i + 1].kind == TokKind::Ident
+        && toks[i + 2].is_punct('(')
+        && !ALLOC_METHODS.contains(&toks[i + 1].text.as_str())
+    {
+        let recv = (i > 0 && toks[i - 1].kind == TokKind::Ident).then(|| toks[i - 1].text.clone());
+        out.push(CallSite {
+            callee: toks[i + 1].text.clone(),
+            qual: None,
+            recv,
+            method: true,
+            line: toks[i + 1].line,
+            in_fence: in_fence(fences, toks[i + 1].line),
+        });
+        return;
+    }
+    if t.kind != TokKind::Ident {
+        return;
+    }
+    // Path call `Qual::name(` — the pattern only matches at the last
+    // path segment, so `a::b::c(` resolves qualifier `b`.
+    if i + 4 < toks.len()
+        && toks[i + 1].is_punct(':')
+        && toks[i + 2].is_punct(':')
+        && toks[i + 3].kind == TokKind::Ident
+        && toks[i + 4].is_punct('(')
+    {
+        out.push(CallSite {
+            callee: toks[i + 3].text.clone(),
+            qual: Some(t.text.clone()),
+            recv: None,
+            method: false,
+            line: toks[i + 3].line,
+            in_fence: in_fence(fences, toks[i + 3].line),
+        });
+        return;
+    }
+    // Bare call `name(`.
+    if i + 1 < toks.len()
+        && toks[i + 1].is_punct('(')
+        && !NON_CALL_KEYWORDS.contains(&t.text.as_str())
+        && !(i >= 1 && (toks[i - 1].is_punct('.') || toks[i - 1].is_punct('!')))
+        && !(i >= 2 && toks[i - 1].is_punct(':') && toks[i - 2].is_punct(':'))
+        && !(i >= 1 && toks[i - 1].is_ident("fn"))
+    {
+        out.push(CallSite {
+            callee: t.text.clone(),
+            qual: None,
+            recv: None,
+            method: false,
+            line: t.line,
+            in_fence: in_fence(fences, t.line),
+        });
+    }
+}
+
+/// Analyzes one `spawn(..)` argument list for illegal captures.
+fn scan_spawn(
+    line: u32,
+    args: &[Tok],
+    typed: &BTreeMap<String, String>,
+    in_test: bool,
+) -> SpawnSite {
+    let mut site = SpawnSite {
+        line,
+        in_test,
+        captures: Vec::new(),
+    };
+    // Locate the closure: optional `move`, then `|params|`.
+    let Some(p1) = args.iter().position(|t| t.is_punct('|')) else {
+        return site;
+    };
+    let Some(rel) = args[p1 + 1..].iter().position(|t| t.is_punct('|')) else {
+        return site;
+    };
+    let p2 = p1 + 1 + rel;
+    // Idents bound by the closure itself: params plus `let` bindings in
+    // the body (over-approximate: any ident in the param list counts).
+    let mut bound: Vec<&str> = args[p1 + 1..p2]
+        .iter()
+        .filter(|t| t.kind == TokKind::Ident)
+        .map(|t| t.text.as_str())
+        .collect();
+    let body = &args[p2 + 1..];
+    for (j, t) in body.iter().enumerate() {
+        if t.is_ident("let") {
+            let mut k = j + 1;
+            if k < body.len() && body[k].is_ident("mut") {
+                k += 1;
+            }
+            if k < body.len() && body[k].kind == TokKind::Ident {
+                bound.push(body[k].text.as_str());
+            }
+        }
+    }
+    for (j, t) in body.iter().enumerate() {
+        // `&mut x` borrowing an identifier declared outside the closure.
+        if t.is_punct('&')
+            && j + 2 < body.len()
+            && body[j + 1].is_ident("mut")
+            && body[j + 2].kind == TokKind::Ident
+            && !bound.contains(&body[j + 2].text.as_str())
+        {
+            site.captures.push(Capture {
+                ident: body[j + 2].text.clone(),
+                line: body[j + 2].line,
+                kind: CaptureKind::MutBorrow,
+            });
+        }
+        // Use of a RefCell/Cell/Rc-typed identifier from outside.
+        if t.kind == TokKind::Ident && !bound.contains(&t.text.as_str()) {
+            if let Some(ty) = typed.get(&t.text) {
+                if CELL_TYPES.contains(&ty.as_str()) {
+                    site.captures.push(Capture {
+                        ident: t.text.clone(),
+                        line: t.line,
+                        kind: CaptureKind::CellLike(ty.clone()),
+                    });
+                }
+            }
+        }
+    }
+    site
+}
+
+// ---------------------------------------------------------------------
+// Cache serialization: FileIndex <-> Json, hand-rolled like the rest of
+// the zero-dependency stack.
+// ---------------------------------------------------------------------
+
+impl FileIndex {
+    /// Machine form for the incremental cache.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let fns = self.fns.iter().map(|f| {
+            Json::object([
+                ("name", Json::from(f.name.as_str())),
+                ("owner", f.owner.as_deref().map_or(Json::Null, Json::from)),
+                ("line", Json::from(u64::from(f.line))),
+                ("is_test", Json::from(f.is_test)),
+                ("has_self", Json::from(f.has_self)),
+                (
+                    "calls",
+                    Json::array(f.calls.iter().map(|c| {
+                        Json::object([
+                            ("callee", Json::from(c.callee.as_str())),
+                            ("qual", c.qual.as_deref().map_or(Json::Null, Json::from)),
+                            ("recv", c.recv.as_deref().map_or(Json::Null, Json::from)),
+                            ("method", Json::from(c.method)),
+                            ("line", Json::from(u64::from(c.line))),
+                            ("in_fence", Json::from(c.in_fence)),
+                        ])
+                    })),
+                ),
+                (
+                    "allocs",
+                    Json::array(f.allocs.iter().map(|a| {
+                        Json::object([
+                            ("what", Json::from(a.what.as_str())),
+                            ("line", Json::from(u64::from(a.line))),
+                        ])
+                    })),
+                ),
+            ])
+        });
+        Json::object([
+            ("fns", Json::array(fns)),
+            (
+                "fences",
+                Json::array(self.fences.iter().map(|&(b, e)| {
+                    Json::array([Json::from(u64::from(b)), Json::from(u64::from(e))])
+                })),
+            ),
+            (
+                "seeds",
+                Json::array(self.seeds.iter().map(|s| {
+                    Json::object([
+                        ("line", Json::from(u64::from(s.line))),
+                        ("literal_only", Json::from(s.literal_only)),
+                        ("in_test", Json::from(s.in_test)),
+                    ])
+                })),
+            ),
+            (
+                "spawns",
+                Json::array(self.spawns.iter().map(|s| {
+                    Json::object([
+                        ("line", Json::from(u64::from(s.line))),
+                        ("in_test", Json::from(s.in_test)),
+                        (
+                            "captures",
+                            Json::array(s.captures.iter().map(|c| {
+                                let (kind, ty) = match &c.kind {
+                                    CaptureKind::MutBorrow => ("mut", Json::Null),
+                                    CaptureKind::CellLike(t) => ("cell", Json::from(t.as_str())),
+                                };
+                                Json::object([
+                                    ("ident", Json::from(c.ident.as_str())),
+                                    ("line", Json::from(u64::from(c.line))),
+                                    ("kind", Json::from(kind)),
+                                    ("ty", ty),
+                                ])
+                            })),
+                        ),
+                    ])
+                })),
+            ),
+            (
+                "waivers",
+                Json::array(self.waivers.iter().map(|w| {
+                    Json::object([
+                        ("rule", Json::from(w.rule.name())),
+                        ("line", Json::from(u64::from(w.line))),
+                        ("reason", Json::from(w.reason.as_str())),
+                    ])
+                })),
+            ),
+            (
+                "typed",
+                Json::Obj(
+                    self.typed
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Json::from(v.as_str())))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Rebuilds an index from its [`FileIndex::to_json`] form; `None` on
+    /// any shape mismatch (the caller then re-parses the file).
+    #[must_use]
+    pub fn from_json(j: &Json) -> Option<FileIndex> {
+        let line_u32 =
+            |j: &Json, key: &str| -> Option<u32> { u32::try_from(j.get(key)?.as_u64()?).ok() };
+        let opt_str = |j: &Json, key: &str| -> Option<Option<String>> {
+            match j.get(key)? {
+                Json::Null => Some(None),
+                other => Some(Some(other.as_str()?.to_string())),
+            }
+        };
+        let mut index = FileIndex::default();
+        for f in j.get("fns")?.as_arr()? {
+            let mut item = FnItem {
+                name: f.get("name")?.as_str()?.to_string(),
+                owner: opt_str(f, "owner")?,
+                line: line_u32(f, "line")?,
+                is_test: f.get("is_test")?.as_bool()?,
+                has_self: f.get("has_self")?.as_bool()?,
+                calls: Vec::new(),
+                allocs: Vec::new(),
+            };
+            for c in f.get("calls")?.as_arr()? {
+                item.calls.push(CallSite {
+                    callee: c.get("callee")?.as_str()?.to_string(),
+                    qual: opt_str(c, "qual")?,
+                    recv: opt_str(c, "recv")?,
+                    method: c.get("method")?.as_bool()?,
+                    line: line_u32(c, "line")?,
+                    in_fence: c.get("in_fence")?.as_bool()?,
+                });
+            }
+            for a in f.get("allocs")?.as_arr()? {
+                item.allocs.push(AllocSite {
+                    what: a.get("what")?.as_str()?.to_string(),
+                    line: line_u32(a, "line")?,
+                });
+            }
+            index.fns.push(item);
+        }
+        for f in j.get("fences")?.as_arr()? {
+            let pair = f.as_arr()?;
+            if pair.len() != 2 {
+                return None;
+            }
+            index.fences.push((
+                u32::try_from(pair[0].as_u64()?).ok()?,
+                u32::try_from(pair[1].as_u64()?).ok()?,
+            ));
+        }
+        for s in j.get("seeds")?.as_arr()? {
+            index.seeds.push(SeedSite {
+                line: line_u32(s, "line")?,
+                literal_only: s.get("literal_only")?.as_bool()?,
+                in_test: s.get("in_test")?.as_bool()?,
+            });
+        }
+        for s in j.get("spawns")?.as_arr()? {
+            let mut site = SpawnSite {
+                line: line_u32(s, "line")?,
+                in_test: s.get("in_test")?.as_bool()?,
+                captures: Vec::new(),
+            };
+            for c in s.get("captures")?.as_arr()? {
+                let kind = match c.get("kind")?.as_str()? {
+                    "mut" => CaptureKind::MutBorrow,
+                    "cell" => CaptureKind::CellLike(c.get("ty")?.as_str()?.to_string()),
+                    _ => return None,
+                };
+                site.captures.push(Capture {
+                    ident: c.get("ident")?.as_str()?.to_string(),
+                    line: line_u32(c, "line")?,
+                    kind,
+                });
+            }
+            index.spawns.push(site);
+        }
+        for w in j.get("waivers")?.as_arr()? {
+            index.waivers.push(InlineWaiver {
+                rule: crate::findings::Rule::from_name(w.get("rule")?.as_str()?)?,
+                line: line_u32(w, "line")?,
+                reason: w.get("reason")?.as_str()?.to_string(),
+            });
+        }
+        for (k, v) in j.get("typed")?.as_obj()? {
+            index.typed.insert(k.clone(), v.as_str()?.to_string());
+        }
+        Some(index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tokenizer::tokenize;
+
+    fn parse(src: &str) -> FileIndex {
+        parse_file("crates/x/src/a.rs", &tokenize(src)).0
+    }
+
+    #[test]
+    fn fn_items_record_owner_and_test_context() {
+        let src = "\
+struct S;
+impl S {
+    fn method(&self) -> u64 { helper(1) }
+}
+impl Default for S {
+    fn default() -> S { S }
+}
+fn helper(x: u64) -> u64 { x }
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() { helper(2); }
+}
+";
+        let idx = parse(src);
+        let names: Vec<(&str, Option<&str>, bool, bool)> = idx
+            .fns
+            .iter()
+            .map(|f| (f.name.as_str(), f.owner.as_deref(), f.is_test, f.has_self))
+            .collect();
+        assert_eq!(
+            names,
+            vec![
+                ("method", Some("S"), false, true),
+                ("default", Some("S"), false, false),
+                ("helper", None, false, false),
+                ("t", None, true, false),
+            ]
+        );
+        assert_eq!(idx.fns[0].calls.len(), 1);
+        assert_eq!(idx.fns[0].calls[0].callee, "helper");
+    }
+
+    #[test]
+    fn impl_type_resolution_handles_generics_and_traits() {
+        let src = "\
+impl<'a> Solver<'a> { fn go(&self) {} }
+impl ToJson for NodeKey { fn to_json(&self) -> Json { Json::Null } }
+";
+        let idx = parse(src);
+        assert_eq!(idx.fns[0].owner.as_deref(), Some("Solver"));
+        assert_eq!(idx.fns[1].owner.as_deref(), Some("NodeKey"));
+    }
+
+    #[test]
+    fn calls_record_qualifier_receiver_and_fence() {
+        let src = "\
+fn hot(ws: &mut Workspace) {
+    // lint:hot-path
+    ws.reset(1, 2);
+    Self::stage(ws);
+    plain(3);
+    // lint:hot-path-end
+    cold();
+}
+";
+        let idx = parse(src);
+        let calls = &idx.fns[0].calls;
+        assert_eq!(calls.len(), 4);
+        assert_eq!(calls[0].recv.as_deref(), Some("ws"));
+        assert!(calls[0].method && calls[0].in_fence);
+        assert_eq!(calls[1].qual.as_deref(), Some("Self"));
+        assert_eq!(calls[2].callee, "plain");
+        assert!(calls[2].in_fence);
+        assert_eq!(calls[3].callee, "cold");
+        assert!(!calls[3].in_fence);
+        assert_eq!(idx.typed.get("ws").map(String::as_str), Some("Workspace"));
+    }
+
+    #[test]
+    fn allocs_are_recorded_per_fn() {
+        let src = "\
+fn a() -> Vec<u64> { Vec::new() }
+fn b(xs: &[u64]) -> Vec<u64> { xs.to_vec() }
+";
+        let idx = parse(src);
+        assert_eq!(idx.fns[0].allocs.len(), 1);
+        assert_eq!(idx.fns[0].allocs[0].what, "`Vec::new()`");
+        assert_eq!(idx.fns[1].allocs.len(), 1);
+        assert_eq!(idx.fns[1].allocs[0].what, "`.to_vec()`");
+    }
+
+    #[test]
+    fn seed_sites_classify_literal_args() {
+        let src = "\
+const SEED: u64 = 7;
+fn bad() { let r = SplitMix64::new(0x1234); }
+fn good_const() { let r = SplitMix64::new(SEED); }
+fn good_expr(cfg: &Cfg) { let r = SplitMix64::new(cfg.seed ^ 3); }
+#[cfg(test)]
+mod tests {
+    fn t() { let r = SplitMix64::new(42); }
+}
+";
+        let idx = parse(src);
+        let flags: Vec<(bool, bool)> = idx
+            .seeds
+            .iter()
+            .map(|s| (s.literal_only, s.in_test))
+            .collect();
+        assert_eq!(
+            flags,
+            vec![(true, false), (false, false), (false, false), (true, true)]
+        );
+    }
+
+    #[test]
+    fn spawn_captures_flag_mut_borrows_but_not_partitions() {
+        let bad = "\
+fn racy(data: &[u64]) {
+    let mut total = 0u64;
+    std::thread::scope(|s| {
+        s.spawn(|| {
+            let t = &mut total;
+            *t += data.len() as u64;
+        });
+    });
+}
+";
+        let idx = parse(bad);
+        assert_eq!(idx.spawns.len(), 1);
+        assert_eq!(idx.spawns[0].captures.len(), 1);
+        assert_eq!(idx.spawns[0].captures[0].ident, "total");
+        assert_eq!(idx.spawns[0].captures[0].kind, CaptureKind::MutBorrow);
+
+        let ok = "\
+fn partitioned(data: &mut [u64]) {
+    std::thread::scope(|s| {
+        for block in data.chunks_mut(8) {
+            s.spawn(move || {
+                for v in block.iter_mut() { *v += 1; }
+            });
+        }
+    });
+}
+";
+        let idx = parse(ok);
+        assert_eq!(idx.spawns.len(), 1);
+        assert!(idx.spawns[0].captures.is_empty());
+    }
+
+    #[test]
+    fn spawn_captures_flag_cell_like_state() {
+        let src = "\
+fn cell_shared() {
+    let counter = RefCell::new(0u64);
+    std::thread::scope(|s| {
+        s.spawn(|| { counter.borrow_mut(); });
+    });
+}
+";
+        let idx = parse(src);
+        assert_eq!(idx.spawns[0].captures.len(), 1);
+        assert_eq!(
+            idx.spawns[0].captures[0].kind,
+            CaptureKind::CellLike("RefCell".to_string())
+        );
+    }
+
+    #[test]
+    fn index_json_round_trips() {
+        let src = "\
+fn hot(ws: &mut Workspace) {
+    // lint:hot-path
+    ws.reset(SplitMix64::new(9));
+    // lint:hot-path-end
+    // lint:allow(hash-iter) demo reason
+    std::thread::scope(|s| { s.spawn(|| { let x = &mut GLOBALISH; }); });
+}
+";
+        let idx = parse(src);
+        let back = FileIndex::from_json(&idx.to_json()).expect("round trip");
+        assert_eq!(back, idx);
+    }
+}

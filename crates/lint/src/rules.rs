@@ -1,5 +1,7 @@
-//! The source-level rules: D1 hash-iter, D2 wall-clock, D3 f32, and H1
-//! hot-path allocations, evaluated over one tokenized file.
+//! The single-file rules: D1 hash-iter, D2 wall-clock, D3 f32, D4
+//! seed-discipline, H1 hot-path allocations, and R1 thread-capture,
+//! evaluated over one tokenized + parsed file. (H2 `hot-path-reach`
+//! needs the whole workspace and lives in [`crate::callgraph`].)
 //!
 //! The analysis is type-free by design (no rustc, no syn — the build
 //! environment is offline), so D1 uses a local declaration heuristic:
@@ -8,15 +10,18 @@
 //! fn params) or initialises it from one (`let x = HashMap::new()`,
 //! including `std::collections::` paths). Iterating such an identifier
 //! (`for .. in &x`, `x.iter()`, `.keys()`, `.values()`, `.drain()`, ...)
-//! fires D1 unless the result demonstrably feeds a sort within the next
-//! few lines. Identifiers that acquire hash types across files or
-//! through closures are out of reach — the rule is a tripwire for the
-//! overwhelmingly common local patterns, not a proof; DESIGN.md §10
-//! spells out the limits.
+//! fires D1 unless the result demonstrably feeds a sort: either within
+//! the same statement, or a sort on the `let` binding the statement
+//! produces within the next few statements (boundaries come from the
+//! token stream, not line distance). Identifiers that acquire hash
+//! types across files or through closures are out of reach — the rule
+//! is a tripwire for the overwhelmingly common local patterns, not a
+//! proof; DESIGN.md §10 spells out the limits.
 
 use std::collections::BTreeSet;
 
 use crate::findings::{Finding, Rule};
+use crate::parse::{self, CaptureKind, FileIndex};
 use crate::tokenizer::{tokenize, Tok, TokKind, TokenizedFile};
 use crate::waiver;
 
@@ -32,8 +37,7 @@ const HASH_ITER_METHODS: &[&str] = &[
     "drain",
 ];
 
-/// Sorting methods that legitimise a hash iteration when they appear
-/// within [`SORT_WINDOW_LINES`] below the site (collect-then-sort).
+/// Sorting methods that legitimise a hash iteration (collect-then-sort).
 const SORT_METHODS: &[&str] = &[
     "sort",
     "sort_unstable",
@@ -43,46 +47,46 @@ const SORT_METHODS: &[&str] = &[
     "sort_unstable_by_key",
 ];
 
-/// How far below a hash-iteration site a sort may appear and still
-/// count as "feeds a sort".
-const SORT_WINDOW_LINES: u32 = 3;
+/// How many statements below a collect-into-binding statement a sort on
+/// that binding may appear and still count as "feeds a sort".
+const SORT_SCAN_STMTS: u32 = 3;
 
-/// Allocation entry points banned inside `// lint:hot-path` fences:
-/// methods called with `.name(`...
-const HOT_ALLOC_METHODS: &[&str] = &["clone", "to_vec", "to_string", "to_owned", "collect"];
+/// One file's full single-file analysis: the semantic index (for the
+/// cross-file passes and the cache) plus the findings, inline-waived
+/// ones already marked.
+#[derive(Debug)]
+pub struct Analysis {
+    /// Parsed items, calls, fences, seeds, spawns, waivers.
+    pub index: FileIndex,
+    /// Findings from every single-file rule, sorted and deduped.
+    pub findings: Vec<Finding>,
+}
 
-/// ... constructor paths `Type::new` ...
-const HOT_ALLOC_TYPES: &[&str] = &["Vec", "String", "Box"];
-
-/// ... allocating macros `name!` ...
-const HOT_ALLOC_MACROS: &[&str] = &["format", "vec"];
-
-/// ... and bare allocating calls.
-const HOT_ALLOC_BARE: &[&str] = &["with_capacity"];
-
-/// Begin/end markers for H1 fences.
-const FENCE_BEGIN: &str = "lint:hot-path";
-const FENCE_END: &str = "lint:hot-path-end";
-
-/// Lints one source file. `path_rel` is workspace-relative with forward
-/// slashes (used for findings and the D2 location exemptions). Returns
-/// every finding, with inline-waived ones already marked.
+/// Parses and lints one source file. `path_rel` is workspace-relative
+/// with forward slashes (used for findings and the D2/D4 location
+/// exemptions).
 #[must_use]
-pub fn lint_source(path_rel: &str, src: &str) -> Vec<Finding> {
+pub fn analyze(path_rel: &str, src: &str) -> Analysis {
     let file = tokenize(src);
-    let mut findings = Vec::new();
-
-    let (waivers, mut waiver_errors) = waiver::inline_waivers(path_rel, &file.comments);
-    findings.append(&mut waiver_errors);
+    let (index, mut findings) = parse::parse_file(path_rel, &file);
 
     check_hash_iter(path_rel, &file, &mut findings);
     check_wall_clock(path_rel, &file, &mut findings);
     check_f32(path_rel, &file, &mut findings);
-    check_hot_path(path_rel, &file, &mut findings);
+    check_hot_path(path_rel, &file, &index.fences, &mut findings);
+    check_seeds(path_rel, &index, &mut findings);
+    check_spawns(path_rel, &index, &mut findings);
 
-    waiver::apply_inline(&mut findings, &waivers);
+    waiver::apply_inline(&mut findings, &index.waivers);
     crate::findings::sort_dedup(&mut findings);
-    findings
+    Analysis { index, findings }
+}
+
+/// Lints one source file, findings only (see [`analyze`]). Cross-file
+/// rules (H2) are not evaluated — they need the whole workspace.
+#[must_use]
+pub fn lint_source(path_rel: &str, src: &str) -> Vec<Finding> {
+    analyze(path_rel, src).findings
 }
 
 /// Identifiers declared with a `HashMap`/`HashSet` type in this file.
@@ -126,6 +130,100 @@ fn hash_typed_idents(toks: &[Tok]) -> BTreeSet<String> {
     out
 }
 
+/// Finds the end of the statement containing the token at `si`: the
+/// first `;`, `{`, or `}` at the site's own bracket depth (a `)` or `]`
+/// that closes a group the site is nested in also ends the scan).
+fn statement_end(toks: &[Tok], si: usize) -> usize {
+    let mut depth = 0i32;
+    for (j, t) in toks.iter().enumerate().skip(si) {
+        if t.is_punct('(') || t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct(')') || t.is_punct(']') {
+            if depth == 0 {
+                return j;
+            }
+            depth -= 1;
+        } else if depth == 0 && (t.is_punct(';') || t.is_punct('{') || t.is_punct('}')) {
+            return j;
+        }
+    }
+    toks.len()
+}
+
+/// Walks backwards from `si` to the start of its statement; returns the
+/// identifier bound by a `let [mut] name` heading it, if any.
+fn statement_binding(toks: &[Tok], si: usize) -> Option<&str> {
+    let mut depth = 0i32;
+    let mut j = si;
+    while j > 0 {
+        j -= 1;
+        let t = &toks[j];
+        if t.is_punct(')') || t.is_punct(']') {
+            depth += 1;
+        } else if t.is_punct('(') || t.is_punct('[') {
+            if depth == 0 {
+                return None;
+            }
+            depth -= 1;
+        } else if depth == 0 && (t.is_punct(';') || t.is_punct('{') || t.is_punct('}')) {
+            return None;
+        } else if depth == 0 && t.is_ident("let") {
+            let mut k = j + 1;
+            if k < toks.len() && toks[k].is_ident("mut") {
+                k += 1;
+            }
+            return (k < toks.len() && toks[k].kind == TokKind::Ident)
+                .then(|| toks[k].text.as_str());
+        }
+    }
+    None
+}
+
+/// "Feeds a sort" escape for a method-call D1 site at token `si`: true
+/// when a `.sort*(` appears inside the same statement, or the statement
+/// binds `let x = ...` and `x.sort*(` follows within the next
+/// [`SORT_SCAN_STMTS`] statements of the same block.
+fn feeds_a_sort(toks: &[Tok], si: usize) -> bool {
+    let end = statement_end(toks, si);
+    let is_sort_at = |j: usize| {
+        j + 2 < toks.len()
+            && toks[j].is_punct('.')
+            && toks[j + 1].kind == TokKind::Ident
+            && SORT_METHODS.contains(&toks[j + 1].text.as_str())
+            && toks[j + 2].is_punct('(')
+    };
+    if (si..end).any(is_sort_at) {
+        return true;
+    }
+    let Some(binding) = statement_binding(toks, si) else {
+        return false;
+    };
+    // Scan the following statements of the same block for
+    // `binding.sort*(`; a `}` at depth 0 ends the block and the search.
+    let mut depth = 0i32;
+    let mut stmts = 0u32;
+    let mut j = end + 1;
+    while j < toks.len() && stmts < SORT_SCAN_STMTS {
+        let t = &toks[j];
+        if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct(')') || t.is_punct(']') {
+            depth -= 1;
+        } else if t.is_punct('}') {
+            if depth == 0 {
+                return false;
+            }
+            depth -= 1;
+        } else if depth == 0 && t.is_punct(';') {
+            stmts += 1;
+        } else if depth == 0 && t.is_ident(binding) && is_sort_at(j + 1) {
+            return true;
+        }
+        j += 1;
+    }
+    false
+}
+
 /// D1: iteration over hash-typed identifiers.
 fn check_hash_iter(path: &str, file: &TokenizedFile, findings: &mut Vec<Finding>) {
     let hashed = hash_typed_idents(&file.toks);
@@ -133,7 +231,9 @@ fn check_hash_iter(path: &str, file: &TokenizedFile, findings: &mut Vec<Finding>
         return;
     }
     let toks = &file.toks;
-    let mut sites: Vec<(u32, String)> = Vec::new();
+    // (line, message, escapable site token index). `for`-loop sites get
+    // no escape: a bare loop cannot feed its elements into a sort.
+    let mut sites: Vec<(u32, String, Option<usize>)> = Vec::new();
 
     // Method-call sites: `x.iter()`, `x.keys()`, ...
     for i in 0..toks.len().saturating_sub(3) {
@@ -151,6 +251,7 @@ fn check_hash_iter(path: &str, file: &TokenizedFile, findings: &mut Vec<Finding>
                     toks[i].text,
                     toks[i + 2].text
                 ),
+                Some(i + 2),
             ));
         }
     }
@@ -203,40 +304,28 @@ fn check_hash_iter(path: &str, file: &TokenizedFile, findings: &mut Vec<Finding>
             sites.push((
                 toks[i].line,
                 format!("`for` loop iterates hash collection `{}`", t.text),
+                None,
             ));
         }
         i = j + 1;
     }
 
     // A site can match both the `for`-loop and method-call patterns;
-    // keep one finding per line.
-    sites.sort_by_key(|(line, _)| *line);
-    sites.dedup_by_key(|(line, _)| *line);
+    // keep one finding per line (stable sort keeps the escapable
+    // method-site variant first).
+    sites.sort_by_key(|(line, _, _)| *line);
+    sites.dedup_by_key(|(line, _, _)| *line);
 
-    // "Feeds a sort" escape: a sort call within the window below the
-    // site means iteration order is immediately destroyed.
-    let sort_lines: Vec<u32> = toks
-        .windows(2)
-        .filter(|w| {
-            w[0].is_punct('.')
-                && w[1].kind == TokKind::Ident
-                && SORT_METHODS.contains(&w[1].text.as_str())
-        })
-        .map(|w| w[1].line)
-        .collect();
-
-    for (line, msg) in sites {
-        let sorted_after = sort_lines
-            .iter()
-            .any(|&s| s >= line && s <= line + SORT_WINDOW_LINES);
-        if !sorted_after {
-            findings.push(Finding::new(
-                Rule::HashIter,
-                path,
-                line,
-                format!("{msg}; iterate a BTree collection or index order instead, or waive with `// lint:allow(hash-iter) <reason>`"),
-            ));
+    for (line, msg, site) in sites {
+        if site.is_some_and(|si| feeds_a_sort(toks, si)) {
+            continue;
         }
+        findings.push(Finding::new(
+            Rule::HashIter,
+            path,
+            line,
+            format!("{msg}; iterate a BTree collection or index order instead, or waive with `// lint:allow(hash-iter) <reason>`"),
+        ));
     }
 }
 
@@ -289,50 +378,18 @@ fn check_f32(path: &str, file: &TokenizedFile, findings: &mut Vec<Finding>) {
     }
 }
 
-/// H1: allocation calls inside `// lint:hot-path` fences, plus fence
-/// bookkeeping errors.
-fn check_hot_path(path: &str, file: &TokenizedFile, findings: &mut Vec<Finding>) {
-    // Fences from comments. End-marker test first: BEGIN is a prefix of END.
-    let mut regions: Vec<(u32, u32)> = Vec::new();
-    let mut open: Option<u32> = None;
-    for c in &file.comments {
-        let text = c.text.trim();
-        if text.starts_with(FENCE_END) {
-            match open.take() {
-                Some(begin) => regions.push((begin, c.line)),
-                None => findings.push(Finding::new(
-                    Rule::Fence,
-                    path,
-                    c.line,
-                    "`lint:hot-path-end` without a matching `lint:hot-path`",
-                )),
-            }
-        } else if text.starts_with(FENCE_BEGIN) {
-            if let Some(begin) = open {
-                findings.push(Finding::new(
-                    Rule::Fence,
-                    path,
-                    c.line,
-                    format!("nested `lint:hot-path` (previous fence opened on line {begin})"),
-                ));
-            } else {
-                open = Some(c.line);
-            }
-        }
-    }
-    if let Some(begin) = open {
-        findings.push(Finding::new(
-            Rule::Fence,
-            path,
-            begin,
-            "`lint:hot-path` fence never closed (`lint:hot-path-end` missing)",
-        ));
-    }
+/// H1: allocation calls textually inside `// lint:hot-path` fences.
+/// (Fence bookkeeping errors are reported by the parser; transitive
+/// allocations through calls are H2's job in [`crate::callgraph`].)
+fn check_hot_path(
+    path: &str,
+    file: &TokenizedFile,
+    regions: &[(u32, u32)],
+    findings: &mut Vec<Finding>,
+) {
     if regions.is_empty() {
         return;
     }
-
-    let in_fence = |line: u32| regions.iter().any(|&(b, e)| line > b && line < e);
     let toks = &file.toks;
     let mut flag = |line: u32, what: String| {
         findings.push(Finding::new(
@@ -343,7 +400,7 @@ fn check_hot_path(path: &str, file: &TokenizedFile, findings: &mut Vec<Finding>)
         ));
     };
     for i in 0..toks.len() {
-        if !in_fence(toks[i].line) {
+        if !parse::in_fence(regions, toks[i].line) {
             continue;
         }
         let t = &toks[i];
@@ -351,14 +408,14 @@ fn check_hot_path(path: &str, file: &TokenizedFile, findings: &mut Vec<Finding>)
         if t.is_punct('.')
             && i + 2 < toks.len()
             && toks[i + 1].kind == TokKind::Ident
-            && HOT_ALLOC_METHODS.contains(&toks[i + 1].text.as_str())
+            && parse::ALLOC_METHODS.contains(&toks[i + 1].text.as_str())
             && toks[i + 2].is_punct('(')
         {
             flag(toks[i + 1].line, format!("`.{}()`", toks[i + 1].text));
         }
         // `Vec::new(`, `String::new(`, `Box::new(`.
         if t.kind == TokKind::Ident
-            && HOT_ALLOC_TYPES.contains(&t.text.as_str())
+            && parse::ALLOC_TYPES.contains(&t.text.as_str())
             && i + 3 < toks.len()
             && toks[i + 1].is_punct(':')
             && toks[i + 2].is_punct(':')
@@ -368,15 +425,58 @@ fn check_hot_path(path: &str, file: &TokenizedFile, findings: &mut Vec<Finding>)
         }
         // `format!(`, `vec![`.
         if t.kind == TokKind::Ident
-            && HOT_ALLOC_MACROS.contains(&t.text.as_str())
+            && parse::ALLOC_MACROS.contains(&t.text.as_str())
             && i + 1 < toks.len()
             && toks[i + 1].is_punct('!')
         {
             flag(t.line, format!("`{}!`", t.text));
         }
         // `with_capacity(` through any path.
-        if t.kind == TokKind::Ident && HOT_ALLOC_BARE.contains(&t.text.as_str()) {
+        if t.kind == TokKind::Ident && parse::ALLOC_BARE.contains(&t.text.as_str()) {
             flag(t.line, format!("`{}`", t.text));
+        }
+    }
+}
+
+/// D4: ad-hoc literal seeds outside `crates/bench` and tests. A seed
+/// built purely from numeric literals is untracked by any scenario or
+/// config, so a replay cannot name the run it reproduces.
+fn check_seeds(path: &str, index: &FileIndex, findings: &mut Vec<Finding>) {
+    if path.starts_with("crates/bench/") {
+        return;
+    }
+    for s in &index.seeds {
+        if s.literal_only && !s.in_test {
+            findings.push(Finding::new(
+                Rule::SeedDiscipline,
+                path,
+                s.line,
+                "`SplitMix64::new(<literal>)` constructs an ad-hoc seed; derive it from a scenario/config field or a named constant so the run stays traceable",
+            ));
+        }
+    }
+}
+
+/// R1: spawn closures capturing shared mutable state. Mutex/atomic/
+/// channel sharing and `move`-per-worker partitions never match the
+/// capture patterns, so they pass.
+fn check_spawns(path: &str, index: &FileIndex, findings: &mut Vec<Finding>) {
+    for sp in &index.spawns {
+        if sp.in_test {
+            continue;
+        }
+        for c in &sp.captures {
+            let msg = match &c.kind {
+                CaptureKind::MutBorrow => format!(
+                    "spawn closure takes `&mut {}` captured from the enclosing scope; share via Mutex/atomics/channels or hand each worker an owned partition (`chunks_mut` + `move`)",
+                    c.ident
+                ),
+                CaptureKind::CellLike(ty) => format!(
+                    "spawn closure captures `{}` (declared as `{ty}`), which is not thread-safe; use Mutex/atomic state instead",
+                    c.ident
+                ),
+            };
+            findings.push(Finding::new(Rule::ThreadCapture, path, c.line, msg));
         }
     }
 }
@@ -449,6 +549,58 @@ fn keys(m: &HashMap<u32, u32>) -> Vec<u32> {
 }
 ";
         assert!(rules_of(src).is_empty());
+    }
+
+    #[test]
+    fn sort_escape_spans_multiline_chains() {
+        // The collect chain spans 5 lines; the old 3-line window missed
+        // the sort and fired spuriously. Statement-based matching sees
+        // the binding feed the sort.
+        let src = "\
+use std::collections::HashMap;
+fn keys(m: &HashMap<u32, u32>) -> Vec<u32> {
+    let mut ks: Vec<u32> = m
+        .keys()
+        .copied()
+        .filter(|k| *k % 2 == 0)
+        .collect();
+    ks.sort_unstable();
+    ks
+}
+";
+        assert!(rules_of(src).is_empty());
+    }
+
+    #[test]
+    fn unrelated_sort_nearby_is_no_longer_an_escape() {
+        // The old line-window heuristic let ANY sort within 3 lines
+        // legitimise the iteration — even one on an unrelated vector.
+        let src = "\
+use std::collections::HashMap;
+fn f(m: &HashMap<u32, u32>, other: &mut Vec<u32>) -> u64 {
+    let mut total = 0u64;
+    for (_k, v) in m.iter() {
+        total += u64::from(*v);
+    }
+    other.sort_unstable();
+    total
+}
+";
+        assert_eq!(rules_of(src), vec![(Rule::HashIter, 4, false)]);
+    }
+
+    #[test]
+    fn sort_on_a_different_binding_is_not_an_escape() {
+        let src = "\
+use std::collections::HashMap;
+fn f(m: &HashMap<u32, u32>) -> Vec<u32> {
+    let ks: Vec<u32> = m.keys().copied().collect();
+    let mut other = vec![3, 1, 2];
+    other.sort_unstable();
+    ks
+}
+";
+        assert_eq!(rules_of(src), vec![(Rule::HashIter, 3, false)]);
     }
 
     #[test]
@@ -533,6 +685,52 @@ fn hot(xs: &[u64], out: &mut Vec<u64>) {
             rules_of("// lint:hot-path\n// lint:hot-path\nfn f() {}\n// lint:hot-path-end\n"),
             vec![(Rule::Fence, 2, false)]
         );
+    }
+
+    #[test]
+    fn seed_discipline_fires_on_literals_only() {
+        let src = "\
+const BASE: u64 = 0x9e37;
+fn bad() -> u64 { SplitMix64::new(12345).next_u64() }
+fn named() -> u64 { SplitMix64::new(BASE).next_u64() }
+fn derived(seed: u64) -> u64 { SplitMix64::new(seed ^ 7).next_u64() }
+";
+        assert_eq!(rules_of(src), vec![(Rule::SeedDiscipline, 2, false)]);
+        // Bench and test code are exempt.
+        assert!(lint_source(
+            "crates/bench/src/microbench.rs",
+            "fn b() { SplitMix64::new(7); }"
+        )
+        .is_empty());
+        assert!(
+            rules_of("#[cfg(test)]\nmod tests {\n fn t() { SplitMix64::new(7); }\n}").is_empty()
+        );
+    }
+
+    #[test]
+    fn thread_capture_fires_on_shared_mut_not_partitions() {
+        let bad = "\
+fn racy() {
+    let mut total = 0u64;
+    std::thread::scope(|s| {
+        s.spawn(|| { *(&mut total) += 1; });
+    });
+}
+";
+        assert_eq!(rules_of(bad), vec![(Rule::ThreadCapture, 4, false)]);
+
+        let ok = "\
+fn partitioned(data: &mut [u64]) {
+    std::thread::scope(|s| {
+        for block in data.chunks_mut(8) {
+            s.spawn(move || {
+                for v in block.iter_mut() { *v += 1; }
+            });
+        }
+    });
+}
+";
+        assert!(rules_of(ok).is_empty());
     }
 
     #[test]

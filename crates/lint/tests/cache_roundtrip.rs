@@ -1,0 +1,110 @@
+//! End-to-end incremental-cache behaviour on a throwaway mini
+//! workspace: first run misses every file, an unchanged rerun hits
+//! every file and reproduces the report byte-for-byte, and editing one
+//! file re-lints only that file — while cross-file H2 conclusions
+//! still update from the cached indexes.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use ehp_lint::{lint_workspace, LintConfig, Rule};
+
+const FENCED: &str = "\
+pub fn hot(xs: &[u64], out: &mut [u64]) {
+    // lint:hot-path
+    for (o, &x) in out.iter_mut().zip(xs) {
+        *o = expand(x);
+    }
+    // lint:hot-path-end
+}
+";
+
+const HELPER_ALLOCATING: &str = "\
+pub fn expand(x: u64) -> u64 {
+    let scratch: Vec<u64> = Vec::new();
+    drop(scratch);
+    x + 1
+}
+";
+
+const HELPER_CLEAN: &str = "\
+pub fn expand(x: u64) -> u64 {
+    x + 1
+}
+";
+
+const TRUNCATING: &str = "\
+pub fn shrink(x: f64) -> f64 {
+    x as f32 as f64
+}
+";
+
+fn write(root: &Path, rel: &str, text: &str) {
+    let path = root.join(rel);
+    fs::create_dir_all(path.parent().unwrap()).unwrap();
+    fs::write(path, text).unwrap();
+}
+
+fn mini_workspace(name: &str) -> PathBuf {
+    let root = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join(name);
+    let _ = fs::remove_dir_all(&root);
+    write(&root, "Cargo.toml", "[workspace]\n");
+    write(&root, "crates/demo/src/hot.rs", FENCED);
+    write(&root, "crates/demo/src/helper.rs", HELPER_ALLOCATING);
+    write(&root, "crates/demo/src/shrink.rs", TRUNCATING);
+    root
+}
+
+fn cfg(root: &Path) -> LintConfig<'static> {
+    LintConfig {
+        root: root.to_path_buf(),
+        schemas: &[],
+        use_cache: true,
+    }
+}
+
+#[test]
+fn second_run_hits_every_file_and_report_is_byte_identical() {
+    let root = mini_workspace("cache-hit");
+    let first = lint_workspace(&cfg(&root)).unwrap();
+    assert_eq!(first.files_scanned, 3);
+    assert_eq!(first.cache_hits, 0, "cold cache must miss everything");
+    assert_eq!(first.cache_misses, 3);
+    assert!(
+        first.findings.iter().any(|f| f.rule == Rule::HotPathReach),
+        "{:?}",
+        first.findings
+    );
+    assert!(root.join("target/lint-cache.json").is_file());
+
+    let second = lint_workspace(&cfg(&root)).unwrap();
+    assert_eq!(second.cache_hits, 3, "warm cache must hit every file");
+    assert_eq!(second.cache_misses, 0);
+    assert_eq!(
+        first.to_json().to_string_pretty(),
+        second.to_json().to_string_pretty(),
+        "cached rerun must reproduce the report byte-for-byte"
+    );
+}
+
+#[test]
+fn editing_one_file_relints_only_it_and_updates_cross_file_h2() {
+    let root = mini_workspace("cache-edit");
+    let first = lint_workspace(&cfg(&root)).unwrap();
+    assert!(first.findings.iter().any(|f| f.rule == Rule::HotPathReach));
+
+    // Remove the allocation from the helper: only helper.rs should miss,
+    // and the H2 chain rooted in the *unchanged* hot.rs must disappear,
+    // proving reachability is recomputed from cached per-file indexes.
+    write(&root, "crates/demo/src/helper.rs", HELPER_CLEAN);
+    let third = lint_workspace(&cfg(&root)).unwrap();
+    assert_eq!(third.cache_misses, 1, "only the edited file re-lints");
+    assert_eq!(third.cache_hits, 2);
+    assert!(
+        !third.findings.iter().any(|f| f.rule == Rule::HotPathReach),
+        "{:?}",
+        third.findings
+    );
+    // The unrelated D3 finding in the untouched file survives from cache.
+    assert!(third.findings.iter().any(|f| f.rule == Rule::F32Truncation));
+}

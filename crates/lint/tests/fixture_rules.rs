@@ -4,7 +4,8 @@
 
 use ehp_lint::rules::lint_source;
 use ehp_lint::schema::{validate_scenario, ExperimentSchema, ParamKind, ParamSpec};
-use ehp_lint::{Finding, Rule};
+use ehp_lint::{lint_sources, Finding, Rule};
+use ehp_sim_core::json::{Json, ToJson};
 
 fn fixture(name: &str) -> String {
     let path = format!("{}/tests/fixtures/{name}", env!("CARGO_MANIFEST_DIR"));
@@ -62,6 +63,82 @@ fn h1_hot_path_alloc_fires_only_inside_fence() {
             (Rule::HotPathAlloc, 11, false),
         ],
         "line 18's identical .to_vec() is outside the fence"
+    );
+}
+
+#[test]
+fn d1_statement_escape_fixes_the_line_window_false_negative() {
+    assert_eq!(
+        fired("d1_sort_statement.rs"),
+        vec![(Rule::HashIter, 10, false)],
+        "the for-loop must fire despite an unrelated sort 3 lines below; \
+         the multi-line collect chain feeding ks.sort_unstable() must not"
+    );
+}
+
+#[test]
+fn d4_seed_discipline_fires_on_literal_only() {
+    assert_eq!(
+        fired("d4_seed.rs"),
+        vec![(Rule::SeedDiscipline, 11, false)],
+        "config-derived, constant-derived, and in-test seeds are all legal"
+    );
+}
+
+#[test]
+fn r1_thread_capture_fires_on_shared_state_not_partitions() {
+    assert_eq!(
+        fired("r1_thread_capture.rs"),
+        vec![
+            (Rule::ThreadCapture, 9, false),
+            (Rule::ThreadCapture, 20, false),
+        ],
+        "&mut capture and RefCell capture fire; chunks_mut + move does not"
+    );
+}
+
+#[test]
+fn h2_two_hop_cross_file_chain_fires_with_evidence() {
+    let fenced = fixture("h2_fenced.rs");
+    let helpers = fixture("h2_helpers.rs");
+    let findings = lint_sources(&[
+        ("fixtures/h2_fenced.rs", &fenced),
+        ("fixtures/h2_helpers.rs", &helpers),
+    ]);
+    assert_eq!(findings.len(), 1, "{findings:?}");
+    let f = &findings[0];
+    assert_eq!(f.rule, Rule::HotPathReach);
+    assert_eq!((f.path.as_str(), f.line), ("fixtures/h2_fenced.rs", 7));
+    assert_eq!(
+        f.chain,
+        vec![
+            "fixtures/h2_helpers.rs:4 `expand`",
+            "fixtures/h2_helpers.rs:8 `widen`",
+            "fixtures/h2_helpers.rs:9 `Vec::new()`",
+        ],
+        "the full two-hop chain is the evidence, in call order"
+    );
+    // The chain must be visible in the human rendering...
+    let text = f.render();
+    assert!(
+        text.contains("via fixtures/h2_helpers.rs:4 `expand`"),
+        "{text}"
+    );
+    assert!(
+        text.contains("via fixtures/h2_helpers.rs:8 `widen`"),
+        "{text}"
+    );
+    // ...and carried verbatim in the JSON report.
+    let json = f.to_json();
+    let chain = json
+        .as_obj()
+        .and_then(|o| o.get("chain"))
+        .and_then(Json::as_arr)
+        .expect("chain array in JSON");
+    assert_eq!(chain.len(), 3);
+    assert_eq!(
+        chain[2].as_str(),
+        Some("fixtures/h2_helpers.rs:9 `Vec::new()`")
     );
 }
 

@@ -1,0 +1,25 @@
+//! D1 statement-boundary fixture: the `for` loop's hash iteration must
+//! fire even though an unrelated sort sits within 3 lines of it (the
+//! old line-window false negative), and the multi-line collect chain
+//! must NOT fire because its binding feeds a sort (the old false
+//! positive).
+use std::collections::HashMap;
+
+pub fn unrelated_sort(m: &HashMap<u32, u32>, other: &mut Vec<u32>) -> u64 {
+    let mut total = 0u64;
+    for (_k, v) in m.iter() {
+        total += u64::from(*v);
+    }
+    other.sort_unstable();
+    total
+}
+
+pub fn multiline_chain(m: &HashMap<u32, u32>) -> Vec<u32> {
+    let mut ks: Vec<u32> = m
+        .keys()
+        .copied()
+        .filter(|k| *k % 2 == 0)
+        .collect();
+    ks.sort_unstable();
+    ks
+}

@@ -1,0 +1,32 @@
+//! D4 fixture: the inline literal seed must fire; seeds derived from a
+//! named constant, a config field, or inside tests must not.
+
+pub const DEFAULT_SEED: u64 = 0x9e37_79b9;
+
+pub struct Cfg {
+    pub seed: u64,
+}
+
+pub fn bad_literal() -> u64 {
+    let mut r = SplitMix64::new(12345);
+    r.next_u64()
+}
+
+pub fn good_config(cfg: &Cfg) -> u64 {
+    let mut r = SplitMix64::new(cfg.seed ^ 0xabcd);
+    r.next_u64()
+}
+
+pub fn good_constant() -> u64 {
+    let mut r = SplitMix64::new(DEFAULT_SEED);
+    r.next_u64()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn seeds_in_tests_are_exempt() {
+        let mut r = SplitMix64::new(7);
+        assert!(r.next_u64() != 0);
+    }
+}

@@ -1,0 +1,10 @@
+//! H2 fixture (root file): the fenced loop calls `expand`, which lives
+//! in `h2_helpers.rs` and reaches an allocation two hops away.
+
+pub fn hot_expand(xs: &[u64], out: &mut [u64]) {
+    // lint:hot-path
+    for (o, &x) in out.iter_mut().zip(xs) {
+        *o = expand(x);
+    }
+    // lint:hot-path-end
+}

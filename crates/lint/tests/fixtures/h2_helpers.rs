@@ -1,0 +1,12 @@
+//! H2 fixture (helper file): `expand` itself is clean but calls
+//! `widen`, which allocates — the chain crosses a file boundary.
+
+pub fn expand(x: u64) -> u64 {
+    widen(x) + 1
+}
+
+pub fn widen(x: u64) -> u64 {
+    let scratch: Vec<u64> = Vec::new();
+    drop(scratch);
+    x + x
+}

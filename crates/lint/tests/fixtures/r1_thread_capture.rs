@@ -1,0 +1,35 @@
+//! R1 fixture: spawn closures capturing shared `&mut` or cell-like
+//! state must fire; move-per-worker partitions must not.
+
+pub fn racy_shared_mut(data: &[u64]) {
+    let mut total = 0u64;
+    std::thread::scope(|s| {
+        for _w in 0..2 {
+            s.spawn(|| {
+                let t = &mut total;
+                *t += data.len() as u64;
+            });
+        }
+    });
+}
+
+pub fn racy_cell(n: u64) {
+    let counter = std::cell::RefCell::new(0u64);
+    std::thread::scope(|s| {
+        s.spawn(|| {
+            *counter.borrow_mut() += n;
+        });
+    });
+}
+
+pub fn partitioned(data: &mut [u64]) {
+    std::thread::scope(|s| {
+        for block in data.chunks_mut(8) {
+            s.spawn(move || {
+                for v in block.iter_mut() {
+                    *v += 1;
+                }
+            });
+        }
+    });
+}
