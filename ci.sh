@@ -69,9 +69,30 @@ step "perf smoke (replay)" cargo bench --offline --bench replay -- \
 step "perf smoke (fabric)" cargo bench --offline --bench fabric -- \
     --baseline crates/bench/baselines/fabric.json --threshold 0.30
 
+# Same gate for the serving layer (DESIGN.md §12): cold/warm cache
+# batches, cache-key derivation, and the frame codec. The threshold is
+# looser than the compute benches because the cold path is filesystem
+# bound. Regenerate with:
+#   cargo bench --bench serve -- --save-baseline crates/bench/baselines/serve.json
+# (then drop the serve_pool/* records — spawn cost is OS noise).
+step "perf smoke (serve)" cargo bench --offline --bench serve -- \
+    --baseline crates/bench/baselines/serve.json --threshold 0.50
+
 # Shape-fidelity gate: every experiment runs, and headline metrics stay
 # inside the committed expected ranges (see crates/harness/src/check.rs).
-step "ehp all" ./target/release/ehp all --jobs 8 --quiet
+# The batch runs twice through the result cache (DESIGN.md §12): the
+# cold run executes and stores every scenario, the warm run must replay
+# all of them without re-executing anything ("misses": 0) and reproduce
+# run_summary.json byte-for-byte.
+step "ehp all (cold cache)" sh -c '
+    rm -rf target/result-cache &&
+    ./target/release/ehp all --jobs 8 --quiet &&
+    cp target/figures/run_summary.json target/run_summary.cold.json'
+step "ehp all (warm cache)" ./target/release/ehp all --jobs 8 --quiet
+step "warm summary byte-identical" \
+    cmp target/run_summary.cold.json target/figures/run_summary.json
+step "warm run re-executed nothing" \
+    grep -q '"misses": 0' target/figures/cache_stats.json
 step "ehp check" ./target/release/ehp check
 
 echo

@@ -199,6 +199,31 @@ pub fn expected_shapes() -> &'static [ShapeRange] {
             max: 5.6,
             why: "Section IV.C: ~5.3 TB/s HBM3 behind the cache",
         },
+        ShapeRange {
+            experiment: "serve_audit",
+            metric: "repeat_hit_rate",
+            min: 1.0,
+            max: 1.0,
+            why: "DESIGN.md §12: an unchanged repeat sweep must hit the \
+                  result cache on every scenario (warm runs re-execute \
+                  nothing)",
+        },
+        ShapeRange {
+            experiment: "serve_audit",
+            metric: "salt_bump_hit_rate",
+            min: 0.0,
+            max: 0.0,
+            why: "DESIGN.md §12: bumping an experiment's code-version salt \
+                  must invalidate every one of its cached entries",
+        },
+        ShapeRange {
+            experiment: "serve_audit",
+            metric: "summary_identical",
+            min: 1.0,
+            max: 1.0,
+            why: "DESIGN.md §12: cached outcomes must round-trip to \
+                  byte-identical JSON (hot and cold summaries match)",
+        },
     ]
 }
 

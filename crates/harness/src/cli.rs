@@ -20,6 +20,7 @@
 //! surface is five subcommands.
 
 use std::collections::BTreeMap;
+use std::io::IsTerminal;
 
 use ehp_sim_core::json::Json;
 
@@ -28,6 +29,7 @@ use crate::executor::{run_batch, BatchConfig, BatchResult, OutcomeStatus};
 use crate::output;
 use crate::registry;
 use crate::scenario::{Scenario, ScenarioSpec};
+use crate::serving::{self, ServingConfig};
 
 /// Parsed command line.
 #[derive(Debug, Default)]
@@ -37,11 +39,38 @@ struct Args {
     quiet: bool,
     json: bool,
     no_cache: bool,
+    no_result_cache: bool,
+    progress: bool,
+    workers: usize,
+    socket: Option<String>,
     explain: Option<String>,
     params: BTreeMap<String, Json>,
     seed_override: Option<u64>,
     specs: Vec<String>,
     positional: Vec<String>,
+}
+
+impl Args {
+    /// Whether batch progress lines go to stderr: explicitly requested
+    /// with `--progress`, or stderr is an interactive terminal and
+    /// `--quiet` was not given. Redirected/CI stderr stays clean —
+    /// progress is a live-feedback feature, not a log format.
+    fn progress_enabled(&self) -> bool {
+        self.progress || (!self.quiet && std::io::stderr().is_terminal())
+    }
+
+    /// The serving configuration shared by `run`, `all`, and `serve`.
+    fn serving_config(&self) -> ServingConfig {
+        ServingConfig {
+            jobs: self.jobs,
+            base_seed: self.base_seed,
+            progress: self.progress_enabled(),
+            use_cache: !self.no_result_cache,
+            cache_dir: serving::default_cache_dir(),
+            workers: self.workers,
+            ..ServingConfig::default()
+        }
+    }
 }
 
 /// Runs the CLI; returns the process exit code.
@@ -63,6 +92,18 @@ pub fn run(argv: &[String]) -> i32 {
         "run" => cmd_run(&args),
         "all" => cmd_all(&args),
         "check" => cmd_check(&args),
+        "worker" => {
+            let mut stdin = std::io::stdin().lock();
+            let mut stdout = std::io::stdout().lock();
+            serving::worker_loop(&mut stdin, &mut stdout)
+        }
+        "serve" => {
+            let socket = args
+                .socket
+                .clone()
+                .unwrap_or_else(|| "target/ehp-serve.sock".to_string());
+            serving::serve_loop(std::path::Path::new(&socket), args.serving_config())
+        }
         "lint" => {
             let cwd = std::env::current_dir().unwrap_or_else(|_| ".".into());
             let opts = crate::lint::LintOptions {
@@ -94,13 +135,19 @@ fn print_usage() {
          ehp check [options]              run + verify expected shapes\n\
          ehp lint [--json] [--no-cache] [--explain <rule>]\n\
                                           lint the workspace (DESIGN.md §10–§11)\n\
+         ehp serve [--socket PATH]        long-running scenario daemon (DESIGN.md §12)\n\
+         ehp worker                       pool child (internal; frames on stdin/stdout)\n\
          \n\
          options:\n\
            --jobs N        worker threads (default 1)\n\
+           --workers N     child worker processes for run/all (default 0 = in-process)\n\
            --seed N        batch base seed (default 0)\n\
            --param k=v     scenario parameter override (repeatable)\n\
            --spec FILE     scenario spec file (repeatable)\n\
            --quiet         suppress report text\n\
+           --progress      stream per-scenario progress to stderr (default: only on a TTY)\n\
+           --no-result-cache  bypass the result cache for this batch\n\
+           --socket PATH   serve-mode Unix socket (default target/ehp-serve.sock)\n\
            --json          machine-readable lint findings\n\
            --no-cache      skip the incremental lint cache\n\
            --explain RULE  print one lint rule's documentation (name or code)"
@@ -141,10 +188,18 @@ fn parse_args(rest: &[String]) -> Result<Args, String> {
                 let value = Json::parse(v).unwrap_or_else(|_| Json::from(v));
                 args.params.insert(k.to_string(), value);
             }
+            "--workers" | "-w" => {
+                args.workers = value_of("--workers")?
+                    .parse::<usize>()
+                    .map_err(|_| "--workers must be a non-negative integer".to_string())?;
+            }
+            "--socket" => args.socket = Some(value_of("--socket")?.to_string()),
             "--spec" => args.specs.push(value_of("--spec")?.to_string()),
             "--quiet" | "-q" => args.quiet = true,
+            "--progress" => args.progress = true,
             "--json" => args.json = true,
             "--no-cache" => args.no_cache = true,
+            "--no-result-cache" => args.no_result_cache = true,
             "--explain" => args.explain = Some(value_of("--explain")?.to_string()),
             flag if flag.starts_with('-') => {
                 return Err(format!("unknown option {flag:?}"));
@@ -196,14 +251,14 @@ fn gather_scenarios(args: &Args) -> Result<Vec<Scenario>, String> {
     Ok(scenarios)
 }
 
-/// Runs a batch and writes every artifact under the figures directory.
+/// Runs a batch through the serving layer (result cache + optional
+/// worker pool) and writes every artifact under the figures directory.
 fn execute_and_write(scenarios: &[Scenario], args: &Args, quiet: bool) -> BatchResult {
-    let cfg = BatchConfig {
-        jobs: args.jobs,
-        base_seed: args.base_seed,
-        progress: !args.quiet,
-    };
-    let result = run_batch(scenarios, &cfg);
+    let served = serving::run_batch_served(scenarios, &args.serving_config());
+    if let Err(e) = output::write_cache_stats(&served.traffic_json()) {
+        eprintln!("warning: cannot write cache stats: {e}");
+    }
+    let result = served.result;
     for o in &result.outcomes {
         if !quiet && !o.report_text.is_empty() {
             println!("{}", o.report_text);
@@ -281,10 +336,12 @@ fn cmd_check(args: &Args) -> i32 {
     ids.sort_unstable();
     ids.dedup();
     let scenarios: Vec<Scenario> = ids.iter().map(|id| Scenario::default_for(id)).collect();
+    // `ehp check` always executes — a regression gate that replayed
+    // cached results would validate the cache, not the code.
     let cfg = BatchConfig {
         jobs: args.jobs,
         base_seed: args.base_seed,
-        progress: !args.quiet,
+        progress: args.progress_enabled(),
     };
     let result = run_batch(&scenarios, &cfg);
 

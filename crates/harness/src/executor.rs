@@ -113,17 +113,33 @@ pub struct BatchResult {
 
 /// Derives a scenario seed from the batch base seed and scenario name.
 ///
-/// FNV-1a over the name feeds a SplitMix64 stream keyed by the base
-/// seed: stable across runs, platforms, and scenario orderings. Masked
-/// to 53 bits so the seed survives the f64-backed JSON summary exactly.
+/// FNV-1a over the name ([`ehp_sim_core::hash`]) feeds a SplitMix64
+/// stream keyed by the base seed: stable across runs, platforms, and
+/// scenario orderings. Masked to 53 bits so the seed survives the
+/// f64-backed JSON summary exactly.
 #[must_use]
 pub fn derive_seed(base_seed: u64, name: &str) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for b in name.as_bytes() {
-        h ^= u64::from(*b);
-        h = h.wrapping_mul(0x0000_0100_0000_01B3);
-    }
+    let h = ehp_sim_core::hash::fnv1a_str(name);
     SplitMix64::new(base_seed ^ h).next_u64() & ((1 << 53) - 1)
+}
+
+/// Resolves implicit seeds: every scenario without an explicit seed
+/// gets one derived from `base_seed` and its *name* via
+/// [`derive_seed`]. Exposed so the serving layer can canonicalise
+/// scenarios **before** cache-key hashing and worker dispatch — the
+/// cache and the pool must see exactly what would run.
+#[must_use]
+pub fn resolve_seeds(scenarios: &[Scenario], base_seed: u64) -> Vec<Scenario> {
+    scenarios
+        .iter()
+        .map(|sc| {
+            let mut sc = sc.clone();
+            if sc.seed.is_none() {
+                sc.seed = Some(derive_seed(base_seed, &sc.name));
+            }
+            sc
+        })
+        .collect()
 }
 
 /// Runs every scenario through the registry on `cfg.jobs` workers.
@@ -131,16 +147,7 @@ pub fn derive_seed(base_seed: u64, name: &str) -> u64 {
 pub fn run_batch(scenarios: &[Scenario], cfg: &BatchConfig) -> BatchResult {
     let start = Instant::now();
     // Resolve seeds up front so the outcome records what actually ran.
-    let resolved: Vec<Scenario> = scenarios
-        .iter()
-        .map(|sc| {
-            let mut sc = sc.clone();
-            if sc.seed.is_none() {
-                sc.seed = Some(derive_seed(cfg.base_seed, &sc.name));
-            }
-            sc
-        })
-        .collect();
+    let resolved = resolve_seeds(scenarios, cfg.base_seed);
 
     // Lowest index at the back so `pop`/`split_off` hand out work in
     // input order.
@@ -194,35 +201,21 @@ pub fn run_batch(scenarios: &[Scenario], cfg: &BatchConfig) -> BatchResult {
     }
 }
 
-fn run_one(scenario: &Scenario) -> Outcome {
+/// Runs one already-resolved scenario with panic isolation — the
+/// in-process path (`run_batch`, and the degrade fallback of the
+/// serving layer's worker pool).
+#[must_use]
+pub fn run_one(scenario: &Scenario) -> Outcome {
     let start = Instant::now();
     let Some(exp) = registry::find(&scenario.experiment) else {
-        return Outcome {
-            scenario: scenario.clone(),
-            status: OutcomeStatus::UnknownExperiment,
-            metrics: BTreeMap::new(),
-            report_text: String::new(),
-            payload: None,
-            wall: start.elapsed(),
-        };
+        return unknown_outcome(scenario, start.elapsed());
     };
     // Experiments take &Scenario and build fresh state; unwind safety
     // holds because a panicking run's partial state is discarded whole.
     let run = catch_unwind(AssertUnwindSafe(|| exp.run(scenario)));
     let wall = start.elapsed();
     match run {
-        Ok(ExperimentResult {
-            report,
-            metrics,
-            payload,
-        }) => Outcome {
-            scenario: scenario.clone(),
-            status: OutcomeStatus::Ok,
-            metrics,
-            report_text: report.text().to_string(),
-            payload,
-            wall,
-        },
+        Ok(result) => ok_outcome(scenario, result, wall),
         Err(panic) => Outcome {
             scenario: scenario.clone(),
             status: OutcomeStatus::Panicked(panic_message(&*panic)),
@@ -231,6 +224,50 @@ fn run_one(scenario: &Scenario) -> Outcome {
             payload: None,
             wall,
         },
+    }
+}
+
+/// Runs one scenario **without** panic isolation — the `ehp worker`
+/// entry point. A panicking experiment must kill the worker process so
+/// the parent's retry/degrade ladder observes the failure; catching it
+/// here would hide exactly the failure mode the pool exists to
+/// contain. The parent's in-process fallback ([`run_one`]) then turns
+/// the deterministic panic into the same `Panicked` outcome a pool-less
+/// run would produce.
+#[must_use]
+pub fn run_one_uncaught(scenario: &Scenario) -> Outcome {
+    let start = Instant::now();
+    let Some(exp) = registry::find(&scenario.experiment) else {
+        return unknown_outcome(scenario, start.elapsed());
+    };
+    let result = exp.run(scenario);
+    ok_outcome(scenario, result, start.elapsed())
+}
+
+fn unknown_outcome(scenario: &Scenario, wall: Duration) -> Outcome {
+    Outcome {
+        scenario: scenario.clone(),
+        status: OutcomeStatus::UnknownExperiment,
+        metrics: BTreeMap::new(),
+        report_text: String::new(),
+        payload: None,
+        wall,
+    }
+}
+
+fn ok_outcome(scenario: &Scenario, result: ExperimentResult, wall: Duration) -> Outcome {
+    let ExperimentResult {
+        report,
+        metrics,
+        payload,
+    } = result;
+    Outcome {
+        scenario: scenario.clone(),
+        status: OutcomeStatus::Ok,
+        metrics,
+        report_text: report.text().to_string(),
+        payload,
+        wall,
     }
 }
 
@@ -257,6 +294,67 @@ impl Outcome {
             OutcomeStatus::UnknownExperiment => Json::from("unknown_experiment"),
             OutcomeStatus::Panicked(msg) => Json::object([("panicked", Json::from(msg.as_str()))]),
         }
+    }
+
+    /// The full outcome as JSON — the payload of worker-protocol frames
+    /// and result-cache entries. The summary derives from the same
+    /// fields, so a decoded outcome reproduces `summary_json` bytes
+    /// exactly; non-finite metrics render as JSON `null` (decoding back
+    /// to NaN), which matches how the summary renders them.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let mut fields = vec![
+            ("scenario", self.scenario.to_json()),
+            ("status", self.status_json()),
+            (
+                "metrics",
+                Json::Obj(
+                    self.metrics
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Json::Num(*v)))
+                        .collect(),
+                ),
+            ),
+            ("report", Json::from(self.report_text.as_str())),
+            ("wall_ms", Json::Num(self.wall.as_secs_f64() * 1e3)),
+        ];
+        if let Some(p) = &self.payload {
+            fields.push(("payload", p.clone()));
+        }
+        Json::object(fields)
+    }
+
+    /// Decodes an outcome produced by [`Outcome::to_json`]; `None` on
+    /// any shape mismatch (callers treat that as a poisoned frame or a
+    /// corrupt cache entry and recompute).
+    #[must_use]
+    pub fn from_json(json: &Json) -> Option<Outcome> {
+        let scenario = Scenario::from_json(json.get("scenario")?).ok()?;
+        let status = match json.get("status")? {
+            Json::Str(s) if s == "ok" => OutcomeStatus::Ok,
+            Json::Str(s) if s == "unknown_experiment" => OutcomeStatus::UnknownExperiment,
+            other => OutcomeStatus::Panicked(other.get("panicked")?.as_str()?.to_string()),
+        };
+        let metrics = json
+            .get("metrics")?
+            .as_obj()?
+            .iter()
+            .map(|(k, v)| match v {
+                // JSON has no NaN; `null` is its wire form.
+                Json::Null => Some((k.clone(), f64::NAN)),
+                other => Some((k.clone(), other.as_f64()?)),
+            })
+            .collect::<Option<BTreeMap<String, f64>>>()?;
+        let report_text = json.get("report")?.as_str()?.to_string();
+        let wall_ms = json.get("wall_ms")?.as_f64().unwrap_or(0.0);
+        Some(Outcome {
+            scenario,
+            status,
+            metrics,
+            report_text,
+            payload: json.get("payload").cloned(),
+            wall: Duration::from_secs_f64((wall_ms / 1e3).max(0.0)),
+        })
     }
 }
 
@@ -366,6 +464,56 @@ mod tests {
             assert_eq!(o.scenario.name, format!("s{i:03}"));
             assert_eq!(o.status, OutcomeStatus::UnknownExperiment);
         }
+    }
+
+    #[test]
+    fn outcome_codec_round_trips_through_wire_json() {
+        let resolved = resolve_seeds(&[Scenario::default_for("table1")], 42);
+        let out = run_one(&resolved[0]);
+        assert!(out.is_ok());
+        // Round trip through the *rendered* form, as frames and cache
+        // entries do — not just the in-memory Json tree.
+        let wire = Json::parse(&out.to_json().to_string_compact()).unwrap();
+        let back = Outcome::from_json(&wire).expect("decodes");
+        assert_eq!(back.scenario, out.scenario);
+        assert_eq!(back.status, out.status);
+        assert_eq!(back.metrics, out.metrics);
+        assert_eq!(back.report_text, out.report_text);
+        assert_eq!(back.payload, out.payload);
+    }
+
+    #[test]
+    fn outcome_codec_maps_nan_metrics_through_null() {
+        let mut out = unknown_outcome(&Scenario::default_for("x"), Duration::ZERO);
+        out.metrics.insert("bad".to_string(), f64::NAN);
+        out.metrics.insert("good".to_string(), 1.5);
+        let wire = Json::parse(&out.to_json().to_string_compact()).unwrap();
+        let back = Outcome::from_json(&wire).unwrap();
+        assert!(back.metrics["bad"].is_nan());
+        assert_eq!(back.metrics["good"], 1.5);
+        // Byte-identity of the summary is what actually matters.
+        let a = BatchResult {
+            outcomes: vec![out],
+            wall: Duration::ZERO,
+        };
+        let b = BatchResult {
+            outcomes: vec![back],
+            wall: Duration::ZERO,
+        };
+        assert_eq!(
+            a.summary_json().to_string_compact(),
+            b.summary_json().to_string_compact()
+        );
+    }
+
+    #[test]
+    fn uncaught_runner_matches_caught_runner_on_ok_scenarios() {
+        let resolved = resolve_seeds(&[Scenario::default_for("table1")], 0);
+        let a = run_one(&resolved[0]);
+        let b = run_one_uncaught(&resolved[0]);
+        assert_eq!(a.status, b.status);
+        assert_eq!(a.metrics, b.metrics);
+        assert_eq!(a.report_text, b.report_text);
     }
 
     #[test]

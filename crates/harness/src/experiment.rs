@@ -25,6 +25,14 @@ pub trait Experiment: Sync {
     fn params(&self) -> &'static [ParamSpec] {
         &[]
     }
+    /// Code-version salt folded into result-cache keys (DESIGN.md §12).
+    /// Bump this in the registry whenever a change alters what the
+    /// experiment computes for an unchanged scenario — that is how a
+    /// behavioural change declares "my cached results are stale" while
+    /// every other experiment's entries stay valid.
+    fn cache_salt(&self) -> u64 {
+        0
+    }
     /// Runs the experiment.
     fn run(&self, scenario: &Scenario) -> ExperimentResult;
 }
@@ -86,6 +94,8 @@ pub struct FnExperiment {
     pub title: &'static str,
     /// Declared scenario parameters (the experiment's S1 schema).
     pub params: &'static [ParamSpec],
+    /// Result-cache code-version salt (see [`Experiment::cache_salt`]).
+    pub salt: u64,
     /// The experiment body.
     pub runner: fn(&Scenario) -> ExperimentResult,
 }
@@ -101,6 +111,10 @@ impl Experiment for FnExperiment {
 
     fn params(&self) -> &'static [ParamSpec] {
         self.params
+    }
+
+    fn cache_salt(&self) -> u64 {
+        self.salt
     }
 
     fn run(&self, scenario: &Scenario) -> ExperimentResult {

@@ -1,0 +1,128 @@
+//! **Result-cache audit**: a deterministic, filesystem-free check that
+//! the serving layer's cache-key discipline holds, runnable (and
+//! range-gated by `ehp check`) like any other experiment.
+//!
+//! Using an in-memory [`ResultCache`], three legs over `entries`
+//! synthetic scenarios:
+//!
+//! 1. **cold** — every lookup misses, every outcome is stored;
+//! 2. **repeat** — the identical sweep again: the hit rate must be
+//!    exactly 1.0 (this is the property that lets a warm `ehp all`
+//!    re-execute nothing);
+//! 3. **salt bump** — the same sweep keyed with a bumped code-version
+//!    salt: the hit rate must be exactly 0.0 (a behavioural change
+//!    invalidates all of — and only — the touched experiment's
+//!    entries).
+//!
+//! A fourth check round-trips each cached outcome through its rendered
+//! JSON and compares compact bytes, mirroring the hot-vs-cold
+//! byte-identity guarantee of `run_summary.json`.
+
+use ehp_serve::cache::{result_key, ResultCache};
+use ehp_sim_core::json::Json;
+use ehp_sim_core::rng::SplitMix64;
+
+use crate::experiment::ExperimentResult;
+use crate::report::Report;
+use crate::scenario::Scenario;
+
+/// The experiment id the synthetic entries are keyed under.
+const PROBE_ID: &str = "serve_audit_probe";
+
+fn probe_scenario(i: u64, seed: u64) -> String {
+    // Compact, key-sorted — the same canonical form the serving layer
+    // hashes for real scenarios.
+    Json::object([
+        ("experiment", Json::from(PROBE_ID)),
+        ("i", Json::from(i)),
+        ("seed", Json::from(seed)),
+    ])
+    .to_string_compact()
+}
+
+fn probe_outcome(i: u64, rng: &mut SplitMix64) -> Json {
+    Json::object([
+        ("i", Json::from(i)),
+        ("metric", Json::from(rng.next_u64() & ((1 << 53) - 1))),
+        ("status", Json::from("ok")),
+    ])
+}
+
+pub(crate) fn run(sc: &Scenario) -> ExperimentResult {
+    let entries = sc.u64("entries", 16).max(1);
+    let seed = sc.effective_seed();
+    let mut rng = SplitMix64::new(seed);
+    let mut cache = ResultCache::memory();
+
+    let canon: Vec<String> = (0..entries).map(|i| probe_scenario(i, seed)).collect();
+
+    // Leg 1: cold — misses only, then store.
+    let mut stored = Vec::new();
+    for (i, c) in canon.iter().enumerate() {
+        let key = result_key(PROBE_ID, 0, c);
+        assert!(cache.lookup(key).is_none(), "cold leg must miss");
+        let outcome = probe_outcome(i as u64, &mut rng);
+        cache.store(key, &outcome);
+        stored.push(outcome);
+    }
+    let cold = cache.counters();
+
+    // Leg 2: repeat — the identical sweep must hit every time, and the
+    // cached bytes must round-trip identically.
+    let mut identical = 0u64;
+    for (i, c) in canon.iter().enumerate() {
+        let key = result_key(PROBE_ID, 0, c);
+        if let Some(outcome) = cache.lookup(key) {
+            let rendered = outcome.to_string_compact();
+            let reparsed = Json::parse(&rendered).expect("cache entry re-parses");
+            if rendered == stored[i].to_string_compact() && reparsed.to_string_compact() == rendered
+            {
+                identical += 1;
+            }
+        }
+    }
+    let repeat = cache.counters().since(&cold);
+
+    // Leg 3: salt bump — every key moves, every lookup must miss.
+    let before_bump = cache.counters();
+    for c in &canon {
+        let _ = cache.lookup(result_key(PROBE_ID, 1, c));
+    }
+    let bumped = cache.counters().since(&before_bump);
+
+    let n = entries as f64;
+    let repeat_hit_rate = repeat.hits as f64 / n;
+    let salt_bump_hit_rate = bumped.hits as f64 / n;
+    let summary_identical = identical as f64 / n;
+
+    let mut rep = Report::new(&sc.name);
+    rep.section("Result-cache audit (memory store)");
+    rep.kv("entries", entries);
+    rep.kv("cold misses", cold.misses);
+    rep.kv("repeat hit rate", repeat_hit_rate);
+    rep.kv("salt-bump hit rate", salt_bump_hit_rate);
+    rep.kv("byte-identical round trips", identical);
+
+    let mut res = ExperimentResult::new(rep);
+    res.metric("entries", n);
+    res.metric("repeat_hit_rate", repeat_hit_rate);
+    res.metric("salt_bump_hit_rate", salt_bump_hit_rate);
+    res.metric("summary_identical", summary_identical);
+    res
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn audit_rates_are_exact() {
+        let mut sc = Scenario::default_for("serve_audit");
+        sc.seed = Some(3);
+        let r = run(&sc);
+        assert_eq!(r.metrics["repeat_hit_rate"], 1.0);
+        assert_eq!(r.metrics["salt_bump_hit_rate"], 0.0);
+        assert_eq!(r.metrics["summary_identical"], 1.0);
+        assert_eq!(r.metrics["entries"], 16.0);
+    }
+}

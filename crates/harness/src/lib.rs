@@ -13,6 +13,10 @@
 //! * [`executor`] — the `--jobs N` batch runner: per-scenario panic
 //!   isolation, deterministic name-derived seeds, and a batch summary
 //!   whose bytes are identical across same-seed runs.
+//! * [`serving`] — the scale-out layer (DESIGN.md §12): a content-hash
+//!   result cache under `ehp run`/`ehp all`, the `ehp worker`
+//!   child-process protocol, and the `ehp serve` Unix-socket daemon,
+//!   all built on the experiment-agnostic `ehp-serve` crate.
 //! * [`check`] — committed expected-shape ranges (`ehp check`): the
 //!   paper's headline numbers as a regression gate.
 //! * [`report`] / [`output`] — the text/JSON result writers; everything
@@ -31,6 +35,7 @@ pub mod output;
 pub mod registry;
 pub mod report;
 pub mod scenario;
+pub mod serving;
 
 pub use experiment::{Experiment, ExperimentResult};
 pub use report::Report;

@@ -80,6 +80,16 @@ pub fn write_run_timing(timing: &Json) -> io::Result<PathBuf> {
     Ok(path)
 }
 
+/// Writes the serving-layer cache/pool traffic sidecar. Like timing,
+/// this is kept out of `run_summary.json`: hit counts depend on what
+/// previous runs left in the cache, so they must never leak into the
+/// byte-identical summary.
+pub fn write_cache_stats(stats: &Json) -> io::Result<PathBuf> {
+    let path = figures_dir().join("cache_stats.json");
+    write(&path, &stats.to_string_pretty())?;
+    Ok(path)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

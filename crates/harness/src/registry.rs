@@ -35,6 +35,7 @@ static REGISTRY: &[FnExperiment] = &[
         id: "table1",
         title: "Table 1: CDNA 2 vs CDNA 3 peak ops/clock/CU",
         params: &[],
+        salt: 0,
         runner: experiments::table1::run,
     },
     FnExperiment {
@@ -44,108 +45,126 @@ static REGISTRY: &[FnExperiment] = &[
             name: "product",
             kind: ParamKind::EnumStr(&["mi250x", "mi300a", "mi300x", "ehpv4"]),
         }],
+        salt: 0,
         runner: experiments::figure7::run,
     },
     FnExperiment {
         id: "figure12",
         title: "Figure 12: power distributions and thermal maps",
         params: &[num_pos("socket_power_w")],
+        salt: 0,
         runner: experiments::figure12::run,
     },
     FnExperiment {
         id: "figure13",
         title: "Figure 13: cooperative multi-XCD dispatch flow",
         params: &[u64_pos("workgroups"), u64_pos("workgroup_size")],
+        salt: 0,
         runner: experiments::figure13::run,
     },
     FnExperiment {
         id: "figure14",
         title: "Figure 14: CPU-only vs discrete GPU vs APU data movement",
         params: &[u64_pos("elements")],
+        salt: 0,
         runner: experiments::figure14::run,
     },
     FnExperiment {
         id: "figure15",
         title: "Figure 15: fine-grained CPU/GPU overlap via chunk flags",
         params: &[u64_pos("elements"), u64_pos("chunks")],
+        salt: 0,
         runner: experiments::figure15::run,
     },
     FnExperiment {
         id: "figure16",
         title: "Figure 16: CCD->XCD modular swap (MI300A -> MI300X)",
         params: &[],
+        salt: 0,
         runner: experiments::figure16::run,
     },
     FnExperiment {
         id: "figure17",
         title: "Figure 17: compute/memory partitioning modes",
         params: &[],
+        salt: 0,
         runner: experiments::figure17::run,
     },
     FnExperiment {
         id: "figure18",
         title: "Figure 18: exemplary MI300A/MI300X node architectures",
         params: &[],
+        salt: 0,
         runner: experiments::figure18::run,
     },
     FnExperiment {
         id: "figure19",
         title: "Figure 19: generational uplift over MI250X",
         params: &[],
+        salt: 0,
         runner: experiments::figure19::run,
     },
     FnExperiment {
         id: "figure20",
         title: "Figure 20: HPC speedups of MI300A over MI250X",
         params: &[],
+        salt: 0,
         runner: experiments::figure20::run,
     },
     FnExperiment {
         id: "figure21",
         title: "Figure 21: Llama-2 70B inference latency on MI300X",
         params: &[],
+        salt: 0,
         runner: experiments::figure21::run,
     },
     FnExperiment {
         id: "frontier_node",
         title: "Figure 2: the Frontier node as four conjoined EHPs",
         params: &[],
+        salt: 0,
         runner: experiments::frontier_node::run,
     },
     FnExperiment {
         id: "modular_platform",
         title: "Section VII: modular platform design space + exascale RAS",
         params: &[num_pos("checkpoint_write_s")],
+        salt: 0,
         runner: experiments::modular_platform::run,
     },
     FnExperiment {
         id: "power_management",
         title: "Section V.D/V.E: power/thermal/DVFS management loop",
         params: &[num_pos("socket_power_w"), num_pos("shift_w")],
+        salt: 0,
         runner: experiments::power_management::run,
     },
     FnExperiment {
         id: "ehpv3_audit",
         title: "Section III.A: why EHPv3 3D stacking was not productised",
         params: &[],
+        salt: 0,
         runner: experiments::ehpv3_audit::run,
     },
     FnExperiment {
         id: "ehpv4_audit",
         title: "Figure 4: remaining EHPv4 challenges vs MI300A",
         params: &[],
+        salt: 0,
         runner: experiments::ehpv4_audit::run,
     },
     FnExperiment {
         id: "microarch_audit",
         title: "Section IV.B: icache sharing, occupancy, L1 data path",
         params: &[],
+        salt: 0,
         runner: experiments::microarch_audit::run,
     },
     FnExperiment {
         id: "packaging_audit",
         title: "Figures 9/10 + Section V.A: mirroring, TSVs, beachfront",
         params: &[],
+        salt: 0,
         runner: experiments::packaging_audit::run,
     },
     FnExperiment {
@@ -190,7 +209,32 @@ static REGISTRY: &[FnExperiment] = &[
                 kind: ParamKind::U64 { min: 1, max: 64 },
             },
         ],
+        salt: 0,
         runner: experiments::ic_sweep::run,
+    },
+    FnExperiment {
+        id: "serve_selftest",
+        title: "Serving: deterministic self-test (ok / panic / sleep modes)",
+        params: &[
+            ParamSpec {
+                name: "mode",
+                kind: ParamKind::EnumStr(&["ok", "panic", "sleep"]),
+            },
+            u64_pos("sleep_ms"),
+            u64_pos("work"),
+        ],
+        salt: 0,
+        runner: experiments::serve_selftest::run,
+    },
+    FnExperiment {
+        id: "serve_audit",
+        title: "Serving: result-cache hit-rate audit (memory store)",
+        params: &[ParamSpec {
+            name: "entries",
+            kind: ParamKind::U64 { min: 1, max: 4096 },
+        }],
+        salt: 0,
+        runner: experiments::serve_audit::run,
     },
 ];
 

@@ -24,7 +24,7 @@ use crate::findings::Finding;
 use crate::parse::FileIndex;
 
 /// Bump on any change to rules, parser output, or cache shape.
-pub const CACHE_VERSION: u64 = 1;
+pub const CACHE_VERSION: u64 = 2;
 
 /// Cached state for one source file.
 #[derive(Debug, Clone)]
@@ -45,15 +45,12 @@ pub struct LintCache {
     pub entries: BTreeMap<String, CacheEntry>,
 }
 
-/// FNV-1a over the file contents — stable, fast, dependency-free.
+/// FNV-1a over the file contents — the shared workspace hash primitive
+/// ([`ehp_sim_core::hash`]), so the lint cache, the result cache, and
+/// seed derivation can never disagree on the algorithm.
 #[must_use]
 pub fn content_hash(text: &str) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for b in text.as_bytes() {
-        h ^= u64::from(*b);
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
+    ehp_sim_core::hash::fnv1a_str(text)
 }
 
 impl LintCache {

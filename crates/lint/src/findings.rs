@@ -128,8 +128,10 @@ impl Rule {
             Rule::WallClock => {
                 "D2 wall-clock: Instant::now()/SystemTime read real time, so \
                  two identical runs observe different values. Sim code must \
-                 use SimTime only; crates/bench and the batch executor are \
-                 the sanctioned timing sites."
+                 use SimTime only; crates/bench, the batch executor, and the \
+                 serving layer (crates/serve plus the harness serving glue, \
+                 which time requests and worker chunks) are the sanctioned \
+                 timing sites."
             }
             Rule::F32Truncation => {
                 "D3 f32-truncation: accumulators are f64 end-to-end; a single \

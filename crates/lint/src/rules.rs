@@ -331,9 +331,15 @@ fn check_hash_iter(path: &str, file: &TokenizedFile, findings: &mut Vec<Finding>
 
 /// D2: wall-clock reads outside the sanctioned timing sites.
 fn check_wall_clock(path: &str, file: &TokenizedFile, findings: &mut Vec<Finding>) {
-    // The batch executor times scenarios and `ehp-bench` is a benchmark
-    // harness; everything else must be simulated-time only.
-    if path.starts_with("crates/bench/") || path == "crates/harness/src/executor.rs" {
+    // The batch executor times scenarios, `ehp-bench` is a benchmark
+    // harness, and the serving layer (`ehp-serve` + its harness glue)
+    // measures request latency and worker timeouts; everything else
+    // must be simulated-time only.
+    if path.starts_with("crates/bench/")
+        || path.starts_with("crates/serve/")
+        || path == "crates/harness/src/executor.rs"
+        || path == "crates/harness/src/serving.rs"
+    {
         return;
     }
     let toks = &file.toks;

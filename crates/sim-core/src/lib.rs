@@ -28,6 +28,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod event;
+pub mod hash;
 pub mod ids;
 pub mod json;
 pub mod resource;

@@ -218,6 +218,28 @@ impl fmt::Display for Accumulator {
     }
 }
 
+/// Nearest-rank percentile of an **ascending-sorted** slice.
+///
+/// `q` is in `[0, 100]`; returns `None` on an empty slice. Nearest-rank
+/// (ceil(q/100·n)) is exact on the retained samples and monotone in `q`,
+/// which is what latency reporting wants — no interpolation between two
+/// observations that never happened.
+///
+/// # Panics
+///
+/// Debug-asserts that `sorted` is actually sorted; in release an
+/// unsorted slice just returns a wrong (but in-range) sample.
+#[must_use]
+pub fn percentile(sorted: &[f64], q: f64) -> Option<f64> {
+    debug_assert!(sorted.windows(2).all(|w| w[0] <= w[1]));
+    if sorted.is_empty() {
+        return None;
+    }
+    let q = q.clamp(0.0, 100.0);
+    let rank = ((q / 100.0) * sorted.len() as f64).ceil() as usize;
+    Some(sorted[rank.max(1) - 1])
+}
+
 /// A power-of-two bucketed latency histogram.
 ///
 /// Bucket `i` holds samples in `[2^i, 2^(i+1))`; bucket 0 holds `{0, 1}`.
@@ -601,6 +623,21 @@ mod tests {
         let snap = a.snapshot();
         assert_eq!(snap.get("count").and_then(|v| v.as_u64()), Some(7));
         assert!(snap.get("buckets").and_then(|b| b.as_obj()).is_some());
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        assert_eq!(percentile(&[], 50.0), None);
+        let one = [7.0];
+        assert_eq!(percentile(&one, 0.0), Some(7.0));
+        assert_eq!(percentile(&one, 100.0), Some(7.0));
+        let v: Vec<f64> = (1..=100).map(f64::from).collect();
+        assert_eq!(percentile(&v, 50.0), Some(50.0));
+        assert_eq!(percentile(&v, 95.0), Some(95.0));
+        assert_eq!(percentile(&v, 99.0), Some(99.0));
+        assert_eq!(percentile(&v, 100.0), Some(100.0));
+        // Out-of-range q clamps instead of panicking.
+        assert_eq!(percentile(&v, 150.0), Some(100.0));
     }
 
     #[test]
