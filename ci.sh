@@ -78,6 +78,22 @@ step "perf smoke (fabric)" cargo bench --offline --bench fabric -- \
 step "perf smoke (serve)" cargo bench --offline --bench serve -- \
     --baseline crates/bench/baselines/serve.json --threshold 0.50
 
+# Same gate for the event kernel (DESIGN.md §13): calendar queue vs the
+# heap oracle on hold/burst/far-future workloads. The bench also
+# hard-asserts the two kernels' pop streams are identical before any
+# timing. Regenerate with:
+#   cargo bench --bench kernel -- --save-baseline crates/bench/baselines/kernel.json
+step "perf smoke (kernel)" cargo bench --offline --bench kernel -- \
+    --baseline crates/bench/baselines/kernel.json --threshold 0.30
+
+# Whole-suite wall-time gate: the `ehp all` path end to end, the first
+# full-suite speed baseline. Looser threshold: it aggregates every
+# experiment, so it moves with legitimate feature growth — bump the
+# baseline deliberately when a change is supposed to add work:
+#   cargo bench --bench suite -- --save-baseline crates/bench/baselines/suite.json
+step "perf smoke (suite)" cargo bench --offline --bench suite -- \
+    --baseline crates/bench/baselines/suite.json --threshold 0.50
+
 # Shape-fidelity gate: every experiment runs, and headline metrics stay
 # inside the committed expected ranges (see crates/harness/src/check.rs).
 # The batch runs twice through the result cache (DESIGN.md §12): the

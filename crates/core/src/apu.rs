@@ -169,9 +169,12 @@ impl ApuSystem {
         } else {
             self.coherence.read(req.agent, line)
         };
-        // Each probe costs a fabric-class round trip on top of the memory
-        // access (coarse but directionally right).
-        let probe_penalty = SimTime::from_nanos(60 * action.probes.len() as u64);
+        // Each probe costs a cross-die round trip into the owning agent's
+        // cache hierarchy (request, flush, response) on top of the memory
+        // access. Cache-to-cache transfers across the IOD fabric land in
+        // the ~200 ns class — well above a local DRAM miss, so a probed
+        // line is always dearer than a clean one.
+        let probe_penalty = SimTime::from_nanos(180 * action.probes.len() as u64);
         let resp = self.mem.access(at + probe_penalty, req);
         resp.completes_at
     }

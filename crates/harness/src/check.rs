@@ -200,6 +200,48 @@ pub fn expected_shapes() -> &'static [ShapeRange] {
             why: "Section IV.C: ~5.3 TB/s HBM3 behind the cache",
         },
         ShapeRange {
+            experiment: "mem_bank_audit",
+            metric: "banks_per_channel",
+            min: 16.0,
+            max: 16.0,
+            why: "Section IV.C: HBM3 pseudo-channels expose 16 independent \
+                  banks each (DESIGN.md §13 decomposes channels to them)",
+        },
+        ShapeRange {
+            experiment: "mem_bank_audit",
+            metric: "bank_parallel_speedup",
+            min: 10.0,
+            max: 20.0,
+            why: "DESIGN.md §13: striping a row-miss stream across a \
+                  channel's 16 banks must run their activate pipelines in \
+                  parallel (~16x vs one bank, less startup/refresh)",
+        },
+        ShapeRange {
+            experiment: "mem_bank_audit",
+            metric: "hot_hit_rate",
+            min: 0.4,
+            max: 0.7,
+            why: "Section IV.C: a 1 MiB hot set re-read under 90/10 \
+                  locality must be served mostly from Infinity Cache \
+                  slices after compulsory misses",
+        },
+        ShapeRange {
+            experiment: "mem_bank_audit",
+            metric: "shard_identical",
+            min: 1.0,
+            max: 1.0,
+            why: "DESIGN.md §13: bank-sharded parallel replay must merge \
+                  bit-identically to the sequential reference",
+        },
+        ShapeRange {
+            experiment: "mem_bank_audit",
+            metric: "kernel_swap_identical",
+            min: 1.0,
+            max: 1.0,
+            why: "DESIGN.md §13: calendar-queue and heap event kernels \
+                  must produce identical replay results and statistics",
+        },
+        ShapeRange {
             experiment: "serve_audit",
             metric: "repeat_hit_rate",
             min: 1.0,

@@ -127,7 +127,7 @@ pub(crate) fn run(sc: &Scenario) -> ExperimentResult {
     let mut per_stack = vec![0u64; cfg.interleave.stacks as usize];
     for (i, ch) in mem.channels().iter().enumerate() {
         per_stack[i / cfg.interleave.channels_per_stack as usize] +=
-            ch.hbm().bytes_moved().0 + ch.icache_bytes().0;
+            ch.hbm_bytes_moved().0 + ch.icache_bytes().0;
     }
     let max_stack = *per_stack.iter().max().unwrap_or(&0) as f64;
     let mean_stack = per_stack.iter().sum::<u64>() as f64 / per_stack.len().max(1) as f64;

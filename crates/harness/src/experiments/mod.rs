@@ -21,6 +21,7 @@ pub(crate) mod figure21;
 pub(crate) mod figure7;
 pub(crate) mod frontier_node;
 pub(crate) mod ic_sweep;
+pub(crate) mod mem_bank_audit;
 pub(crate) mod microarch_audit;
 pub(crate) mod modular_platform;
 pub(crate) mod packaging_audit;

@@ -209,8 +209,24 @@ static REGISTRY: &[FnExperiment] = &[
                 kind: ParamKind::U64 { min: 1, max: 64 },
             },
         ],
-        salt: 0,
+        // Salt 1: the bank-level channel decomposition (DESIGN.md §13)
+        // changed per-access timing, so pre-decomposition cached
+        // results must not replay.
+        salt: 1,
         runner: experiments::ic_sweep::run,
+    },
+    FnExperiment {
+        id: "mem_bank_audit",
+        title: "Section IV.C: bank-level channel decomposition audit",
+        params: &[
+            u64_pos("accesses"),
+            ParamSpec {
+                name: "jobs",
+                kind: ParamKind::U64 { min: 1, max: 64 },
+            },
+        ],
+        salt: 0,
+        runner: experiments::mem_bank_audit::run,
     },
     FnExperiment {
         id: "serve_selftest",

@@ -1,35 +1,67 @@
 //! One memory channel: an Infinity Cache slice in front of an HBM
-//! pseudo-channel.
+//! pseudo-channel, decomposed into independent per-bank units.
 //!
-//! Requests arrive (already steered by the interleaver), look up the
-//! slice, and are served either at cache speed or by the HBM channel;
-//! dirty victims and prefetch fills consume HBM bandwidth in the
-//! background.
+//! Requests arrive (already steered by the interleaver), are mapped to
+//! the bank owning their DRAM row, look up that bank's slice sub-array,
+//! and are served either at cache speed or by the bank's HBM lane.
+//! Background HBM traffic — dirty victims and prefetch fills — is not
+//! charged inline: each bank schedules it on its event kernel (a
+//! calendar queue by default, the binary-heap oracle behind a config
+//! knob) and drains the queue before the next demand access, so the
+//! bank's state seen by every demand is identical to inline charging
+//! while the charges themselves become deferred, replayable events.
+//!
+//! Because banks share no state (each owns its row machine, bus lane
+//! share, slice sub-array, latency accumulator, and event queue), a
+//! channel's request stream can be partitioned by bank and replayed
+//! bank-by-bank with results bit-identical to the sequential order —
+//! the channel-sharding rule of `MemorySubsystem::replay_sharded`, one
+//! level down.
 
+use ehp_sim_core::event::EventQueue;
 use ehp_sim_core::resource::BandwidthPipe;
 use ehp_sim_core::stats::Accumulator;
-use ehp_sim_core::time::SimTime;
+use ehp_sim_core::time::{Cycle, SimTime};
 use ehp_sim_core::units::{Bandwidth, Bytes, Energy};
+use ehp_sim_core::wheel::CalendarQueue;
 
-use crate::hbm::{HbmChannelModel, HbmTimings};
+use crate::hbm::{HbmChannelModel, HbmTimings, ROW_BYTES};
 use crate::icache::{CacheOutcome, InfinityCacheSlice, PrefetcherConfig};
 use crate::request::ServicePoint;
+
+/// Which event kernel drives deferred background HBM charges.
+///
+/// Purely a performance/validation knob: the two kernels have the same
+/// `(time, FIFO)` ordering contract, so every simulation result is
+/// byte-identical under either (asserted by the `replay_determinism`
+/// suite and the `mem_bank_audit` experiment).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EventKernel {
+    /// Bucketed calendar queue (`ehp_sim_core::wheel`): O(1) amortized
+    /// schedule/pop. The default.
+    #[default]
+    Wheel,
+    /// Binary-heap `EventQueue`: the pre-wheel kernel, kept as a live
+    /// differential oracle.
+    Heap,
+}
 
 /// Static parameters of one channel.
 #[derive(Debug, Clone)]
 pub struct ChannelConfig {
     /// HBM timing set.
     pub hbm_timings: HbmTimings,
-    /// Peak HBM bus rate for this channel.
+    /// Peak HBM bus rate for this channel (split evenly across banks).
     pub hbm_rate: Bandwidth,
     /// Infinity Cache slice capacity; `None` disables the slice
-    /// (MI250X-style or ablation).
+    /// (MI250X-style or ablation). Split evenly across banks.
     pub icache_capacity: Option<Bytes>,
     /// Slice associativity.
     pub icache_ways: usize,
     /// Line size (128 B on MI300).
     pub line_bytes: u64,
-    /// Peak service rate of the slice (per-slice share of the 17 TB/s).
+    /// Peak service rate of the slice (per-slice share of the 17 TB/s,
+    /// split evenly across banks).
     pub icache_rate: Bandwidth,
     /// Load-to-use latency of a slice hit.
     pub icache_hit_latency: SimTime,
@@ -37,6 +69,8 @@ pub struct ChannelConfig {
     pub icache_energy_per_byte: Energy,
     /// Prefetcher settings.
     pub prefetcher: PrefetcherConfig,
+    /// Event kernel for deferred background charges.
+    pub kernel: EventKernel,
 }
 
 impl ChannelConfig {
@@ -55,6 +89,7 @@ impl ChannelConfig {
             icache_hit_latency: SimTime::from_nanos(25),
             icache_energy_per_byte: Energy::from_picojoules(12.0), // ~1.5 pJ/bit
             prefetcher: PrefetcherConfig::mi300(),
+            kernel: EventKernel::Wheel,
         }
     }
 
@@ -72,46 +107,189 @@ impl ChannelConfig {
             icache_hit_latency: SimTime::ZERO,
             icache_energy_per_byte: Energy::ZERO,
             prefetcher: PrefetcherConfig::disabled(),
+            kernel: EventKernel::Wheel,
+        }
+    }
+
+    /// Banks per channel implied by the HBM timing set.
+    #[must_use]
+    pub fn banks(&self) -> usize {
+        self.hbm_timings.banks_per_channel as usize
+    }
+}
+
+/// Maps a channel-local address to `(bank, bank-local address)`.
+///
+/// The bank owns every `banks`-th DRAM row; the bank-local address
+/// renumbers that bank's rows densely (row `r` of the channel becomes
+/// row `r / banks` of the bank, byte offset preserved). The mapping is a
+/// bijection per bank, so each bank unit sees a dense, self-contained
+/// address space: channel-sequential streams stay bank-locally
+/// sequential (the prefetcher still trains) and every slice victim or
+/// prefetch target a bank generates is bank-local by construction —
+/// banks never produce traffic for each other.
+#[must_use]
+pub fn bank_slot(addr: u64, banks: u64) -> (usize, u64) {
+    let row = addr / ROW_BYTES;
+    let bank = (row % banks) as usize;
+    let local = (row / banks) * ROW_BYTES + (addr % ROW_BYTES);
+    (bank, local)
+}
+
+/// A deferred background HBM charge, carrying its exact due time.
+#[derive(Debug, Clone, Copy)]
+enum BankOp {
+    /// Dirty-victim writeback issued when a demand fill completed.
+    Writeback {
+        /// Exact time the charge applies (demand fill completion).
+        due: SimTime,
+        /// Bank-local victim line address.
+        addr: u64,
+    },
+    /// Prefetch fill (and its victim writeback, chained off the fill's
+    /// completion) issued when a demand access finished.
+    PrefetchFill {
+        /// Exact time the fill starts (demand completion).
+        due: SimTime,
+        /// Bank-local prefetch line address.
+        addr: u64,
+        /// Bank-local victim displaced by the fill, if dirty.
+        victim: Option<u64>,
+    },
+}
+
+impl BankOp {
+    fn due(&self) -> SimTime {
+        match *self {
+            BankOp::Writeback { due, .. } | BankOp::PrefetchFill { due, .. } => due,
         }
     }
 }
 
-/// A memory channel with optional Infinity Cache slice.
+/// The pluggable event kernel behind a bank's deferred charges.
 #[derive(Debug, Clone)]
-pub struct MemoryChannel {
-    cfg: ChannelConfig,
+enum OpQueue {
+    Wheel(CalendarQueue<BankOp>),
+    Heap(EventQueue<BankOp>),
+}
+
+impl OpQueue {
+    fn new(kernel: EventKernel) -> OpQueue {
+        match kernel {
+            // 8 buckets x 131 ns ≈ a 1 µs horizon in picosecond ticks —
+            // comfortably past one access round-trip, so steady-state
+            // traffic never touches the overflow path. Per-bank op
+            // populations are tiny (one demand's writeback plus a few
+            // prefetch fills), so a small wheel wins: fewer cold bucket
+            // headers per bank beats finer time resolution.
+            EventKernel::Wheel => OpQueue::Wheel(CalendarQueue::with_geometry(8, 131_072)),
+            EventKernel::Heap => OpQueue::Heap(EventQueue::new()),
+        }
+    }
+
+    /// Schedules `op` keyed by its due time. The key is clamped to the
+    /// kernel's clock: charges apply in schedule order per bank (all ops
+    /// of one demand share a timestamp), and the op carries its exact
+    /// due time for the HBM model, so the clamp never reorders or
+    /// retimes anything — it only satisfies the kernels' causality
+    /// assert when a fast cache hit follows a slow miss.
+    fn schedule(&mut self, op: BankOp) {
+        let due = Cycle(op.due().as_picos());
+        match self {
+            OpQueue::Wheel(q) => q.schedule_at(due.max(q.now()), op),
+            OpQueue::Heap(q) => q.schedule_at(due.max(q.now()), op),
+        }
+    }
+
+    fn pop(&mut self) -> Option<BankOp> {
+        match self {
+            OpQueue::Wheel(q) => q.pop().map(|(_, op)| op),
+            OpQueue::Heap(q) => q.pop().map(|(_, op)| op),
+        }
+    }
+}
+
+/// One HBM bank and its share of the channel: a row state machine with a
+/// `1/banks` bus lane, a `1/banks` Infinity Cache sub-array, its own
+/// latency accumulator, and the event queue deferring its background
+/// traffic. Addresses are bank-local (see [`bank_slot`]).
+#[derive(Debug, Clone)]
+pub struct BankUnit {
     slice: Option<InfinityCacheSlice>,
     hbm: HbmChannelModel,
     icache_pipe: BandwidthPipe,
     icache_energy: Energy,
     latency: Accumulator,
+    ops: OpQueue,
+    line_bytes: u64,
+    icache_hit_latency: SimTime,
+    icache_energy_per_byte: Energy,
     /// Reused prefetch-address scratch buffer: steady-state accesses
     /// perform no heap allocation.
     prefetch_scratch: Vec<u64>,
 }
 
-impl MemoryChannel {
-    /// Builds a channel from its configuration.
-    #[must_use]
-    pub fn new(cfg: ChannelConfig) -> MemoryChannel {
+impl BankUnit {
+    fn new(cfg: &ChannelConfig) -> BankUnit {
+        let banks = cfg.banks() as u64;
         let slice = cfg.icache_capacity.map(|cap| {
-            InfinityCacheSlice::new(cap, cfg.icache_ways, cfg.line_bytes, cfg.prefetcher)
+            InfinityCacheSlice::new(
+                Bytes(cap.as_u64() / banks),
+                cfg.icache_ways,
+                cfg.line_bytes,
+                cfg.prefetcher,
+            )
         });
-        let hbm = HbmChannelModel::new(cfg.hbm_timings, cfg.hbm_rate);
-        let icache_pipe = BandwidthPipe::new("icache_slice", cfg.icache_rate);
+        let mut bank_timings = cfg.hbm_timings;
+        bank_timings.banks_per_channel = 1;
+        let hbm = HbmChannelModel::new(bank_timings, cfg.hbm_rate.scale(1.0 / banks as f64));
+        let icache_pipe =
+            BandwidthPipe::new("icache_bank", cfg.icache_rate.scale(1.0 / banks as f64));
         let scratch_cap = cfg.prefetcher.degree as usize;
-        MemoryChannel {
-            cfg,
+        BankUnit {
             slice,
             hbm,
             icache_pipe,
             icache_energy: Energy::ZERO,
             latency: Accumulator::new("mem_latency_ns"),
+            ops: OpQueue::new(cfg.kernel),
+            line_bytes: cfg.line_bytes,
+            icache_hit_latency: cfg.icache_hit_latency,
+            icache_energy_per_byte: cfg.icache_energy_per_byte,
             prefetch_scratch: Vec::with_capacity(scratch_cap),
         }
     }
 
-    /// Performs one access; returns completion time and service point.
+    /// Applies one deferred charge to the HBM model at its recorded due
+    /// time — exactly the calls the pre-wheel code made inline.
+    fn apply(&mut self, op: BankOp) {
+        match op {
+            BankOp::Writeback { due, addr } => {
+                let _ = self.hbm.access(due, addr, Bytes(self.line_bytes));
+            }
+            BankOp::PrefetchFill { due, addr, victim } => {
+                let fetch_done = self.hbm.access(due, addr, Bytes(self.line_bytes));
+                if let Some(victim) = victim {
+                    let _ = self.hbm.access(fetch_done, victim, Bytes(self.line_bytes));
+                }
+            }
+        }
+    }
+
+    /// Drains every deferred charge. Called before each demand access
+    /// (so demands observe the same HBM state inline charging would
+    /// have produced) and by [`MemoryChannel::drain_background`] so
+    /// final statistics include trailing traffic.
+    pub fn drain_background(&mut self) {
+        // lint:hot-path
+        while let Some(op) = self.ops.pop() {
+            self.apply(op);
+        }
+        // lint:hot-path-end
+    }
+
+    /// Performs one access at a bank-local address; returns completion
+    /// time and service point.
     pub fn access(
         &mut self,
         at: SimTime,
@@ -119,6 +297,8 @@ impl MemoryChannel {
         size: Bytes,
         is_write: bool,
     ) -> (SimTime, ServicePoint) {
+        self.drain_background();
+
         let Some(slice) = self.slice.as_mut() else {
             // No memory-side cache: straight to HBM.
             let done = self.hbm.access(at, addr, size);
@@ -131,51 +311,56 @@ impl MemoryChannel {
 
         let (done, point) = match outcome {
             CacheOutcome::Hit | CacheOutcome::PrefetchedHit => {
-                self.icache_energy += self.cfg.icache_energy_per_byte.scale(size.as_f64());
+                self.icache_energy += self.icache_energy_per_byte.scale(size.as_f64());
                 let served = self.icache_pipe.request(at, size);
                 (
-                    served + self.cfg.icache_hit_latency,
+                    served + self.icache_hit_latency,
                     ServicePoint::InfinityCache,
                 )
             }
             CacheOutcome::Miss { writeback } => {
                 // Demand fill from HBM, then delivery through the slice.
-                let fetched = self
-                    .hbm
-                    .access(at, addr, size.max(Bytes(self.cfg.line_bytes)));
+                let fetched = self.hbm.access(at, addr, size.max(Bytes(self.line_bytes)));
                 if let Some(victim) = writeback {
                     // Background writeback occupies HBM bandwidth but is
-                    // off the critical path.
-                    let _ = self.hbm.access(fetched, victim, Bytes(self.cfg.line_bytes));
+                    // off the critical path: defer it to the kernel.
+                    self.ops.schedule(BankOp::Writeback {
+                        due: fetched,
+                        addr: victim,
+                    });
                 }
                 (fetched, ServicePoint::Hbm)
             }
         };
 
-        // Prefetch fills consume HBM bandwidth in the background.
+        // Prefetch fills land in the cache now (state change, as before)
+        // but their HBM bandwidth charges are deferred to the kernel.
+        // lint:hot-path
         for i in 0..self.prefetch_scratch.len() {
             let pa = self.prefetch_scratch[i];
-            let fetch_done = self.hbm.access(done, pa, Bytes(self.cfg.line_bytes));
-            if let Some(slice) = self.slice.as_mut() {
-                if let Some(victim) = slice.fill_prefetch(pa) {
-                    let _ = self
-                        .hbm
-                        .access(fetch_done, victim, Bytes(self.cfg.line_bytes));
-                }
-            }
+            let victim = self
+                .slice
+                .as_mut()
+                .and_then(|slice| slice.fill_prefetch(pa));
+            self.ops.schedule(BankOp::PrefetchFill {
+                due: done,
+                addr: pa,
+                victim,
+            });
         }
+        // lint:hot-path-end
 
         self.latency.record((done - at).as_nanos_f64());
         (done, point)
     }
 
-    /// The Infinity Cache slice, if present.
+    /// This bank's slice sub-array, if present.
     #[must_use]
     pub fn slice(&self) -> Option<&InfinityCacheSlice> {
         self.slice.as_ref()
     }
 
-    /// The underlying HBM channel.
+    /// This bank's HBM lane.
     #[must_use]
     pub fn hbm(&self) -> &HbmChannelModel {
         &self.hbm
@@ -187,20 +372,161 @@ impl MemoryChannel {
         self.hbm.energy_used() + self.icache_energy
     }
 
-    /// Bytes served from the slice.
+    /// Bytes served from the slice sub-array.
     #[must_use]
     pub fn icache_bytes(&self) -> Bytes {
         self.icache_pipe.bytes_moved()
     }
 
-    /// Per-channel access-latency statistics (nanoseconds). Kept on the
-    /// channel — not the subsystem — so sharded replay workers record
-    /// latency without any shared state, and merging per-channel
-    /// accumulators in channel order reproduces the sequential stream
+    /// Per-bank access-latency statistics (nanoseconds). Kept on the
+    /// bank — not the channel or subsystem — so sharded replay workers
+    /// record latency without any shared state, and merging per-bank
+    /// accumulators in flat bank order reproduces the sequential stream
     /// bit for bit.
     #[must_use]
     pub fn latency(&self) -> &Accumulator {
         &self.latency
+    }
+}
+
+/// A memory channel: independent per-bank units behind a shared address
+/// mapping. Aggregate statistics fold the banks in bank-index order.
+#[derive(Debug, Clone)]
+pub struct MemoryChannel {
+    cfg: ChannelConfig,
+    banks: Vec<BankUnit>,
+}
+
+impl MemoryChannel {
+    /// Builds a channel from its configuration.
+    #[must_use]
+    pub fn new(cfg: ChannelConfig) -> MemoryChannel {
+        let banks = (0..cfg.banks()).map(|_| BankUnit::new(&cfg)).collect();
+        MemoryChannel { cfg, banks }
+    }
+
+    /// Performs one access; returns completion time and service point.
+    pub fn access(
+        &mut self,
+        at: SimTime,
+        addr: u64,
+        size: Bytes,
+        is_write: bool,
+    ) -> (SimTime, ServicePoint) {
+        let (bank, local) = bank_slot(addr, self.banks.len() as u64);
+        self.banks[bank].access(at, local, size, is_write)
+    }
+
+    /// Drains every bank's deferred background charges so aggregate
+    /// statistics include trailing writebacks and prefetch fills.
+    pub fn drain_background(&mut self) {
+        for b in &mut self.banks {
+            b.drain_background();
+        }
+    }
+
+    /// The per-bank units, in bank-index order.
+    #[must_use]
+    pub fn banks(&self) -> &[BankUnit] {
+        &self.banks
+    }
+
+    /// Mutable per-bank units, in bank-index order (sharded replay
+    /// partitions these across workers).
+    pub fn banks_mut(&mut self) -> &mut [BankUnit] {
+        &mut self.banks
+    }
+
+    /// Total energy: HBM plus slice accesses, folded in bank order.
+    #[must_use]
+    pub fn energy_used(&self) -> Energy {
+        self.banks.iter().map(BankUnit::energy_used).sum()
+    }
+
+    /// Bytes moved over the channel's HBM lanes.
+    #[must_use]
+    pub fn hbm_bytes_moved(&self) -> Bytes {
+        self.banks.iter().map(|b| b.hbm.bytes_moved()).sum()
+    }
+
+    /// Peak HBM bus rate of the whole channel (configured value; the
+    /// per-bank lanes are exact equal shares of it).
+    #[must_use]
+    pub fn hbm_peak_rate(&self) -> Bandwidth {
+        self.cfg.hbm_rate
+    }
+
+    /// DRAM row-buffer hits across banks.
+    #[must_use]
+    pub fn row_hits(&self) -> u64 {
+        self.banks.iter().map(|b| b.hbm.row_hits()).sum()
+    }
+
+    /// DRAM row activations across banks.
+    #[must_use]
+    pub fn row_misses(&self) -> u64 {
+        self.banks.iter().map(|b| b.hbm.row_misses()).sum()
+    }
+
+    /// Refresh commands retired across banks.
+    #[must_use]
+    pub fn refreshes(&self) -> u64 {
+        self.banks.iter().map(|b| b.hbm.refreshes()).sum()
+    }
+
+    /// Bytes served from the Infinity Cache slice.
+    #[must_use]
+    pub fn icache_bytes(&self) -> Bytes {
+        self.banks.iter().map(BankUnit::icache_bytes).sum()
+    }
+
+    /// `true` if this channel has an Infinity Cache slice.
+    #[must_use]
+    pub fn has_icache(&self) -> bool {
+        self.cfg.icache_capacity.is_some()
+    }
+
+    /// Slice hits (demand + prefetched) across banks.
+    #[must_use]
+    pub fn icache_hits(&self) -> u64 {
+        self.banks
+            .iter()
+            .filter_map(BankUnit::slice)
+            .map(|s| s.hits() + s.prefetch_hits())
+            .sum()
+    }
+
+    /// Slice misses across banks.
+    #[must_use]
+    pub fn icache_misses(&self) -> u64 {
+        self.banks
+            .iter()
+            .filter_map(BankUnit::slice)
+            .map(|s| s.misses())
+            .sum()
+    }
+
+    /// Fraction of slice lookups that hit; `None` without a slice or
+    /// traffic.
+    #[must_use]
+    pub fn icache_hit_rate(&self) -> Option<f64> {
+        if !self.has_icache() {
+            return None;
+        }
+        let hits = self.icache_hits();
+        let total = hits + self.icache_misses();
+        (total > 0).then(|| hits as f64 / total as f64)
+    }
+
+    /// Channel-wide latency statistics: the per-bank accumulators merged
+    /// in bank-index order.
+    #[must_use]
+    pub fn latency_stats(&self) -> Accumulator {
+        let mut acc = Accumulator::new("mem_latency_ns");
+        for b in &self.banks {
+            acc.merge(b.latency());
+        }
+        acc
     }
 
     /// Channel configuration.
@@ -213,6 +539,25 @@ impl MemoryChannel {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn bank_slot_is_a_per_bank_bijection() {
+        // Distinct addresses mapping to the same bank get distinct local
+        // addresses, and channel-sequential rows are bank-locally dense.
+        let banks = 16u64;
+        let mut seen = std::collections::BTreeMap::new();
+        for addr in (0..(1u64 << 20)).step_by(128) {
+            let (bank, local) = bank_slot(addr, banks);
+            assert!(bank < banks as usize);
+            let prev = seen.insert((bank, local), addr);
+            assert_eq!(prev, None, "collision at bank {bank} local {local:#x}");
+        }
+        // Row r of the channel is row r/banks of its bank.
+        assert_eq!(bank_slot(0, banks), (0, 0));
+        assert_eq!(bank_slot(1024, banks), (1, 0));
+        assert_eq!(bank_slot(16 * 1024, banks), (0, 1024));
+        assert_eq!(bank_slot(16 * 1024 + 100, banks), (0, 1124));
+    }
 
     #[test]
     fn hit_is_faster_than_miss() {
@@ -248,13 +593,14 @@ mod tests {
                 t = done;
             }
         }
+        ch.drain_background();
         let slice_bytes = ch.icache_bytes().as_u64();
-        let hbm_bytes = ch.hbm().bytes_moved().as_u64();
+        let hbm_bytes = ch.hbm_bytes_moved().as_u64();
         assert!(
             slice_bytes > 3 * hbm_bytes,
             "slice {slice_bytes} vs hbm {hbm_bytes}"
         );
-        let hit_rate = ch.slice().unwrap().hit_rate().unwrap();
+        let hit_rate = ch.icache_hit_rate().unwrap();
         assert!(hit_rate > 0.8, "hit rate {hit_rate}");
     }
 
@@ -269,7 +615,7 @@ mod tests {
             let (done, _) = ch.access(t, addr & !127, Bytes(128), false);
             t = done;
         }
-        let hit_rate = ch.slice().unwrap().hit_rate().unwrap();
+        let hit_rate = ch.icache_hit_rate().unwrap();
         assert!(hit_rate < 0.2, "hit rate {hit_rate} should be low");
     }
 
@@ -277,11 +623,43 @@ mod tests {
     fn energy_includes_both_levels() {
         let mut ch = MemoryChannel::new(ChannelConfig::mi300());
         ch.access(SimTime::ZERO, 0, Bytes(128), false); // miss: HBM energy
+        ch.drain_background();
         let e_miss = ch.energy_used().as_joules();
         ch.access(SimTime::ZERO, 0, Bytes(128), false); // hit: slice energy
+        ch.drain_background();
         let e_total = ch.energy_used().as_joules();
         assert!(e_total > e_miss);
         // A slice hit must be cheaper than the HBM fetch.
         assert!(e_total - e_miss < e_miss);
+    }
+
+    #[test]
+    fn kernel_swap_is_invisible() {
+        // The calendar queue and the heap oracle must drive identical
+        // timings, statistics, and energy for an arbitrary mixed stream.
+        let run = |kernel: EventKernel| {
+            let mut cfg = ChannelConfig::mi300();
+            cfg.kernel = kernel;
+            let mut ch = MemoryChannel::new(cfg);
+            let mut t = SimTime::ZERO;
+            let mut completions = Vec::new();
+            for i in 0..5_000u64 {
+                let addr = (i % 512) * 128 + (i / 7) * 4096;
+                let (done, point) = ch.access(t, addr, Bytes(128), i % 3 == 0);
+                completions.push((done, point));
+                if i % 2 == 0 {
+                    t = done;
+                }
+            }
+            ch.drain_background();
+            (
+                completions,
+                ch.hbm_bytes_moved(),
+                ch.icache_bytes(),
+                ch.energy_used().as_joules().to_bits(),
+                ch.latency_stats().mean().map(f64::to_bits),
+            )
+        };
+        assert_eq!(run(EventKernel::Wheel), run(EventKernel::Heap));
     }
 }

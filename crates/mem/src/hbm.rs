@@ -11,6 +11,12 @@ use ehp_sim_core::stats::Counter;
 use ehp_sim_core::time::SimTime;
 use ehp_sim_core::units::{Bandwidth, Bytes, Energy};
 
+/// DRAM row size used to derive (bank, row) from a channel-local
+/// address — shared with the channel layer's bank-local address mapping
+/// (`crate::channel::bank_slot`), which must agree with
+/// [`HbmChannelModel`]'s row decoding.
+pub const ROW_BYTES: u64 = 1024;
+
 /// The HBM generation attached to a product.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum HbmGeneration {
@@ -133,7 +139,7 @@ impl HbmChannelModel {
             row_misses: Counter::new("row_misses"),
             refreshes: Counter::new("refreshes"),
             next_refresh: timings.refresh_interval,
-            row_bytes: 1024,
+            row_bytes: ROW_BYTES,
         }
     }
 

@@ -4,7 +4,7 @@ use ehp_sim_core::stats::{Accumulator, Counter};
 use ehp_sim_core::time::SimTime;
 use ehp_sim_core::units::{Bandwidth, Bytes, Energy};
 
-use crate::channel::{ChannelConfig, MemoryChannel};
+use crate::channel::{bank_slot, BankUnit, ChannelConfig, MemoryChannel};
 use crate::interleave::{InterleaveConfig, Interleaver};
 use crate::request::{MemRequest, MemResponse};
 
@@ -121,51 +121,52 @@ impl MemorySubsystem {
     }
 
     /// Replays independent (issue-at-zero) request streams across the
-    /// channels on `jobs` worker threads, each owning a disjoint
-    /// contiguous block of channels.
+    /// DRAM banks on `jobs` worker threads, each owning a disjoint
+    /// contiguous block of flat bank ids (`channel x banks_per_channel
+    /// + bank`).
     ///
-    /// `buckets_for(lo, hi)` is called once per worker — concurrently,
-    /// from that worker's thread — and must return one request bucket per
-    /// channel in `[lo, hi)`, each holding that channel's requests in
-    /// trace order. Because [`Interleaver::place`] deterministically
-    /// steers every address to exactly one channel, replaying each
-    /// channel's sub-stream in order evolves precisely the state the
+    /// `buckets` holds one request bucket per flat bank, each with that
+    /// bank's requests — already converted to **bank-local** addresses
+    /// via [`MemorySubsystem::flat_bank_of`] — in trace order. Because
+    /// the interleaver and [`bank_slot`] deterministically steer every
+    /// address to exactly one bank, and banks share no state, replaying
+    /// each bank's sub-stream in order evolves precisely the state the
     /// sequential loop would have produced: all merged statistics
-    /// (counters, per-channel latency accumulators, completion-time
+    /// (counters, per-bank latency accumulators, completion-time
     /// maximum) are **bit-identical** to a sequential
-    /// [`MemorySubsystem::access`] loop over the same trace.
+    /// [`MemorySubsystem::access`] loop over the same trace. Sharding
+    /// below the channel keeps skewed traces parallel: a hot set that
+    /// lands on a few channels still spreads across their banks.
+    ///
+    /// Every bank's deferred background traffic is drained after its
+    /// bucket (the sequential path does the same via
+    /// [`MemorySubsystem::drain_background`]).
     ///
     /// Returns the time the last access completes.
     ///
     /// # Panics
     ///
-    /// Panics if a bucket batch has the wrong arity or a worker panics.
-    pub fn replay_sharded<F>(&mut self, jobs: usize, buckets_for: F) -> SimTime
-    where
-        F: Fn(usize, usize) -> Vec<Vec<MemRequest>> + Sync,
-    {
-        let n = self.channels.len();
+    /// Panics if `buckets` does not have one bucket per bank or a
+    /// worker panics.
+    pub fn replay_sharded(&mut self, jobs: usize, buckets: Vec<Vec<MemRequest>>) -> SimTime {
+        let mut units: Vec<&mut BankUnit> = self
+            .channels
+            .iter_mut()
+            .flat_map(|c| c.banks_mut().iter_mut())
+            .collect();
+        let n = units.len();
+        assert_eq!(buckets.len(), n, "one bucket per flat bank required");
         let jobs = jobs.clamp(1, n.max(1));
         let chunk = n.div_ceil(jobs);
 
         let totals: Vec<ShardTotals> = if jobs == 1 {
-            vec![Self::replay_channel_block(
-                &mut self.channels,
-                0,
-                &buckets_for,
-            )]
+            vec![Self::replay_bank_block(&mut units, &buckets)]
         } else {
             std::thread::scope(|scope| {
-                let handles: Vec<_> = self
-                    .channels
+                let handles: Vec<_> = units
                     .chunks_mut(chunk)
-                    .enumerate()
-                    .map(|(w, block)| {
-                        let buckets_for = &buckets_for;
-                        scope.spawn(move || {
-                            Self::replay_channel_block(block, w * chunk, buckets_for)
-                        })
-                    })
+                    .zip(buckets.chunks(chunk))
+                    .map(|(block, reqs)| scope.spawn(move || Self::replay_bank_block(block, reqs)))
                     .collect();
                 handles
                     .into_iter()
@@ -186,28 +187,15 @@ impl MemorySubsystem {
         last
     }
 
-    /// Replays one worker's channel block (channels `lo..lo + len`);
-    /// shared by the inline (jobs = 1) and threaded paths so both evolve
-    /// state identically.
-    fn replay_channel_block<F>(
-        block: &mut [MemoryChannel],
-        lo: usize,
-        buckets_for: &F,
-    ) -> ShardTotals
-    where
-        F: Fn(usize, usize) -> Vec<Vec<MemRequest>>,
-    {
-        let buckets = buckets_for(lo, lo + block.len());
-        assert_eq!(
-            buckets.len(),
-            block.len(),
-            "bucket batch arity must match the channel block"
-        );
+    /// Replays one worker's bank block; shared by the inline (jobs = 1)
+    /// and threaded paths so both evolve state identically. Requests
+    /// carry bank-local addresses.
+    fn replay_bank_block(block: &mut [&mut BankUnit], buckets: &[Vec<MemRequest>]) -> ShardTotals {
         let mut totals = ShardTotals::default();
         // lint:hot-path
-        for (ch, reqs) in block.iter_mut().zip(&buckets) {
+        for (bank, reqs) in block.iter_mut().zip(buckets) {
             for r in reqs {
-                let (done, _) = ch.access(SimTime::ZERO, r.addr, r.size, r.is_write());
+                let (done, _) = bank.access(SimTime::ZERO, r.addr, r.size, r.is_write());
                 if done > totals.last {
                     totals.last = done;
                 }
@@ -218,6 +206,7 @@ impl MemorySubsystem {
                 }
                 totals.bytes += r.size;
             }
+            bank.drain_background();
         }
         // lint:hot-path-end
         totals
@@ -247,6 +236,37 @@ impl MemorySubsystem {
         &self.interleaver
     }
 
+    /// Banks per channel (uniform across the subsystem).
+    #[must_use]
+    pub fn banks_per_channel(&self) -> usize {
+        self.channels.first().map_or(0, |c| c.config().banks())
+    }
+
+    /// Total DRAM banks across all channels.
+    #[must_use]
+    pub fn total_banks(&self) -> usize {
+        self.channels.len() * self.banks_per_channel()
+    }
+
+    /// Maps an address to its flat bank id (`channel x banks_per_channel
+    /// + bank`) and bank-local address — the sharding key of
+    /// [`MemorySubsystem::replay_sharded`].
+    #[must_use]
+    pub fn flat_bank_of(&self, addr: u64) -> (usize, u64) {
+        let channel = self.interleaver.channel_of(addr).index();
+        let banks = self.banks_per_channel();
+        let (bank, local) = bank_slot(addr, banks as u64);
+        (channel * banks + bank, local)
+    }
+
+    /// Drains every bank's deferred background HBM charges so aggregate
+    /// statistics include trailing writebacks and prefetch fills.
+    pub fn drain_background(&mut self) {
+        for c in &mut self.channels {
+            c.drain_background();
+        }
+    }
+
     /// Per-channel models (read-only).
     #[must_use]
     pub fn channels(&self) -> &[MemoryChannel] {
@@ -273,22 +293,22 @@ impl MemorySubsystem {
 
     /// Mean access latency in nanoseconds; `None` before any access.
     ///
-    /// Computed by merging the per-channel latency accumulators in
-    /// channel-index order — the same fold both the sequential access
-    /// loop and sharded replay produce, so the value is bit-identical
+    /// Computed by merging the per-bank latency accumulators in flat
+    /// bank order — the same fold both the sequential access loop and
+    /// bank-sharded replay produce, so the value is bit-identical
     /// across the two paths.
     #[must_use]
     pub fn mean_latency_ns(&self) -> Option<f64> {
         self.latency_stats().mean()
     }
 
-    /// Socket-wide latency statistics: the per-channel accumulators
-    /// merged in channel-index order.
+    /// Socket-wide latency statistics: the per-bank accumulators merged
+    /// in flat bank order (channel-major, bank-minor).
     #[must_use]
     pub fn latency_stats(&self) -> Accumulator {
         let mut acc = Accumulator::new("mem_latency_ns");
         for c in &self.channels {
-            acc.merge(c.latency());
+            acc.merge(&c.latency_stats());
         }
         acc
     }
@@ -296,7 +316,7 @@ impl MemorySubsystem {
     /// Aggregate peak HBM bandwidth across channels.
     #[must_use]
     pub fn peak_hbm_bandwidth(&self) -> Bandwidth {
-        self.channels.iter().map(|c| c.hbm().bus_rate()).sum()
+        self.channels.iter().map(MemoryChannel::hbm_peak_rate).sum()
     }
 
     /// Aggregate energy consumed.
@@ -312,9 +332,12 @@ impl MemorySubsystem {
         let mut hits = 0u64;
         let mut total = 0u64;
         for c in &self.channels {
-            let s = c.slice()?;
-            hits += s.hits() + s.prefetch_hits();
-            total += s.hits() + s.prefetch_hits() + s.misses();
+            if !c.has_icache() {
+                return None;
+            }
+            let h = c.icache_hits();
+            hits += h;
+            total += h + c.icache_misses();
         }
         (total > 0).then(|| hits as f64 / total as f64)
     }
@@ -433,7 +456,7 @@ mod tests {
             .collect();
         mem.access_batch(SimTime::ZERO, reqs);
         for (idx, ch) in mem.channels().iter().enumerate() {
-            let touched = ch.hbm().bytes_moved().as_u64() > 0 || ch.icache_bytes().as_u64() > 0;
+            let touched = ch.hbm_bytes_moved().as_u64() > 0 || ch.icache_bytes().as_u64() > 0;
             let in_domain = (64..96).contains(&idx); // stacks 4-5
             assert_eq!(
                 touched, in_domain,
@@ -452,7 +475,7 @@ mod tests {
         let touched = mem
             .channels()
             .iter()
-            .filter(|c| c.hbm().bytes_moved().as_u64() > 0 || c.icache_bytes().as_u64() > 0)
+            .filter(|c| c.hbm_bytes_moved().as_u64() > 0 || c.icache_bytes().as_u64() > 0)
             .count();
         assert!(touched > 100, "NPS1 uses (nearly) all channels: {touched}");
     }

@@ -182,15 +182,19 @@ pub struct ReplayResult {
 /// pointer chase issues each access after the previous completes
 /// (latency-style).
 ///
-/// With `cfg.jobs > 1`, independent patterns replay **sharded**: the
-/// interleaver steers every address to exactly one channel, so each
-/// worker thread regenerates the trace from the shared seed, keeps the
-/// requests for the contiguous channel block it owns, and replays them
-/// in trace order against its own channels. Merged results are
+/// With `cfg.jobs > 1`, independent patterns replay **sharded at bank
+/// granularity**: one streaming pass over the trace (the trace is never
+/// materialised or regenerated per worker) buckets every request by its
+/// flat bank id — the interleaver picks the channel, the row decode
+/// picks the bank, and the address is rewritten to the bank-local space
+/// — then worker threads each replay a contiguous block of banks in
+/// trace order. Banks share no state, so merged results are
 /// bit-identical to the sequential path at any job count (see the
-/// `replay_determinism` suite). [`Pattern::PointerChase`] carries a
-/// cross-shard dependency — each address derives from the previous
-/// completion — so it always falls back to the sequential path.
+/// `replay_determinism` suite), and a hot set that lands on a few
+/// channels still spreads across their banks.
+/// [`Pattern::PointerChase`] carries a cross-shard dependency — each
+/// address derives from the previous completion — so it always falls
+/// back to the sequential path.
 #[must_use]
 pub fn replay(mem: &mut MemorySubsystem, cfg: &TraceConfig) -> ReplayResult {
     let dependent = cfg.pattern == Pattern::PointerChase;
@@ -198,17 +202,13 @@ pub fn replay(mem: &mut MemorySubsystem, cfg: &TraceConfig) -> ReplayResult {
         return replay_sequential(mem, cfg);
     }
 
-    let interleaver = mem.interleaver().clone();
-    let last = mem.replay_sharded(cfg.jobs, |lo, hi| {
-        let mut buckets = vec![Vec::new(); hi - lo];
-        cfg.for_each(|req| {
-            let c = interleaver.channel_of(req.addr).index();
-            if (lo..hi).contains(&c) {
-                buckets[c - lo].push(req);
-            }
-        });
-        buckets
+    let mut buckets = vec![Vec::new(); mem.total_banks()];
+    cfg.for_each(|mut req| {
+        let (flat, local) = mem.flat_bank_of(req.addr);
+        req.addr = local;
+        buckets[flat].push(req);
     });
+    let last = mem.replay_sharded(cfg.jobs, buckets);
     finish(mem, cfg, last)
 }
 
@@ -228,6 +228,7 @@ pub fn replay_sequential(mem: &mut MemorySubsystem, cfg: &TraceConfig) -> Replay
             last = t;
         }
     });
+    mem.drain_background();
     finish(mem, cfg, last)
 }
 

@@ -10,7 +10,7 @@ use std::collections::BinaryHeap;
 
 use crate::time::Cycle;
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct Entry<E> {
     time: Cycle,
     seq: u64,
@@ -61,7 +61,7 @@ impl<E> Ord for Entry<E> {
 /// assert_eq!(q.pop(), Some((Cycle(3), Ev::Tick)));
 /// assert_eq!(q.pop(), None);
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct EventQueue<E> {
     heap: BinaryHeap<Reverse<Entry<E>>>,
     seq: u64,
@@ -138,13 +138,39 @@ impl<E> EventQueue<E> {
         self.heap.len()
     }
 
+    /// Removes and returns the earliest event only if its timestamp is at
+    /// or before `limit`; otherwise leaves the queue untouched.
+    pub fn pop_due(&mut self, limit: Cycle) -> Option<(Cycle, E)> {
+        if self.peek_time()? > limit {
+            return None;
+        }
+        self.pop()
+    }
+
     /// Runs the queue to completion, calling `handler` for each event.
     ///
     /// The handler receives the queue itself so it can schedule follow-up
     /// events; this is the main loop of most simulations in this project.
-    pub fn run(mut self, mut handler: impl FnMut(&mut EventQueue<E>, Cycle, E)) -> Cycle {
+    /// The queue is left empty (not consumed) so callers can keep using
+    /// it — e.g. to interleave bounded runs with external stimulus.
+    pub fn run(&mut self, mut handler: impl FnMut(&mut EventQueue<E>, Cycle, E)) -> Cycle {
         while let Some((t, e)) = self.pop() {
-            handler(&mut self, t, e);
+            handler(self, t, e);
+        }
+        self.now
+    }
+
+    /// Runs events with timestamps at or before `limit`, calling `handler`
+    /// for each; later events stay queued. Returns the current time
+    /// afterwards (the last fired timestamp, or the time on entry if
+    /// nothing was due).
+    pub fn run_until(
+        &mut self,
+        limit: Cycle,
+        mut handler: impl FnMut(&mut EventQueue<E>, Cycle, E),
+    ) -> Cycle {
+        while let Some((t, e)) = self.pop_due(limit) {
+            handler(self, t, e);
         }
         self.now
     }
@@ -221,6 +247,20 @@ mod tests {
         assert_eq!(fired.len(), 5);
         assert_eq!(end, Cycle(9));
         assert_eq!(fired.last(), Some(&(Cycle(9), 4)));
+    }
+
+    #[test]
+    fn run_until_stops_at_the_limit_and_keeps_the_queue() {
+        let mut q = EventQueue::new();
+        for t in [1u64, 5, 9, 13] {
+            q.schedule_at(Cycle(t), t);
+        }
+        let mut fired = Vec::new();
+        let at = q.run_until(Cycle(9), |_, t, _| fired.push(t.0));
+        assert_eq!(fired, vec![1, 5, 9]);
+        assert_eq!(at, Cycle(9));
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop(), Some((Cycle(13), 13)));
     }
 
     #[test]

@@ -36,6 +36,7 @@ pub mod rng;
 pub mod stats;
 pub mod time;
 pub mod units;
+pub mod wheel;
 
 pub use event::EventQueue;
 pub use ids::{ChannelId, ChipletId, CuId, IodId, NodeId, SocketId};
@@ -43,3 +44,4 @@ pub use json::{Json, ToJson};
 pub use rng::SplitMix64;
 pub use time::{Cycle, Frequency, SimTime};
 pub use units::{Bandwidth, Bytes, Energy, Power};
+pub use wheel::CalendarQueue;

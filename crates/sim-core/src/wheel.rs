@@ -1,0 +1,545 @@
+//! A bucketed calendar queue (timing wheel): the O(1)-amortised event
+//! kernel that replaces [`crate::event::EventQueue`]'s binary heap on
+//! simulation hot paths.
+//!
+//! The queue covers a sliding horizon of `buckets × bucket_width` ticks
+//! with a ring of buckets; an event at absolute time `t` lands in bucket
+//! `(t / width) mod buckets`. Events beyond the horizon wait in an
+//! overflow min-heap and rejoin the wheel in O(log n) pulls the moment
+//! the horizon reaches them.
+//! Scheduling is a push onto a `Vec`; popping drains the cursor bucket
+//! in `(time, sequence)` order — with `bucket_width == 1` a bucket is
+//! pure FIFO by insertion, and for wider buckets a one-time
+//! sort-on-arrival restores the order. The sequence counter gives the
+//! exact FIFO tie-breaking contract of [`crate::event::EventQueue`],
+//! which is retained verbatim as the differential oracle: for any
+//! schedule/pop interleaving, both kernels produce byte-identical pop
+//! streams (see `tests/kernel_differential.rs`).
+//!
+//! Steady-state operation performs no heap allocation: bucket vectors
+//! retain their capacity across epochs, and the overflow heap only
+//! grows when events land beyond the horizon.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::Cycle;
+
+#[derive(Debug, Clone)]
+struct Slot<E> {
+    time: Cycle,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> Slot<E> {
+    fn key(&self) -> (u64, u64) {
+        (self.time.0, self.seq)
+    }
+}
+
+/// A slot in the overflow heap, ordered by *reversed* `(time, seq)` so
+/// `BinaryHeap`'s max-heap peeks at the earliest event. The sequence
+/// counter is unique per queue, so the ordering is total and
+/// `Eq`-consistent without constraining the payload type.
+#[derive(Debug, Clone)]
+struct OverflowSlot<E>(Slot<E>);
+
+impl<E> PartialEq for OverflowSlot<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.key() == other.0.key()
+    }
+}
+
+impl<E> Eq for OverflowSlot<E> {}
+
+impl<E> PartialOrd for OverflowSlot<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for OverflowSlot<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other.0.key().cmp(&self.0.key())
+    }
+}
+
+/// A time-ordered event queue over a bucketed timing wheel, with the
+/// same deterministic FIFO tie-breaking contract as
+/// [`crate::event::EventQueue`].
+///
+/// # Example
+///
+/// ```
+/// use ehp_sim_core::wheel::CalendarQueue;
+/// use ehp_sim_core::time::Cycle;
+///
+/// let mut q = CalendarQueue::new();
+/// q.schedule_at(Cycle(30), "late");
+/// q.schedule_at(Cycle(10), "early");
+/// assert_eq!(q.pop(), Some((Cycle(10), "early")));
+/// assert_eq!(q.now(), Cycle(10));
+/// assert_eq!(q.pop(), Some((Cycle(30), "late")));
+/// assert_eq!(q.pop(), None);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CalendarQueue<E> {
+    /// The wheel: `buckets.len()` is a power of two.
+    buckets: Vec<Vec<Slot<E>>>,
+    /// `log2(bucket width in ticks)`.
+    shift: u32,
+    /// `buckets.len() - 1`, for masking a bucket tick into an index.
+    mask: u64,
+    /// Bucket tick (`time >> shift`) of the cursor bucket; the wheel
+    /// horizon is `[wheel_tick, wheel_tick + buckets.len())` in bucket
+    /// ticks.
+    wheel_tick: u64,
+    /// Index of the cursor bucket (`wheel_tick & mask`).
+    cursor: usize,
+    /// Whether the cursor bucket is sorted (descending by `(time, seq)`)
+    /// and mid-drain; pops take from its tail.
+    cur_sorted: bool,
+    /// Occupancy bitmap, one bit per bucket (bit set ⇔ bucket
+    /// non-empty): lets `settle` jump the cursor straight to the next
+    /// occupied bucket with word-wide scans instead of stepping through
+    /// empty buckets one tick at a time.
+    occ: Vec<u64>,
+    /// Events beyond the horizon at schedule time, as a min-heap on
+    /// `(time, seq)`: `settle` pulls newly in-horizon events back into
+    /// the wheel one O(log n) pop at a time instead of rescanning a
+    /// flat list.
+    overflow: BinaryHeap<OverflowSlot<E>>,
+    /// Events currently in wheel buckets (excludes overflow).
+    in_wheel: usize,
+    len: usize,
+    seq: u64,
+    now: Cycle,
+}
+
+impl<E> CalendarQueue<E> {
+    /// Creates a queue with the default geometry (256 buckets of one
+    /// tick each — pure-FIFO buckets over a 256-tick horizon).
+    #[must_use]
+    pub fn new() -> CalendarQueue<E> {
+        CalendarQueue::with_geometry(256, 1)
+    }
+
+    /// Creates a queue with `num_buckets` buckets of `width_ticks` ticks
+    /// each. Both must be powers of two; the product is the horizon
+    /// beyond which events spill into the overflow list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either argument is zero or not a power of two.
+    #[must_use]
+    pub fn with_geometry(num_buckets: usize, width_ticks: u64) -> CalendarQueue<E> {
+        assert!(
+            num_buckets.is_power_of_two() && width_ticks.is_power_of_two(),
+            "calendar queue geometry must be powers of two"
+        );
+        CalendarQueue {
+            buckets: std::iter::repeat_with(Vec::new).take(num_buckets).collect(),
+            shift: width_ticks.trailing_zeros(),
+            mask: num_buckets as u64 - 1,
+            wheel_tick: 0,
+            cursor: 0,
+            cur_sorted: false,
+            occ: vec![0; num_buckets.div_ceil(64)],
+            overflow: BinaryHeap::new(),
+            in_wheel: 0,
+            len: 0,
+            seq: 0,
+            now: Cycle::ZERO,
+        }
+    }
+
+    /// The current simulation time (timestamp of the last popped event).
+    #[must_use]
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    /// `true` if no events are pending.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of pending events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    fn bucket_tick(&self, at: Cycle) -> u64 {
+        at.0 >> self.shift
+    }
+
+    /// Schedules `payload` to fire at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is earlier than the current time (causality
+    /// violation) — the same contract as
+    /// [`crate::event::EventQueue::schedule_at`].
+    pub fn schedule_at(&mut self, at: Cycle, payload: E) {
+        assert!(
+            at >= self.now,
+            "causality violation: scheduling at {at} but now is {}",
+            self.now
+        );
+        let seq = self.seq;
+        self.seq += 1;
+        let slot = Slot {
+            time: at,
+            seq,
+            payload,
+        };
+        let tick = self.bucket_tick(at);
+        if self.len == 0 {
+            // Empty queue: re-base the wheel so `at` is the cursor bucket.
+            self.rebase(tick);
+        } else if tick < self.wheel_tick {
+            // Legal but rare: `at >= now`, yet the cursor has already
+            // advanced past `at`'s bucket while skipping empty buckets.
+            // Rewind by spilling the wheel into overflow and re-basing.
+            self.spill_wheel();
+            self.rebase(tick);
+        }
+        self.len += 1;
+        if tick >= self.wheel_tick + self.buckets.len() as u64 {
+            self.overflow.push(OverflowSlot(slot));
+            return;
+        }
+        self.place(tick, slot);
+    }
+
+    /// Inserts an in-horizon slot into its bucket, preserving the sorted
+    /// order of a mid-drain cursor bucket.
+    fn place(&mut self, tick: u64, slot: Slot<E>) {
+        let idx = (tick & self.mask) as usize;
+        if idx == self.cursor && self.cur_sorted {
+            // Mid-drain insertion into the cursor bucket: keep the
+            // descending (time, seq) order so the tail stays the minimum.
+            let key = slot.key();
+            let pos = self.buckets[idx].partition_point(|s| s.key() > key);
+            self.buckets[idx].insert(pos, slot);
+        } else {
+            self.buckets[idx].push(slot);
+        }
+        self.occ[idx >> 6] |= 1 << (idx & 63);
+        self.in_wheel += 1;
+    }
+
+    /// Schedules `payload` to fire `delay` ticks from now.
+    pub fn schedule_after(&mut self, delay: Cycle, payload: E) {
+        let at = self.now + delay;
+        self.schedule_at(at, payload);
+    }
+
+    /// Moves every in-wheel event to the overflow heap (rewind support).
+    fn spill_wheel(&mut self) {
+        if self.in_wheel == 0 {
+            return;
+        }
+        for i in 0..self.buckets.len() {
+            let mut bucket = std::mem::take(&mut self.buckets[i]);
+            for slot in bucket.drain(..) {
+                self.overflow.push(OverflowSlot(slot));
+            }
+            // Hand the emptied allocation back to the wheel.
+            self.buckets[i] = bucket;
+        }
+        self.occ.fill(0);
+        self.in_wheel = 0;
+        self.cur_sorted = false;
+    }
+
+    /// Cyclic distance (≥ 1) from the cursor to the next occupied
+    /// bucket. Requires `in_wheel > 0` and an empty cursor bucket.
+    fn next_occupied_distance(&self) -> u64 {
+        let n = self.buckets.len();
+        // Lowest set bit at index `from..to`, scanning whole words.
+        let scan = |from: usize, to: usize| -> Option<usize> {
+            let mut i = from;
+            while i < to {
+                let w = self.occ[i >> 6] >> (i & 63);
+                if w != 0 {
+                    let j = i + w.trailing_zeros() as usize;
+                    return (j < to).then_some(j);
+                }
+                i = ((i >> 6) + 1) << 6;
+            }
+            None
+        };
+        if let Some(j) = scan(self.cursor + 1, n) {
+            return (j - self.cursor) as u64;
+        }
+        let j = scan(0, self.cursor + 1).expect("in_wheel > 0: some bucket is occupied");
+        (j + n - self.cursor) as u64
+    }
+
+    /// Bucket tick of the earliest overflow event (`u64::MAX` if none).
+    fn overflow_min_tick(&self) -> u64 {
+        self.overflow
+            .peek()
+            .map_or(u64::MAX, |s| s.0.time.0 >> self.shift)
+    }
+
+    /// Moves every in-horizon overflow event into its wheel bucket.
+    fn pull_overflow(&mut self) {
+        let horizon_end = self.wheel_tick + self.buckets.len() as u64;
+        while let Some(top) = self.overflow.peek() {
+            let t = self.bucket_tick(top.0.time);
+            if t >= horizon_end {
+                break;
+            }
+            debug_assert!(t >= self.wheel_tick, "overflow event behind the wheel");
+            let slot = self.overflow.pop().expect("peeked").0;
+            self.place(t, slot);
+        }
+    }
+
+    /// Points the wheel at `tick` with an unsorted cursor bucket, then
+    /// pulls newly in-horizon overflow events into the buckets.
+    fn rebase(&mut self, tick: u64) {
+        self.wheel_tick = tick;
+        self.cursor = (tick & self.mask) as usize;
+        self.cur_sorted = false;
+        if !self.overflow.is_empty() {
+            self.pull_overflow();
+        }
+    }
+
+    /// Advances the cursor to the next non-empty bucket and sorts it for
+    /// draining. Requires `len > 0`.
+    fn settle(&mut self) {
+        loop {
+            // Overflow events the horizon has caught up with must rejoin
+            // the wheel before anything pops, or a later in-wheel event
+            // could bypass them.
+            if self.overflow_min_tick() < self.wheel_tick + self.buckets.len() as u64 {
+                self.pull_overflow();
+            }
+            if !self.buckets[self.cursor].is_empty() {
+                if !self.cur_sorted {
+                    self.buckets[self.cursor].sort_unstable_by_key(|s| std::cmp::Reverse(s.key()));
+                    self.cur_sorted = true;
+                }
+                return;
+            }
+            self.cur_sorted = false;
+            if self.in_wheel == 0 {
+                // Everything pending lives beyond the horizon: jump the
+                // wheel straight to the earliest overflow bucket.
+                let jump = self.overflow_min_tick();
+                debug_assert!(jump != u64::MAX);
+                self.rebase(jump);
+                continue;
+            }
+            // Jump to the next occupied bucket — but never past the
+            // point where the advancing horizon would make an overflow
+            // event due, or it could be bypassed.
+            let mut d = self.next_occupied_distance();
+            let min_tick = self.overflow_min_tick();
+            if min_tick != u64::MAX {
+                // Loop top guarantees min_tick >= wheel_tick + buckets,
+                // so this cap is always >= 1.
+                d = d.min(min_tick + 1 - (self.wheel_tick + self.buckets.len() as u64));
+            }
+            self.wheel_tick += d;
+            self.cursor = (self.cursor + d as usize) & self.mask as usize;
+        }
+    }
+
+    /// Removes and returns the earliest event, advancing the clock to
+    /// its timestamp. Returns `None` when the queue is empty.
+    pub fn pop(&mut self) -> Option<(Cycle, E)> {
+        if self.len == 0 {
+            return None;
+        }
+        self.settle();
+        let slot = self.buckets[self.cursor].pop().expect("settled bucket");
+        if self.buckets[self.cursor].is_empty() {
+            self.occ[self.cursor >> 6] &= !(1 << (self.cursor & 63));
+        }
+        self.len -= 1;
+        self.in_wheel -= 1;
+        self.now = slot.time;
+        Some((slot.time, slot.payload))
+    }
+
+    /// Removes and returns the earliest event only if its timestamp is
+    /// at or before `limit`; otherwise leaves the queue untouched.
+    pub fn pop_due(&mut self, limit: Cycle) -> Option<(Cycle, E)> {
+        if self.peek_time()? > limit {
+            return None;
+        }
+        self.pop()
+    }
+
+    /// Timestamp of the earliest pending event, if any.
+    ///
+    /// Takes `&mut self` because peeking may rotate the wheel and sort
+    /// the cursor bucket (pure reorganisation: the event set, order, and
+    /// `now()` are unchanged).
+    pub fn peek_time(&mut self) -> Option<Cycle> {
+        if self.len == 0 {
+            return None;
+        }
+        self.settle();
+        self.buckets[self.cursor].last().map(|s| s.time)
+    }
+
+    /// Runs the queue to completion, calling `handler` for each event.
+    ///
+    /// The handler receives the queue itself so it can schedule
+    /// follow-up events.
+    pub fn run(&mut self, mut handler: impl FnMut(&mut CalendarQueue<E>, Cycle, E)) -> Cycle {
+        while let Some((t, e)) = self.pop() {
+            handler(self, t, e);
+        }
+        self.now
+    }
+
+    /// Runs events with timestamps at or before `limit`, calling
+    /// `handler` for each; later events stay queued. Returns the
+    /// current time afterwards (the last fired timestamp, or the time
+    /// on entry if nothing was due).
+    pub fn run_until(
+        &mut self,
+        limit: Cycle,
+        mut handler: impl FnMut(&mut CalendarQueue<E>, Cycle, E),
+    ) -> Cycle {
+        while let Some((t, e)) = self.pop_due(limit) {
+            handler(self, t, e);
+        }
+        self.now
+    }
+}
+
+impl<E> Default for CalendarQueue<E> {
+    fn default() -> Self {
+        CalendarQueue::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_fire_in_time_order() {
+        let mut q = CalendarQueue::new();
+        q.schedule_at(Cycle(30), "c");
+        q.schedule_at(Cycle(10), "a");
+        q.schedule_at(Cycle(20), "b");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn same_time_events_fire_fifo() {
+        let mut q = CalendarQueue::with_geometry(8, 4);
+        for i in 0..100 {
+            q.schedule_at(Cycle(7), i);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn far_future_events_survive_the_overflow_wheel() {
+        let mut q = CalendarQueue::with_geometry(8, 1);
+        q.schedule_at(Cycle(1_000_000), "far");
+        q.schedule_at(Cycle(2), "near");
+        q.schedule_at(Cycle(5_000), "mid");
+        assert_eq!(q.pop(), Some((Cycle(2), "near")));
+        assert_eq!(q.pop(), Some((Cycle(5_000), "mid")));
+        assert_eq!(q.pop(), Some((Cycle(1_000_000), "far")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn earlier_than_horizon_schedule_rewinds() {
+        let mut q = CalendarQueue::with_geometry(8, 1);
+        q.schedule_at(Cycle(100), "late");
+        // Peeking rotates the wheel to tick 100; a subsequent schedule
+        // at t=3 (legal: nothing has popped) must still fire first.
+        assert_eq!(q.peek_time(), Some(Cycle(100)));
+        q.schedule_at(Cycle(3), "early");
+        assert_eq!(q.pop(), Some((Cycle(3), "early")));
+        assert_eq!(q.pop(), Some((Cycle(100), "late")));
+    }
+
+    #[test]
+    fn pop_advances_clock_and_pop_due_respects_limit() {
+        let mut q = CalendarQueue::new();
+        q.schedule_at(Cycle(42), 1u32);
+        q.schedule_at(Cycle(50), 2u32);
+        assert_eq!(q.pop_due(Cycle(41)), None);
+        assert_eq!(q.pop_due(Cycle(42)), Some((Cycle(42), 1)));
+        assert_eq!(q.now(), Cycle(42));
+        assert_eq!(q.pop_due(Cycle(100)), Some((Cycle(50), 2)));
+        assert_eq!(q.pop_due(Cycle(100)), None);
+    }
+
+    #[test]
+    fn mid_drain_insertion_keeps_order() {
+        let mut q = CalendarQueue::with_geometry(4, 16);
+        for t in [5u64, 9, 3, 9] {
+            q.schedule_at(Cycle(t), t);
+        }
+        assert_eq!(q.pop(), Some((Cycle(3), 3)));
+        // The cursor bucket (ticks 0..16) is mid-drain; schedule into it.
+        q.schedule_at(Cycle(7), 7);
+        q.schedule_at(Cycle(4), 4);
+        let rest: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(t, _)| t.0).collect();
+        assert_eq!(rest, vec![4, 5, 7, 9, 9]);
+    }
+
+    #[test]
+    fn run_drains_and_allows_rescheduling() {
+        let mut q = CalendarQueue::new();
+        q.schedule_at(Cycle(1), 0u32);
+        let mut fired = Vec::new();
+        let end = q.run(|q, t, n| {
+            fired.push((t, n));
+            if n < 4 {
+                q.schedule_after(Cycle(2), n + 1);
+            }
+        });
+        assert_eq!(fired.len(), 5);
+        assert_eq!(end, Cycle(9));
+        assert_eq!(q.len(), 0);
+    }
+
+    #[test]
+    fn run_until_stops_at_the_limit() {
+        let mut q = CalendarQueue::new();
+        for t in [1u64, 5, 9, 13] {
+            q.schedule_at(Cycle(t), t);
+        }
+        let mut fired = Vec::new();
+        q.run_until(Cycle(9), |_, t, _| fired.push(t.0));
+        assert_eq!(fired, vec![1, 5, 9]);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop(), Some((Cycle(13), 13)));
+    }
+
+    #[test]
+    #[should_panic(expected = "causality violation")]
+    fn scheduling_in_the_past_panics() {
+        let mut q = CalendarQueue::new();
+        q.schedule_at(Cycle(10), ());
+        q.pop();
+        q.schedule_at(Cycle(5), ());
+    }
+
+    #[test]
+    #[should_panic(expected = "powers of two")]
+    fn bad_geometry_panics() {
+        let _ = CalendarQueue::<()>::with_geometry(12, 1);
+    }
+}

@@ -58,7 +58,7 @@ fn full_path_dispatch_to_memory() {
     let busy_channels = mem
         .channels()
         .iter()
-        .filter(|c| c.hbm().bytes_moved() > Bytes::ZERO || c.icache_bytes() > Bytes::ZERO)
+        .filter(|c| c.hbm_bytes_moved() > Bytes::ZERO || c.icache_bytes() > Bytes::ZERO)
         .count();
     assert!(busy_channels > 64, "only {busy_channels} channels touched");
 }

@@ -7,14 +7,17 @@
 //! time and nothing else.
 //!
 //! The sharding rule that makes this possible: the interleaver steers
-//! each address to exactly one channel, each worker owns a contiguous
-//! block of channels and replays only that block's requests in trace
-//! order, and floating-point aggregates are merged per channel in
-//! channel-index order by both paths. `PointerChase` is the one
-//! pattern that cannot shard (each address derives from the previous
-//! completion time), so `replay` must fall back to the sequential
-//! path for it at any `jobs` value.
+//! each address to exactly one channel and the row decoder steers each
+//! row to exactly one bank, so every request belongs to exactly one
+//! flat bank (channel-major, bank-minor). Each worker owns a
+//! contiguous block of flat banks and replays only that block's
+//! requests in trace order, and floating-point aggregates are merged
+//! per bank in flat-bank order by both paths. `PointerChase` is the
+//! one pattern that cannot shard (each address derives from the
+//! previous completion time), so `replay` must fall back to the
+//! sequential path for it at any `jobs` value.
 
+use ehp_mem::channel::EventKernel;
 use ehp_mem::subsystem::{MemConfig, MemorySubsystem};
 use ehp_mem::trace::{replay, replay_sequential, Pattern, TraceConfig};
 
@@ -44,7 +47,9 @@ fn assert_sharded_matches_sequential(label: &str, make: impl Fn() -> MemorySubsy
         let mut seq = make();
         let want = replay_sequential(&mut seq, &base);
 
-        for jobs in [1usize, 2, 8] {
+        // 32 exceeds any plausible worker pool and lands mid-way into
+        // the flat-bank range, exercising uneven chunk boundaries.
+        for jobs in [1usize, 2, 8, 32] {
             let cfg = TraceConfig { jobs, ..base };
             let mut mem = make();
             let got = replay(&mut mem, &cfg);
@@ -93,17 +98,60 @@ fn sharded_replay_is_bit_identical_mi250x() {
 }
 
 #[test]
-fn jobs_beyond_channel_count_clamp_and_stay_identical() {
+fn jobs_beyond_bank_count_clamp_and_stay_identical() {
     let cfg = TraceConfig {
         accesses: 10_000,
         footprint: 1 << 24,
-        jobs: 1024, // far more than 128 channels
+        jobs: 4096, // far more than 128 channels x 16 banks
         ..TraceConfig::new(Pattern::Random)
     };
     let mut seq = MemorySubsystem::new(MemConfig::mi300_hbm3());
     let want = replay_sequential(&mut seq, &cfg);
     let mut mem = MemorySubsystem::new(MemConfig::mi300_hbm3());
     assert_eq!(replay(&mut mem, &cfg), want);
+}
+
+#[test]
+fn event_kernel_swap_is_invisible_to_replay() {
+    // The calendar-queue kernel and the binary-heap oracle must be
+    // interchangeable: same pop order, same charges, same statistics —
+    // across every preset, sequentially and sharded.
+    for make in [
+        MemConfig::mi300_hbm3,
+        MemConfig::mi300_nps4,
+        MemConfig::mi250x_hbm2e,
+    ] {
+        for jobs in [1usize, 8] {
+            let cfg = TraceConfig {
+                accesses: 15_000,
+                footprint: 1 << 24,
+                write_fraction: 0.5,
+                jobs,
+                ..TraceConfig::new(Pattern::Random)
+            };
+            let mut wheel_cfg = make();
+            wheel_cfg.channel.kernel = EventKernel::Wheel;
+            let mut heap_cfg = make();
+            heap_cfg.channel.kernel = EventKernel::Heap;
+
+            let mut wheel = MemorySubsystem::new(wheel_cfg);
+            let mut heap = MemorySubsystem::new(heap_cfg);
+            let a = replay(&mut wheel, &cfg);
+            let b = replay(&mut heap, &cfg);
+            assert_eq!(a, b, "jobs={jobs}: ReplayResult diverged across kernels");
+            assert_eq!(
+                wheel.mean_latency_ns(),
+                heap.mean_latency_ns(),
+                "jobs={jobs}"
+            );
+            assert_eq!(wheel.energy_used(), heap.energy_used(), "jobs={jobs}");
+            assert_eq!(
+                wheel.icache_hit_rate(),
+                heap.icache_hit_rate(),
+                "jobs={jobs}"
+            );
+        }
+    }
 }
 
 #[test]
