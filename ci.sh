@@ -55,7 +55,11 @@ step "benches compile" cargo build --benches --offline
 # Perf smoke: the sharded-replay bench must stay within 30% of the
 # checked-in baseline (machine-speed differences are normalised by the
 # calibration loop saved alongside the baseline; see
-# crates/bench/src/microbench.rs). Regenerate after intentional perf
+# crates/bench/src/microbench.rs). Includes the replay_hot_skew/* cases
+# (a single-granule hot set that piles ~90% of the trace onto one flat
+# bank): those gate the work-stealing scheduler — a regression to
+# static partitioning serialises them on one worker and trips the
+# threshold at jobs > 1. Regenerate after intentional perf
 # changes with:
 #   cargo bench --bench replay -- --save-baseline crates/bench/baselines/replay.json
 step "perf smoke (replay)" cargo bench --offline --bench replay -- \

@@ -68,9 +68,26 @@ fn bench_replay_hot(c: &mut Criterion) {
     );
 }
 
+fn bench_replay_hot_skew(c: &mut Criterion) {
+    // Worst-case shard imbalance: a single-granule (256 B) hot set
+    // lands 90% of the trace on ONE flat bank, so one worker's deque
+    // holds almost all the work and every other worker lives off the
+    // steal path. Gated in CI to keep the stealing scheduler from
+    // regressing to static-partition behaviour (where this shape
+    // serialises on the unlucky worker).
+    bench_pattern(
+        c,
+        "hot_skew",
+        Pattern::Hot {
+            hot_fraction: 0.9,
+            hot_bytes: 256,
+        },
+    );
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(5);
-    targets = bench_replay_random, bench_replay_hot
+    targets = bench_replay_random, bench_replay_hot, bench_replay_hot_skew
 }
 criterion_main!(benches);

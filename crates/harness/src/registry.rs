@@ -209,10 +209,11 @@ static REGISTRY: &[FnExperiment] = &[
                 kind: ParamKind::U64 { min: 1, max: 64 },
             },
         ],
-        // Salt 1: the bank-level channel decomposition (DESIGN.md §13)
-        // changed per-access timing, so pre-decomposition cached
-        // results must not replay.
-        salt: 1,
+        // Salt 2: the decorrelated bank interleave (DESIGN.md §14)
+        // spreads traffic over all 16 banks per channel, moving every
+        // modeled bandwidth/latency figure (salt 1 was the bank-level
+        // channel decomposition of DESIGN.md §13).
+        salt: 2,
         runner: experiments::ic_sweep::run,
     },
     FnExperiment {
@@ -225,7 +226,10 @@ static REGISTRY: &[FnExperiment] = &[
                 kind: ParamKind::U64 { min: 1, max: 64 },
             },
         ],
-        salt: 0,
+        // Salt 1: the decorrelated interleave (DESIGN.md §14) re-aims
+        // the pinned single-bank stream and adds the gated
+        // `bank_coverage_min` metric.
+        salt: 1,
         runner: experiments::mem_bank_audit::run,
     },
     FnExperiment {

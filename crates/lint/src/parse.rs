@@ -649,12 +649,19 @@ fn scan_spawn(
     let body = &args[p2 + 1..];
     for (j, t) in body.iter().enumerate() {
         if t.is_ident("let") {
-            let mut k = j + 1;
-            if k < body.len() && body[k].is_ident("mut") {
-                k += 1;
-            }
-            if k < body.len() && body[k].kind == TokKind::Ident {
-                bound.push(body[k].text.as_str());
+            // Bind every ident in the pattern up to the `=` (or the end
+            // of the statement): covers `let mut x`, destructuring
+            // tuples/structs, and `while let Some(mut x)`. The enum
+            // path idents this over-binds (`Some`, `Ok`) are
+            // capitalised and never borrowed mutably, so the
+            // over-approximation stays safe.
+            for tok in &body[j + 1..] {
+                if tok.is_punct('=') || tok.is_punct(';') {
+                    break;
+                }
+                if tok.kind == TokKind::Ident && !tok.is_ident("mut") {
+                    bound.push(tok.text.as_str());
+                }
             }
         }
     }
@@ -1035,6 +1042,35 @@ fn partitioned(data: &mut [u64]) {
         let idx = parse(ok);
         assert_eq!(idx.spawns.len(), 1);
         assert!(idx.spawns[0].captures.is_empty());
+    }
+
+    #[test]
+    fn spawn_captures_bind_let_pattern_idents() {
+        // `while let Some(mut item)` binds `item` inside the closure;
+        // borrowing its fields mutably is not a capture. `outer` still
+        // is.
+        let src = "\
+fn stealing(queues: &[Mutex<VecDeque<Item>>]) {
+    let mut outer = 0u64;
+    std::thread::scope(|s| {
+        s.spawn(|| {
+            while let Some(mut item) = claim(queues) {
+                drain(&mut item.unit);
+            }
+            let Wrapper { mut tally } = summarise(queues);
+            push(&mut tally, &mut outer);
+        });
+    });
+}
+";
+        let idx = parse(src);
+        assert_eq!(idx.spawns.len(), 1);
+        let caps: Vec<&str> = idx.spawns[0]
+            .captures
+            .iter()
+            .map(|c| c.ident.as_str())
+            .collect();
+        assert_eq!(caps, vec!["outer"]);
     }
 
     #[test]

@@ -118,21 +118,55 @@ impl ChannelConfig {
     }
 }
 
+/// Bank-decorrelation fold: the rotation added to a row's bank lane,
+/// derived from the row's *block index* (`row / banks` — the bits just
+/// above the bank field).
+///
+/// The socket interleaver picks the channel from address bits 8–11 plus
+/// a granule hash (see `crate::interleave`), and the pre-decorrelation
+/// bank index was `row % banks` — address bits 10–13. Conditioning on a
+/// channel therefore pinned bank bits 10–11 and only 4 of 16 banks per
+/// channel ever saw traffic from the global address space. Folding the
+/// block index (bits 14 and up, a window disjoint from the channel
+/// selector's low bits and folded with different shifts than the stack
+/// hash) rotates the lane so all `banks` values occur for every
+/// channel, while staying constant within one block — so a
+/// channel-sequential row stream still visits all banks round-robin in
+/// every block of `banks` rows.
+#[inline]
+#[must_use]
+pub fn bank_mix(block: u64, banks: u64) -> u64 {
+    let h = block ^ (block >> 5) ^ (block >> 9) ^ (block >> 13);
+    crate::interleave::fast_mod(h, banks)
+}
+
 /// Maps a channel-local address to `(bank, bank-local address)`.
 ///
-/// The bank owns every `banks`-th DRAM row; the bank-local address
-/// renumbers that bank's rows densely (row `r` of the channel becomes
-/// row `r / banks` of the bank, byte offset preserved). The mapping is a
-/// bijection per bank, so each bank unit sees a dense, self-contained
-/// address space: channel-sequential streams stay bank-locally
-/// sequential (the prefetcher still trains) and every slice victim or
-/// prefetch target a bank generates is bank-local by construction —
-/// banks never produce traffic for each other.
+/// The bank-local address renumbers each bank's rows densely (row `r`
+/// of the channel becomes row `r / banks` of the bank, byte offset
+/// preserved) while the bank index rotates `row % banks` by
+/// [`bank_mix`] of the block index. The mapping is a bijection — given
+/// `(bank, local)`: `block = local / ROW_BYTES`, then
+/// `lane = (bank + banks - bank_mix(block, banks)) % banks` and
+/// `row = block * banks + lane` —
+/// so each bank unit sees a dense, self-contained address space:
+/// channel-sequential streams stay bank-locally sequential (the
+/// prefetcher still trains) and every slice victim or prefetch target a
+/// bank generates is bank-local by construction — banks never produce
+/// traffic for each other.
+#[inline]
 #[must_use]
 pub fn bank_slot(addr: u64, banks: u64) -> (usize, u64) {
+    use crate::interleave::fast_mod;
     let row = addr / ROW_BYTES;
-    let bank = (row % banks) as usize;
-    let local = (row / banks) * ROW_BYTES + (addr % ROW_BYTES);
+    let block = if banks.is_power_of_two() {
+        row >> banks.trailing_zeros()
+    } else {
+        row / banks
+    };
+    let lane = row - block * banks;
+    let bank = fast_mod(lane + bank_mix(block, banks), banks) as usize;
+    let local = block * ROW_BYTES + (addr % ROW_BYTES);
     (bank, local)
 }
 
@@ -552,11 +586,48 @@ mod tests {
             let prev = seen.insert((bank, local), addr);
             assert_eq!(prev, None, "collision at bank {bank} local {local:#x}");
         }
-        // Row r of the channel is row r/banks of its bank.
+        // Row r of the channel is row r/banks of its bank, with the
+        // bank lane rotated by the block's decorrelation fold.
         assert_eq!(bank_slot(0, banks), (0, 0));
         assert_eq!(bank_slot(1024, banks), (1, 0));
-        assert_eq!(bank_slot(16 * 1024, banks), (0, 1024));
-        assert_eq!(bank_slot(16 * 1024 + 100, banks), (0, 1124));
+        assert_eq!(
+            bank_slot(16 * 1024, banks),
+            (bank_mix(1, banks) as usize, 1024)
+        );
+        assert_eq!(
+            bank_slot(16 * 1024 + 100, banks),
+            (bank_mix(1, banks) as usize, 1124)
+        );
+    }
+
+    #[test]
+    fn bank_slot_inverts_via_bank_mix() {
+        // The documented inverse really is one: decode -> re-encode is
+        // the identity for every (bank, local) produced by a scan.
+        let banks = 16u64;
+        for addr in (0..(1u64 << 22)).step_by(128) {
+            let (bank, local) = bank_slot(addr, banks);
+            let block = local / ROW_BYTES;
+            let lane = (bank as u64 + banks - bank_mix(block, banks)) % banks;
+            let row = block * banks + lane;
+            assert_eq!(row * ROW_BYTES + local % ROW_BYTES, addr);
+        }
+    }
+
+    #[test]
+    fn sequential_rows_cover_all_banks_per_block() {
+        // Within every aligned block of `banks` rows, the rotated lanes
+        // are a permutation: channel-sequential streams keep full
+        // bank-level parallelism.
+        let banks = 16u64;
+        for block in 0..256u64 {
+            let mut seen = [false; 16];
+            for lane in 0..banks {
+                let (bank, _) = bank_slot((block * banks + lane) * ROW_BYTES, banks);
+                assert!(!seen[bank], "block {block}: bank {bank} repeated");
+                seen[bank] = true;
+            }
+        }
     }
 
     #[test]

@@ -144,9 +144,21 @@ impl HbmChannelModel {
     }
 
     fn bank_and_row(&self, addr: u64) -> (usize, u64) {
-        let row = addr / self.row_bytes;
-        let bank = (row % u64::from(self.timings.banks_per_channel)) as usize;
-        (bank, row / u64::from(self.timings.banks_per_channel))
+        // lint:hot-path
+        let row = if self.row_bytes.is_power_of_two() {
+            addr >> self.row_bytes.trailing_zeros()
+        } else {
+            addr / self.row_bytes
+        };
+        let banks = u64::from(self.timings.banks_per_channel);
+        if banks == 1 {
+            // The bank-sharded replay configuration: every unit models a
+            // single bank, so skip the division pair entirely.
+            return (0, row);
+        }
+        let bank = (row % banks) as usize;
+        (bank, row / banks)
+        // lint:hot-path-end
     }
 
     /// Performs one access; returns its completion time.

@@ -69,14 +69,11 @@ impl PrefetcherConfig {
     }
 }
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct Line {
-    tag: u64,
-    dirty: bool,
-    prefetched: bool,
-    /// LRU stamp: larger = more recent.
-    lru: u64,
-}
+/// Per-line flag bit: the line holds data newer than HBM.
+const DIRTY: u8 = 1;
+/// Per-line flag bit: the line was filled by the prefetcher and has not
+/// been demand-hit yet.
+const PREFETCHED: u8 = 2;
 
 /// One Infinity Cache slice (per memory channel).
 ///
@@ -99,11 +96,35 @@ struct Line {
 /// ```
 #[derive(Debug, Clone)]
 pub struct InfinityCacheSlice {
-    sets: Vec<Vec<Line>>,
+    /// Structure-of-arrays line storage, all sets in one contiguous
+    /// allocation with `ways` slots per set: slot `i` of set `s` lives
+    /// at index `s * ways + i`, and only the first `set_len[s]` slots
+    /// of set `s` hold live lines. Flat zero-initialised primitive
+    /// buffers instead of a `Vec` of line structs per set keep slice
+    /// construction a calloc (the OS hands back untouched zero pages —
+    /// a full MI300 socket holds ~131k sets, and replay benches
+    /// construct whole subsystems in their timed region) and make the
+    /// tag scan cache-dense (a 16-way set's tags span two cache
+    /// lines). Within-set order is immaterial to behaviour: tags are
+    /// unique per set and LRU stamps are globally unique, so lookup
+    /// and victim selection are order-independent.
+    ///
+    /// Tags and stamps are deliberately `u32`: half the zeroed bytes at
+    /// construction and twice the scan density. A 32-bit tag covers any
+    /// address below `line_bytes << (32 + set_bits)` (≥ 2^45 B for the
+    /// smallest modelled slice) and a 32-bit clock covers 4 G accesses
+    /// to one slice; both bounds are asserted, not assumed.
+    tags: Vec<u32>,
+    /// LRU stamp per slot: larger = more recent.
+    lru: Vec<u32>,
+    /// [`DIRTY`] / [`PREFETCHED`] flag bits per slot.
+    flags: Vec<u8>,
+    /// Live line count per set (grows 0..=ways as the set fills).
+    set_len: Vec<u32>,
     ways: usize,
     line_bytes: u64,
     set_mask: u64,
-    lru_clock: u64,
+    lru_clock: u32,
     pf: PrefetcherConfig,
     /// Last line index accessed (stream detector state).
     last_line: Option<u64>,
@@ -140,8 +161,12 @@ impl InfinityCacheSlice {
             num_sets.is_power_of_two(),
             "set count must be a power of two"
         );
+        let slots = num_sets as usize * ways;
         InfinityCacheSlice {
-            sets: vec![Vec::with_capacity(ways); num_sets as usize],
+            tags: vec![0; slots],
+            lru: vec![0; slots],
+            flags: vec![0; slots],
+            set_len: vec![0; num_sets as usize],
             ways,
             line_bytes,
             set_mask: num_sets - 1,
@@ -171,13 +196,23 @@ impl InfinityCacheSlice {
         (line & self.set_mask) as usize
     }
 
-    fn tag_of(&self, line: u64) -> u64 {
-        line >> self.set_mask.trailing_ones()
+    /// The stored (32-bit) tag for a line index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tag exceeds 32 bits — an address beyond the
+    /// modelled physical space (≥ `line_bytes << (32 + set_bits)`).
+    fn tag_of(&self, line: u64) -> u32 {
+        let tag = line >> self.set_mask.trailing_ones();
+        u32::try_from(tag).expect("address beyond the modelled physical space")
     }
 
-    fn touch(lru_clock: &mut u64, line: &mut Line) {
-        *lru_clock += 1;
-        line.lru = *lru_clock;
+    /// Advances the LRU clock and returns the fresh stamp; panics on
+    /// 32-bit wraparound (4 G accesses to a single slice) rather than
+    /// silently corrupting recency order.
+    fn tick(&mut self) -> u32 {
+        self.lru_clock = self.lru_clock.checked_add(1).expect("LRU clock overflow");
+        self.lru_clock
     }
 
     /// Installs a line (demand fill or prefetch); returns the dirty victim
@@ -185,38 +220,39 @@ impl InfinityCacheSlice {
     fn install(&mut self, line: u64, dirty: bool, prefetched: bool) -> Option<u64> {
         let set_idx = self.set_of(line);
         let tag = self.tag_of(line);
-        self.lru_clock += 1;
-        let stamp = self.lru_clock;
+        let stamp = self.tick();
         let ways = self.ways;
-        let set = &mut self.sets[set_idx];
+        let base = set_idx * ways;
+        let len = self.set_len[set_idx] as usize;
 
-        if let Some(l) = set.iter_mut().find(|l| l.tag == tag) {
+        if let Some(i) = self.tags[base..base + len].iter().position(|&t| t == tag) {
             // Already present (e.g. racing prefetch): just update.
-            l.dirty |= dirty;
-            l.lru = stamp;
+            self.flags[base + i] |= u8::from(dirty) * DIRTY;
+            self.lru[base + i] = stamp;
             return None;
         }
 
         let mut victim_addr = None;
-        if set.len() == ways {
-            let (vi, _) = set
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, l)| l.lru)
+        let slot = if len == ways {
+            // Full set: overwrite the unique-minimum LRU slot in place.
+            let vi = (0..len)
+                .min_by_key(|&i| self.lru[base + i])
                 .expect("full set");
-            let victim = set.swap_remove(vi);
-            if victim.dirty {
+            if self.flags[base + vi] & DIRTY != 0 {
                 self.writebacks.inc();
-                let victim_line = (victim.tag << self.set_mask.trailing_ones()) | set_idx as u64;
+                let victim_line = (u64::from(self.tags[base + vi])
+                    << self.set_mask.trailing_ones())
+                    | set_idx as u64;
                 victim_addr = Some(victim_line * self.line_bytes);
             }
-        }
-        set.push(Line {
-            tag,
-            dirty,
-            prefetched,
-            lru: stamp,
-        });
+            vi
+        } else {
+            self.set_len[set_idx] = (len + 1) as u32;
+            len
+        };
+        self.tags[base + slot] = tag;
+        self.lru[base + slot] = stamp;
+        self.flags[base + slot] = u8::from(dirty) * DIRTY + u8::from(prefetched) * PREFETCHED;
         victim_addr
     }
 
@@ -245,11 +281,13 @@ impl InfinityCacheSlice {
         let set_idx = self.set_of(line);
         let tag = self.tag_of(line);
 
-        let lru_clock = &mut self.lru_clock;
-        if let Some(l) = self.sets[set_idx].iter_mut().find(|l| l.tag == tag) {
-            l.dirty |= is_write;
-            let was_prefetched = std::mem::replace(&mut l.prefetched, false);
-            Self::touch(lru_clock, l);
+        let base = set_idx * self.ways;
+        let len = self.set_len[set_idx] as usize;
+        if let Some(i) = self.tags[base..base + len].iter().position(|&t| t == tag) {
+            let slot = base + i;
+            let was_prefetched = self.flags[slot] & PREFETCHED != 0;
+            self.flags[slot] = (self.flags[slot] | (u8::from(is_write) * DIRTY)) & !PREFETCHED;
+            self.lru[slot] = self.tick();
             if was_prefetched {
                 self.prefetch_hits.inc();
                 return CacheOutcome::PrefetchedHit;
@@ -287,7 +325,9 @@ impl InfinityCacheSlice {
             let l = line + d;
             let set_idx = self.set_of(l);
             let tag = self.tag_of(l);
-            if !self.sets[set_idx].iter().any(|x| x.tag == tag) {
+            let base = set_idx * self.ways;
+            let len = self.set_len[set_idx] as usize;
+            if !self.tags[base..base + len].contains(&tag) {
                 out.push(l * self.line_bytes);
             }
         }
@@ -348,7 +388,13 @@ impl InfinityCacheSlice {
     /// Number of resident lines (for tests/diagnostics).
     #[must_use]
     pub fn resident_lines(&self) -> usize {
-        self.sets.iter().map(Vec::len).sum()
+        self.set_len.iter().map(|&l| l as usize).sum()
+    }
+
+    /// Number of sets (for tests/diagnostics).
+    #[must_use]
+    pub fn num_sets(&self) -> usize {
+        self.set_len.len()
     }
 }
 
@@ -364,7 +410,7 @@ mod tests {
     fn mi300_geometry() {
         let s = InfinityCacheSlice::mi300(PrefetcherConfig::mi300());
         // 2 MiB / 128 B / 16 ways = 1024 sets.
-        assert_eq!(s.sets.len(), 1024);
+        assert_eq!(s.num_sets(), 1024);
         assert_eq!(s.line_bytes(), 128);
     }
 
@@ -387,7 +433,7 @@ mod tests {
     #[test]
     fn lru_evicts_oldest() {
         let mut s = slice(); // 4-way, 128 sets
-        let num_sets = s.sets.len() as u64;
+        let num_sets = s.num_sets() as u64;
         let stride = 128 * num_sets; // same set each time
         for i in 0..4 {
             s.access(i * stride, false);
@@ -403,7 +449,7 @@ mod tests {
     #[test]
     fn dirty_eviction_reports_writeback() {
         let mut s = slice();
-        let num_sets = s.sets.len() as u64;
+        let num_sets = s.num_sets() as u64;
         let stride = 128 * num_sets;
         s.access(0, true); // dirty line
         for i in 1..4 {
@@ -420,7 +466,7 @@ mod tests {
     #[test]
     fn clean_eviction_has_no_writeback() {
         let mut s = slice();
-        let num_sets = s.sets.len() as u64;
+        let num_sets = s.num_sets() as u64;
         let stride = 128 * num_sets;
         for i in 0..5 {
             match s.access(i * stride, false) {
@@ -433,7 +479,7 @@ mod tests {
     #[test]
     fn write_hit_marks_dirty() {
         let mut s = slice();
-        let num_sets = s.sets.len() as u64;
+        let num_sets = s.num_sets() as u64;
         let stride = 128 * num_sets;
         s.access(0, false); // clean fill
         s.access(0, true); // dirty it via write hit

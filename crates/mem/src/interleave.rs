@@ -112,7 +112,25 @@ pub struct Placement {
     pub numa_domain: u32,
 }
 
+/// Reduces `x` modulo `n`, using a mask when `n` is a power of two. The
+/// trace-decode hot paths call this millions of times per replay with
+/// `n` a runtime value (stack/channel/bank counts), where a full 64-bit
+/// division costs an order of magnitude more than the predicted branch.
+#[inline]
+#[must_use]
+pub fn fast_mod(x: u64, n: u64) -> u64 {
+    if n.is_power_of_two() {
+        x & (n - 1)
+    } else {
+        x % n
+    }
+}
+
 /// Maps physical addresses to (stack, channel) placements.
+///
+/// Construction precomputes the shift/mask decode for the (validated,
+/// power-of-two) granules so [`Interleaver::place`] performs no 64-bit
+/// division on the replay bucketing hot path.
 ///
 /// # Example
 ///
@@ -128,6 +146,12 @@ pub struct Placement {
 #[derive(Debug, Clone)]
 pub struct Interleaver {
     cfg: InterleaveConfig,
+    /// `log2(stack_granule)`.
+    granule_shift: u32,
+    /// `stack_granule - 1`.
+    granule_mask: u64,
+    /// `log2(channel_granule)`.
+    chan_shift: u32,
 }
 
 impl Interleaver {
@@ -138,7 +162,12 @@ impl Interleaver {
     /// Propagates [`InterleaveConfig::validate`] failures.
     pub fn new(cfg: InterleaveConfig) -> Result<Interleaver, String> {
         cfg.validate()?;
-        Ok(Interleaver { cfg })
+        Ok(Interleaver {
+            cfg,
+            granule_shift: cfg.stack_granule.trailing_zeros(),
+            granule_mask: cfg.stack_granule - 1,
+            chan_shift: cfg.channel_granule.trailing_zeros(),
+        })
     }
 
     /// The configuration in use.
@@ -152,21 +181,28 @@ impl Interleaver {
     /// all stacks (the low bits participate), while large power-of-two
     /// strides — pathological for plain modulo — are decorrelated by the
     /// folded upper bits.
+    ///
+    /// Bank selection inside a channel folds a *different* window of the
+    /// address (see [`crate::channel::bank_mix`]), so the channel hash
+    /// and the bank index draw from decorrelated bits: the global
+    /// address space populates all banks of every channel instead of the
+    /// 4/16 aliased subset the pre-decorrelation scheme reached.
     fn hash_stack(&self, granule_idx: u64, stacks_in_domain: u64) -> u64 {
         if !self.cfg.hashed {
-            return granule_idx % stacks_in_domain;
+            return fast_mod(granule_idx, stacks_in_domain);
         }
         // Fold three higher windows of the granule index onto the low bits.
         let g = granule_idx;
         let folded = g ^ (g >> 7) ^ (g >> 13) ^ (g >> 21);
-        folded % stacks_in_domain
+        fast_mod(folded, stacks_in_domain)
     }
 
     /// Decodes a physical address into its placement.
     #[must_use]
     pub fn place(&self, addr: u64) -> Placement {
+        // lint:hot-path
         let cfg = &self.cfg;
-        let granule_idx = addr / cfg.stack_granule;
+        let granule_idx = addr >> self.granule_shift;
 
         let (numa_domain, stack) = match cfg.numa {
             NumaMode::Nps1 => {
@@ -187,9 +223,10 @@ impl Interleaver {
         };
 
         // Within the stack granule, rotate channel every channel_granule.
-        let within_stack = (addr % cfg.stack_granule) / cfg.channel_granule;
-        let channel_in_stack = (within_stack % u64::from(cfg.channels_per_stack)) as u32;
+        let within_stack = (addr & self.granule_mask) >> self.chan_shift;
+        let channel_in_stack = fast_mod(within_stack, u64::from(cfg.channels_per_stack)) as u32;
         let channel = ChannelId(stack * cfg.channels_per_stack + channel_in_stack);
+        // lint:hot-path-end
 
         Placement {
             stack,

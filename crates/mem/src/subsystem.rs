@@ -1,5 +1,8 @@
 //! The socket-level memory subsystem: interleaver + 128 channels.
 
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
 use ehp_sim_core::stats::{Accumulator, Counter};
 use ehp_sim_core::time::SimTime;
 use ehp_sim_core::units::{Bandwidth, Bytes, Energy};
@@ -7,6 +10,74 @@ use ehp_sim_core::units::{Bandwidth, Bytes, Energy};
 use crate::channel::{bank_slot, BankUnit, ChannelConfig, MemoryChannel};
 use crate::interleave::{InterleaveConfig, Interleaver};
 use crate::request::{MemRequest, MemResponse};
+
+/// Replay requests bucketed by flat bank id, packed for the replay hot
+/// path: each entry is a **bank-local** address (see
+/// [`MemorySubsystem::flat_bank_of`]) with the write flag in the top
+/// bit, and every request in the set shares one access size — the
+/// line-granular shape of every generated trace. The packing matters:
+/// a bucketed million-access trace is 8 MB instead of the ~24 MB of
+/// boxed `MemRequest`s, and the bucketing pass is memory-bound.
+#[derive(Debug, Clone)]
+pub struct BankBuckets {
+    buckets: Vec<Vec<u64>>,
+    size: Bytes,
+    entries: u64,
+}
+
+impl BankBuckets {
+    /// Tag bit marking a packed entry as a write.
+    const WRITE_BIT: u64 = 1 << 63;
+
+    /// Creates an empty bucket set for `banks` flat banks with the
+    /// uniform per-request `size`. `expected_entries` sizes each
+    /// bucket's initial capacity for an even spread (the decorrelated
+    /// interleave delivers one for uniform *and* hot traces), so the
+    /// bucketing pass avoids per-bucket growth reallocations; skewed
+    /// buckets still grow past the hint correctly.
+    #[must_use]
+    pub fn new(banks: usize, size: Bytes, expected_entries: u64) -> BankBuckets {
+        let per_bucket = (expected_entries as usize / banks.max(1)).next_multiple_of(8);
+        BankBuckets {
+            buckets: vec![Vec::with_capacity(per_bucket); banks],
+            size,
+            entries: 0,
+        }
+    }
+
+    /// Appends a request for flat bank `flat` at bank-local address
+    /// `local`, in trace order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `flat` is out of range or `local` collides with the
+    /// write tag bit.
+    #[inline]
+    pub fn push(&mut self, flat: usize, local: u64, is_write: bool) {
+        debug_assert_eq!(local & Self::WRITE_BIT, 0, "address overflows packing");
+        self.buckets[flat].push(local | (u64::from(is_write) << 63));
+        self.entries += 1;
+    }
+
+    /// Total requests across all banks.
+    #[must_use]
+    pub fn entries(&self) -> u64 {
+        self.entries
+    }
+
+    /// Number of flat-bank buckets.
+    #[must_use]
+    pub fn banks(&self) -> usize {
+        self.buckets.len()
+    }
+}
+
+/// One unit of work for the stealing scheduler: a bank and its packed
+/// request sub-stream.
+struct ShardItem<'a> {
+    unit: &'a mut BankUnit,
+    reqs: &'a [u64],
+}
 
 /// Configuration of the whole memory subsystem.
 #[derive(Debug, Clone)]
@@ -121,22 +192,30 @@ impl MemorySubsystem {
     }
 
     /// Replays independent (issue-at-zero) request streams across the
-    /// DRAM banks on `jobs` worker threads, each owning a disjoint
-    /// contiguous block of flat bank ids (`channel x banks_per_channel
-    /// + bank`).
+    /// DRAM banks on `jobs` worker threads under a **work-stealing
+    /// scheduler**: each worker seeds a deque with a contiguous block
+    /// of flat bank ids (`channel x banks_per_channel + bank`, empty
+    /// buckets dropped), drains its own deque from the front, and — on
+    /// running dry — steals the back half of the fullest-looking victim
+    /// deque. Skewed traces whose requests pile onto a few banks
+    /// therefore no longer serialise on the one worker whose static
+    /// block happened to own them; the only irreducibly serial work is
+    /// a single bank's own sub-stream.
     ///
-    /// `buckets` holds one request bucket per flat bank, each with that
-    /// bank's requests — already converted to **bank-local** addresses
-    /// via [`MemorySubsystem::flat_bank_of`] — in trace order. Because
-    /// the interleaver and [`bank_slot`] deterministically steer every
-    /// address to exactly one bank, and banks share no state, replaying
-    /// each bank's sub-stream in order evolves precisely the state the
-    /// sequential loop would have produced: all merged statistics
-    /// (counters, per-bank latency accumulators, completion-time
-    /// maximum) are **bit-identical** to a sequential
-    /// [`MemorySubsystem::access`] loop over the same trace. Sharding
-    /// below the channel keeps skewed traces parallel: a hot set that
-    /// lands on a few channels still spreads across their banks.
+    /// `buckets` holds one request bucket per flat bank — bank-local
+    /// packed addresses via [`MemorySubsystem::flat_bank_of`] — in
+    /// trace order. Because the interleaver and [`bank_slot`]
+    /// deterministically steer every address to exactly one bank, and
+    /// banks share no state, replaying each bank's sub-stream in order
+    /// evolves precisely the state the sequential loop would have
+    /// produced **regardless of which worker replays which bank or in
+    /// what order**: per-bank latency accumulators merge in flat bank
+    /// order at read time, and the cross-shard aggregates (request
+    /// counters, byte total, completion-time maximum) are commutative
+    /// integer folds. Results are bit-identical to a sequential
+    /// [`MemorySubsystem::access`] loop over the same trace at any
+    /// `jobs` value; `jobs = 1` takes an inline sequential path with no
+    /// queues at all.
     ///
     /// Every bank's deferred background traffic is drained after its
     /// bucket (the sequential path does the same via
@@ -148,68 +227,158 @@ impl MemorySubsystem {
     ///
     /// Panics if `buckets` does not have one bucket per bank or a
     /// worker panics.
-    pub fn replay_sharded(&mut self, jobs: usize, buckets: Vec<Vec<MemRequest>>) -> SimTime {
+    pub fn replay_sharded(&mut self, jobs: usize, buckets: &BankBuckets) -> SimTime {
         let mut units: Vec<&mut BankUnit> = self
             .channels
             .iter_mut()
             .flat_map(|c| c.banks_mut().iter_mut())
             .collect();
         let n = units.len();
-        assert_eq!(buckets.len(), n, "one bucket per flat bank required");
+        assert_eq!(buckets.banks(), n, "one bucket per flat bank required");
         let jobs = jobs.clamp(1, n.max(1));
-        let chunk = n.div_ceil(jobs);
+        let size = buckets.size;
 
         let totals: Vec<ShardTotals> = if jobs == 1 {
-            vec![Self::replay_bank_block(&mut units, &buckets)]
+            let mut t = ShardTotals::default();
+            for (unit, reqs) in units.iter_mut().zip(&buckets.buckets) {
+                Self::replay_bank(unit, reqs, size, &mut t);
+            }
+            vec![t]
         } else {
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = units
-                    .chunks_mut(chunk)
-                    .zip(buckets.chunks(chunk))
-                    .map(|(block, reqs)| scope.spawn(move || Self::replay_bank_block(block, reqs)))
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("replay shard worker panicked"))
-                    .collect()
-            })
+            let items: Vec<ShardItem> = units
+                .iter_mut()
+                .zip(&buckets.buckets)
+                .filter(|(_, reqs)| !reqs.is_empty())
+                .map(|(unit, reqs)| ShardItem {
+                    unit,
+                    reqs: reqs.as_slice(),
+                })
+                .collect();
+            Self::run_stealing(jobs, items, size)
         };
 
         let mut last = SimTime::ZERO;
+        let mut entries = 0u64;
+        let mut writes = 0u64;
         for t in totals {
-            self.reads.add(t.reads);
-            self.writes.add(t.writes);
-            self.bytes += t.bytes;
+            entries += t.entries;
+            writes += t.writes;
             if t.last > last {
                 last = t.last;
             }
         }
+        self.reads.add(entries - writes);
+        self.writes.add(writes);
+        self.bytes += Bytes(size.as_u64() * entries);
         last
     }
 
-    /// Replays one worker's bank block; shared by the inline (jobs = 1)
-    /// and threaded paths so both evolve state identically. Requests
-    /// carry bank-local addresses.
-    fn replay_bank_block(block: &mut [&mut BankUnit], buckets: &[Vec<MemRequest>]) -> ShardTotals {
-        let mut totals = ShardTotals::default();
-        // lint:hot-path
-        for (bank, reqs) in block.iter_mut().zip(buckets) {
-            for r in reqs {
-                let (done, _) = bank.access(SimTime::ZERO, r.addr, r.size, r.is_write());
-                if done > totals.last {
-                    totals.last = done;
-                }
-                if r.is_read() {
-                    totals.reads += 1;
-                } else {
-                    totals.writes += 1;
-                }
-                totals.bytes += r.size;
-            }
-            bank.drain_background();
+    /// The stealing scheduler behind [`MemorySubsystem::replay_sharded`]
+    /// (`jobs > 1`). Work items move between per-worker deques but each
+    /// bank is claimed exactly once, so exclusive access to every
+    /// [`BankUnit`] is preserved by construction.
+    ///
+    /// Termination needs no shared counter or idle spinning: items
+    /// enter a queue only at seeding or when a thief banks the
+    /// remainder of a stolen batch in its *own* deque, so "every queue
+    /// is empty" is a stable state — once a worker's claim scan comes
+    /// up dry it can exit immediately. Any item it raced past lives in
+    /// some other worker's deque, and that worker drains its own deque
+    /// before its own scan can come up dry.
+    ///
+    /// `jobs` fixes the deque topology (so the work distribution is a
+    /// pure function of the request) but the thread count is capped at
+    /// the host's available parallelism: extra threads on an
+    /// oversubscribed host cannot replay more banks per second, they
+    /// only time-slice over disjoint bank working sets and thrash the
+    /// host cache. Deques beyond the spawned workers have no owner and
+    /// drain through the steal path, which also keeps results
+    /// bit-identical at any worker count: per-bank state is
+    /// self-contained and the merged totals are commutative.
+    fn run_stealing(jobs: usize, items: Vec<ShardItem>, size: Bytes) -> Vec<ShardTotals> {
+        let chunk = items.len().div_ceil(jobs).max(1);
+        let mut queues: Vec<Mutex<VecDeque<ShardItem>>> = Vec::with_capacity(jobs);
+        let mut feed = items.into_iter();
+        for _ in 0..jobs {
+            queues.push(Mutex::new(feed.by_ref().take(chunk).collect()));
         }
+        let queues = &queues;
+        let workers = jobs.min(std::thread::available_parallelism().map_or(1, |n| n.get()));
+
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    scope.spawn(move || {
+                        let mut totals = ShardTotals::default();
+                        while let Some(item) = Self::claim_work(queues, w) {
+                            Self::replay_bank(item.unit, item.reqs, size, &mut totals);
+                        }
+                        totals
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("replay shard worker panicked"))
+                .collect()
+        })
+    }
+
+    /// Pops the next work item for worker `me`: front of its own deque,
+    /// else steal the back half of the first non-empty victim (the
+    /// victim keeps the front half it is draining in flat-bank order;
+    /// the remainder of the stolen batch lands in `me`'s deque).
+    fn claim_work<'a>(
+        queues: &[Mutex<VecDeque<ShardItem<'a>>>],
+        me: usize,
+    ) -> Option<ShardItem<'a>> {
+        if let Some(item) = queues[me]
+            .lock()
+            .expect("replay queue poisoned")
+            .pop_front()
+        {
+            return Some(item);
+        }
+        let n = queues.len();
+        for d in 1..n {
+            let victim = (me + d) % n;
+            let mut q = queues[victim].lock().expect("replay queue poisoned");
+            let len = q.len();
+            if len == 0 {
+                continue;
+            }
+            let mut stolen = q.split_off(len - len.div_ceil(2));
+            drop(q);
+            let first = stolen.pop_front();
+            if !stolen.is_empty() {
+                queues[me]
+                    .lock()
+                    .expect("replay queue poisoned")
+                    .append(&mut stolen);
+            }
+            return first;
+        }
+        None
+    }
+
+    /// Replays one bank's packed sub-stream; shared by the inline
+    /// (jobs = 1) and stealing paths so both evolve state identically.
+    /// Entries carry bank-local addresses with the write flag in the
+    /// top bit.
+    fn replay_bank(bank: &mut BankUnit, reqs: &[u64], size: Bytes, totals: &mut ShardTotals) {
+        // lint:hot-path
+        for &packed in reqs {
+            let addr = packed & !BankBuckets::WRITE_BIT;
+            let is_write = packed & BankBuckets::WRITE_BIT != 0;
+            let (done, _) = bank.access(SimTime::ZERO, addr, size, is_write);
+            if done > totals.last {
+                totals.last = done;
+            }
+            totals.writes += u64::from(is_write);
+        }
+        bank.drain_background();
         // lint:hot-path-end
-        totals
+        totals.entries += reqs.len() as u64;
     }
 
     /// Issues a batch of independent requests all arriving at `at` and
@@ -350,13 +519,14 @@ impl MemorySubsystem {
     }
 }
 
-/// Per-shard aggregates a replay worker hands back for merging.
+/// Per-shard aggregates a replay worker hands back for merging. All
+/// fields are commutative folds (max / sums), so the merge result does
+/// not depend on which worker replayed which bank.
 #[derive(Debug, Default, Clone, Copy)]
 struct ShardTotals {
     last: SimTime,
-    reads: u64,
     writes: u64,
-    bytes: Bytes,
+    entries: u64,
 }
 
 #[cfg(test)]

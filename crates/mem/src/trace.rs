@@ -11,7 +11,7 @@ use ehp_sim_core::time::SimTime;
 use ehp_sim_core::units::{Bandwidth, Bytes};
 
 use crate::request::{AccessKind, MemRequest};
-use crate::subsystem::MemorySubsystem;
+use crate::subsystem::{BankBuckets, MemorySubsystem};
 
 /// A synthetic access pattern.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -184,14 +184,16 @@ pub struct ReplayResult {
 ///
 /// With `cfg.jobs > 1`, independent patterns replay **sharded at bank
 /// granularity**: one streaming pass over the trace (the trace is never
-/// materialised or regenerated per worker) buckets every request by its
-/// flat bank id — the interleaver picks the channel, the row decode
-/// picks the bank, and the address is rewritten to the bank-local space
-/// — then worker threads each replay a contiguous block of banks in
-/// trace order. Banks share no state, so merged results are
-/// bit-identical to the sequential path at any job count (see the
-/// `replay_determinism` suite), and a hot set that lands on a few
-/// channels still spreads across their banks.
+/// materialised or regenerated per worker) buckets every request into a
+/// packed [`BankBuckets`] entry by its flat bank id — the interleaver
+/// picks the channel, the decorrelated row decode picks the bank, and
+/// the address is rewritten to the bank-local space — then worker
+/// threads replay the bank buckets under the work-stealing scheduler of
+/// [`MemorySubsystem::replay_sharded`]. Banks share no state, so merged
+/// results are bit-identical to the sequential path at any job count
+/// (see the `replay_determinism` suite), and a hot set that lands on a
+/// few channels still spreads across their banks and rebalances across
+/// workers.
 /// [`Pattern::PointerChase`] carries a cross-shard dependency — each
 /// address derives from the previous completion — so it always falls
 /// back to the sequential path.
@@ -202,13 +204,12 @@ pub fn replay(mem: &mut MemorySubsystem, cfg: &TraceConfig) -> ReplayResult {
         return replay_sequential(mem, cfg);
     }
 
-    let mut buckets = vec![Vec::new(); mem.total_banks()];
-    cfg.for_each(|mut req| {
+    let mut buckets = BankBuckets::new(mem.total_banks(), Bytes(cfg.line), cfg.accesses);
+    cfg.for_each(|req| {
         let (flat, local) = mem.flat_bank_of(req.addr);
-        req.addr = local;
-        buckets[flat].push(req);
+        buckets.push(flat, local, req.is_write());
     });
-    let last = mem.replay_sharded(cfg.jobs, buckets);
+    let last = mem.replay_sharded(cfg.jobs, &buckets);
     finish(mem, cfg, last)
 }
 

@@ -37,6 +37,12 @@ pub struct BandwidthPipe {
     bytes_moved: Bytes,
     energy_per_byte: Energy,
     energy_used: Energy,
+    /// Memoized `rate.transfer_time(last_size)`: request streams almost
+    /// always repeat one size (line-granular replay), and the memo
+    /// turns a per-request f64 division into a compare. Purely a cache
+    /// of a pure function — completion times are bit-identical.
+    last_size: Bytes,
+    last_time: SimTime,
 }
 
 impl BandwidthPipe {
@@ -59,6 +65,8 @@ impl BandwidthPipe {
             bytes_moved: Bytes::ZERO,
             energy_per_byte: Energy::ZERO,
             energy_used: Energy::ZERO,
+            last_size: Bytes::ZERO,
+            last_time: SimTime::ZERO,
         }
     }
 
@@ -78,7 +86,13 @@ impl BandwidthPipe {
     /// completion time and advances the pipe.
     pub fn request(&mut self, at: SimTime, size: Bytes) -> SimTime {
         let start = if at > self.free_at { at } else { self.free_at };
-        let done = start + self.rate.transfer_time(size);
+        // lint:hot-path
+        if size != self.last_size {
+            self.last_size = size;
+            self.last_time = self.rate.transfer_time(size);
+        }
+        // lint:hot-path-end
+        let done = start + self.last_time;
         self.free_at = done;
         self.bytes_moved += size;
         self.energy_used += self.energy_per_byte.scale(size.as_f64());

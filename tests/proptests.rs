@@ -87,6 +87,59 @@ fn interleave_spreads_sequential_sweeps() {
     }
 }
 
+/// The decorrelated socket placement is a bijection on channel
+/// granules: distinct 256 B-aligned addresses never collide on a
+/// (flat bank, bank-local address) pair, and the mapping is
+/// deterministic. This is the property that lets sharded replay
+/// partition requests by flat bank without losing or double-counting
+/// any access (DESIGN.md §14).
+#[test]
+fn socket_bank_placement_is_bijective() {
+    use ehp_mem::subsystem::{MemConfig, MemorySubsystem};
+    let mem = MemorySubsystem::new(MemConfig::mi300_hbm3());
+    let mut rng = rng_for("socket_bank_placement_bijective");
+    let mut seen = std::collections::HashMap::new();
+    for _ in 0..4096 {
+        let addr = rng.next_below(1 << 40) & !0xFF;
+        let key = mem.flat_bank_of(addr);
+        assert_eq!(key, mem.flat_bank_of(addr), "placement must be pure");
+        if let Some(prev) = seen.insert(key, addr) {
+            assert_eq!(
+                prev, addr,
+                "{prev:#x} and {addr:#x} collide on flat bank {} local {:#x}",
+                key.0, key.1
+            );
+        }
+    }
+}
+
+/// A dense 256 B-granule sweep populates every one of the socket's
+/// 2048 flat banks near-uniformly: channel and bank selection draw
+/// from disjoint address bits, so neither starves the other
+/// (DESIGN.md §14 — the correlated mapping reached only 4 banks per
+/// channel).
+#[test]
+fn socket_sweep_covers_all_flat_banks_uniformly() {
+    use ehp_mem::subsystem::{MemConfig, MemorySubsystem};
+    let mem = MemorySubsystem::new(MemConfig::mi300_hbm3());
+    let total = mem.total_banks();
+    assert_eq!(total, 2048, "128 channels x 16 banks");
+    let sweeps: u64 = 200_000;
+    let mut counts = vec![0u64; total];
+    for i in 0..sweeps {
+        let (flat, _) = mem.flat_bank_of(i * 256);
+        counts[flat] += 1;
+    }
+    let min = *counts.iter().min().unwrap();
+    let max = *counts.iter().max().unwrap();
+    let mean = sweeps as f64 / total as f64;
+    assert!(min > 0, "some flat bank never touched by a dense sweep");
+    assert!(
+        (max as f64) <= mean * 2.0 && (min as f64) >= mean * 0.5,
+        "skewed bank load: min {min} / max {max} vs mean {mean:.1}"
+    );
+}
+
 /// AQL packets survive an encode/decode round trip bit-exactly.
 #[test]
 fn aql_round_trip() {

@@ -155,6 +155,36 @@ fn event_kernel_swap_is_invisible_to_replay() {
 }
 
 #[test]
+fn skewed_traces_exercise_stealing_and_stay_identical() {
+    // A 16 KiB hot set spans at most 64 channel granules, so 99% of
+    // the trace piles onto a few dozen of the 2048 flat banks. The
+    // contiguous deque seeding is then heavily imbalanced and idle
+    // workers finish only by stealing — bit-identity must survive the
+    // migration at every worker count, including jobs=32 where most
+    // deques start empty.
+    let base = TraceConfig {
+        accesses: 30_000,
+        footprint: 1 << 26,
+        write_fraction: 0.3,
+        seed: 0x5EED,
+        ..TraceConfig::new(Pattern::Hot {
+            hot_fraction: 0.99,
+            hot_bytes: 16 << 10,
+        })
+    };
+    let mut seq = MemorySubsystem::new(MemConfig::mi300_hbm3());
+    let want = replay_sequential(&mut seq, &base);
+    for jobs in [1usize, 2, 8, 32] {
+        let cfg = TraceConfig { jobs, ..base };
+        let mut mem = MemorySubsystem::new(MemConfig::mi300_hbm3());
+        assert_eq!(replay(&mut mem, &cfg), want, "jobs={jobs}");
+        assert_eq!(mem.mean_latency_ns(), seq.mean_latency_ns(), "jobs={jobs}");
+        assert_eq!(mem.energy_used(), seq.energy_used(), "jobs={jobs}");
+        assert_eq!(mem.icache_hit_rate(), seq.icache_hit_rate(), "jobs={jobs}");
+    }
+}
+
+#[test]
 fn write_heavy_traces_shard_identically() {
     // Dirty-victim writebacks are the subtlest per-channel state; an
     // all-write trace maximises them.
