@@ -26,17 +26,32 @@ step() {
 step "build (release)" cargo build --release --offline
 step "tests" cargo test -q --offline
 
-# Determinism & hot-path static analysis (DESIGN.md §10–§11): fails on
-# any unwaived finding — hash-order iteration, wall-clock reads, f32
-# truncation, ad-hoc seed literals, allocations inside (or reachable
-# from) `// lint:hot-path` fences, shared-mutable spawn captures, or
-# scenario specs that don't match their experiment's parameter schema.
-# The human run prints per-rule counts and wall time; the JSON report is
-# archived with the figure artifacts.
-step "ehp lint" ./target/release/ehp lint
+# Determinism & hot-path static analysis (DESIGN.md §10–§11, §15):
+# fails on any unwaived finding — hash-order iteration, wall-clock
+# reads, f32 truncation, ad-hoc seed literals, allocations inside (or
+# reachable from) `// lint:hot-path` fences, shared-mutable spawn
+# captures, nondeterminism taint reaching summary emission (N1), lock
+# discipline (L1), undrained spawn stores (L2), or scenario specs that
+# don't match their experiment's parameter schema.
+#
+# The lint runs twice through its incremental cache: the cold run
+# (parallel, --jobs 0) re-analyzes every file, the warm run must hit
+# the cache for all of them and reproduce the JSON report byte-for-byte
+# — worker count, cache state, and report bytes are required to be
+# mutually invisible.
 mkdir -p target/figures
-step "ehp lint --json artifact" sh -c \
+step "ehp lint (cold, parallel)" sh -c '
+    rm -f target/lint-cache.json &&
+    ./target/release/ehp lint --json --jobs 0 > target/lint_report.cold.json'
+step "ehp lint (warm)" sh -c \
     './target/release/ehp lint --json > target/figures/lint_report.json'
+step "warm lint report byte-identical" \
+    cmp target/lint_report.cold.json target/figures/lint_report.json
+step "warm lint re-analyzed nothing" sh -c '
+    ./target/release/ehp lint > target/lint_human.txt &&
+    grep -q ", 0 miss(es)" target/lint_human.txt'
+step "ehp lint --sarif artifact" sh -c \
+    './target/release/ehp lint --sarif > target/figures/lint_report.sarif'
 
 if cargo fmt --version >/dev/null 2>&1; then
     step "rustfmt" cargo fmt --all -- --check

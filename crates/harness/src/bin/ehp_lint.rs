@@ -11,7 +11,16 @@ fn main() -> ExitCode {
     while let Some(a) = argv.next() {
         match a.as_str() {
             "--json" => opts.json = true,
+            "--sarif" => opts.sarif = true,
             "--no-cache" => opts.no_cache = true,
+            "--prune-waivers" => opts.prune_waivers = true,
+            "--jobs" | "-j" => {
+                let Some(n) = argv.next().and_then(|v| v.parse::<usize>().ok()) else {
+                    eprintln!("ehp-lint: --jobs needs a non-negative integer (0 = one per core)");
+                    return ExitCode::from(2);
+                };
+                opts.jobs = Some(n);
+            }
             "--explain" => {
                 let Some(rule) = argv.next() else {
                     eprintln!("ehp-lint: --explain needs a rule name or code");
@@ -21,7 +30,7 @@ fn main() -> ExitCode {
             }
             other => {
                 eprintln!(
-                    "ehp-lint: unknown option {other:?} (usage: ehp-lint [--json] [--no-cache] [--explain <rule>])"
+                    "ehp-lint: unknown option {other:?} (usage: ehp-lint [--json|--sarif] [--no-cache] [--prune-waivers] [--jobs N] [--explain <rule>])"
                 );
                 return ExitCode::from(2);
             }

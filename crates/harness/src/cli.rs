@@ -5,16 +5,19 @@
 //! ehp run <exp...> [options]       run selected experiments / spec files
 //! ehp all [--jobs N]              run the whole registry in parallel
 //! ehp check [--jobs N]            run + compare against expected shapes
-//! ehp lint [--json] [--no-cache] [--explain <rule>]
+//! ehp lint [--json|--sarif] [--no-cache] [--prune-waivers]
+//!          [--jobs N] [--explain <rule>]
 //!                                  static determinism/hot-path analysis
 //! ```
 //!
-//! Options: `--jobs N` worker threads, `--seed N` batch base seed,
-//! `--param k=v` parameter override (repeatable; `v` parsed as JSON,
-//! falling back to a string), `--spec FILE` scenario spec file
-//! (repeatable), `--quiet` suppress report text, `--json`
-//! machine-readable lint findings, `--no-cache` skip the incremental
-//! lint cache, `--explain <rule>` print one lint rule's documentation.
+//! Options: `--jobs N` worker threads (for lint, `0` = one per core),
+//! `--seed N` batch base seed, `--param k=v` parameter override
+//! (repeatable; `v` parsed as JSON, falling back to a string),
+//! `--spec FILE` scenario spec file (repeatable), `--quiet` suppress
+//! report text, `--json` machine-readable lint findings, `--sarif`
+//! SARIF 2.1.0 lint log, `--no-cache` skip the incremental lint cache,
+//! `--prune-waivers` rewrite `lint.waivers` dropping stale entries,
+//! `--explain <rule>` print one lint rule's documentation.
 //!
 //! Argument parsing is hand-rolled: the environment is offline and the
 //! surface is five subcommands.
@@ -38,7 +41,13 @@ struct Args {
     base_seed: u64,
     quiet: bool,
     json: bool,
+    sarif: bool,
     no_cache: bool,
+    prune_waivers: bool,
+    /// `--jobs` exactly as the user typed it (lint distinguishes
+    /// "absent" = serial from `0` = one per core; `jobs` above is
+    /// clamped to ≥ 1 for the batch executor).
+    jobs_given: Option<usize>,
     no_result_cache: bool,
     progress: bool,
     workers: usize,
@@ -108,7 +117,10 @@ pub fn run(argv: &[String]) -> i32 {
             let cwd = std::env::current_dir().unwrap_or_else(|_| ".".into());
             let opts = crate::lint::LintOptions {
                 json: args.json,
+                sarif: args.sarif,
                 no_cache: args.no_cache,
+                prune_waivers: args.prune_waivers,
+                jobs: args.jobs_given,
                 explain: args.explain.clone(),
             };
             crate::lint::run(&cwd, &opts)
@@ -133,8 +145,8 @@ fn print_usage() {
          ehp run <exp...> [options]       run selected experiments\n\
          ehp all [options]                run the whole registry\n\
          ehp check [options]              run + verify expected shapes\n\
-         ehp lint [--json] [--no-cache] [--explain <rule>]\n\
-                                          lint the workspace (DESIGN.md §10–§11)\n\
+         ehp lint [--json|--sarif] [--no-cache] [--prune-waivers] [--jobs N] [--explain <rule>]\n\
+                                          lint the workspace (DESIGN.md §10–§11, §15)\n\
          ehp serve [--socket PATH]        long-running scenario daemon (DESIGN.md §12)\n\
          ehp worker                       pool child (internal; frames on stdin/stdout)\n\
          \n\
@@ -149,8 +161,11 @@ fn print_usage() {
            --no-result-cache  bypass the result cache for this batch\n\
            --socket PATH   serve-mode Unix socket (default target/ehp-serve.sock)\n\
            --json          machine-readable lint findings\n\
+           --sarif         SARIF 2.1.0 lint log (for editors/dashboards)\n\
            --no-cache      skip the incremental lint cache\n\
-           --explain RULE  print one lint rule's documentation (name or code)"
+           --prune-waivers rewrite lint.waivers, dropping stale entries\n\
+           --explain RULE  print one lint rule's documentation (name or code)\n\
+           (for lint, --jobs 0 = one worker per core; default 1 = serial)"
     );
 }
 
@@ -168,10 +183,11 @@ fn parse_args(rest: &[String]) -> Result<Args, String> {
         };
         match a.as_str() {
             "--jobs" | "-j" => {
-                args.jobs = value_of("--jobs")?
+                let n = value_of("--jobs")?
                     .parse::<usize>()
-                    .map_err(|_| "--jobs must be a positive integer".to_string())?
-                    .max(1);
+                    .map_err(|_| "--jobs must be a non-negative integer".to_string())?;
+                args.jobs_given = Some(n);
+                args.jobs = n.max(1);
             }
             "--seed" => {
                 let seed = value_of("--seed")?
@@ -198,7 +214,9 @@ fn parse_args(rest: &[String]) -> Result<Args, String> {
             "--quiet" | "-q" => args.quiet = true,
             "--progress" => args.progress = true,
             "--json" => args.json = true,
+            "--sarif" => args.sarif = true,
             "--no-cache" => args.no_cache = true,
+            "--prune-waivers" => args.prune_waivers = true,
             "--no-result-cache" => args.no_result_cache = true,
             "--explain" => args.explain = Some(value_of("--explain")?.to_string()),
             flag if flag.starts_with('-') => {

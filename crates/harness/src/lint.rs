@@ -4,7 +4,7 @@
 
 use std::path::Path;
 
-use ehp_lint::{find_workspace_root, lint_workspace, LintConfig, LintReport, Rule};
+use ehp_lint::{find_workspace_root, lint_workspace, prune_waivers, LintConfig, LintReport, Rule};
 
 use crate::registry;
 
@@ -13,9 +13,16 @@ use crate::registry;
 pub struct LintOptions {
     /// Print the machine-readable JSON report instead of text.
     pub json: bool,
+    /// Print a SARIF 2.1.0 log instead of text (overrides `json`).
+    pub sarif: bool,
     /// Skip the incremental cache (`target/lint-cache.json`): re-tokenize
     /// every file and do not refresh the cache.
     pub no_cache: bool,
+    /// Rewrite `lint.waivers`, dropping entries that matched nothing.
+    pub prune_waivers: bool,
+    /// Worker threads for cache-miss analysis: `1` = serial (the
+    /// default), `0` = one per core, `n` = exactly `n`.
+    pub jobs: Option<usize>,
     /// Print the documentation for one rule (by name or code) and exit.
     pub explain: Option<String>,
 }
@@ -39,20 +46,52 @@ pub fn run(start_dir: &Path, opts: &LintOptions) -> i32 {
     };
     let schemas = registry::schemas();
     let config = LintConfig {
-        root,
+        root: root.clone(),
         schemas: &schemas,
         use_cache: !opts.no_cache,
+        jobs: opts.jobs.unwrap_or(1),
     };
     // lint:allow(wall-clock) timing the lint run itself, not sim state
     let started = std::time::Instant::now();
-    let report = match lint_workspace(&config) {
+    let mut report = match lint_workspace(&config) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("ehp lint: {e}");
             return 2;
         }
     };
-    render(&report, opts.json, started.elapsed().as_secs_f64());
+    if opts.prune_waivers {
+        match prune_waivers(&root, &report) {
+            Ok(out) => {
+                eprintln!(
+                    "ehp lint: waivers: {} kept, {} dropped{}",
+                    out.kept,
+                    out.dropped,
+                    if out.rewritten {
+                        " (file rewritten)"
+                    } else {
+                        ""
+                    }
+                );
+                if out.rewritten {
+                    // Stale-waiver findings must not survive the
+                    // rewrite that just removed their cause.
+                    report = match lint_workspace(&config) {
+                        Ok(r) => r,
+                        Err(e) => {
+                            eprintln!("ehp lint: {e}");
+                            return 2;
+                        }
+                    };
+                }
+            }
+            Err(e) => {
+                eprintln!("ehp lint: cannot prune waivers: {e}");
+                return 2;
+            }
+        }
+    }
+    render(&report, opts, started.elapsed().as_secs_f64());
     i32::from(report.unwaived_count() != 0)
 }
 
@@ -81,11 +120,15 @@ fn explain(name: &str) -> i32 {
     }
 }
 
-/// Prints the report to stdout. The JSON form is byte-identical across
-/// cached and uncached runs; cache and timing telemetry goes to the
-/// human summary only.
-fn render(report: &LintReport, json: bool, wall_secs: f64) {
-    if json {
+/// Prints the report to stdout. The JSON and SARIF forms are
+/// byte-identical across cached and uncached runs; cache and timing
+/// telemetry goes to the human summary only.
+fn render(report: &LintReport, opts: &LintOptions, wall_secs: f64) {
+    if opts.sarif {
+        println!("{}", ehp_lint::sarif::to_sarif(report).to_string_pretty());
+        return;
+    }
+    if opts.json {
         println!("{}", report.to_json().to_string_pretty());
         return;
     }

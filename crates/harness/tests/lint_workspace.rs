@@ -22,6 +22,7 @@ fn real_workspace_has_zero_unwaived_findings() {
         root: workspace_root(),
         schemas: &schemas,
         use_cache: false,
+        jobs: 1,
     };
     let report = lint_workspace(&config).expect("lint run");
     assert!(
@@ -34,7 +35,7 @@ fn real_workspace_has_zero_unwaived_findings() {
         "walker must cover scenarios/, saw {}",
         report.scenarios_scanned
     );
-    // Hold the tree clean across all eight evaluable rules (plus the
+    // Hold the tree clean across all eleven evaluable rules (plus the
     // fence/waiver bookkeeping rules), naming the rule on failure.
     for &rule in Rule::ALL {
         let unwaived: Vec<String> = report
@@ -123,6 +124,7 @@ fn lint_json_report_is_machine_readable() {
         root: workspace_root(),
         schemas: &schemas,
         use_cache: false,
+        jobs: 1,
     };
     let report = lint_workspace(&config).expect("lint run");
     let json = report.to_json();
@@ -150,6 +152,7 @@ fn cached_rerun_hits_every_file_and_reports_byte_identically() {
         root: workspace_root(),
         schemas: &schemas,
         use_cache: true,
+        jobs: 1,
     };
     // First run primes the cache (some files may already be cached from
     // an earlier `ehp lint`; either way the report must not depend on it).
@@ -170,6 +173,7 @@ fn cached_rerun_hits_every_file_and_reports_byte_identically() {
         root: workspace_root(),
         schemas: &schemas,
         use_cache: false,
+        jobs: 1,
     })
     .expect("uncached lint run");
     assert_eq!(
@@ -177,4 +181,56 @@ fn cached_rerun_hits_every_file_and_reports_byte_identically() {
         second.to_json().to_string_pretty(),
         "cache must be semantically invisible"
     );
+}
+
+#[test]
+fn parallel_cold_lint_reports_byte_identically_to_serial() {
+    let schemas = registry::schemas();
+    let serial = lint_workspace(&LintConfig {
+        root: workspace_root(),
+        schemas: &schemas,
+        use_cache: false,
+        jobs: 1,
+    })
+    .expect("serial lint run");
+    // jobs = 0 (one worker per core) exercises the threaded cold path on
+    // any multi-core machine; the merge is by file index, so the report
+    // must not move by a byte.
+    let parallel = lint_workspace(&LintConfig {
+        root: workspace_root(),
+        schemas: &schemas,
+        use_cache: false,
+        jobs: 0,
+    })
+    .expect("parallel lint run");
+    assert_eq!(parallel.cache_hits, 0, "uncached run must analyze cold");
+    assert_eq!(
+        serial.to_json().to_string_pretty(),
+        parallel.to_json().to_string_pretty(),
+        "worker count must be invisible in the report bytes"
+    );
+}
+
+#[test]
+fn sarif_log_covers_every_finding_in_the_tree() {
+    let schemas = registry::schemas();
+    let report = lint_workspace(&LintConfig {
+        root: workspace_root(),
+        schemas: &schemas,
+        use_cache: false,
+        jobs: 1,
+    })
+    .expect("lint run");
+    let sarif = ehp_lint::sarif::to_sarif(&report);
+    let parsed = Json::parse(&sarif.to_string_pretty()).expect("valid JSON");
+    let runs = parsed.get("runs").and_then(Json::as_arr).expect("runs");
+    let results = runs[0]
+        .get("results")
+        .and_then(Json::as_arr)
+        .expect("results");
+    assert_eq!(results.len(), report.findings.len());
+    // A clean tree renders every result at level `note` (waived).
+    for r in results {
+        assert_eq!(r.get("level").and_then(Json::as_str), Some("note"));
+    }
 }

@@ -24,7 +24,9 @@ use crate::findings::Finding;
 use crate::parse::FileIndex;
 
 /// Bump on any change to rules, parser output, or cache shape.
-pub const CACHE_VERSION: u64 = 2;
+/// 3: N1/L1/L2 — nondet sources, order fences, lock sites, sync
+/// captures, and loop lines joined the serialized `FileIndex`.
+pub const CACHE_VERSION: u64 = 3;
 
 /// Cached state for one source file.
 #[derive(Debug, Clone)]

@@ -18,11 +18,16 @@
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use crate::findings::{Finding, Rule};
-use crate::parse::FileIndex;
+use crate::parse::{FileIndex, NondetSite};
 
 /// BFS depth cap: chains longer than this are beyond what a reviewer
 /// can audit and almost certainly heuristic noise.
 const MAX_CHAIN: usize = 8;
+
+/// Sink-root fn names for N1: summary emission and accumulator merge
+/// points. Anything these reach must be deterministic — they produce
+/// the bytes the bit-identity contract is about.
+const SINK_ROOTS: &[&str] = &["to_json", "merge", "snapshot"];
 
 /// Method names ubiquitous on std types (`Option::expect`,
 /// `Vec::push`, iterator adapters, ...). A method call with an
@@ -323,6 +328,157 @@ fn trace_call(
     None
 }
 
+/// Runs the N1 `nondet-taint` pass over a set of per-file indexes
+/// (`files` sorted by path for deterministic output).
+///
+/// Taint seeds are the parser's [`NondetSite`]s (plus hash-order sites
+/// injected by the hash-iter rule), minus sources covered by a
+/// *verified* `lint:order-invisible` fence. Seeds propagate backward
+/// over the conservative call graph (caller of tainted is tainted);
+/// every non-test sink root — a fn named `to_json`/`merge`/`snapshot` —
+/// that ends up tainted gets one finding carrying the shortest
+/// source chain as H2-style `via` evidence.
+///
+/// The call graph is resolved once into an adjacency map shared by the
+/// backward taint pass and every per-root forward chain search — the
+/// per-rule reachability cache that keeps the pass linear in calls.
+#[must_use]
+pub fn check_nondet_taint(files: &[(String, FileIndex)]) -> Vec<Finding> {
+    // Active (un-suppressed) sources per fn.
+    let mut sources: BTreeMap<FnKey, Vec<&NondetSite>> = BTreeMap::new();
+    for (fi, (_, index)) in files.iter().enumerate() {
+        for (gi, f) in index.fns.iter().enumerate() {
+            if f.is_test {
+                continue;
+            }
+            let active: Vec<&NondetSite> = f
+                .nondet
+                .iter()
+                .filter(|n| !index.nondet_suppressed(gi, n.line))
+                .collect();
+            if !active.is_empty() {
+                sources.insert((fi, gi), active);
+            }
+        }
+    }
+    if sources.is_empty() {
+        return Vec::new();
+    }
+
+    let symbols = Symbols::build(files);
+    // Resolve every call site once; `edges` is reused by the backward
+    // worklist and every forward chain search below.
+    let mut edges: BTreeMap<FnKey, Vec<FnKey>> = BTreeMap::new();
+    for (fi, (_, index)) in files.iter().enumerate() {
+        for (gi, f) in index.fns.iter().enumerate() {
+            if f.is_test {
+                continue;
+            }
+            let mut out: Vec<FnKey> = f
+                .calls
+                .iter()
+                .flat_map(|call| symbols.resolve(call, fi, (fi, gi)))
+                .collect();
+            out.sort_unstable();
+            out.dedup();
+            edges.insert((fi, gi), out);
+        }
+    }
+    let mut rev: BTreeMap<FnKey, Vec<FnKey>> = BTreeMap::new();
+    for (&k, outs) in &edges {
+        for &o in outs {
+            rev.entry(o).or_default().push(k);
+        }
+    }
+
+    // Backward propagation: tainted = can reach a source.
+    let mut tainted: BTreeSet<FnKey> = sources.keys().copied().collect();
+    let mut work: VecDeque<FnKey> = tainted.iter().copied().collect();
+    while let Some(k) = work.pop_front() {
+        for &c in rev.get(&k).into_iter().flatten() {
+            if tainted.insert(c) {
+                work.push_back(c);
+            }
+        }
+    }
+
+    let mut findings = Vec::new();
+    for (fi, (path, index)) in files.iter().enumerate() {
+        for (gi, f) in index.fns.iter().enumerate() {
+            if f.is_test || !SINK_ROOTS.contains(&f.name.as_str()) {
+                continue;
+            }
+            let root = (fi, gi);
+            if !tainted.contains(&root) {
+                continue;
+            }
+            if let Some((chain, site)) =
+                shortest_source_chain(&symbols, &edges, &sources, &tainted, root)
+            {
+                findings.push(
+                    Finding::new(
+                        Rule::NondetTaint,
+                        path,
+                        f.line,
+                        format!(
+                            "`{}` emits summary/merged state but transitively reaches nondeterminism source {} ({}); make the value deterministic, fold in fixed order behind a `lint:order-invisible` fence, or waive with `// lint:allow(nondet-taint) <reason>`",
+                            fn_label(index, gi),
+                            site.what,
+                            site.kind.name(),
+                        ),
+                    )
+                    .with_chain(chain),
+                );
+            }
+        }
+    }
+    findings
+}
+
+/// Forward BFS from a tainted sink root, restricted to tainted fns,
+/// for the shortest chain to a fn holding an active source. Hops use
+/// the H2 evidence format; the terminal entry names the source site.
+fn shortest_source_chain<'a>(
+    symbols: &Symbols<'_>,
+    edges: &BTreeMap<FnKey, Vec<FnKey>>,
+    sources: &BTreeMap<FnKey, Vec<&'a NondetSite>>,
+    tainted: &BTreeSet<FnKey>,
+    root: FnKey,
+) -> Option<(Vec<String>, &'a NondetSite)> {
+    if let Some(sites) = sources.get(&root) {
+        let site = sites[0];
+        let path = &symbols.files[root.0].0;
+        return Some((vec![format!("{path}:{} {}", site.line, site.what)], site));
+    }
+    let mut queue: VecDeque<(FnKey, Vec<String>)> = VecDeque::new();
+    let mut visited: BTreeSet<FnKey> = BTreeSet::new();
+    visited.insert(root);
+    queue.push_back((root, Vec::new()));
+    while let Some((key, chain)) = queue.pop_front() {
+        for &next in edges.get(&key).into_iter().flatten() {
+            if !tainted.contains(&next) || !visited.insert(next) {
+                continue;
+            }
+            let (npath, nindex) = &symbols.files[next.0];
+            let mut c = chain.clone();
+            c.push(format!(
+                "{npath}:{} `{}`",
+                nindex.fns[next.1].line,
+                fn_label(nindex, next.1)
+            ));
+            if let Some(sites) = sources.get(&next) {
+                let site = sites[0];
+                c.push(format!("{npath}:{} {}", site.line, site.what));
+                return Some((c, site));
+            }
+            if c.len() < MAX_CHAIN {
+                queue.push_back((next, c));
+            }
+        }
+    }
+    None
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -441,6 +597,87 @@ impl S {
         assert_eq!(findings[0].chain.len(), 3);
         assert!(findings[0].chain[0].ends_with("`S::step`"));
         assert!(findings[0].chain[1].ends_with("`S::scratch`"));
+    }
+
+    #[test]
+    fn nondet_taint_reports_two_hop_chain() {
+        let source_file = "\
+pub fn worker_count() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+pub fn shard_plan(n: usize) -> usize {
+    worker_count() + n
+}
+";
+        let sink_file = "\
+pub struct Summary { total: u64 }
+impl Summary {
+    pub fn to_json(&self) -> u64 {
+        shard_plan(3) as u64 + self.total
+    }
+}
+";
+        let files = index_all(&[
+            ("crates/x/src/sink.rs", sink_file),
+            ("crates/x/src/source.rs", source_file),
+        ]);
+        let findings = check_nondet_taint(&files);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        let f = &findings[0];
+        assert_eq!(f.rule, Rule::NondetTaint);
+        assert_eq!(f.path, "crates/x/src/sink.rs");
+        assert_eq!(f.line, 3);
+        assert_eq!(
+            f.chain,
+            vec![
+                "crates/x/src/source.rs:4 `shard_plan`".to_string(),
+                "crates/x/src/source.rs:1 `worker_count`".to_string(),
+                "crates/x/src/source.rs:2 `available_parallelism()`".to_string(),
+            ]
+        );
+    }
+
+    #[test]
+    fn honored_order_fence_suppresses_taint() {
+        let files = index_all(&[(
+            "crates/x/src/a.rs",
+            "\
+pub struct Tally { parts: Vec<u64> }
+impl Tally {
+    pub fn merge(&self) -> u64 {
+        // lint:order-invisible jobs only caps the worker count
+        let jobs = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let mut acc = jobs.min(4) as u64 * 0;
+        for p in &self.parts { acc += *p; }
+        acc
+    }
+}
+",
+        )]);
+        assert!(check_nondet_taint(&files).is_empty());
+    }
+
+    #[test]
+    fn unfenced_source_in_sink_root_fires_directly() {
+        let files = index_all(&[(
+            "crates/x/src/a.rs",
+            "\
+pub struct Tally { total: u64 }
+impl Tally {
+    pub fn merge(&self) -> u64 {
+        let jobs = std::thread::available_parallelism().map_or(1, |n| n.get());
+        self.total + jobs as u64
+    }
+}
+",
+        )]);
+        let findings = check_nondet_taint(&files);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].line, 3);
+        assert_eq!(
+            findings[0].chain,
+            vec!["crates/x/src/a.rs:4 `available_parallelism()`".to_string()]
+        );
     }
 
     #[test]

@@ -25,6 +25,18 @@ pub enum Rule {
     /// R1: `thread::scope`/`spawn` closures may not capture `&mut`,
     /// `RefCell`, `Cell`, or `Rc` state shared across spawns.
     ThreadCapture,
+    /// N1: no summary-emission or merge path (`to_json`/`merge`/
+    /// `snapshot`) may transitively reach a nondeterminism source
+    /// (`available_parallelism`, thread ids, wall clocks, hash-order
+    /// iteration, address-as-value casts) unless laundered through a
+    /// verified `// lint:order-invisible` fence.
+    NondetTaint,
+    /// L1: no `.lock()` inside a `lint:hot-path` fence, while another
+    /// guard from the same fn is live, or twice in one statement.
+    LockDiscipline,
+    /// L2: Mutex/atomic state a spawn closure stores into must be
+    /// drained/merged after the spawn in deterministic index order.
+    SpawnMerge,
     /// S1: scenario specs must match their experiment's parameter schema.
     ScenarioSchema,
     /// Malformed fence markers (unbalanced / nested `lint:hot-path`).
@@ -45,6 +57,9 @@ impl Rule {
             Rule::HotPathAlloc => "hot-path-alloc",
             Rule::HotPathReach => "hot-path-reach",
             Rule::ThreadCapture => "thread-capture",
+            Rule::NondetTaint => "nondet-taint",
+            Rule::LockDiscipline => "lock-discipline",
+            Rule::SpawnMerge => "spawn-merge",
             Rule::ScenarioSchema => "scenario-schema",
             Rule::Fence => "fence",
             Rule::Waiver => "waiver",
@@ -62,6 +77,9 @@ impl Rule {
             Rule::HotPathAlloc | Rule::Fence => "H1",
             Rule::HotPathReach => "H2",
             Rule::ThreadCapture => "R1",
+            Rule::NondetTaint => "N1",
+            Rule::LockDiscipline => "L1",
+            Rule::SpawnMerge => "L2",
             Rule::ScenarioSchema => "S1",
             Rule::Waiver => "W0",
         }
@@ -77,6 +95,9 @@ impl Rule {
         Rule::HotPathAlloc,
         Rule::HotPathReach,
         Rule::ThreadCapture,
+        Rule::NondetTaint,
+        Rule::LockDiscipline,
+        Rule::SpawnMerge,
         Rule::ScenarioSchema,
         Rule::Fence,
         Rule::Waiver,
@@ -94,6 +115,9 @@ impl Rule {
             "hot-path-alloc" => Some(Rule::HotPathAlloc),
             "hot-path-reach" => Some(Rule::HotPathReach),
             "thread-capture" => Some(Rule::ThreadCapture),
+            "nondet-taint" => Some(Rule::NondetTaint),
+            "lock-discipline" => Some(Rule::LockDiscipline),
+            "spawn-merge" => Some(Rule::SpawnMerge),
             "scenario-schema" => Some(Rule::ScenarioSchema),
             _ => None,
         }
@@ -168,6 +192,49 @@ impl Rule {
                  mutation races across spawns). Mutex/atomic/channel state \
                  and move-per-worker partitions (chunks_mut handed to each \
                  worker by value) are the sanctioned patterns."
+            }
+            Rule::NondetTaint => {
+                "N1 nondet-taint: summary emission and accumulator merge \
+                 paths (any fn transitively called from a non-test \
+                 `to_json`, `merge`, or `snapshot`) must never observe a \
+                 nondeterminism source: available_parallelism(), \
+                 thread::current().id(), Instant::now()/SystemTime, \
+                 hash-order iteration, or address-as-value pointer casts. \
+                 The finding prints the shortest call chain from the \
+                 emission root to the source, like H2. Sites where the \
+                 value provably cannot reach merged results (e.g. a \
+                 thread-pool size cap whose work is folded in fixed index \
+                 order) are declared with `// lint:order-invisible \
+                 <reason>` on the line above; the fence is honored only \
+                 when the enclosing fn contains a fixed-order fold (a \
+                 `for` loop or `.fold()`) and is otherwise rejected as a \
+                 finding of its own."
+            }
+            Rule::LockDiscipline => {
+                "L1 lock-discipline: `.lock()` must not appear inside a \
+                 // lint:hot-path fence (a blocking syscall-class stall on \
+                 the replay inner loop), must not be acquired while \
+                 another lock guard bound in the same fn is still live \
+                 (two guards live at once is the classic lock-order \
+                 deadlock shape — drop the first guard or merge the \
+                 critical sections), and must not appear twice in one \
+                 statement. Guard liveness is tracked over tokenizer \
+                 statement and block boundaries: a guard dies at its \
+                 block's `}`, at `drop(guard)`, or at statement end for \
+                 un-bound temporaries. stdin()/stdout()/stderr() locks \
+                 are exempt (they serialize I/O, not sim state)."
+            }
+            Rule::SpawnMerge => {
+                "L2 spawn-merge: when a spawn closure stores into \
+                 Mutex/atomic state captured from the enclosing fn \
+                 (push/insert/store/fetch_add/... or a `*x.lock() = ` \
+                 assignment), the enclosing fn must drain that state \
+                 after the spawn in deterministic index order (iterate \
+                 the slots, into_inner, or an explicit `.join()`): \
+                 results that are only ever observed from inside racing \
+                 closures depend on scheduling order. Accumulators that \
+                 feed logging only can be waived with \
+                 `// lint:allow(spawn-merge) <reason>`."
             }
             Rule::ScenarioSchema => {
                 "S1 scenario-schema: scenarios/*.json must match the \
@@ -332,6 +399,9 @@ mod tests {
             Rule::HotPathAlloc,
             Rule::HotPathReach,
             Rule::ThreadCapture,
+            Rule::NondetTaint,
+            Rule::LockDiscipline,
+            Rule::SpawnMerge,
             Rule::ScenarioSchema,
         ] {
             assert_eq!(Rule::from_name(rule.name()), Some(rule));

@@ -21,12 +21,18 @@
 //! | `hot-path-alloc`  | H1   | no allocation inside `// lint:hot-path` fences   |
 //! | `hot-path-reach`  | H2   | no allocation reachable through fenced calls     |
 //! | `thread-capture`  | R1   | no shared mutable capture in spawn closures      |
+//! | `nondet-taint`    | N1   | no nondeterminism reaches summary/merge sinks    |
+//! | `lock-discipline` | L1   | no fenced/nested/same-statement lock acquisition |
+//! | `spawn-merge`     | L2   | spawn-stored sync state drains deterministically |
 //! | `scenario-schema` | S1   | `scenarios/*.json` match experiment schemas      |
 //!
-//! D1–D3, D4, H1, and R1 are single-file rules and cache per file
-//! (content-hash keyed, `target/lint-cache.json`); H2 walks the
-//! workspace call graph built from the per-file indexes and is
-//! recomputed every run, as are S1 and the waiver file.
+//! D1–D4, H1, R1, L1, and L2 are single-file rules and cache per file
+//! (content-hash keyed, `target/lint-cache.json`); H2 and N1 walk the
+//! workspace call graph built from the per-file indexes and are
+//! recomputed every run, as are S1 and the waiver file. A cold run
+//! fans the per-file work out across threads ([`LintConfig::jobs`])
+//! and merges by file index, so the report is byte-identical across
+//! serial, parallel, and cached runs.
 //!
 //! Entry point: [`lint_workspace`]. The `ehp lint` CLI subcommand and the
 //! `ehp-lint` binary (both in `ehp-harness`, which owns the experiment
@@ -37,6 +43,7 @@ pub mod callgraph;
 pub mod findings;
 pub mod parse;
 pub mod rules;
+pub mod sarif;
 pub mod schema;
 pub mod tokenizer;
 pub mod waiver;
@@ -64,6 +71,11 @@ pub struct LintConfig<'a> {
     pub schemas: &'a [ExperimentSchema],
     /// Use (and refresh) the incremental cache at [`CACHE_REL_PATH`].
     pub use_cache: bool,
+    /// Worker threads for the cold (cache-miss) per-file analysis:
+    /// `1` = serial, `0` = one per core, `n` = exactly `n`. The merge
+    /// is by file index either way, so the report bytes never depend
+    /// on this.
+    pub jobs: usize,
 }
 
 /// The result of linting a workspace.
@@ -80,6 +92,10 @@ pub struct LintReport {
     pub cache_hits: usize,
     /// Files that were (re-)tokenized and analyzed this run.
     pub cache_misses: usize,
+    /// `(rule, path)` of file-level waiver entries that matched no
+    /// finding this run — the input to [`prune_waivers`]. Not part of
+    /// the serialized report (the stale findings themselves are).
+    pub stale_waivers: Vec<(Rule, String)>,
 }
 
 impl LintReport {
@@ -137,8 +153,9 @@ pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
 }
 
 /// Lints a set of in-memory sources: every single-file rule plus the
-/// cross-file H2 reachability pass, with inline waivers applied. The
-/// pure core of [`lint_workspace`], used directly by tests.
+/// cross-file H2 reachability and N1 taint passes, with inline waivers
+/// applied. The pure core of [`lint_workspace`], used directly by
+/// tests.
 #[must_use]
 pub fn lint_sources(sources: &[(&str, &str)]) -> Vec<Finding> {
     let mut findings = Vec::new();
@@ -153,16 +170,18 @@ pub fn lint_sources(sources: &[(&str, &str)]) -> Vec<Finding> {
     findings
 }
 
-/// Runs H2 over the per-file indexes and appends its findings, applying
-/// each root file's inline waivers.
+/// Runs the cross-file passes (H2 allocation reachability, N1 nondet
+/// taint) over the per-file indexes and appends their findings,
+/// applying each root file's inline waivers.
 fn append_reachability(findings: &mut Vec<Finding>, indexes: &[(String, FileIndex)]) {
-    let mut h2 = callgraph::check_reachable_allocs(indexes);
-    for f in &mut h2 {
+    let mut cross = callgraph::check_reachable_allocs(indexes);
+    cross.append(&mut callgraph::check_nondet_taint(indexes));
+    for f in &mut cross {
         if let Some((_, index)) = indexes.iter().find(|(p, _)| *p == f.path) {
             waiver::apply_inline(std::slice::from_mut(f), &index.waivers);
         }
     }
-    findings.append(&mut h2);
+    findings.append(&mut cross);
 }
 
 /// Lints every `crates/*/src/**/*.rs` file and every `scenarios/*.json`
@@ -195,19 +214,69 @@ pub fn lint_workspace(config: &LintConfig) -> io::Result<LintReport> {
             collect_rs(&src, &mut rs_files)?;
         }
     }
-    let mut indexes: Vec<(String, FileIndex)> = Vec::new();
+    // Phase 1 (serial): read, hash, and probe the cache for every file.
+    let mut scanned: Vec<(String, String, u64, Option<cache::CacheEntry>)> = Vec::new();
     for path in &rs_files {
         let rel = rel_path(&config.root, path);
         let text = fs::read_to_string(path)?;
         let hash = cache::content_hash(&text);
-        if let Some(e) = old_cache.lookup(&rel, hash) {
+        let hit = old_cache.lookup(&rel, hash).cloned();
+        scanned.push((rel, text, hash, hit));
+    }
+
+    // Phase 2: analyze the cache misses, fanning out across worker
+    // threads when more than one is requested. Each worker owns a
+    // contiguous slice of result slots, and the merge below walks files
+    // in index order — the report is byte-identical to a serial run.
+    let misses: Vec<usize> = scanned
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| s.3.is_none())
+        .map(|(i, _)| i)
+        .collect();
+    let jobs = match config.jobs {
+        // lint:order-invisible worker count only partitions the cold file list; the merge below folds results in file-index order
+        0 => std::thread::available_parallelism().map_or(1, |n| n.get()),
+        n => n,
+    }
+    .min(misses.len())
+    .max(1);
+    let mut fresh: Vec<Option<rules::Analysis>> = Vec::new();
+    fresh.resize_with(misses.len(), || None);
+    if jobs <= 1 {
+        for (slot, &mi) in fresh.iter_mut().zip(&misses) {
+            *slot = Some(rules::analyze(&scanned[mi].0, &scanned[mi].1));
+        }
+    } else {
+        let chunk = misses.len().div_ceil(jobs);
+        let scanned = &scanned;
+        std::thread::scope(|scope| {
+            for (mchunk, schunk) in misses.chunks(chunk).zip(fresh.chunks_mut(chunk)) {
+                scope.spawn(move || {
+                    for (slot, &mi) in schunk.iter_mut().zip(mchunk) {
+                        *slot = Some(rules::analyze(&scanned[mi].0, &scanned[mi].1));
+                    }
+                });
+            }
+        });
+    }
+
+    // Phase 3 (serial): merge hits and fresh analyses in file order.
+    let mut fresh_by_file: std::collections::BTreeMap<usize, rules::Analysis> = misses
+        .iter()
+        .zip(fresh)
+        .map(|(&mi, a)| (mi, a.expect("every miss slot is filled")))
+        .collect();
+    let mut indexes: Vec<(String, FileIndex)> = Vec::new();
+    for (i, (rel, _, hash, hit)) in scanned.into_iter().enumerate() {
+        if let Some(e) = hit {
             report.cache_hits += 1;
             report.findings.extend(e.findings.iter().cloned());
             indexes.push((rel.clone(), e.index.clone()));
-            new_cache.entries.insert(rel, e.clone());
+            new_cache.entries.insert(rel, e);
         } else {
             report.cache_misses += 1;
-            let a = rules::analyze(&rel, &text);
+            let a = fresh_by_file.remove(&i).expect("miss index is present");
             report.findings.extend(a.findings.iter().cloned());
             new_cache.entries.insert(
                 rel.clone(),
@@ -222,7 +291,7 @@ pub fn lint_workspace(config: &LintConfig) -> io::Result<LintReport> {
         report.files_scanned += 1;
     }
 
-    // Cross-file pass: H2 allocation reachability over the call graph.
+    // Cross-file passes: H2 reachability and N1 taint over the graph.
     append_reachability(&mut report.findings, &indexes);
 
     // Scenario specs.
@@ -248,6 +317,9 @@ pub fn lint_workspace(config: &LintConfig) -> io::Result<LintReport> {
         let (waivers, mut errs) = waiver::parse_waiver_file(WAIVER_FILE, &text);
         report.findings.append(&mut errs);
         for idx in waiver::apply_file(&mut report.findings, &waivers) {
+            report
+                .stale_waivers
+                .push((waivers[idx].rule, waivers[idx].path.clone()));
             report.findings.push(Finding::new(
                 Rule::Waiver,
                 WAIVER_FILE,
@@ -267,6 +339,64 @@ pub fn lint_workspace(config: &LintConfig) -> io::Result<LintReport> {
         let _ = new_cache.save(&cache_path);
     }
     Ok(report)
+}
+
+/// Outcome of a [`prune_waivers`] rewrite.
+#[derive(Debug, Default)]
+pub struct PruneOutcome {
+    /// Parsed waiver entries still matching a finding (kept).
+    pub kept: usize,
+    /// Stale entries removed.
+    pub dropped: usize,
+    /// Whether the file was rewritten (only when something dropped).
+    pub rewritten: bool,
+}
+
+/// Rewrites the workspace `lint.waivers`, dropping the entries `report`
+/// found stale. Comments, blank lines, and malformed lines survive
+/// verbatim; the file is only touched when at least one entry drops.
+///
+/// # Errors
+/// Propagates I/O errors reading or rewriting the waiver file.
+pub fn prune_waivers(root: &Path, report: &LintReport) -> io::Result<PruneOutcome> {
+    let path = root.join(WAIVER_FILE);
+    let mut outcome = PruneOutcome::default();
+    if !path.is_file() {
+        return Ok(outcome);
+    }
+    let text = fs::read_to_string(&path)?;
+    let mut out = String::new();
+    for line in text.lines() {
+        let trimmed = line.trim();
+        let mut stale = false;
+        if !trimmed.is_empty() && !trimmed.starts_with('#') {
+            let mut parts = trimmed.splitn(3, char::is_whitespace);
+            if let (Some(rule_s), Some(path_s)) = (parts.next(), parts.next()) {
+                if let Some(rule) = Rule::from_name(rule_s) {
+                    if report
+                        .stale_waivers
+                        .iter()
+                        .any(|(r, p)| *r == rule && p == path_s)
+                    {
+                        stale = true;
+                    } else {
+                        outcome.kept += 1;
+                    }
+                }
+            }
+        }
+        if stale {
+            outcome.dropped += 1;
+        } else {
+            out.push_str(line);
+            out.push('\n');
+        }
+    }
+    if outcome.dropped > 0 {
+        fs::write(&path, out)?;
+        outcome.rewritten = true;
+    }
+    Ok(outcome)
 }
 
 /// Directory entries sorted by name (empty if the directory is missing).

@@ -27,6 +27,11 @@ use crate::waiver::{self, InlineWaiver};
 pub const FENCE_BEGIN: &str = "lint:hot-path";
 /// End marker for H1/H2 fences.
 pub const FENCE_END: &str = "lint:hot-path-end";
+/// Marker for sanctioned nondeterminism-laundering sites (N1): declares
+/// that the nondeterministic value produced on the next line cannot
+/// affect merged results. Verified, never trusted — the rule rejects it
+/// unless the enclosing fn folds results in a fixed order.
+pub const ORDER_FENCE: &str = "lint:order-invisible";
 
 /// Allocation entry points: methods called as `.name(`...
 pub const ALLOC_METHODS: &[&str] = &["clone", "to_vec", "to_string", "to_owned", "collect"];
@@ -39,6 +44,26 @@ pub const ALLOC_BARE: &[&str] = &["with_capacity"];
 
 /// Cell-like types whose capture by a spawn closure races (R1).
 const CELL_TYPES: &[&str] = &["RefCell", "Cell", "Rc"];
+
+/// Methods that store into shared sync state. A spawn closure calling
+/// one of these on a `Mutex`/`RwLock`/`Atomic*`-typed capture publishes
+/// results the enclosing fn must later drain in index order (L2).
+const SYNC_STORE_METHODS: &[&str] = &[
+    "push",
+    "push_back",
+    "push_front",
+    "insert",
+    "append",
+    "extend",
+    "store",
+    "fetch_add",
+    "fetch_sub",
+    "fetch_or",
+    "fetch_and",
+    "fetch_xor",
+    "get_or_init",
+    "set",
+];
 
 /// Keywords that look like `ident (` but are not calls.
 const NON_CALL_KEYWORDS: &[&str] = &[
@@ -91,6 +116,102 @@ pub struct FnItem {
     pub calls: Vec<CallSite>,
     /// Allocation sites anywhere in the body, in source order.
     pub allocs: Vec<AllocSite>,
+    /// Nondeterminism sources in the body (N1 taint seeds).
+    pub nondet: Vec<NondetSite>,
+    /// Lines of `for` loops in the body — evidence of fixed-order
+    /// iteration, consulted when verifying `lint:order-invisible`.
+    pub loops: Vec<u32>,
+}
+
+/// The kind of nondeterminism a taint source introduces (N1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NondetKind {
+    /// `std::thread::available_parallelism()` — machine-dependent.
+    Parallelism,
+    /// `thread::current().id()` — scheduling-dependent.
+    ThreadId,
+    /// `Instant::now()` / `SystemTime` — wall clock.
+    WallClock,
+    /// Iteration over a `HashMap`/`HashSet` without a sort escape.
+    HashOrder,
+    /// Address-as-value: a raw pointer cast to an integer.
+    AddrCast,
+}
+
+impl NondetKind {
+    /// Stable serialization name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            NondetKind::Parallelism => "parallelism",
+            NondetKind::ThreadId => "thread-id",
+            NondetKind::WallClock => "wall-clock",
+            NondetKind::HashOrder => "hash-order",
+            NondetKind::AddrCast => "addr-cast",
+        }
+    }
+
+    fn from_name(s: &str) -> Option<NondetKind> {
+        Some(match s {
+            "parallelism" => NondetKind::Parallelism,
+            "thread-id" => NondetKind::ThreadId,
+            "wall-clock" => NondetKind::WallClock,
+            "hash-order" => NondetKind::HashOrder,
+            "addr-cast" => NondetKind::AddrCast,
+            _ => return None,
+        })
+    }
+}
+
+/// One nondeterminism source site inside a function body (N1).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NondetSite {
+    /// 1-based source line.
+    pub line: u32,
+    /// Source kind.
+    pub kind: NondetKind,
+    /// Human label, e.g. `` `available_parallelism()` ``.
+    pub what: String,
+}
+
+/// One `// lint:order-invisible <reason>` fence (N1). Declares the
+/// nondeterministic value on the next line order-invisible; honored
+/// only after verification, never on trust.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OrderFence {
+    /// 1-based comment line; covers sources on this or the next line.
+    pub line: u32,
+    /// Mandatory justification.
+    pub reason: String,
+}
+
+/// One `.lock()` call site with guard-liveness context (L1).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LockSite {
+    /// 1-based source line of the `lock` identifier.
+    pub line: u32,
+    /// Inside a `lint:hot-path` fence.
+    pub in_fence: bool,
+    /// Inside test code.
+    pub in_test: bool,
+    /// A lock guard bound earlier in the same fn that is still live
+    /// here: `(binding name, binding line)`.
+    pub live_guard: Option<(String, u32)>,
+    /// A previous `.lock()` already occurred in the same statement.
+    pub second_in_stmt: bool,
+}
+
+/// One sync-typed identifier captured by a spawn closure (L2).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SyncCapture {
+    /// Captured identifier.
+    pub ident: String,
+    /// 1-based line of the first capture.
+    pub line: u32,
+    /// Declared type (`Mutex`, `AtomicU64`, ...).
+    pub ty: String,
+    /// The closure stores into it (deref-assign or a store method).
+    pub stored: bool,
 }
 
 /// One `SplitMix64::new(..)` construction site (D4).
@@ -135,6 +256,11 @@ pub struct SpawnSite {
     pub in_test: bool,
     /// Illegal captures, in source order.
     pub captures: Vec<Capture>,
+    /// Sync-typed (`Mutex`/`RwLock`/`Atomic*`) captures, one per ident.
+    pub sync: Vec<SyncCapture>,
+    /// The enclosing fn mentions a stored-into sync capture (or joins
+    /// the handle) after the spawn call — i.e. it drains results.
+    pub drained: bool,
 }
 
 /// Everything the cross-file passes need to know about one file. This
@@ -156,6 +282,13 @@ pub struct FileIndex {
     /// Declaration-heuristic identifier types (`ws` → `SolverWorkspace`);
     /// ambiguous identifiers map to `"?"`.
     pub typed: BTreeMap<String, String>,
+    /// `lint:order-invisible` fences (N1).
+    pub order_fences: Vec<OrderFence>,
+    /// `.lock()` call sites with guard-liveness context (L1).
+    pub locks: Vec<LockSite>,
+    /// Identifiers declared with a sync type (`Mutex`/`RwLock`/
+    /// `Atomic*`), first declaration wins (L2).
+    pub sync_typed: BTreeMap<String, String>,
 }
 
 /// Extracts fence regions from a file's comments; unbalanced or nested
@@ -206,6 +339,38 @@ pub fn fence_regions(path: &str, file: &TokenizedFile) -> (Vec<(u32, u32)>, Vec<
 #[must_use]
 pub fn in_fence(regions: &[(u32, u32)], line: u32) -> bool {
     regions.iter().any(|&(b, e)| line > b && line < e)
+}
+
+/// Extracts `lint:order-invisible` fences from a file's comments; a
+/// fence without a reason is a [`Rule::Waiver`] finding, like a
+/// reason-less `lint:allow`.
+#[must_use]
+pub fn order_fences(path: &str, file: &TokenizedFile) -> (Vec<OrderFence>, Vec<Finding>) {
+    let mut fences = Vec::new();
+    let mut findings = Vec::new();
+    for c in &file.comments {
+        let Some(rest) = c.text.trim().strip_prefix(ORDER_FENCE) else {
+            continue;
+        };
+        if !rest.is_empty() && !rest.starts_with(char::is_whitespace) {
+            continue;
+        }
+        let reason = rest.trim();
+        if reason.is_empty() {
+            findings.push(Finding::new(
+                Rule::Waiver,
+                path,
+                c.line,
+                "`lint:order-invisible` fence has no reason",
+            ));
+            continue;
+        }
+        fences.push(OrderFence {
+            line: c.line,
+            reason: reason.to_string(),
+        });
+    }
+    (fences, findings)
 }
 
 /// Declaration-heuristic identifier typing: `name: [&][mut] Type`,
@@ -270,6 +435,76 @@ fn typed_idents(toks: &[Tok]) -> BTreeMap<String, String> {
     out
 }
 
+/// Sync-typed identifier detection for L2: any `Mutex`/`RwLock`/
+/// `Atomic*` mention whose short leftward walk (over path prefixes and
+/// container types like `Vec<..>`/`[..]`) lands on a `name:` ascription
+/// or `name =` binding records `name`. First declaration wins — the
+/// value only labels findings, membership is what matters.
+fn sync_typed_idents(toks: &[Tok]) -> BTreeMap<String, String> {
+    let mut out: BTreeMap<String, String> = BTreeMap::new();
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if t.kind != TokKind::Ident
+            || !(t.text == "Mutex" || t.text == "RwLock" || t.text.starts_with("Atomic"))
+        {
+            continue;
+        }
+        // Walk left over a `std::sync::`-style path prefix.
+        let mut j = i;
+        while j >= 3
+            && toks[j - 1].is_punct(':')
+            && toks[j - 2].is_punct(':')
+            && toks[j - 3].kind == TokKind::Ident
+        {
+            j -= 3;
+        }
+        if j == 0 {
+            continue;
+        }
+        // Skip container/type tokens (`Vec<`, `[`, `(`, `&`, `mut`)
+        // between the binding and the sync type, bounded so expression
+        // contexts don't walk into unrelated code.
+        let mut k = j;
+        let mut steps = 0;
+        while k > 0 {
+            k -= 1;
+            steps += 1;
+            if steps > 8 {
+                k = 0;
+                break;
+            }
+            let tk = &toks[k];
+            if tk.kind == TokKind::Ident
+                || tk.is_punct('<')
+                || tk.is_punct('>')
+                || tk.is_punct('[')
+                || tk.is_punct('(')
+                || tk.is_punct('&')
+            {
+                continue;
+            }
+            break;
+        }
+        if k == 0 {
+            continue;
+        }
+        // `name: Type` (not `::`) or `name = Type::...`.
+        let is_ascription = toks[k].is_punct(':') && !(k >= 2 && toks[k - 2].is_punct(':'));
+        let name = if (is_ascription || toks[k].is_punct('='))
+            && k >= 1
+            && toks[k - 1].kind == TokKind::Ident
+        {
+            Some(&toks[k - 1].text)
+        } else {
+            None
+        };
+        if let Some(name) = name {
+            out.entry(name.clone()).or_insert_with(|| t.text.clone());
+        }
+    }
+    out
+}
+
 /// Finds the index of the matching close for the open delimiter at
 /// `open` (which must hold `(`, `[`, or `{`); returns `toks.len()` when
 /// unbalanced.
@@ -301,21 +536,31 @@ enum Scope {
 #[must_use]
 pub fn parse_file(path: &str, file: &TokenizedFile) -> (FileIndex, Vec<Finding>) {
     let (fences, mut findings) = fence_regions(path, file);
+    let (order_fences, mut order_fence_errors) = order_fences(path, file);
+    findings.append(&mut order_fence_errors);
     let (waivers, mut waiver_errors) = waiver::inline_waivers(path, &file.comments);
     findings.append(&mut waiver_errors);
 
     let toks = &file.toks;
     let typed = typed_idents(toks);
+    let sync_typed = sync_typed_idents(toks);
     let mut index = FileIndex {
         fences,
+        order_fences,
         waivers,
         typed,
+        sync_typed,
         ..FileIndex::default()
     };
 
     let mut scopes: Vec<Scope> = Vec::new();
     let mut pending: Option<Scope> = None;
     let mut pending_test_attr = false;
+    // Live lock guards for L1: (binding name, binding line, scope depth
+    // at the binding, token index after which the guard is live).
+    let mut guards: Vec<(String, u32, usize, usize)> = Vec::new();
+    // A `.lock()` already seen in the current statement (L1).
+    let mut stmt_lock = false;
 
     let in_test_scope = |scopes: &[Scope]| {
         scopes
@@ -428,6 +673,8 @@ pub fn parse_file(path: &str, file: &TokenizedFile) -> (FileIndex, Vec<Finding>)
                 has_self,
                 calls: Vec::new(),
                 allocs: Vec::new(),
+                nondet: Vec::new(),
+                loops: Vec::new(),
             });
             pending = Some(Scope::Fn { idx });
             pending_test_attr = false;
@@ -437,11 +684,15 @@ pub fn parse_file(path: &str, file: &TokenizedFile) -> (FileIndex, Vec<Finding>)
 
         if t.is_punct('{') {
             scopes.push(pending.take().unwrap_or(Scope::Block));
+            stmt_lock = false;
             i += 1;
             continue;
         }
         if t.is_punct('}') {
             scopes.pop();
+            // Guards bound inside the closed block die with it.
+            guards.retain(|&(_, _, depth, _)| depth <= scopes.len());
+            stmt_lock = false;
             i += 1;
             continue;
         }
@@ -449,6 +700,7 @@ pub fn parse_file(path: &str, file: &TokenizedFile) -> (FileIndex, Vec<Finding>)
             // Cancels any item header still waiting for a body
             // (`mod x;`, trait method signatures).
             pending = None;
+            stmt_lock = false;
             i += 1;
             continue;
         }
@@ -478,18 +730,55 @@ pub fn parse_file(path: &str, file: &TokenizedFile) -> (FileIndex, Vec<Finding>)
             // Fall through: the site is also recorded as a call below.
         }
 
-        // Spawn closures: `spawn( [move] |..| body )` (R1).
+        // Lock-guard bindings, explicit drops, and `.lock()` sites (L1).
+        if t.is_ident("let") {
+            if let Some((name, live_from)) = guard_binding(toks, i) {
+                guards.push((name, t.line, scopes.len(), live_from));
+            }
+        }
+        if t.is_ident("drop")
+            && i + 3 < toks.len()
+            && toks[i + 1].is_punct('(')
+            && toks[i + 2].kind == TokKind::Ident
+            && toks[i + 3].is_punct(')')
+        {
+            let dropped = toks[i + 2].text.clone();
+            guards.retain(|(name, ..)| *name != dropped);
+        }
+        if t.is_punct('.')
+            && i + 2 < toks.len()
+            && toks[i + 1].is_ident("lock")
+            && toks[i + 2].is_punct('(')
+            && !is_stdio_receiver(toks, i)
+        {
+            let live = guards.iter().rev().find(|&&(_, _, _, from)| from < i);
+            index.locks.push(LockSite {
+                line: toks[i + 1].line,
+                in_fence: in_fence(&index.fences, toks[i + 1].line),
+                in_test: pending_test_attr
+                    || in_test_scope(&scopes)
+                    || current_fn(&scopes).is_some_and(|idx| index.fns[idx].is_test),
+                live_guard: live.map(|(name, line, ..)| (name.clone(), *line)),
+                second_in_stmt: stmt_lock,
+            });
+            stmt_lock = true;
+        }
+
+        // Spawn closures: `spawn( [move] |..| body )` (R1, L2).
         if t.is_ident("spawn") && i + 1 < toks.len() && toks[i + 1].is_punct('(') {
             let close = matching_close(toks, i + 1);
             let spawn_args = &toks[i + 2..close.min(toks.len())];
-            index.spawns.push(scan_spawn(
+            let mut site = scan_spawn(
                 t.line,
                 spawn_args,
                 &index.typed,
+                &index.sync_typed,
                 pending_test_attr
                     || in_test_scope(&scopes)
                     || current_fn(&scopes).is_some_and(|idx| index.fns[idx].is_test),
-            ));
+            );
+            site.drained = spawn_drained(toks, close, &scopes, &site);
+            index.spawns.push(site);
         }
 
         // Calls and allocation sites attribute to the innermost fn; item
@@ -499,6 +788,12 @@ pub fn parse_file(path: &str, file: &TokenizedFile) -> (FileIndex, Vec<Finding>)
             if let Some(idx) = current_fn(&scopes) {
                 scan_alloc(toks, i, &mut index.fns[idx].allocs);
                 scan_call(toks, i, &index.fences, &mut index.fns[idx].calls);
+                scan_nondet(toks, i, &mut index.fns[idx].nondet);
+                // `for` loops witness fixed-order iteration; `for<` is a
+                // higher-ranked bound, not a loop.
+                if t.is_ident("for") && !(i + 1 < toks.len() && toks[i + 1].is_punct('<')) {
+                    index.fns[idx].loops.push(t.line);
+                }
             }
         }
         pending_test_attr = false;
@@ -619,17 +914,310 @@ fn scan_call(toks: &[Tok], i: usize, fences: &[(u32, u32)], out: &mut Vec<CallSi
     }
 }
 
+/// Records a nondeterminism source if the token at `i` starts one (N1).
+/// Hash-order sources are injected later by the hash-iter rule, which
+/// owns the sort-escape analysis.
+fn scan_nondet(toks: &[Tok], i: usize, out: &mut Vec<NondetSite>) {
+    let t = &toks[i];
+    if t.kind != TokKind::Ident {
+        return;
+    }
+    match t.text.as_str() {
+        // `available_parallelism(` through any path.
+        "available_parallelism" if i + 1 < toks.len() && toks[i + 1].is_punct('(') => {
+            out.push(NondetSite {
+                line: t.line,
+                kind: NondetKind::Parallelism,
+                what: "`available_parallelism()`".to_string(),
+            });
+        }
+        // `thread::current().id()`.
+        "current"
+            if i >= 3
+                && toks[i - 1].is_punct(':')
+                && toks[i - 2].is_punct(':')
+                && toks[i - 3].is_ident("thread")
+                && i + 4 < toks.len()
+                && toks[i + 1].is_punct('(')
+                && toks[i + 2].is_punct(')')
+                && toks[i + 3].is_punct('.')
+                && toks[i + 4].is_ident("id") =>
+        {
+            out.push(NondetSite {
+                line: t.line,
+                kind: NondetKind::ThreadId,
+                what: "`thread::current().id()`".to_string(),
+            });
+        }
+        // `Instant::now(` and any `SystemTime` mention: wall clock.
+        "Instant"
+            if i + 3 < toks.len()
+                && toks[i + 1].is_punct(':')
+                && toks[i + 2].is_punct(':')
+                && toks[i + 3].is_ident("now") =>
+        {
+            out.push(NondetSite {
+                line: t.line,
+                kind: NondetKind::WallClock,
+                what: "`Instant::now()`".to_string(),
+            });
+        }
+        "SystemTime" => {
+            out.push(NondetSite {
+                line: t.line,
+                kind: NondetKind::WallClock,
+                what: "`SystemTime`".to_string(),
+            });
+        }
+        // `.as_ptr() as <ty>`: the allocation address becomes data.
+        "as_ptr" | "as_mut_ptr"
+            if i >= 1
+                && toks[i - 1].is_punct('.')
+                && i + 3 < toks.len()
+                && toks[i + 1].is_punct('(')
+                && toks[i + 2].is_punct(')')
+                && toks[i + 3].is_ident("as") =>
+        {
+            out.push(NondetSite {
+                line: t.line,
+                kind: NondetKind::AddrCast,
+                what: format!("`.{}() as _` address cast", t.text),
+            });
+        }
+        // `as *const T as usize`-style double cast to an integer.
+        "as" if i + 2 < toks.len()
+            && toks[i + 1].is_punct('*')
+            && (toks[i + 2].is_ident("const") || toks[i + 2].is_ident("mut")) =>
+        {
+            let int_cast = toks[i + 3..toks.len().min(i + 9)].windows(2).any(|w| {
+                w[0].is_ident("as")
+                    && matches!(
+                        w[1].text.as_str(),
+                        "usize" | "u64" | "u32" | "isize" | "i64"
+                    )
+            });
+            if int_cast {
+                out.push(NondetSite {
+                    line: t.line,
+                    kind: NondetKind::AddrCast,
+                    what: "raw pointer cast to integer".to_string(),
+                });
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Whether the `.` at `dot` belongs to a `stdin()`/`stdout()`/
+/// `stderr()` receiver — those `.lock()`s serialize I/O handles, not
+/// sim state, and are exempt from L1.
+fn is_stdio_receiver(toks: &[Tok], dot: usize) -> bool {
+    dot >= 3
+        && toks[dot - 1].is_punct(')')
+        && toks[dot - 2].is_punct('(')
+        && toks[dot - 3].kind == TokKind::Ident
+        && matches!(toks[dot - 3].text.as_str(), "stdin" | "stdout" | "stderr")
+}
+
+/// If the `let` at `i` binds a lock guard — `let [mut] name [: T] =
+/// <expr with .lock() at paren depth 0>[.unwrap()/.expect(..)];` —
+/// returns `(name, stmt_end)` where `stmt_end` is the index of the
+/// terminating `;` (the guard is live only after its own statement).
+/// Initializers that start with `*` deref-copy the value out, so the
+/// guard is a dropped temporary, not a binding.
+fn guard_binding(toks: &[Tok], i: usize) -> Option<(String, usize)> {
+    let mut j = i + 1;
+    if toks.get(j)?.is_ident("mut") {
+        j += 1;
+    }
+    let name_tok = toks.get(j)?;
+    if name_tok.kind != TokKind::Ident {
+        return None;
+    }
+    let name = name_tok.text.clone();
+    j += 1;
+    match toks.get(j)? {
+        t if t.is_punct('=') => j += 1,
+        t if t.is_punct(':') => {
+            // Skip the type ascription to the `=` at bracket depth 0.
+            let mut depth = 0i32;
+            loop {
+                j += 1;
+                let t = toks.get(j)?;
+                if t.is_punct('(') || t.is_punct('[') {
+                    depth += 1;
+                } else if t.is_punct(')') || t.is_punct(']') {
+                    depth -= 1;
+                    if depth < 0 {
+                        return None;
+                    }
+                } else if depth == 0 && t.is_punct('=') {
+                    j += 1;
+                    break;
+                } else if depth == 0 && (t.is_punct(';') || t.is_punct('{') || t.is_punct('}')) {
+                    return None;
+                }
+            }
+        }
+        _ => return None,
+    }
+    if toks.get(j)?.is_punct('*') {
+        return None;
+    }
+    // Find `.lock(` at bracket depth 0 within the initializer.
+    let mut depth = 0i32;
+    let mut k = j;
+    while k < toks.len() {
+        let t = &toks[k];
+        if t.is_punct('(') || t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct(')') || t.is_punct(']') {
+            depth -= 1;
+            if depth < 0 {
+                return None;
+            }
+        } else if depth == 0 && (t.is_punct(';') || t.is_punct('{') || t.is_punct('}')) {
+            return None;
+        } else if depth == 0
+            && t.is_punct('.')
+            && k + 2 < toks.len()
+            && toks[k + 1].is_ident("lock")
+            && toks[k + 2].is_punct('(')
+        {
+            let mut m = matching_close(toks, k + 2) + 1;
+            // Allowed trailing chain: `.unwrap()` / `.expect(..)`. Any
+            // other method extracts a value — the guard is a temporary.
+            while m + 2 < toks.len()
+                && toks[m].is_punct('.')
+                && (toks[m + 1].is_ident("unwrap") || toks[m + 1].is_ident("expect"))
+                && toks[m + 2].is_punct('(')
+            {
+                m = matching_close(toks, m + 2) + 1;
+            }
+            return toks
+                .get(m)
+                .is_some_and(|t| t.is_punct(';'))
+                .then_some((name, m));
+        }
+        k += 1;
+    }
+    None
+}
+
+/// Whether the expression rooted at the ident at `j` stores into it: a
+/// `*x.. = v` deref-assignment or a method chain containing one of
+/// [`SYNC_STORE_METHODS`] (L2).
+fn stores_into(toks: &[Tok], j: usize) -> bool {
+    // Deref-assign: `*x[i].lock().unwrap() = v;` — a lone `=` at
+    // bracket depth 0 before the statement ends.
+    if j >= 1 && toks[j - 1].is_punct('*') {
+        let mut depth = 0i32;
+        let mut k = j + 1;
+        while k < toks.len() {
+            let t = &toks[k];
+            if t.is_punct('(') || t.is_punct('[') {
+                depth += 1;
+            } else if t.is_punct(')') || t.is_punct(']') {
+                if depth == 0 {
+                    break;
+                }
+                depth -= 1;
+            } else if depth == 0 && (t.is_punct(';') || t.is_punct('{') || t.is_punct('}')) {
+                break;
+            } else if depth == 0
+                && t.is_punct('=')
+                && !toks.get(k + 1).is_some_and(|n| n.is_punct('='))
+                && !(k >= 1
+                    && (toks[k - 1].is_punct('=')
+                        || toks[k - 1].is_punct('<')
+                        || toks[k - 1].is_punct('>')
+                        || toks[k - 1].is_punct('!')))
+            {
+                return true;
+            }
+            k += 1;
+        }
+    }
+    // Method chain: `x[i].m1(..).m2(..)` with any store method.
+    let mut k = j + 1;
+    while k < toks.len() {
+        if toks[k].is_punct('[') {
+            k = matching_close(toks, k) + 1;
+        } else if toks[k].is_punct('.')
+            && k + 2 < toks.len()
+            && toks[k + 1].kind == TokKind::Ident
+            && toks[k + 2].is_punct('(')
+        {
+            if SYNC_STORE_METHODS.contains(&toks[k + 1].text.as_str()) {
+                return true;
+            }
+            k = matching_close(toks, k + 2) + 1;
+        } else {
+            break;
+        }
+    }
+    false
+}
+
+/// Whether the enclosing fn still mentions a stored-into sync capture
+/// (draining/merging it) or `.join(`s a handle after the spawn call's
+/// closing paren at `close`. Scans to the end of the innermost `fn`
+/// body by brace depth; a spawn outside any fn counts as drained (L2
+/// has no deterministic merge point to demand there).
+fn spawn_drained(toks: &[Tok], close: usize, scopes: &[Scope], site: &SpawnSite) -> bool {
+    let stored: Vec<&str> = site
+        .sync
+        .iter()
+        .filter(|c| c.stored)
+        .map(|c| c.ident.as_str())
+        .collect();
+    if stored.is_empty() {
+        return true;
+    }
+    let Some(fn_pos) = scopes.iter().rposition(|s| matches!(s, Scope::Fn { .. })) else {
+        return true;
+    };
+    // Braces still open at or above the fn scope: when `depth` drops
+    // below `-(opens - 1)` we have consumed the fn's closing brace.
+    let opens = i32::try_from(scopes.len() - fn_pos).unwrap_or(1);
+    let mut depth = 0i32;
+    let mut k = close + 1;
+    while k < toks.len() {
+        let t = &toks[k];
+        if t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct('}') {
+            depth -= 1;
+            if depth <= -opens {
+                break;
+            }
+        } else if (t.kind == TokKind::Ident && stored.contains(&t.text.as_str()))
+            || (t.is_punct('.')
+                && k + 2 < toks.len()
+                && toks[k + 1].is_ident("join")
+                && toks[k + 2].is_punct('('))
+        {
+            return true;
+        }
+        k += 1;
+    }
+    false
+}
+
 /// Analyzes one `spawn(..)` argument list for illegal captures.
 fn scan_spawn(
     line: u32,
     args: &[Tok],
     typed: &BTreeMap<String, String>,
+    sync_typed: &BTreeMap<String, String>,
     in_test: bool,
 ) -> SpawnSite {
     let mut site = SpawnSite {
         line,
         in_test,
         captures: Vec::new(),
+        sync: Vec::new(),
+        drained: true,
     };
     // Locate the closure: optional `move`, then `|params|`.
     let Some(p1) = args.iter().position(|t| t.is_punct('|')) else {
@@ -691,6 +1279,22 @@ fn scan_spawn(
                 }
             }
         }
+        // Sync-typed captures (L2): one record per ident, `stored` if
+        // any use in the body writes through it.
+        if t.kind == TokKind::Ident && !bound.contains(&t.text.as_str()) {
+            if let Some(ty) = sync_typed.get(&t.text) {
+                if let Some(cap) = site.sync.iter_mut().find(|c| c.ident == t.text) {
+                    cap.stored = cap.stored || stores_into(body, j);
+                } else {
+                    site.sync.push(SyncCapture {
+                        ident: t.text.clone(),
+                        line: t.line,
+                        ty: ty.clone(),
+                        stored: stores_into(body, j),
+                    });
+                }
+            }
+        }
     }
     site
 }
@@ -701,6 +1305,37 @@ fn scan_spawn(
 // ---------------------------------------------------------------------
 
 impl FileIndex {
+    /// Attaches a nondeterminism source to the fn whose body contains
+    /// `line` (the last fn starting at or before it). Used by the
+    /// hash-iter rule to register unsorted hash iteration as an N1
+    /// taint seed.
+    pub fn attach_nondet(&mut self, line: u32, kind: NondetKind, what: String) {
+        if let Some(f) = self.fns.iter_mut().rev().find(|f| f.line <= line) {
+            f.nondet.push(NondetSite { line, kind, what });
+        }
+    }
+
+    /// Whether the source at `line` inside `fn_idx` is covered by an
+    /// honored `lint:order-invisible` fence: the fence sits on the
+    /// source line or the line above, and the enclosing fn shows
+    /// fixed-order folding (a `for` loop or a `.fold(` call).
+    #[must_use]
+    pub fn nondet_suppressed(&self, fn_idx: usize, line: u32) -> bool {
+        let f = &self.fns[fn_idx];
+        let fenced = self
+            .order_fences
+            .iter()
+            .any(|of| of.line == line || of.line + 1 == line);
+        fenced && Self::fn_folds_in_order(f)
+    }
+
+    /// Fixed-order-fold evidence for a fn: any `for` loop in the body
+    /// or a `.fold(` call site (N1 fence verification).
+    #[must_use]
+    pub fn fn_folds_in_order(f: &FnItem) -> bool {
+        !f.loops.is_empty() || f.calls.iter().any(|c| c.method && c.callee == "fold")
+    }
+
     /// Machine form for the incremental cache.
     #[must_use]
     pub fn to_json(&self) -> Json {
@@ -732,6 +1367,20 @@ impl FileIndex {
                             ("line", Json::from(u64::from(a.line))),
                         ])
                     })),
+                ),
+                (
+                    "nondet",
+                    Json::array(f.nondet.iter().map(|n| {
+                        Json::object([
+                            ("line", Json::from(u64::from(n.line))),
+                            ("kind", Json::from(n.kind.name())),
+                            ("what", Json::from(n.what.as_str())),
+                        ])
+                    })),
+                ),
+                (
+                    "loops",
+                    Json::array(f.loops.iter().map(|&l| Json::from(u64::from(l)))),
                 ),
             ])
         });
@@ -774,8 +1423,58 @@ impl FileIndex {
                                 ])
                             })),
                         ),
+                        (
+                            "sync",
+                            Json::array(s.sync.iter().map(|c| {
+                                Json::object([
+                                    ("ident", Json::from(c.ident.as_str())),
+                                    ("line", Json::from(u64::from(c.line))),
+                                    ("ty", Json::from(c.ty.as_str())),
+                                    ("stored", Json::from(c.stored)),
+                                ])
+                            })),
+                        ),
+                        ("drained", Json::from(s.drained)),
                     ])
                 })),
+            ),
+            (
+                "order_fences",
+                Json::array(self.order_fences.iter().map(|of| {
+                    Json::object([
+                        ("line", Json::from(u64::from(of.line))),
+                        ("reason", Json::from(of.reason.as_str())),
+                    ])
+                })),
+            ),
+            (
+                "locks",
+                Json::array(self.locks.iter().map(|l| {
+                    Json::object([
+                        ("line", Json::from(u64::from(l.line))),
+                        ("in_fence", Json::from(l.in_fence)),
+                        ("in_test", Json::from(l.in_test)),
+                        (
+                            "guard",
+                            l.live_guard.as_ref().map_or(Json::Null, |(name, line)| {
+                                Json::array([
+                                    Json::from(name.as_str()),
+                                    Json::from(u64::from(*line)),
+                                ])
+                            }),
+                        ),
+                        ("second_in_stmt", Json::from(l.second_in_stmt)),
+                    ])
+                })),
+            ),
+            (
+                "sync_typed",
+                Json::Obj(
+                    self.sync_typed
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Json::from(v.as_str())))
+                        .collect(),
+                ),
             ),
             (
                 "waivers",
@@ -821,6 +1520,8 @@ impl FileIndex {
                 has_self: f.get("has_self")?.as_bool()?,
                 calls: Vec::new(),
                 allocs: Vec::new(),
+                nondet: Vec::new(),
+                loops: Vec::new(),
             };
             for c in f.get("calls")?.as_arr()? {
                 item.calls.push(CallSite {
@@ -837,6 +1538,16 @@ impl FileIndex {
                     what: a.get("what")?.as_str()?.to_string(),
                     line: line_u32(a, "line")?,
                 });
+            }
+            for n in f.get("nondet")?.as_arr()? {
+                item.nondet.push(NondetSite {
+                    line: line_u32(n, "line")?,
+                    kind: NondetKind::from_name(n.get("kind")?.as_str()?)?,
+                    what: n.get("what")?.as_str()?.to_string(),
+                });
+            }
+            for l in f.get("loops")?.as_arr()? {
+                item.loops.push(u32::try_from(l.as_u64()?).ok()?);
             }
             index.fns.push(item);
         }
@@ -862,6 +1573,8 @@ impl FileIndex {
                 line: line_u32(s, "line")?,
                 in_test: s.get("in_test")?.as_bool()?,
                 captures: Vec::new(),
+                sync: Vec::new(),
+                drained: s.get("drained")?.as_bool()?,
             };
             for c in s.get("captures")?.as_arr()? {
                 let kind = match c.get("kind")?.as_str()? {
@@ -875,7 +1588,46 @@ impl FileIndex {
                     kind,
                 });
             }
+            for c in s.get("sync")?.as_arr()? {
+                site.sync.push(SyncCapture {
+                    ident: c.get("ident")?.as_str()?.to_string(),
+                    line: line_u32(c, "line")?,
+                    ty: c.get("ty")?.as_str()?.to_string(),
+                    stored: c.get("stored")?.as_bool()?,
+                });
+            }
             index.spawns.push(site);
+        }
+        for of in j.get("order_fences")?.as_arr()? {
+            index.order_fences.push(OrderFence {
+                line: line_u32(of, "line")?,
+                reason: of.get("reason")?.as_str()?.to_string(),
+            });
+        }
+        for l in j.get("locks")?.as_arr()? {
+            let live_guard = match l.get("guard")? {
+                Json::Null => None,
+                other => {
+                    let pair = other.as_arr()?;
+                    if pair.len() != 2 {
+                        return None;
+                    }
+                    Some((
+                        pair[0].as_str()?.to_string(),
+                        u32::try_from(pair[1].as_u64()?).ok()?,
+                    ))
+                }
+            };
+            index.locks.push(LockSite {
+                line: line_u32(l, "line")?,
+                in_fence: l.get("in_fence")?.as_bool()?,
+                in_test: l.get("in_test")?.as_bool()?,
+                live_guard,
+                second_in_stmt: l.get("second_in_stmt")?.as_bool()?,
+            });
+        }
+        for (k, v) in j.get("sync_typed")?.as_obj()? {
+            index.sync_typed.insert(k.clone(), v.as_str()?.to_string());
         }
         for w in j.get("waivers")?.as_arr()? {
             index.waivers.push(InlineWaiver {
@@ -1092,17 +1844,213 @@ fn cell_shared() {
     }
 
     #[test]
+    fn nondet_sources_detected_per_fn() {
+        let src = "\
+fn workers() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+fn stamp() -> u64 {
+    let t = Instant::now();
+    let id = thread::current().id();
+    0
+}
+fn addr(xs: &[u64]) -> usize {
+    xs.as_ptr() as usize
+}
+fn indexed(xs: &[u64], i: usize) -> u64 {
+    xs[i as usize]
+}
+";
+        let idx = parse(src);
+        let kinds: Vec<Vec<NondetKind>> = idx
+            .fns
+            .iter()
+            .map(|f| f.nondet.iter().map(|n| n.kind).collect())
+            .collect();
+        assert_eq!(
+            kinds,
+            vec![
+                vec![NondetKind::Parallelism],
+                vec![NondetKind::WallClock, NondetKind::ThreadId],
+                vec![NondetKind::AddrCast],
+                vec![],
+            ]
+        );
+    }
+
+    #[test]
+    fn order_fences_require_reasons() {
+        let src = "\
+fn capped(jobs: usize) -> usize {
+    // lint:order-invisible worker count only splits the queue
+    let n = std::thread::available_parallelism().map_or(1, |x| x.get());
+    // lint:order-invisible
+    let m = std::thread::available_parallelism().map_or(1, |x| x.get());
+    n + m
+}
+";
+        let (idx, findings) = parse_file("crates/x/src/a.rs", &tokenize(src));
+        assert_eq!(idx.order_fences.len(), 1);
+        assert_eq!(idx.order_fences[0].line, 2);
+        assert_eq!(
+            idx.order_fences[0].reason,
+            "worker count only splits the queue"
+        );
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].rule, Rule::Waiver);
+        assert_eq!(findings[0].line, 4);
+    }
+
+    #[test]
+    fn lock_sites_track_guard_liveness() {
+        let src = "\
+fn nested(a: &Mutex<u64>, b: &Mutex<u64>) {
+    let first = a.lock().unwrap();
+    let second = b.lock().unwrap();
+}
+fn disciplined(a: &Mutex<u64>, b: &Mutex<u64>) {
+    let v = *a.lock().unwrap();
+    let w = b.lock().unwrap();
+}
+fn dropped(a: &Mutex<u64>, b: &Mutex<u64>) {
+    let g = a.lock().unwrap();
+    drop(g);
+    let h = b.lock().unwrap();
+}
+fn scoped(a: &Mutex<u64>, b: &Mutex<u64>) {
+    { let g = a.lock().unwrap(); }
+    let h = b.lock().unwrap();
+}
+fn stdio() {
+    let out = std::io::stdout().lock();
+}
+";
+        let idx = parse(src);
+        let guards: Vec<(u32, Option<&str>)> = idx
+            .locks
+            .iter()
+            .map(|l| (l.line, l.live_guard.as_ref().map(|(n, _)| n.as_str())))
+            .collect();
+        assert_eq!(
+            guards,
+            vec![
+                (2, None),
+                (3, Some("first")),
+                (6, None),
+                (7, None),
+                (10, None),
+                (12, None),
+                (15, None),
+                (16, None),
+            ]
+        );
+        assert!(idx.locks.iter().all(|l| !l.second_in_stmt));
+    }
+
+    #[test]
+    fn lock_sites_flag_two_locks_in_one_statement() {
+        let src = "\
+fn transfer(a: &Mutex<u64>, b: &Mutex<u64>) {
+    swap(&mut *a.lock().unwrap(), &mut *b.lock().unwrap());
+}
+";
+        let idx = parse(src);
+        assert_eq!(idx.locks.len(), 2);
+        assert!(!idx.locks[0].second_in_stmt);
+        assert!(idx.locks[1].second_in_stmt);
+    }
+
+    #[test]
+    fn spawn_sync_captures_distinguish_store_and_drain() {
+        let undrained = "\
+fn lost(xs: &[u64]) {
+    let collected = Mutex::new(Vec::new());
+    std::thread::scope(|s| {
+        for x in xs {
+            s.spawn(move || { collected.lock().unwrap().push(*x); });
+        }
+    });
+}
+";
+        let idx = parse(undrained);
+        assert_eq!(idx.spawns.len(), 1);
+        assert_eq!(idx.spawns[0].sync.len(), 1);
+        assert!(idx.spawns[0].sync[0].stored);
+        assert!(!idx.spawns[0].drained);
+
+        let drained = "\
+fn merged(xs: &[u64]) -> Vec<u64> {
+    let slots: Vec<Mutex<u64>> = xs.iter().map(|_| Mutex::new(0)).collect();
+    std::thread::scope(|s| {
+        for (i, x) in xs.iter().enumerate() {
+            s.spawn(move || { *slots[i].lock().unwrap() = *x; });
+        }
+    });
+    slots.iter().map(|m| *m.lock().unwrap()).collect()
+}
+";
+        let idx = parse(drained);
+        assert_eq!(idx.spawns.len(), 1);
+        assert_eq!(idx.spawns[0].sync.len(), 1);
+        assert!(idx.spawns[0].sync[0].stored);
+        assert!(idx.spawns[0].drained);
+
+        let read_only = "\
+fn reads(flag: &AtomicBool) {
+    std::thread::scope(|s| {
+        s.spawn(move || { while !flag.load(Ordering::Acquire) {} });
+    });
+}
+";
+        let idx = parse(read_only);
+        assert_eq!(idx.spawns[0].sync.len(), 1);
+        assert!(!idx.spawns[0].sync[0].stored);
+        assert!(idx.spawns[0].drained);
+    }
+
+    #[test]
+    fn fn_fold_evidence_counts_loops_and_folds() {
+        let src = "\
+fn looped(xs: &[u64]) -> u64 {
+    let mut acc = 0;
+    for x in xs { acc += x; }
+    acc
+}
+fn folded(xs: &[u64]) -> u64 {
+    xs.iter().fold(0, |a, b| a + b)
+}
+fn neither(x: u64) -> u64 { x }
+";
+        let idx = parse(src);
+        assert!(FileIndex::fn_folds_in_order(&idx.fns[0]));
+        assert!(FileIndex::fn_folds_in_order(&idx.fns[1]));
+        assert!(!FileIndex::fn_folds_in_order(&idx.fns[2]));
+    }
+
+    #[test]
     fn index_json_round_trips() {
         let src = "\
 fn hot(ws: &mut Workspace) {
     // lint:hot-path
     ws.reset(SplitMix64::new(9));
+    let g = LOCKED.lock().unwrap();
     // lint:hot-path-end
     // lint:allow(hash-iter) demo reason
     std::thread::scope(|s| { s.spawn(|| { let x = &mut GLOBALISH; }); });
 }
+fn capped(done: &AtomicUsize) -> usize {
+    // lint:order-invisible worker count only splits the queue
+    let n = std::thread::available_parallelism().map_or(1, |x| x.get());
+    std::thread::scope(|s| { s.spawn(move || { done.fetch_add(1, Ordering::SeqCst); }); });
+    for i in 0..n { let _ = i; }
+    n
+}
 ";
         let idx = parse(src);
+        assert!(!idx.order_fences.is_empty());
+        assert!(!idx.locks.is_empty());
+        assert!(idx.spawns.iter().any(|s| !s.sync.is_empty()));
+        assert!(idx.fns.iter().any(|f| !f.nondet.is_empty()));
         let back = FileIndex::from_json(&idx.to_json()).expect("round trip");
         assert_eq!(back, idx);
     }

@@ -21,7 +21,7 @@
 use std::collections::BTreeSet;
 
 use crate::findings::{Finding, Rule};
-use crate::parse::{self, CaptureKind, FileIndex};
+use crate::parse::{self, CaptureKind, FileIndex, NondetKind};
 use crate::tokenizer::{tokenize, Tok, TokKind, TokenizedFile};
 use crate::waiver;
 
@@ -68,14 +68,29 @@ pub struct Analysis {
 #[must_use]
 pub fn analyze(path_rel: &str, src: &str) -> Analysis {
     let file = tokenize(src);
-    let (index, mut findings) = parse::parse_file(path_rel, &file);
+    let (mut index, mut findings) = parse::parse_file(path_rel, &file);
 
-    check_hash_iter(path_rel, &file, &mut findings);
+    let hash_sites = check_hash_iter(path_rel, &file, &mut findings);
+    // Surviving (unsorted, not inline-waived) hash iterations are also
+    // N1 taint seeds: an order-dependent traversal whose results reach
+    // a summary sink breaks bit-identity even where D1 was accepted.
+    for (line, what) in hash_sites {
+        let inline_waived = index
+            .waivers
+            .iter()
+            .any(|w| w.rule == Rule::HashIter && (w.line == line || w.line + 1 == line));
+        if !inline_waived {
+            index.attach_nondet(line, NondetKind::HashOrder, what);
+        }
+    }
     check_wall_clock(path_rel, &file, &mut findings);
     check_f32(path_rel, &file, &mut findings);
     check_hot_path(path_rel, &file, &index.fences, &mut findings);
     check_seeds(path_rel, &index, &mut findings);
     check_spawns(path_rel, &index, &mut findings);
+    check_locks(path_rel, &index, &mut findings);
+    check_spawn_sync(path_rel, &index, &mut findings);
+    check_order_fences(path_rel, &index, &mut findings);
 
     waiver::apply_inline(&mut findings, &index.waivers);
     crate::findings::sort_dedup(&mut findings);
@@ -224,11 +239,17 @@ fn feeds_a_sort(toks: &[Tok], si: usize) -> bool {
     false
 }
 
-/// D1: iteration over hash-typed identifiers.
-fn check_hash_iter(path: &str, file: &TokenizedFile, findings: &mut Vec<Finding>) {
+/// D1: iteration over hash-typed identifiers. Returns the surviving
+/// sites as `(line, label)` so [`analyze`] can register them as N1
+/// hash-order taint seeds.
+fn check_hash_iter(
+    path: &str,
+    file: &TokenizedFile,
+    findings: &mut Vec<Finding>,
+) -> Vec<(u32, String)> {
     let hashed = hash_typed_idents(&file.toks);
     if hashed.is_empty() {
-        return;
+        return Vec::new();
     }
     let toks = &file.toks;
     // (line, message, escapable site token index). `for`-loop sites get
@@ -316,6 +337,7 @@ fn check_hash_iter(path: &str, file: &TokenizedFile, findings: &mut Vec<Finding>
     sites.sort_by_key(|(line, _, _)| *line);
     sites.dedup_by_key(|(line, _, _)| *line);
 
+    let mut surviving = Vec::new();
     for (line, msg, site) in sites {
         if site.is_some_and(|si| feeds_a_sort(toks, si)) {
             continue;
@@ -326,7 +348,9 @@ fn check_hash_iter(path: &str, file: &TokenizedFile, findings: &mut Vec<Finding>
             line,
             format!("{msg}; iterate a BTree collection or index order instead, or waive with `// lint:allow(hash-iter) <reason>`"),
         ));
+        surviving.push((line, msg));
     }
+    surviving
 }
 
 /// D2: wall-clock reads outside the sanctioned timing sites.
@@ -483,6 +507,102 @@ fn check_spawns(path: &str, index: &FileIndex, findings: &mut Vec<Finding>) {
                 ),
             };
             findings.push(Finding::new(Rule::ThreadCapture, path, c.line, msg));
+        }
+    }
+}
+
+/// L1: lock-discipline violations at `.lock()` sites. Three patterns:
+/// a lock inside a `lint:hot-path` fence (contention in the measured
+/// region), a lock while another guard from the same fn is live
+/// (nested acquisition — a deadlock ordering hazard), and two locks in
+/// one statement (unspecified evaluation order). `stdin`/`stdout`/
+/// `stderr` handle locks were already excluded by the parser.
+fn check_locks(path: &str, index: &FileIndex, findings: &mut Vec<Finding>) {
+    for l in &index.locks {
+        if l.in_test {
+            continue;
+        }
+        if l.in_fence {
+            findings.push(Finding::new(
+                Rule::LockDiscipline,
+                path,
+                l.line,
+                "`.lock()` inside a `lint:hot-path` fence; hoist the acquisition out of the fenced region or give each worker its own state",
+            ));
+        }
+        if let Some((name, line)) = &l.live_guard {
+            findings.push(Finding::new(
+                Rule::LockDiscipline,
+                path,
+                l.line,
+                format!(
+                    "`.lock()` while guard `{name}` (bound on line {line}) is still live; nested acquisition orders deadlock under contention — drop the first guard or merge the critical sections"
+                ),
+            ));
+        }
+        if l.second_in_stmt {
+            findings.push(Finding::new(
+                Rule::LockDiscipline,
+                path,
+                l.line,
+                "second `.lock()` in one statement acquires two guards in unspecified evaluation order; bind them in separate statements in a fixed order",
+            ));
+        }
+    }
+}
+
+/// L2: spawn closures that store into captured sync state (`Mutex`/
+/// `RwLock`/`Atomic*`) the enclosing fn never drains after the spawns.
+/// Completion-order writes with no deterministic merge point are how
+/// "bit-identical across thread counts" silently dies.
+fn check_spawn_sync(path: &str, index: &FileIndex, findings: &mut Vec<Finding>) {
+    for sp in &index.spawns {
+        if sp.in_test || sp.drained {
+            continue;
+        }
+        for c in sp.sync.iter().filter(|c| c.stored) {
+            findings.push(Finding::new(
+                Rule::SpawnMerge,
+                path,
+                c.line,
+                format!(
+                    "spawn closure stores into `{}` (`{}`) but the enclosing fn never drains it after the spawns; merge results in deterministic index order (per-slot writes + an indexed fold), or waive with `// lint:allow(spawn-merge) <reason>`",
+                    c.ident, c.ty
+                ),
+            ));
+        }
+    }
+}
+
+/// N1 fence verification: a `lint:order-invisible` fence must cover a
+/// nondeterminism source (on its line or the next) inside a fn that
+/// demonstrably folds results in fixed order. A fence covering nothing
+/// is stale; a fence on a fn with no fold evidence is rejected — the
+/// order-invisibility claim is unverifiable.
+fn check_order_fences(path: &str, index: &FileIndex, findings: &mut Vec<Finding>) {
+    for of in &index.order_fences {
+        let covered = index.fns.iter().find(|f| {
+            f.nondet
+                .iter()
+                .any(|n| n.line == of.line || n.line == of.line + 1)
+        });
+        match covered {
+            None => findings.push(Finding::new(
+                Rule::Waiver,
+                path,
+                of.line,
+                "`lint:order-invisible` fence covers no nondeterminism source on its own or the next line — stale; delete it",
+            )),
+            Some(f) if !FileIndex::fn_folds_in_order(f) => findings.push(Finding::new(
+                Rule::NondetTaint,
+                path,
+                of.line,
+                format!(
+                    "`lint:order-invisible` fence rejected: `{}` shows no fixed-order fold (no `for` loop or `.fold()` call), so the order-invisibility claim is unverifiable; restructure the merge or waive with `// lint:allow(nondet-taint) <reason>`",
+                    f.name
+                ),
+            )),
+            Some(_) => {}
         }
     }
 }
@@ -737,6 +857,127 @@ fn partitioned(data: &mut [u64]) {
 }
 ";
         assert!(rules_of(ok).is_empty());
+    }
+
+    #[test]
+    fn lock_discipline_fires_on_fence_nesting_and_same_stmt() {
+        let fenced = "\
+fn hot(m: &Mutex<u64>) {
+    // lint:hot-path
+    let g = m.lock().unwrap();
+    // lint:hot-path-end
+}
+";
+        assert_eq!(rules_of(fenced), vec![(Rule::LockDiscipline, 3, false)]);
+
+        let nested = "\
+fn transfer(a: &Mutex<u64>, b: &Mutex<u64>) {
+    let first = a.lock().unwrap();
+    let second = b.lock().unwrap();
+}
+";
+        assert_eq!(rules_of(nested), vec![(Rule::LockDiscipline, 3, false)]);
+
+        let same_stmt = "\
+fn swap_both(a: &Mutex<u64>, b: &Mutex<u64>) {
+    std::mem::swap(&mut *a.lock().unwrap(), &mut *b.lock().unwrap());
+}
+";
+        assert_eq!(rules_of(same_stmt), vec![(Rule::LockDiscipline, 2, false)]);
+
+        let disciplined = "\
+fn fine(a: &Mutex<u64>, b: &Mutex<u64>) {
+    let v = *a.lock().unwrap();
+    let w = b.lock().unwrap();
+    drop(w);
+    let x = b.lock().unwrap();
+}
+";
+        assert!(rules_of(disciplined).is_empty());
+    }
+
+    #[test]
+    fn spawn_merge_fires_without_a_drain() {
+        let bad = "\
+fn lost(xs: &[u64]) {
+    let collected = Mutex::new(Vec::new());
+    std::thread::scope(|s| {
+        for x in xs {
+            s.spawn(move || { collected.lock().unwrap().push(*x); });
+        }
+    });
+}
+";
+        assert_eq!(rules_of(bad), vec![(Rule::SpawnMerge, 5, false)]);
+
+        let drained = "\
+fn merged(xs: &[u64]) -> Vec<u64> {
+    let slots: Vec<Mutex<u64>> = xs.iter().map(|_| Mutex::new(0)).collect();
+    std::thread::scope(|s| {
+        for (i, x) in xs.iter().enumerate() {
+            s.spawn(move || { *slots[i].lock().unwrap() = *x; });
+        }
+    });
+    slots.iter().map(|m| *m.lock().unwrap()).collect()
+}
+";
+        assert!(rules_of(drained).is_empty());
+    }
+
+    #[test]
+    fn order_invisible_fence_verification() {
+        let honored = "\
+fn capped(parts: &[u64]) -> u64 {
+    // lint:order-invisible jobs only caps the worker count
+    let jobs = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut acc = jobs as u64;
+    for p in parts { acc += *p; }
+    acc
+}
+";
+        assert!(rules_of(honored).is_empty());
+
+        let rejected = "\
+fn racy(parts: &[u64]) -> u64 {
+    // lint:order-invisible claims invisibility but shows no fold
+    let jobs = std::thread::available_parallelism().map_or(1, |n| n.get());
+    jobs as u64
+}
+";
+        assert_eq!(rules_of(rejected), vec![(Rule::NondetTaint, 2, false)]);
+
+        let stale = "\
+fn plain() -> u64 {
+    // lint:order-invisible nothing nondeterministic below
+    7
+}
+";
+        assert_eq!(rules_of(stale), vec![(Rule::Waiver, 2, false)]);
+    }
+
+    #[test]
+    fn surviving_hash_iteration_seeds_nondet_taint() {
+        let src = "\
+use std::collections::HashMap;
+fn f(m: &HashMap<u32, u32>) -> u64 {
+    let mut total = 0u64;
+    for (_k, v) in m.iter() { total += u64::from(*v); }
+    total
+}
+";
+        let a = analyze("crates/x/src/a.rs", src);
+        assert_eq!(a.index.fns[0].nondet.len(), 1);
+        assert_eq!(a.index.fns[0].nondet[0].kind, NondetKind::HashOrder);
+
+        let waived = "\
+use std::collections::HashMap;
+fn g(m: &HashMap<u32, u32>) -> usize {
+    // lint:allow(hash-iter) pure count, order-independent
+    m.iter().count()
+}
+";
+        let a = analyze("crates/x/src/a.rs", waived);
+        assert!(a.index.fns[0].nondet.is_empty());
     }
 
     #[test]

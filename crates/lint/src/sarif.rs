@@ -1,0 +1,253 @@
+//! SARIF 2.1.0 emitter for lint reports.
+//!
+//! `ehp lint --sarif` renders a [`LintReport`] as a single-run SARIF
+//! log so editors and code-scanning dashboards can ingest the findings
+//! without a bespoke adapter. The mapping is deliberately small:
+//!
+//! - every [`Rule`] becomes a `reportingDescriptor` in the driver's
+//!   `rules` array (id = short code, name = kebab-case rule name,
+//!   full description = the `--explain` paragraph), so `ruleIndex` on
+//!   each result is the rule's position in [`Rule::ALL`];
+//! - every [`Finding`] becomes a `result` with one physical location;
+//!   waived findings are emitted at level `note`, live ones at `error`
+//!   — the waiver is visible in the log instead of silently dropped;
+//! - evidence chains (H2 reachability, N1 taint paths) become a
+//!   `codeFlow` whose thread-flow locations are parsed back out of the
+//!   `path:line `label`` hop strings the rules produce.
+//!
+//! Built on the workspace [`ehp_sim_core::json`] value type — BTreeMap
+//! key order means the emitted log is byte-stable for a given report.
+
+use ehp_sim_core::json::Json;
+
+use crate::findings::{Finding, Rule};
+use crate::LintReport;
+
+/// Canonical schema URI for SARIF 2.1.0 logs.
+pub const SARIF_SCHEMA: &str =
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json";
+
+/// Renders a lint report as a SARIF 2.1.0 log.
+#[must_use]
+pub fn to_sarif(report: &LintReport) -> Json {
+    let rules = Json::array(Rule::ALL.iter().map(|r| rule_descriptor(*r)));
+    let results = Json::array(report.findings.iter().map(result_for));
+    let driver = Json::object([
+        ("informationUri", Json::from("https://github.com/ehp-sim")),
+        ("name", Json::from("ehp-lint")),
+        ("rules", rules),
+        ("version", Json::from(env!("CARGO_PKG_VERSION"))),
+    ]);
+    Json::object([
+        ("$schema", Json::from(SARIF_SCHEMA)),
+        (
+            "runs",
+            Json::array([Json::object([
+                ("columnKind", Json::from("utf16CodeUnits")),
+                ("results", results),
+                ("tool", Json::object([("driver", driver)])),
+            ])]),
+        ),
+        ("version", Json::from("2.1.0")),
+    ])
+}
+
+fn rule_descriptor(rule: Rule) -> Json {
+    // First sentence of the --explain paragraph doubles as the short
+    // description; the whole paragraph is the full description.
+    let full = rule.explain().trim();
+    let short = full.split_once(". ").map_or(full, |(s, _)| s);
+    Json::object([
+        (
+            "fullDescription",
+            Json::object([("text", Json::from(full))]),
+        ),
+        ("id", Json::from(rule.code())),
+        ("name", Json::from(rule.name())),
+        (
+            "shortDescription",
+            Json::object([("text", Json::from(short))]),
+        ),
+    ])
+}
+
+fn result_for(f: &Finding) -> Json {
+    let rule_index = Rule::ALL
+        .iter()
+        .position(|r| *r == f.rule)
+        .unwrap_or_default();
+    let level = if f.waived.is_some() { "note" } else { "error" };
+    let mut fields = vec![
+        ("level", Json::from(level)),
+        ("locations", Json::array([location(&f.path, f.line)])),
+        (
+            "message",
+            Json::object([("text", Json::from(f.message.as_str()))]),
+        ),
+        ("ruleId", Json::from(f.rule.code())),
+        ("ruleIndex", Json::from(rule_index as u64)),
+    ];
+    if !f.chain.is_empty() {
+        fields.push(("codeFlows", Json::array([code_flow(&f.chain)])));
+    }
+    Json::object(fields)
+}
+
+fn location(path: &str, line: u32) -> Json {
+    Json::object([(
+        "physicalLocation",
+        Json::object([
+            (
+                "artifactLocation",
+                Json::object([("uri", Json::from(path))]),
+            ),
+            (
+                "region",
+                // SARIF requires startLine >= 1; file-level findings
+                // (line 0, e.g. stale waivers) pin to the first line.
+                Json::object([("startLine", Json::from(u64::from(line.max(1))))]),
+            ),
+        ]),
+    )])
+}
+
+/// One evidence chain → one code flow. Hops look like
+/// ``crates/x/src/a.rs:12 `label` `` — path and line are split back
+/// out for the physical location, the hop text rides as the message.
+fn code_flow(chain: &[String]) -> Json {
+    let hops = chain.iter().map(|hop| {
+        let (path, line) = parse_hop(hop);
+        Json::object([("location", {
+            let mut fields = vec![(
+                "message",
+                Json::object([("text", Json::from(hop.as_str()))]),
+            )];
+            fields.push((
+                "physicalLocation",
+                location(path, line)
+                    .get("physicalLocation")
+                    .cloned()
+                    .unwrap_or(Json::Null),
+            ));
+            Json::object(fields)
+        })])
+    });
+    Json::object([(
+        "threadFlows",
+        Json::array([Json::object([("locations", Json::array(hops))])]),
+    )])
+}
+
+/// Splits a `path:line rest` hop into its location parts; hops that
+/// don't parse fall back to (whole hop, line 1) so the flow still
+/// renders.
+fn parse_hop(hop: &str) -> (&str, u32) {
+    let Some(space) = hop.find(' ') else {
+        return (hop, 1);
+    };
+    let loc = &hop[..space];
+    let Some((path, line)) = loc.rsplit_once(':') else {
+        return (hop, 1);
+    };
+    match line.parse::<u32>() {
+        Ok(n) => (path, n),
+        Err(_) => (hop, 1),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> LintReport {
+        let mut report = LintReport::default();
+        report.findings.push(
+            Finding::new(
+                Rule::NondetTaint,
+                "crates/x/src/sink.rs",
+                3,
+                "reaches nondeterminism",
+            )
+            .with_chain(vec![
+                "crates/x/src/source.rs:4 `shard_plan`".to_string(),
+                "crates/x/src/source.rs:2 `available_parallelism()`".to_string(),
+            ]),
+        );
+        let mut waived = Finding::new(Rule::HashIter, "crates/x/src/a.rs", 7, "hash order");
+        waived.waived = Some("demo waiver".to_string());
+        report.findings.push(waived);
+        report
+    }
+
+    #[test]
+    fn sarif_has_schema_version_and_all_rules() {
+        let sarif = to_sarif(&sample_report());
+        assert_eq!(sarif.get("version").and_then(Json::as_str), Some("2.1.0"));
+        assert_eq!(
+            sarif.get("$schema").and_then(Json::as_str),
+            Some(SARIF_SCHEMA)
+        );
+        let runs = sarif.get("runs").and_then(Json::as_arr).unwrap();
+        assert_eq!(runs.len(), 1);
+        let rules = runs[0]
+            .get("tool")
+            .and_then(|t| t.get("driver"))
+            .and_then(|d| d.get("rules"))
+            .and_then(Json::as_arr)
+            .unwrap();
+        assert_eq!(rules.len(), Rule::ALL.len());
+        // Every descriptor id matches ALL order, so ruleIndex is valid.
+        for (i, rule) in Rule::ALL.iter().enumerate() {
+            assert_eq!(rules[i].get("id").and_then(Json::as_str), Some(rule.code()));
+        }
+    }
+
+    #[test]
+    fn results_carry_level_location_and_code_flow() {
+        let sarif = to_sarif(&sample_report());
+        let results = sarif.get("runs").and_then(Json::as_arr).unwrap()[0]
+            .get("results")
+            .and_then(Json::as_arr)
+            .unwrap();
+        assert_eq!(results.len(), 2);
+        let live = &results[0];
+        assert_eq!(live.get("level").and_then(Json::as_str), Some("error"));
+        assert_eq!(
+            live.get("ruleId").and_then(Json::as_str),
+            Some(Rule::NondetTaint.code())
+        );
+        let region = live.get("locations").and_then(Json::as_arr).unwrap()[0]
+            .get("physicalLocation")
+            .and_then(|p| p.get("region"))
+            .and_then(|r| r.get("startLine"))
+            .and_then(Json::as_u64);
+        assert_eq!(region, Some(3));
+        let flows = live.get("codeFlows").and_then(Json::as_arr).unwrap();
+        let hops = flows[0].get("threadFlows").and_then(Json::as_arr).unwrap()[0]
+            .get("locations")
+            .and_then(Json::as_arr)
+            .unwrap();
+        assert_eq!(hops.len(), 2);
+        let hop_line = hops[0]
+            .get("location")
+            .and_then(|l| l.get("physicalLocation"))
+            .and_then(|p| p.get("region"))
+            .and_then(|r| r.get("startLine"))
+            .and_then(Json::as_u64);
+        assert_eq!(hop_line, Some(4));
+        // Waived finding demotes to note and has no flow.
+        let waived = &results[1];
+        assert_eq!(waived.get("level").and_then(Json::as_str), Some("note"));
+        assert!(waived.get("codeFlows").is_none());
+    }
+
+    #[test]
+    fn hop_parsing_is_resilient() {
+        assert_eq!(
+            parse_hop("crates/a/src/x.rs:12 `f`"),
+            ("crates/a/src/x.rs", 12)
+        );
+        assert_eq!(parse_hop("no-location-here"), ("no-location-here", 1));
+        assert_eq!(parse_hop("bad:line text"), ("bad:line text", 1));
+    }
+}

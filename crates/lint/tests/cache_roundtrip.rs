@@ -7,7 +7,7 @@
 use std::fs;
 use std::path::{Path, PathBuf};
 
-use ehp_lint::{lint_workspace, LintConfig, Rule};
+use ehp_lint::{lint_workspace, prune_waivers, LintConfig, Rule};
 
 const FENCED: &str = "\
 pub fn hot(xs: &[u64], out: &mut [u64]) {
@@ -60,6 +60,7 @@ fn cfg(root: &Path) -> LintConfig<'static> {
         root: root.to_path_buf(),
         schemas: &[],
         use_cache: true,
+        jobs: 1,
     }
 }
 
@@ -107,4 +108,47 @@ fn editing_one_file_relints_only_it_and_updates_cross_file_h2() {
     );
     // The unrelated D3 finding in the untouched file survives from cache.
     assert!(third.findings.iter().any(|f| f.rule == Rule::F32Truncation));
+}
+
+#[test]
+fn prune_waivers_drops_stale_entries_and_round_trips() {
+    let root = mini_workspace("prune-waivers");
+    write(
+        &root,
+        "lint.waivers",
+        "# comment survives the rewrite\n\
+         \n\
+         f32-truncation crates/demo/src/shrink.rs the oracle needs f32 precision loss\n\
+         wall-clock crates/demo/src/hot.rs this site was deleted long ago\n\
+         not-even-a-rule weird line kept verbatim\n",
+    );
+    let report = lint_workspace(&cfg(&root)).unwrap();
+    // The wall-clock entry matches nothing: flagged stale, queued for prune.
+    assert!(report
+        .findings
+        .iter()
+        .any(|f| f.rule == Rule::Waiver && f.message.contains("stale waiver")));
+    assert_eq!(report.stale_waivers.len(), 1);
+
+    let out = prune_waivers(&root, &report).unwrap();
+    assert_eq!((out.kept, out.dropped), (1, 1));
+    assert!(out.rewritten);
+    let text = fs::read_to_string(root.join("lint.waivers")).unwrap();
+    assert!(text.contains("# comment survives"));
+    assert!(text.contains("f32-truncation crates/demo/src/shrink.rs"));
+    assert!(text.contains("not-even-a-rule weird line"));
+    assert!(!text.contains("wall-clock"));
+
+    // Round trip: the pruned file is clean (no stale findings) and a
+    // second prune is a no-op that leaves the bytes alone.
+    let clean = lint_workspace(&cfg(&root)).unwrap();
+    assert!(clean.stale_waivers.is_empty());
+    assert!(!clean
+        .findings
+        .iter()
+        .any(|f| f.rule == Rule::Waiver && f.message.contains("stale waiver")));
+    let again = prune_waivers(&root, &clean).unwrap();
+    assert_eq!((again.kept, again.dropped), (1, 0));
+    assert!(!again.rewritten);
+    assert_eq!(text, fs::read_to_string(root.join("lint.waivers")).unwrap());
 }

@@ -143,6 +143,85 @@ fn h2_two_hop_cross_file_chain_fires_with_evidence() {
 }
 
 #[test]
+fn n1_two_hop_cross_file_taint_fires_with_chain() {
+    let source = fixture("n1_source.rs");
+    let sink = fixture("n1_sink.rs");
+    let findings = lint_sources(&[
+        ("fixtures/n1_sink.rs", &sink),
+        ("fixtures/n1_source.rs", &source),
+    ]);
+    assert_eq!(findings.len(), 1, "{findings:?}");
+    let f = &findings[0];
+    assert_eq!(f.rule, Rule::NondetTaint);
+    assert_eq!((f.path.as_str(), f.line), ("fixtures/n1_sink.rs", 6));
+    assert_eq!(
+        f.chain,
+        vec![
+            "fixtures/n1_source.rs:7 `shard_plan`",
+            "fixtures/n1_source.rs:3 `worker_count`",
+            "fixtures/n1_source.rs:4 `available_parallelism()`",
+        ],
+        "the shortest source chain is the evidence, in call order"
+    );
+    assert!(f.message.contains("Summary::to_json"), "{}", f.message);
+    assert!(f.message.contains("(parallelism)"), "{}", f.message);
+}
+
+#[test]
+fn n1_order_invisible_fence_honored_vs_rejected() {
+    let src = fixture("n1_order_invisible.rs");
+    let findings = lint_sources(&[("fixtures/n1_order_invisible.rs", &src)]);
+    let fired: Vec<(Rule, u32, bool)> = findings
+        .iter()
+        .map(|f| (f.rule, f.line, f.waived.is_some()))
+        .collect();
+    assert_eq!(
+        fired,
+        vec![
+            (Rule::NondetTaint, 10, false),
+            (Rule::NondetTaint, 11, false),
+        ],
+        "`merge` (line 4 fence, backed by a fold) must stay silent; \
+         `snapshot`'s unbacked fence is rejected and its source taints the sink: {findings:?}"
+    );
+    // The rejected fence leaves the source live, so the sink root reports
+    // a direct (one-entry) chain to it.
+    assert_eq!(
+        findings[0].chain,
+        vec!["fixtures/n1_order_invisible.rs:12 `available_parallelism()`"]
+    );
+    assert!(
+        findings[1].message.contains("rejected"),
+        "{}",
+        findings[1].message
+    );
+}
+
+#[test]
+fn l1_lock_discipline_fires_on_nesting_fencing_and_same_statement() {
+    assert_eq!(
+        fired("l1_lock.rs"),
+        vec![
+            (Rule::LockDiscipline, 7, false),
+            (Rule::LockDiscipline, 13, false),
+            (Rule::LockDiscipline, 19, false),
+        ],
+        "nested guard, fenced lock, and two-locks-per-statement fire; \
+         the deref-copy sequence in `sequential` does not"
+    );
+}
+
+#[test]
+fn l2_spawn_merge_fires_only_without_a_drain() {
+    assert_eq!(
+        fired("l2_spawn.rs"),
+        vec![(Rule::SpawnMerge, 11, false)],
+        "`undrained` stores into the Mutex and never merges; \
+         `drained` joins and reads it back, so it stays silent"
+    );
+}
+
+#[test]
 fn inline_waivers_mark_findings_without_dropping_them() {
     assert_eq!(
         fired("inline_waiver.rs"),

@@ -1,0 +1,26 @@
+//! L1 fixture: nested guards, fenced locks, and two locks per statement.
+
+use std::sync::Mutex;
+
+pub fn nested(a: &Mutex<u64>, b: &Mutex<u64>) -> u64 {
+    let first = a.lock().unwrap();
+    let second = b.lock().unwrap();
+    *first + *second
+}
+
+pub fn fenced(m: &Mutex<u64>) -> u64 {
+    // lint:hot-path
+    let v = *m.lock().unwrap();
+    // lint:hot-path-end
+    v
+}
+
+pub fn same_stmt(a: &Mutex<u64>, b: &Mutex<u64>) -> u64 {
+    *a.lock().unwrap() + *b.lock().unwrap()
+}
+
+pub fn sequential(m: &Mutex<u64>) -> u64 {
+    let v = *m.lock().unwrap();
+    let w = v + *m.lock().unwrap();
+    w
+}

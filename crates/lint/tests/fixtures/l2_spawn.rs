@@ -1,0 +1,28 @@
+//! L2 fixture: spawn closures storing into captured sync state —
+//! one fn never drains it, one merges behind a join.
+
+use std::sync::Mutex;
+use std::thread;
+
+pub fn undrained(xs: &[u64], sink: &Mutex<Vec<u64>>) {
+    let mut handles = Vec::new();
+    for &x in xs {
+        handles.push(thread::spawn(move || {
+            sink.lock().unwrap().push(x);
+        }));
+    }
+    handles.clear();
+}
+
+pub fn drained(xs: &[u64], sink: &Mutex<Vec<u64>>) -> usize {
+    let mut handles = Vec::new();
+    for &x in xs {
+        handles.push(thread::spawn(move || {
+            sink.lock().unwrap().push(x);
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    sink.lock().unwrap().len()
+}

@@ -1,0 +1,14 @@
+//! N1 fixture: one honored and one rejected `lint:order-invisible` fence.
+
+pub fn merge(parts: &[u64]) -> u64 {
+    // lint:order-invisible jobs only caps fan-out; the fold below is in slice order
+    let jobs = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let cap = jobs.max(1) as u64;
+    parts.iter().fold(0u64, |acc, &p| acc + p.min(cap))
+}
+
+pub fn snapshot(parts: &[u64]) -> u64 {
+    // lint:order-invisible claim with no fold to back it up
+    let jobs = std::thread::available_parallelism().map_or(1, |n| n.get());
+    parts.first().copied().unwrap_or(jobs as u64)
+}

@@ -1,0 +1,9 @@
+//! N1 fixture: the sink root — a `to_json` emitter one file away.
+
+pub struct Summary;
+
+impl Summary {
+    pub fn to_json(&self) -> u64 {
+        shard_plan(64) as u64
+    }
+}

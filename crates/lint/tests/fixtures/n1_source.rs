@@ -1,0 +1,9 @@
+//! N1 fixture: nondeterminism sources two calls away from the sink.
+
+pub fn worker_count() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+pub fn shard_plan(total: usize) -> usize {
+    total / worker_count().max(1)
+}

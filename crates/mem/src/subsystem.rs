@@ -303,6 +303,7 @@ impl MemorySubsystem {
             queues.push(Mutex::new(feed.by_ref().take(chunk).collect()));
         }
         let queues = &queues;
+        // lint:order-invisible the cap only sizes the thread pool; bank totals are self-contained and their merge is commutative
         let workers = jobs.min(std::thread::available_parallelism().map_or(1, |n| n.get()));
 
         std::thread::scope(|scope| {
