@@ -31,18 +31,29 @@ step "tests" cargo test -q --offline
 # reads, f32 truncation, ad-hoc seed literals, allocations inside (or
 # reachable from) `// lint:hot-path` fences, shared-mutable spawn
 # captures, nondeterminism taint reaching summary emission (N1), lock
-# discipline (L1), undrained spawn stores (L2), or scenario specs that
-# don't match their experiment's parameter schema.
+# discipline (L1), undrained spawn stores (L2), lock-order cycles (L3),
+# correlated placement selectors / lossy selector narrowing over the
+# bit-provenance lattice (B1/B2, DESIGN.md §16), unit-of-measure mixing
+# (U1), or scenario specs that don't match their experiment's parameter
+# schema.
 #
 # The lint runs twice through its incremental cache: the cold run
 # (parallel, --jobs 0) re-analyzes every file, the warm run must hit
 # the cache for all of them and reproduce the JSON report byte-for-byte
 # — worker count, cache state, and report bytes are required to be
 # mutually invisible.
+#
+# The cold run also carries the wall-time budget gate: the abstract
+# interpreter re-runs its summary fixpoint every lint, so a checked-in,
+# machine-speed-normalised ceiling (same calibration scheme as the
+# bench baselines) keeps the layer from silently blowing up CI time.
+# Regenerate after intentional analysis growth with:
+#   ./target/release/ehp lint --jobs 0 --save-budget crates/lint/lint_budget.json
 mkdir -p target/figures
-step "ehp lint (cold, parallel)" sh -c '
+step "ehp lint (cold, parallel, budget gate)" sh -c '
     rm -f target/lint-cache.json &&
-    ./target/release/ehp lint --json --jobs 0 > target/lint_report.cold.json'
+    ./target/release/ehp lint --json --jobs 0 \
+        --budget crates/lint/lint_budget.json > target/lint_report.cold.json'
 step "ehp lint (warm)" sh -c \
     './target/release/ehp lint --json > target/figures/lint_report.json'
 step "warm lint report byte-identical" \

@@ -28,9 +28,23 @@ fn main() -> ExitCode {
                 };
                 opts.explain = Some(rule);
             }
+            "--budget" => {
+                let Some(path) = argv.next() else {
+                    eprintln!("ehp-lint: --budget needs a budget-file path");
+                    return ExitCode::from(2);
+                };
+                opts.budget = Some(path);
+            }
+            "--save-budget" => {
+                let Some(path) = argv.next() else {
+                    eprintln!("ehp-lint: --save-budget needs a budget-file path");
+                    return ExitCode::from(2);
+                };
+                opts.save_budget = Some(path);
+            }
             other => {
                 eprintln!(
-                    "ehp-lint: unknown option {other:?} (usage: ehp-lint [--json|--sarif] [--no-cache] [--prune-waivers] [--jobs N] [--explain <rule>])"
+                    "ehp-lint: unknown option {other:?} (usage: ehp-lint [--json|--sarif] [--no-cache] [--prune-waivers] [--jobs N] [--explain <rule>] [--budget FILE] [--save-budget FILE])"
                 );
                 return ExitCode::from(2);
             }

@@ -53,6 +53,8 @@ struct Args {
     workers: usize,
     socket: Option<String>,
     explain: Option<String>,
+    budget: Option<String>,
+    save_budget: Option<String>,
     params: BTreeMap<String, Json>,
     seed_override: Option<u64>,
     specs: Vec<String>,
@@ -122,6 +124,8 @@ pub fn run(argv: &[String]) -> i32 {
                 prune_waivers: args.prune_waivers,
                 jobs: args.jobs_given,
                 explain: args.explain.clone(),
+                budget: args.budget.clone(),
+                save_budget: args.save_budget.clone(),
             };
             crate::lint::run(&cwd, &opts)
         }
@@ -146,6 +150,7 @@ fn print_usage() {
          ehp all [options]                run the whole registry\n\
          ehp check [options]              run + verify expected shapes\n\
          ehp lint [--json|--sarif] [--no-cache] [--prune-waivers] [--jobs N] [--explain <rule>]\n\
+                  [--budget FILE] [--save-budget FILE]\n\
                                           lint the workspace (DESIGN.md §10–§11, §15)\n\
          ehp serve [--socket PATH]        long-running scenario daemon (DESIGN.md §12)\n\
          ehp worker                       pool child (internal; frames on stdin/stdout)\n\
@@ -165,6 +170,9 @@ fn print_usage() {
            --no-cache      skip the incremental lint cache\n\
            --prune-waivers rewrite lint.waivers, dropping stale entries\n\
            --explain RULE  print one lint rule's documentation (name or code)\n\
+           --budget FILE   fail if lint wall time exceeds the checked-in,\n\
+                           machine-speed-normalised budget (crates/lint/lint_budget.json)\n\
+           --save-budget FILE  write a fresh budget from this run's wall time\n\
            (for lint, --jobs 0 = one worker per core; default 1 = serial)"
     );
 }
@@ -219,6 +227,8 @@ fn parse_args(rest: &[String]) -> Result<Args, String> {
             "--prune-waivers" => args.prune_waivers = true,
             "--no-result-cache" => args.no_result_cache = true,
             "--explain" => args.explain = Some(value_of("--explain")?.to_string()),
+            "--budget" => args.budget = Some(value_of("--budget")?.to_string()),
+            "--save-budget" => args.save_budget = Some(value_of("--save-budget")?.to_string()),
             flag if flag.starts_with('-') => {
                 return Err(format!("unknown option {flag:?}"));
             }

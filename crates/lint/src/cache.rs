@@ -26,7 +26,9 @@ use crate::parse::FileIndex;
 /// Bump on any change to rules, parser output, or cache shape.
 /// 3: N1/L1/L2 — nondet sources, order fences, lock sites, sync
 /// captures, and loop lines joined the serialized `FileIndex`.
-pub const CACHE_VERSION: u64 = 3;
+/// 4: absint (B1/B2/U1/L3) — fn params, bind expressions, file-local
+/// consts, and lock targets joined the serialized `FileIndex`.
+pub const CACHE_VERSION: u64 = 4;
 
 /// Cached state for one source file.
 #[derive(Debug, Clone)]

@@ -133,9 +133,12 @@ const COMMON_STD_METHODS: &[&str] = &[
 ];
 
 /// A function key: (file index, fn index).
-type FnKey = (usize, usize);
+pub(crate) type FnKey = (usize, usize);
 
-struct Symbols<'a> {
+/// Workspace symbol table: conservative, deterministic resolution of
+/// call sites to candidate definitions. Shared with the abstract
+/// interpreter's summary propagation (`absint`).
+pub(crate) struct Symbols<'a> {
     files: &'a [(String, FileIndex)],
     /// name → definitions (test items excluded).
     by_name: BTreeMap<&'a str, Vec<FnKey>>,
@@ -144,7 +147,7 @@ struct Symbols<'a> {
 }
 
 impl<'a> Symbols<'a> {
-    fn build(files: &'a [(String, FileIndex)]) -> Symbols<'a> {
+    pub(crate) fn build(files: &'a [(String, FileIndex)]) -> Symbols<'a> {
         let mut by_name: BTreeMap<&str, Vec<FnKey>> = BTreeMap::new();
         let mut by_owner: BTreeMap<(&str, &str), Vec<FnKey>> = BTreeMap::new();
         for (fi, (_, index)) in files.iter().enumerate() {
@@ -170,7 +173,12 @@ impl<'a> Symbols<'a> {
 
     /// Resolves one call site made from `caller` (used for `Self::` and
     /// `self.` receivers) in file `file_idx`. Deterministic order.
-    fn resolve(&self, call: &crate::parse::CallSite, file_idx: usize, caller: FnKey) -> Vec<FnKey> {
+    pub(crate) fn resolve(
+        &self,
+        call: &crate::parse::CallSite,
+        file_idx: usize,
+        caller: FnKey,
+    ) -> Vec<FnKey> {
         let caller_owner = self.files[caller.0].1.fns[caller.1].owner.as_deref();
         let owned = |owner: Option<&str>, name: &str| -> Vec<FnKey> {
             owner

@@ -37,6 +37,20 @@ pub enum Rule {
     /// L2: Mutex/atomic state a spawn closure stores into must be
     /// drained/merged after the spawn in deterministic index order.
     SpawnMerge,
+    /// L3: the workspace lock-acquisition-order graph (built from L1's
+    /// guard-liveness data) must be cycle-free — a cycle is a deadlock
+    /// waiting for the right interleaving.
+    LockOrder,
+    /// B1: two selector values in one fn derived from overlapping bit
+    /// lanes of the same source value, both bounded for placement /
+    /// indexing — the correlated-interleave bug class (PR 8).
+    CorrelatedSelectors,
+    /// B2: a cast/mask provably discards bit lanes a later selector
+    /// still needs, starving it of entropy.
+    LossyNarrowing,
+    /// U1: arithmetic mixing units of measure (ns/cycles/bytes/blocks)
+    /// without an explicit conversion.
+    UnitMixing,
     /// S1: scenario specs must match their experiment's parameter schema.
     ScenarioSchema,
     /// Malformed fence markers (unbalanced / nested `lint:hot-path`).
@@ -60,6 +74,10 @@ impl Rule {
             Rule::NondetTaint => "nondet-taint",
             Rule::LockDiscipline => "lock-discipline",
             Rule::SpawnMerge => "spawn-merge",
+            Rule::LockOrder => "lock-order",
+            Rule::CorrelatedSelectors => "correlated-selectors",
+            Rule::LossyNarrowing => "lossy-narrowing",
+            Rule::UnitMixing => "unit-mixing",
             Rule::ScenarioSchema => "scenario-schema",
             Rule::Fence => "fence",
             Rule::Waiver => "waiver",
@@ -80,6 +98,10 @@ impl Rule {
             Rule::NondetTaint => "N1",
             Rule::LockDiscipline => "L1",
             Rule::SpawnMerge => "L2",
+            Rule::LockOrder => "L3",
+            Rule::CorrelatedSelectors => "B1",
+            Rule::LossyNarrowing => "B2",
+            Rule::UnitMixing => "U1",
             Rule::ScenarioSchema => "S1",
             Rule::Waiver => "W0",
         }
@@ -98,6 +120,10 @@ impl Rule {
         Rule::NondetTaint,
         Rule::LockDiscipline,
         Rule::SpawnMerge,
+        Rule::LockOrder,
+        Rule::CorrelatedSelectors,
+        Rule::LossyNarrowing,
+        Rule::UnitMixing,
         Rule::ScenarioSchema,
         Rule::Fence,
         Rule::Waiver,
@@ -118,6 +144,10 @@ impl Rule {
             "nondet-taint" => Some(Rule::NondetTaint),
             "lock-discipline" => Some(Rule::LockDiscipline),
             "spawn-merge" => Some(Rule::SpawnMerge),
+            "lock-order" => Some(Rule::LockOrder),
+            "correlated-selectors" => Some(Rule::CorrelatedSelectors),
+            "lossy-narrowing" => Some(Rule::LossyNarrowing),
+            "unit-mixing" => Some(Rule::UnitMixing),
             "scenario-schema" => Some(Rule::ScenarioSchema),
             _ => None,
         }
@@ -235,6 +265,51 @@ impl Rule {
                  closures depend on scheduling order. Accumulators that \
                  feed logging only can be waived with \
                  `// lint:allow(spawn-merge) <reason>`."
+            }
+            Rule::LockOrder => {
+                "L3 lock-order: taking lock B while holding lock A adds the \
+                 edge A -> B to the workspace lock-acquisition-order graph \
+                 (built from the same guard-liveness data L1 uses, with the \
+                 lock's receiver identifier as the graph node). A cycle in \
+                 that graph means two code paths acquire the same locks in \
+                 opposite orders — a deadlock waiting for the right thread \
+                 interleaving. The finding shows one witness site per edge \
+                 of the cycle; fix it by picking one global acquisition \
+                 order (or collapsing the critical sections)."
+            }
+            Rule::CorrelatedSelectors => {
+                "B1 correlated-selectors: two selector values in one fn \
+                 (bounded by `% n` or a small power-of-two mask, i.e. used \
+                 for placement or indexing) whose abstract bit-lane sets \
+                 intersect on the same source value. Correlated selectors \
+                 collapse the cross product: the pre-PR-8 interleave bug \
+                 drew the channel hash from address bits 8-11 and the bank \
+                 index from bits 10-13, so only a quarter of the banks per \
+                 channel were ever populated. The finding shows both \
+                 derivation chains as `via` evidence. The sanctioned fix is \
+                 to decorrelate one selector by XOR-folding disjoint \
+                 higher source bits across it (like `bank_mix`) — the \
+                 analyzer recognizes multi-shift folds and stays silent; \
+                 fold-free overlap fires."
+            }
+            Rule::LossyNarrowing => {
+                "B2 lossy-narrowing: a selector with a known power-of-two \
+                 bound 2^k whose surviving source bit lanes number fewer \
+                 than k — an upstream cast or mask provably discarded \
+                 entropy the selector still needs, so part of its range is \
+                 unreachable (e.g. `let x = addr as u8; (x >> 6) & 15` can \
+                 only ever produce 4 of 16 values). Widen the upstream \
+                 value or narrow the selector's bound to match."
+            }
+            Rule::UnitMixing => {
+                "U1 unit-mixing: adding or subtracting two values of \
+                 different measurement dimensions (time from identifier \
+                 suffixes like _ns/_ps or the SimTime newtype; cycles; \
+                 bytes from _bytes/_kib/_mib; blocks; frequency from \
+                 _hz/_mhz/_ghz) is a fidelity bug even when the types \
+                 check out, because everything is u64 underneath. Convert \
+                 explicitly (multiply/divide through the rate) or rename \
+                 the identifier if its suffix lies."
             }
             Rule::ScenarioSchema => {
                 "S1 scenario-schema: scenarios/*.json must match the \
@@ -402,6 +477,10 @@ mod tests {
             Rule::NondetTaint,
             Rule::LockDiscipline,
             Rule::SpawnMerge,
+            Rule::LockOrder,
+            Rule::CorrelatedSelectors,
+            Rule::LossyNarrowing,
+            Rule::UnitMixing,
             Rule::ScenarioSchema,
         ] {
             assert_eq!(Rule::from_name(rule.name()), Some(rule));

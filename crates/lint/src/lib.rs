@@ -24,12 +24,17 @@
 //! | `nondet-taint`    | N1   | no nondeterminism reaches summary/merge sinks    |
 //! | `lock-discipline` | L1   | no fenced/nested/same-statement lock acquisition |
 //! | `spawn-merge`     | L2   | spawn-stored sync state drains deterministically |
+//! | `lock-order`      | L3   | no cycles in the lock acquisition-order graph    |
+//! | `correlated-selectors` | B1 | placement selectors use disjoint address lanes |
+//! | `lossy-narrowing` | B2   | selectors keep enough source bits for their range |
+//! | `unit-mixing`     | U1   | no additive arithmetic across units of measure   |
 //! | `scenario-schema` | S1   | `scenarios/*.json` match experiment schemas      |
 //!
-//! D1–D4, H1, R1, L1, and L2 are single-file rules and cache per file
-//! (content-hash keyed, `target/lint-cache.json`); H2 and N1 walk the
-//! workspace call graph built from the per-file indexes and are
-//! recomputed every run, as are S1 and the waiver file. A cold run
+//! D1–D4, H1, R1, L1, L2, and U1 are single-file rules and cache per
+//! file (content-hash keyed, `target/lint-cache.json`); H2, N1, L3, and
+//! the bit-provenance rules B1/B2 walk the workspace call graph (and
+//! the [`absint`] lane summaries) built from the per-file indexes and
+//! are recomputed every run, as are S1 and the waiver file. A cold run
 //! fans the per-file work out across threads ([`LintConfig::jobs`])
 //! and merges by file index, so the report is byte-identical across
 //! serial, parallel, and cached runs.
@@ -38,6 +43,7 @@
 //! `ehp-lint` binary (both in `ehp-harness`, which owns the experiment
 //! registry and therefore the schemas) are thin wrappers around it.
 
+pub mod absint;
 pub mod cache;
 pub mod callgraph;
 pub mod findings;
@@ -171,11 +177,14 @@ pub fn lint_sources(sources: &[(&str, &str)]) -> Vec<Finding> {
 }
 
 /// Runs the cross-file passes (H2 allocation reachability, N1 nondet
-/// taint) over the per-file indexes and appends their findings,
-/// applying each root file's inline waivers.
+/// taint, B1/B2 bit-provenance, L3 lock-order) over the per-file
+/// indexes and appends their findings, applying each root file's
+/// inline waivers.
 fn append_reachability(findings: &mut Vec<Finding>, indexes: &[(String, FileIndex)]) {
     let mut cross = callgraph::check_reachable_allocs(indexes);
     cross.append(&mut callgraph::check_nondet_taint(indexes));
+    cross.append(&mut absint::check_lanes(indexes));
+    cross.append(&mut absint::check_lock_order(indexes));
     for f in &mut cross {
         if let Some((_, index)) = indexes.iter().find(|(p, _)| *p == f.path) {
             waiver::apply_inline(std::slice::from_mut(f), &index.waivers);
@@ -291,7 +300,8 @@ pub fn lint_workspace(config: &LintConfig) -> io::Result<LintReport> {
         report.files_scanned += 1;
     }
 
-    // Cross-file passes: H2 reachability and N1 taint over the graph.
+    // Cross-file passes: H2 reachability, N1 taint, B1/B2 lanes, and
+    // L3 lock-order over the graph.
     append_reachability(&mut report.findings, &indexes);
 
     // Scenario specs.

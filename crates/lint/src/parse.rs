@@ -99,6 +99,34 @@ pub struct AllocSite {
     pub line: u32,
 }
 
+/// Name under which a function's `return`/tail expression values are
+/// recorded in [`FnItem::binds`].
+pub const RET_BIND: &str = "=ret";
+
+/// Cap on captured binds per fn; a body past this is analysis-hostile
+/// and the abstract interpreter would saturate on it anyway.
+const MAX_BINDS: usize = 96;
+/// Cap on tokens per captured expression (oversized ones become the
+/// opaque `"?"` so the evaluator never mis-parses a truncation).
+const MAX_EXPR_TOKS: usize = 160;
+
+/// One captured value binding inside a function body — the abstract
+/// interpreter's input (B1/B2 bit-provenance, [`crate::absint`]).
+///
+/// `expr` holds the right-hand side as space-joined token texts in
+/// source order (string/char literals become `#`, oversized
+/// expressions become `?`); the interpreter re-classifies each word by
+/// its first character, so no token structure is lost.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BindSite {
+    /// Bound identifier; [`RET_BIND`] for `return`/tail values.
+    pub name: String,
+    /// 1-based source line of the statement.
+    pub line: u32,
+    /// Encoded right-hand-side token stream.
+    pub expr: String,
+}
+
 /// One function item.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FnItem {
@@ -121,6 +149,11 @@ pub struct FnItem {
     /// Lines of `for` loops in the body — evidence of fixed-order
     /// iteration, consulted when verifying `lint:order-invisible`.
     pub loops: Vec<u32>,
+    /// Parameter names in declaration order (`self` excluded) — the
+    /// abstract interpreter's lane sources (B1/B2).
+    pub params: Vec<String>,
+    /// Captured value bindings, in source order (B1/B2).
+    pub binds: Vec<BindSite>,
 }
 
 /// The kind of nondeterminism a taint source introduces (N1).
@@ -199,6 +232,13 @@ pub struct LockSite {
     pub live_guard: Option<(String, u32)>,
     /// A previous `.lock()` already occurred in the same statement.
     pub second_in_stmt: bool,
+    /// Receiver identifier of this `.lock()` when it is ident-rooted
+    /// (`slots[i].lock()` → `slots`, `self.a.lock()` → `a`) — the L3
+    /// lock-order graph node being acquired.
+    pub target: Option<String>,
+    /// Lock target of the still-live guard, when known — the L3 edge
+    /// source (`held_target` → `target` is an acquisition-order edge).
+    pub held_target: Option<String>,
 }
 
 /// One sync-typed identifier captured by a spawn closure (L2).
@@ -289,6 +329,10 @@ pub struct FileIndex {
     /// Identifiers declared with a sync type (`Mutex`/`RwLock`/
     /// `Atomic*`), first declaration wins (L2).
     pub sync_typed: BTreeMap<String, String>,
+    /// File-local integer constants (`const NUM_BANKS: u64 = 16;`), so
+    /// the abstract interpreter can resolve selector bounds like
+    /// `row % NUM_BANKS` (B1/B2).
+    pub consts: BTreeMap<String, u64>,
 }
 
 /// Extracts fence regions from a file's comments; unbalanced or nested
@@ -556,9 +600,10 @@ pub fn parse_file(path: &str, file: &TokenizedFile) -> (FileIndex, Vec<Finding>)
     let mut scopes: Vec<Scope> = Vec::new();
     let mut pending: Option<Scope> = None;
     let mut pending_test_attr = false;
-    // Live lock guards for L1: (binding name, binding line, scope depth
-    // at the binding, token index after which the guard is live).
-    let mut guards: Vec<(String, u32, usize, usize)> = Vec::new();
+    // Live lock guards for L1/L3: (binding name, binding line, scope
+    // depth at the binding, token index after which the guard is live,
+    // lock target the guard holds).
+    let mut guards: Vec<(String, u32, usize, usize, Option<String>)> = Vec::new();
     // A `.lock()` already seen in the current statement (L1).
     let mut stmt_lock = false;
 
@@ -656,13 +701,25 @@ pub fn parse_file(path: &str, file: &TokenizedFile) -> (FileIndex, Vec<Finding>)
                 }
                 j += 1;
             }
-            let has_self = if j < toks.len() {
-                let close = matching_close(toks, j);
-                toks[j..close.min(toks.len())]
-                    .iter()
-                    .any(|t| t.is_ident("self"))
+            let (has_self, params, binds) = if j < toks.len() {
+                let close = matching_close(toks, j).min(toks.len());
+                let args = &toks[j + 1..close.min(toks.len())];
+                let has_self = args.iter().any(|t| t.is_ident("self"));
+                let params = param_names(args);
+                // The body `{` follows the signature; a `;` instead
+                // means a trait method declaration (no body).
+                let mut b = close + 1;
+                while b < toks.len() && !toks[b].is_punct('{') && !toks[b].is_punct(';') {
+                    b += 1;
+                }
+                let mut binds = Vec::new();
+                if b < toks.len() && toks[b].is_punct('{') {
+                    let end = matching_close(toks, b).min(toks.len());
+                    collect_binds(toks, b + 1, end, true, &mut binds);
+                }
+                (has_self, params, binds)
             } else {
-                false
+                (false, Vec::new(), Vec::new())
             };
             let idx = index.fns.len();
             index.fns.push(FnItem {
@@ -675,6 +732,8 @@ pub fn parse_file(path: &str, file: &TokenizedFile) -> (FileIndex, Vec<Finding>)
                 allocs: Vec::new(),
                 nondet: Vec::new(),
                 loops: Vec::new(),
+                params,
+                binds,
             });
             pending = Some(Scope::Fn { idx });
             pending_test_attr = false;
@@ -691,7 +750,7 @@ pub fn parse_file(path: &str, file: &TokenizedFile) -> (FileIndex, Vec<Finding>)
         if t.is_punct('}') {
             scopes.pop();
             // Guards bound inside the closed block die with it.
-            guards.retain(|&(_, _, depth, _)| depth <= scopes.len());
+            guards.retain(|(_, _, depth, ..)| *depth <= scopes.len());
             stmt_lock = false;
             i += 1;
             continue;
@@ -730,10 +789,18 @@ pub fn parse_file(path: &str, file: &TokenizedFile) -> (FileIndex, Vec<Finding>)
             // Fall through: the site is also recorded as a call below.
         }
 
+        // File-local integer constants: `const NAME: T = <literal>;` —
+        // resolvable selector bounds for the abstract interpreter.
+        if t.is_ident("const") {
+            if let Some((name, value)) = const_literal(toks, i) {
+                index.consts.entry(name).or_insert(value);
+            }
+        }
+
         // Lock-guard bindings, explicit drops, and `.lock()` sites (L1).
         if t.is_ident("let") {
-            if let Some((name, live_from)) = guard_binding(toks, i) {
-                guards.push((name, t.line, scopes.len(), live_from));
+            if let Some((name, live_from, target)) = guard_binding(toks, i) {
+                guards.push((name, t.line, scopes.len(), live_from, target));
             }
         }
         if t.is_ident("drop")
@@ -751,7 +818,7 @@ pub fn parse_file(path: &str, file: &TokenizedFile) -> (FileIndex, Vec<Finding>)
             && toks[i + 2].is_punct('(')
             && !is_stdio_receiver(toks, i)
         {
-            let live = guards.iter().rev().find(|&&(_, _, _, from)| from < i);
+            let live = guards.iter().rev().find(|(_, _, _, from, _)| *from < i);
             index.locks.push(LockSite {
                 line: toks[i + 1].line,
                 in_fence: in_fence(&index.fences, toks[i + 1].line),
@@ -760,6 +827,8 @@ pub fn parse_file(path: &str, file: &TokenizedFile) -> (FileIndex, Vec<Finding>)
                     || current_fn(&scopes).is_some_and(|idx| index.fns[idx].is_test),
                 live_guard: live.map(|(name, line, ..)| (name.clone(), *line)),
                 second_in_stmt: stmt_lock,
+                target: lock_target(toks, i),
+                held_target: live.and_then(|(.., target)| target.clone()),
             });
             stmt_lock = true;
         }
@@ -1021,11 +1090,12 @@ fn is_stdio_receiver(toks: &[Tok], dot: usize) -> bool {
 
 /// If the `let` at `i` binds a lock guard — `let [mut] name [: T] =
 /// <expr with .lock() at paren depth 0>[.unwrap()/.expect(..)];` —
-/// returns `(name, stmt_end)` where `stmt_end` is the index of the
-/// terminating `;` (the guard is live only after its own statement).
-/// Initializers that start with `*` deref-copy the value out, so the
-/// guard is a dropped temporary, not a binding.
-fn guard_binding(toks: &[Tok], i: usize) -> Option<(String, usize)> {
+/// returns `(name, stmt_end, lock target)` where `stmt_end` is the
+/// index of the terminating `;` (the guard is live only after its own
+/// statement) and the target is the `.lock()` receiver when it is
+/// ident-rooted (L3). Initializers that start with `*` deref-copy the
+/// value out, so the guard is a dropped temporary, not a binding.
+fn guard_binding(toks: &[Tok], i: usize) -> Option<(String, usize, Option<String>)> {
     let mut j = i + 1;
     if toks.get(j)?.is_ident("mut") {
         j += 1;
@@ -1094,14 +1164,328 @@ fn guard_binding(toks: &[Tok], i: usize) -> Option<(String, usize)> {
             {
                 m = matching_close(toks, m + 2) + 1;
             }
-            return toks
-                .get(m)
-                .is_some_and(|t| t.is_punct(';'))
-                .then_some((name, m));
+            return toks.get(m).is_some_and(|t| t.is_punct(';')).then_some((
+                name,
+                m,
+                lock_target(toks, k),
+            ));
         }
         k += 1;
     }
     None
+}
+
+/// Receiver identifier for the `.lock()` whose dot sits at `dot`:
+/// walks left over one postfix-chain element, so `slots[i].lock()`
+/// yields `slots` and `self.a.lock()` yields `a`. `None` when the
+/// receiver is not ident-rooted (call results, parenthesised
+/// expressions) — those sites contribute no L3 graph node.
+fn lock_target(toks: &[Tok], dot: usize) -> Option<String> {
+    let mut k = dot;
+    while k > 0 {
+        let p = &toks[k - 1];
+        if p.kind == TokKind::Ident {
+            // `self.lock()` itself names nothing useful.
+            return (!p.is_ident("self")).then(|| p.text.clone());
+        }
+        if p.is_punct(']') {
+            // Index expression: hop to the matching `[`, keep walking.
+            let mut depth = 0i32;
+            let mut j = k - 1;
+            loop {
+                let t = &toks[j];
+                if t.is_punct(']') {
+                    depth += 1;
+                } else if t.is_punct('[') {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                if j == 0 {
+                    return None;
+                }
+                j -= 1;
+            }
+            k = j;
+            continue;
+        }
+        return None;
+    }
+    None
+}
+
+/// If the `const` at `i` declares an integer with a literal value —
+/// `const NAME: T = <int literal>;` — returns `(name, value)`.
+fn const_literal(toks: &[Tok], i: usize) -> Option<(String, u64)> {
+    let name = toks.get(i + 1)?;
+    if name.kind != TokKind::Ident || !toks.get(i + 2)?.is_punct(':') {
+        return None;
+    }
+    // Scan the (simple, for integers) type ascription to the `=`.
+    let mut k = i + 3;
+    while k < toks.len() && !toks[k].is_punct('=') {
+        if toks[k].is_punct(';') || toks[k].is_punct('{') || toks[k].is_punct('}') {
+            return None;
+        }
+        k += 1;
+    }
+    let num = toks.get(k + 1)?;
+    if num.kind != TokKind::Num || !toks.get(k + 2)?.is_punct(';') {
+        return None;
+    }
+    Some((name.text.clone(), int_literal(&num.text)?))
+}
+
+/// Parses a Rust integer literal (`0xFF_u64`, `1_024`, `0b1010`,
+/// suffixes allowed); `None` for floats and non-numeric text.
+pub(crate) fn int_literal(text: &str) -> Option<u64> {
+    let t: String = text.chars().filter(|c| *c != '_').collect();
+    let (digits, radix) = if let Some(h) = t.strip_prefix("0x").or_else(|| t.strip_prefix("0X")) {
+        (h, 16u32)
+    } else if let Some(b) = t.strip_prefix("0b") {
+        (b, 2)
+    } else if let Some(o) = t.strip_prefix("0o") {
+        (o, 8)
+    } else {
+        (t.as_str(), 10)
+    };
+    let end = digits
+        .char_indices()
+        .find(|(_, c)| !c.is_digit(radix))
+        .map_or(digits.len(), |(p, _)| p);
+    // A `.` right after the digits is a float, not a typed suffix.
+    if end == 0 || digits[end..].starts_with('.') {
+        return None;
+    }
+    u64::from_str_radix(&digits[..end], radix).ok()
+}
+
+/// Parameter names from a fn's parameter token span: each `name :` at
+/// bracket/angle depth 0. `self`, path segments (`a::b`), and
+/// destructuring patterns contribute nothing.
+fn param_names(toks: &[Tok]) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut depth = 0i32;
+    let mut angle = 0i32;
+    for (k, t) in toks.iter().enumerate() {
+        if t.is_punct('(') || t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct(')') || t.is_punct(']') {
+            depth -= 1;
+        } else if t.is_punct('<') {
+            angle += 1;
+        } else if t.is_punct('>') {
+            angle -= 1;
+        } else if depth == 0
+            && angle <= 0
+            && t.is_punct(':')
+            && k >= 1
+            && toks[k - 1].kind == TokKind::Ident
+            && !toks[k - 1].is_ident("self")
+            && !(k >= 2 && toks[k - 2].is_punct(':'))
+            && !toks.get(k + 1).is_some_and(|n| n.is_punct(':'))
+        {
+            out.push(toks[k - 1].text.clone());
+        }
+    }
+    out
+}
+
+/// Operator characters that can prefix `=` in a compound assignment.
+const COMPOUND_OPS: &[char] = &['+', '-', '*', '/', '%', '^', '&', '|', '<', '>'];
+
+/// Splits the body token span `[lo, hi)` into statements and records
+/// the value bindings the abstract interpreter consumes: `let`
+/// statements, (compound) assignments, `return`s, and — when `tail` —
+/// the final expression, recursing into tail `if`/`else` blocks so
+/// conditional returns contribute per-branch values. Statement-position
+/// blocks (loops, plain `if`, `match` bodies) are recursed non-tail so
+/// bindings inside them are still seen.
+fn collect_binds(toks: &[Tok], lo: usize, hi: usize, tail: bool, out: &mut Vec<BindSite>) {
+    let mut start = lo;
+    let mut k = lo;
+    while k < hi && out.len() < MAX_BINDS {
+        let t = &toks[k];
+        if t.is_punct('(') || t.is_punct('[') {
+            k = matching_close(toks, k).min(hi) + 1;
+            continue;
+        }
+        if t.is_punct('{') {
+            let close = matching_close(toks, k).min(hi);
+            let next = toks.get(close + 1).filter(|_| close + 1 < hi);
+            // `else` chains and postfix uses keep the statement open.
+            if next.is_some_and(|n| n.is_ident("else") || n.is_punct('.') || n.is_punct('?')) {
+                k = close + 1;
+                continue;
+            }
+            if next.is_some_and(|n| n.is_punct(';')) {
+                record_stmt(toks, start, close + 1, false, out);
+                start = close + 2;
+                k = close + 2;
+                continue;
+            }
+            // The block ends the statement: a statement-position
+            // `if`/`match`/loop, or the body's tail expression.
+            record_stmt(toks, start, close + 1, tail && close + 1 >= hi, out);
+            start = close + 1;
+            k = close + 1;
+            continue;
+        }
+        if t.is_punct(';') {
+            record_stmt(toks, start, k, false, out);
+            start = k + 1;
+        }
+        k += 1;
+    }
+    if start < hi && out.len() < MAX_BINDS {
+        record_stmt(toks, start, hi, tail, out);
+    }
+}
+
+/// Records the binding (if any) produced by one statement span
+/// `[lo, hi)`; see [`collect_binds`].
+fn record_stmt(toks: &[Tok], mut lo: usize, hi: usize, is_tail: bool, out: &mut Vec<BindSite>) {
+    // Separators left behind by match-arm and close-brace splitting.
+    while lo < hi && (toks[lo].is_punct(',') || toks[lo].is_punct('}')) {
+        lo += 1;
+    }
+    if lo >= hi || out.len() >= MAX_BINDS {
+        return;
+    }
+    let t = &toks[lo];
+    if t.is_ident("let") {
+        let mut j = lo + 1;
+        if j < hi && toks[j].is_ident("mut") {
+            j += 1;
+        }
+        // Destructuring patterns and `let .. else` refutable binds are
+        // not value bindings the interpreter can use; plain names only.
+        if j >= hi || toks[j].kind != TokKind::Ident {
+            return;
+        }
+        let (name, line) = (toks[j].text.clone(), toks[j].line);
+        // Find the binder `=` at bracket depth 0 (skips `: Vec<u64>`
+        // ascriptions; an `fn(..) -> ..` ascription confuses the angle
+        // count and simply drops the bind — conservative).
+        let mut depth = 0i32;
+        let mut k = j + 1;
+        while k < hi {
+            let tk = &toks[k];
+            if tk.is_punct('(') || tk.is_punct('[') || tk.is_punct('<') {
+                depth += 1;
+            } else if tk.is_punct(')') || tk.is_punct(']') || tk.is_punct('>') {
+                depth -= 1;
+            } else if depth == 0 && tk.is_punct('=') {
+                if k + 1 < hi {
+                    out.push(BindSite {
+                        name,
+                        line,
+                        expr: encode_expr(toks, k + 1, hi),
+                    });
+                }
+                return;
+            }
+            k += 1;
+        }
+        return;
+    }
+    if t.is_ident("return") {
+        if lo + 1 < hi {
+            out.push(BindSite {
+                name: RET_BIND.to_string(),
+                line: t.line,
+                expr: encode_expr(toks, lo + 1, hi),
+            });
+        }
+        return;
+    }
+    if t.is_ident("if")
+        || t.is_ident("match")
+        || t.is_ident("for")
+        || t.is_ident("while")
+        || t.is_ident("loop")
+        || t.is_ident("unsafe")
+        || t.is_punct('{')
+    {
+        // Tail `if`/block chains contribute branch return values;
+        // everything else is recursed only for its inner bindings.
+        let branch_tail = is_tail && (t.is_ident("if") || t.is_ident("unsafe") || t.is_punct('{'));
+        let mut k = lo;
+        while k < hi && out.len() < MAX_BINDS {
+            if toks[k].is_punct('{') {
+                let close = matching_close(toks, k).min(hi);
+                collect_binds(toks, k + 1, close, branch_tail, out);
+                k = close + 1;
+            } else if toks[k].is_punct('(') || toks[k].is_punct('[') {
+                k = matching_close(toks, k).min(hi) + 1;
+            } else {
+                k += 1;
+            }
+        }
+        return;
+    }
+    if is_tail {
+        out.push(BindSite {
+            name: RET_BIND.to_string(),
+            line: t.line,
+            expr: encode_expr(toks, lo, hi),
+        });
+        return;
+    }
+    // `name = expr;` assignments and `name <op>= expr;` compound
+    // assignments (synthesized as `name <op> ( expr )`).
+    if t.kind == TokKind::Ident && lo + 1 < hi {
+        let mut ops: Vec<&str> = Vec::new();
+        let mut k = lo + 1;
+        while k < hi
+            && ops.len() < 2
+            && toks[k].kind == TokKind::Punct
+            && toks[k].text.len() == 1
+            && COMPOUND_OPS.contains(&toks[k].text.chars().next().unwrap_or(' '))
+        {
+            ops.push(toks[k].text.as_str());
+            k += 1;
+        }
+        let is_assign = k < hi
+            && toks[k].is_punct('=')
+            && !toks
+                .get(k + 1)
+                .is_some_and(|n| n.is_punct('=') || n.is_punct('>'));
+        if is_assign && k + 1 < hi {
+            let rhs = encode_expr(toks, k + 1, hi);
+            let expr = if ops.is_empty() {
+                rhs
+            } else {
+                format!("{} {} ( {rhs} )", t.text, ops.join(" "))
+            };
+            out.push(BindSite {
+                name: t.text.clone(),
+                line: t.line,
+                expr,
+            });
+        }
+    }
+}
+
+/// Encodes an expression token span for [`BindSite::expr`]: texts
+/// space-joined, literals as `#`, oversized spans as the opaque `?`.
+fn encode_expr(toks: &[Tok], lo: usize, hi: usize) -> String {
+    if hi <= lo || hi - lo > MAX_EXPR_TOKS {
+        return "?".to_string();
+    }
+    let mut out = String::new();
+    for t in &toks[lo..hi] {
+        if !out.is_empty() {
+            out.push(' ');
+        }
+        if t.kind == TokKind::Lit {
+            out.push('#');
+        } else {
+            out.push_str(&t.text);
+        }
+    }
+    out
 }
 
 /// Whether the expression rooted at the ident at `j` stores into it: a
@@ -1382,6 +1766,20 @@ impl FileIndex {
                     "loops",
                     Json::array(f.loops.iter().map(|&l| Json::from(u64::from(l)))),
                 ),
+                (
+                    "params",
+                    Json::array(f.params.iter().map(|p| Json::from(p.as_str()))),
+                ),
+                (
+                    "binds",
+                    Json::array(f.binds.iter().map(|b| {
+                        Json::object([
+                            ("name", Json::from(b.name.as_str())),
+                            ("line", Json::from(u64::from(b.line))),
+                            ("expr", Json::from(b.expr.as_str())),
+                        ])
+                    })),
+                ),
             ])
         });
         Json::object([
@@ -1464,8 +1862,24 @@ impl FileIndex {
                             }),
                         ),
                         ("second_in_stmt", Json::from(l.second_in_stmt)),
+                        ("target", l.target.as_deref().map_or(Json::Null, Json::from)),
+                        (
+                            "held_target",
+                            l.held_target.as_deref().map_or(Json::Null, Json::from),
+                        ),
                     ])
                 })),
+            ),
+            (
+                // Values as hex strings: u64 consts can exceed f64's
+                // exact integer range, like the cache's content hashes.
+                "consts",
+                Json::Obj(
+                    self.consts
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Json::from(format!("{v:x}"))))
+                        .collect(),
+                ),
             ),
             (
                 "sync_typed",
@@ -1522,6 +1936,8 @@ impl FileIndex {
                 allocs: Vec::new(),
                 nondet: Vec::new(),
                 loops: Vec::new(),
+                params: Vec::new(),
+                binds: Vec::new(),
             };
             for c in f.get("calls")?.as_arr()? {
                 item.calls.push(CallSite {
@@ -1548,6 +1964,16 @@ impl FileIndex {
             }
             for l in f.get("loops")?.as_arr()? {
                 item.loops.push(u32::try_from(l.as_u64()?).ok()?);
+            }
+            for p in f.get("params")?.as_arr()? {
+                item.params.push(p.as_str()?.to_string());
+            }
+            for b in f.get("binds")?.as_arr()? {
+                item.binds.push(BindSite {
+                    name: b.get("name")?.as_str()?.to_string(),
+                    line: line_u32(b, "line")?,
+                    expr: b.get("expr")?.as_str()?.to_string(),
+                });
             }
             index.fns.push(item);
         }
@@ -1624,7 +2050,14 @@ impl FileIndex {
                 in_test: l.get("in_test")?.as_bool()?,
                 live_guard,
                 second_in_stmt: l.get("second_in_stmt")?.as_bool()?,
+                target: opt_str(l, "target")?,
+                held_target: opt_str(l, "held_target")?,
             });
+        }
+        for (k, v) in j.get("consts")?.as_obj()? {
+            index
+                .consts
+                .insert(k.clone(), u64::from_str_radix(v.as_str()?, 16).ok()?);
         }
         for (k, v) in j.get("sync_typed")?.as_obj()? {
             index.sync_typed.insert(k.clone(), v.as_str()?.to_string());
@@ -2030,6 +2463,7 @@ fn neither(x: u64) -> u64 { x }
     #[test]
     fn index_json_round_trips() {
         let src = "\
+const BANKS: u64 = 16;
 fn hot(ws: &mut Workspace) {
     // lint:hot-path
     ws.reset(SplitMix64::new(9));
@@ -2045,13 +2479,98 @@ fn capped(done: &AtomicUsize) -> usize {
     for i in 0..n { let _ = i; }
     n
 }
+fn slot(addr: u64) -> u64 {
+    let bank = (addr >> 10) % BANKS;
+    bank
+}
 ";
         let idx = parse(src);
         assert!(!idx.order_fences.is_empty());
         assert!(!idx.locks.is_empty());
         assert!(idx.spawns.iter().any(|s| !s.sync.is_empty()));
         assert!(idx.fns.iter().any(|f| !f.nondet.is_empty()));
+        assert!(idx.fns.iter().any(|f| !f.binds.is_empty()));
+        assert!(idx.fns.iter().any(|f| !f.params.is_empty()));
+        assert!(idx.locks.iter().any(|l| l.target.is_some()));
+        assert_eq!(idx.consts.get("BANKS"), Some(&16));
         let back = FileIndex::from_json(&idx.to_json()).expect("round trip");
         assert_eq!(back, idx);
+    }
+
+    #[test]
+    fn binds_capture_lets_assignments_returns_and_tails() {
+        let src = "\
+fn mix(block: u64, banks: u64) -> u64 {
+    let mut g = block ^ ( block >> 5 );
+    g ^= block >> 9;
+    if g > 100 {
+        return g & 0xFF;
+    }
+    g % banks
+}
+";
+        let idx = parse(src);
+        assert_eq!(idx.fns[0].params, vec!["block", "banks"]);
+        let binds: Vec<(&str, u32, &str)> = idx.fns[0]
+            .binds
+            .iter()
+            .map(|b| (b.name.as_str(), b.line, b.expr.as_str()))
+            .collect();
+        assert_eq!(
+            binds,
+            vec![
+                ("g", 2, "block ^ ( block > > 5 )"),
+                ("g", 3, "g ^ ( block > > 9 )"),
+                ("=ret", 5, "g & 0xFF"),
+                ("=ret", 7, "g % banks"),
+            ]
+        );
+    }
+
+    #[test]
+    fn binds_capture_tail_if_branches_per_branch() {
+        let src = "\
+fn pick(x: u64, fallback: u64) -> u64 {
+    if x > 3 {
+        x >> 2
+    } else {
+        fallback
+    }
+}
+";
+        let idx = parse(src);
+        let binds: Vec<(&str, &str)> = idx.fns[0]
+            .binds
+            .iter()
+            .map(|b| (b.name.as_str(), b.expr.as_str()))
+            .collect();
+        assert_eq!(binds, vec![("=ret", "x > > 2"), ("=ret", "fallback")]);
+    }
+
+    #[test]
+    fn lock_sites_record_targets_for_l3() {
+        let src = "\
+fn ab(a: &Mutex<u64>, b: &Mutex<u64>) {
+    let g = a.lock().unwrap();
+    let h = b.lock().unwrap();
+}
+fn indexed(slots: &[Mutex<u64>], i: usize) {
+    let g = slots[i].lock().unwrap();
+}
+";
+        let idx = parse(src);
+        let targets: Vec<(Option<&str>, Option<&str>)> = idx
+            .locks
+            .iter()
+            .map(|l| (l.target.as_deref(), l.held_target.as_deref()))
+            .collect();
+        assert_eq!(
+            targets,
+            vec![
+                (Some("a"), None),
+                (Some("b"), Some("a")),
+                (Some("slots"), None),
+            ]
+        );
     }
 }

@@ -91,6 +91,7 @@ pub fn analyze(path_rel: &str, src: &str) -> Analysis {
     check_locks(path_rel, &index, &mut findings);
     check_spawn_sync(path_rel, &index, &mut findings);
     check_order_fences(path_rel, &index, &mut findings);
+    crate::absint::check_units(path_rel, &file.toks, &index, &mut findings);
 
     waiver::apply_inline(&mut findings, &index.waivers);
     crate::findings::sort_dedup(&mut findings);

@@ -39,6 +39,36 @@ pub fn shrink(x: f64) -> f64 {
 }
 ";
 
+/// B1 caller: channel selector from bits 8–11, bank index delegated to
+/// a helper in another file — the cross-file summary carries the lanes.
+const B1_CALLER: &str = "\
+pub fn place(addr: u64) -> (u64, u64) {
+    let chan = (addr >> 8) & 0xF;
+    let bank = pick_bank(addr);
+    (chan, bank)
+}
+";
+
+/// Correlated callee: bank from `row % 16` = address bits 10–13,
+/// overlapping the caller's channel lanes.
+const BANK_CORRELATED: &str = "\
+pub fn pick_bank(addr: u64) -> u64 {
+    let row = addr >> 10;
+    row % 16
+}
+";
+
+/// Decorrelated callee: the block fold mixes disjoint higher bits into
+/// the lane before the modulus.
+const BANK_DECORRELATED: &str = "\
+pub fn pick_bank(addr: u64) -> u64 {
+    let row = addr >> 10;
+    let block = row >> 4;
+    let mix = block ^ (block >> 5) ^ (block >> 9);
+    (row + mix) % 16
+}
+";
+
 fn write(root: &Path, rel: &str, text: &str) {
     let path = root.join(rel);
     fs::create_dir_all(path.parent().unwrap()).unwrap();
@@ -108,6 +138,45 @@ fn editing_one_file_relints_only_it_and_updates_cross_file_h2() {
     );
     // The unrelated D3 finding in the untouched file survives from cache.
     assert!(third.findings.iter().any(|f| f.rule == Rule::F32Truncation));
+}
+
+#[test]
+fn editing_a_callee_lane_summary_updates_cross_file_b1_from_cache() {
+    let root = mini_workspace("cache-lanes");
+    write(&root, "crates/demo/src/place.rs", B1_CALLER);
+    write(&root, "crates/demo/src/bank.rs", BANK_CORRELATED);
+    let b1_lines = |report: &ehp_lint::LintReport| -> Vec<(String, u32)> {
+        report
+            .findings
+            .iter()
+            .filter(|f| f.rule == Rule::CorrelatedSelectors)
+            .map(|f| (f.path.clone(), f.line))
+            .collect()
+    };
+
+    let first = lint_workspace(&cfg(&root)).unwrap();
+    assert_eq!(first.cache_misses, 5);
+    assert_eq!(
+        b1_lines(&first),
+        vec![("crates/demo/src/place.rs".to_string(), 3)],
+        "the correlated callee's summary reaches the caller's selector pair"
+    );
+
+    // Warm rerun: everything from cache, same B1 conclusion, same bytes.
+    let second = lint_workspace(&cfg(&root)).unwrap();
+    assert_eq!((second.cache_hits, second.cache_misses), (5, 0));
+    assert_eq!(
+        first.to_json().to_string_pretty(),
+        second.to_json().to_string_pretty()
+    );
+
+    // Decorrelate the callee: only bank.rs re-lints, yet the B1 rooted
+    // in the *unchanged* caller disappears — lane summaries are
+    // recomputed from cached indexes, never cached themselves.
+    write(&root, "crates/demo/src/bank.rs", BANK_DECORRELATED);
+    let third = lint_workspace(&cfg(&root)).unwrap();
+    assert_eq!((third.cache_hits, third.cache_misses), (4, 1));
+    assert_eq!(b1_lines(&third), vec![], "{:?}", third.findings);
 }
 
 #[test]

@@ -222,6 +222,95 @@ fn l2_spawn_merge_fires_only_without_a_drain() {
 }
 
 #[test]
+fn b1_retro_fixture_catches_the_pr8_interleave_bug_with_both_chains() {
+    let src = fixture("b1_correlated.rs");
+    let findings = lint_sources(&[("fixtures/b1_correlated.rs", &src)]);
+    assert_eq!(findings.len(), 1, "{findings:?}");
+    let f = &findings[0];
+    assert_eq!(f.rule, Rule::CorrelatedSelectors);
+    assert_eq!((f.path.as_str(), f.line), ("fixtures/b1_correlated.rs", 20));
+    assert!(f.message.contains("bits 10-11"), "{}", f.message);
+    assert_eq!(
+        f.chain,
+        vec![
+            "fixtures/b1_correlated.rs:18 `chan` ← bits 8-11 of `addr`",
+            "fixtures/b1_correlated.rs:20 `bank` ← bits 10-13 of `addr`",
+        ],
+        "both derivation chains are the evidence"
+    );
+    // The decorrelated version (XOR-folded block bits) stays clean —
+    // its only finding would be a second B1, and there is none.
+    let text = f.render();
+    assert!(text.contains("via fixtures/b1_correlated.rs:18"), "{text}");
+}
+
+#[test]
+fn b2_lossy_narrowing_fires_on_discarded_lanes_only() {
+    let src = fixture("b2_narrowing.rs");
+    let findings = lint_sources(&[("fixtures/b2_narrowing.rs", &src)]);
+    let fired: Vec<(Rule, u32)> = findings.iter().map(|f| (f.rule, f.line)).collect();
+    assert_eq!(
+        fired,
+        vec![(Rule::LossyNarrowing, 11)],
+        "`lossy` keeps 2 of the 4 bits its 16-slot selector needs; \
+         `fine` keeps all 4 and stays clean: {findings:?}"
+    );
+    assert!(
+        findings[0].message.contains("16 slots"),
+        "{}",
+        findings[0].message
+    );
+    assert!(
+        findings[0].message.contains("bits 6-7 of `addr`"),
+        "{}",
+        findings[0].message
+    );
+}
+
+#[test]
+fn u1_unit_mixing_fires_on_suffixes_and_newtypes_not_conversions() {
+    assert_eq!(
+        fired("u1_units.rs"),
+        vec![(Rule::UnitMixing, 10, false), (Rule::UnitMixing, 15, false)],
+        "ns+cycles and SimTime-cycles fire; multiplying through a rate \
+         and adding bytes to bytes do not"
+    );
+}
+
+#[test]
+fn l3_lock_order_cycle_reported_once_with_both_witnesses() {
+    let ab = fixture("l3_order_ab.rs");
+    let ba = fixture("l3_order_ba.rs");
+    let findings = lint_sources(&[
+        ("fixtures/l3_order_ab.rs", &ab),
+        ("fixtures/l3_order_ba.rs", &ba),
+    ]);
+    let fired: Vec<(Rule, &str, u32)> = findings
+        .iter()
+        .map(|f| (f.rule, f.path.as_str(), f.line))
+        .collect();
+    assert_eq!(
+        fired,
+        vec![
+            (Rule::LockDiscipline, "fixtures/l3_order_ab.rs", 9),
+            (Rule::LockOrder, "fixtures/l3_order_ab.rs", 9),
+            (Rule::LockDiscipline, "fixtures/l3_order_ba.rs", 8),
+        ],
+        "the nested guards each fire L1; the cycle fires L3 exactly once: {findings:?}"
+    );
+    let l3 = &findings[1];
+    assert_eq!(
+        l3.chain,
+        vec![
+            "fixtures/l3_order_ab.rs:9 `stats` acquired while holding `queue`",
+            "fixtures/l3_order_ba.rs:8 `queue` acquired while holding `stats`",
+        ],
+        "both acquisition sites are the evidence"
+    );
+    assert!(l3.message.contains("deadlock"), "{}", l3.message);
+}
+
+#[test]
 fn inline_waivers_mark_findings_without_dropping_them() {
     assert_eq!(
         fired("inline_waiver.rs"),

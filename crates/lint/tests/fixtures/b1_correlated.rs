@@ -1,0 +1,31 @@
+//! B1 retro-fixture: the pre-PR-8 socket-interleave bug, preserved.
+//!
+//! `place_correlated` is the shape the tree shipped for seven PRs: the
+//! channel selector reads address bits 8–11 while the bank index is
+//! `row % 16` with 1 KiB rows — address bits 10–13. The lane sets
+//! share bits 10–11, so conditioning on a channel pins two bank bits
+//! and only 4 of 16 banks per channel ever see traffic. B1 must fire
+//! here with both derivation chains as evidence.
+//!
+//! `place_decorrelated` is the post-fix shape: the bank lane XOR-folds
+//! the block index's disjoint higher bits (the `bank_mix` pattern in
+//! `crates/mem/src/channel.rs`) before the modulus, and must stay
+//! clean.
+
+const ROW_BYTES: u64 = 1024;
+
+pub fn place_correlated(addr: u64) -> (u64, u64) {
+    let chan = (addr >> 8) & 0xF;
+    let row = addr / ROW_BYTES;
+    let bank = row % 16;
+    (chan, bank)
+}
+
+pub fn place_decorrelated(addr: u64) -> (u64, u64) {
+    let chan = (addr >> 8) & 0xF;
+    let row = addr / ROW_BYTES;
+    let block = row >> 4;
+    let mix = block ^ (block >> 5) ^ (block >> 9) ^ (block >> 13);
+    let bank = (row + mix) % 16;
+    (chan, bank)
+}

@@ -1,0 +1,18 @@
+//! B2 fixture: a selector whose range outruns its surviving lanes.
+//!
+//! `lossy` casts the address to `u8` (keeping bits 0–7) and then
+//! builds a 16-slot selector from bits 6–7 of what's left: only 2
+//! source bits feed a 4-bit selector, so 12 of the 16 slots are
+//! unreachable. `fine` draws its 16 slots from 4 live bits and must
+//! stay clean.
+
+pub fn lossy(addr: u64) -> u64 {
+    let narrow = addr as u8 as u64;
+    let slot = (narrow >> 6) & 0xF;
+    slot
+}
+
+pub fn fine(addr: u64) -> u64 {
+    let slot = (addr >> 6) & 0xF;
+    slot
+}

@@ -1,0 +1,11 @@
+//! L3 fixture, half one: acquires `stats` while holding `queue`.
+//! Together with `l3_order_ba.rs` (the opposite order) this closes a
+//! two-lock cycle in the workspace acquisition-order graph.
+
+use std::sync::Mutex;
+
+pub fn drain(queue: &Mutex<Vec<u64>>, stats: &Mutex<u64>) {
+    let q = queue.lock().unwrap();
+    let mut s = stats.lock().unwrap();
+    *s += q.len() as u64;
+}

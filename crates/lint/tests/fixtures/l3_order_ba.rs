@@ -1,0 +1,11 @@
+//! L3 fixture, half two: acquires `queue` while holding `stats` — the
+//! reverse of `l3_order_ab.rs`, completing the deadlock cycle.
+
+use std::sync::Mutex;
+
+pub fn publish(queue: &Mutex<Vec<u64>>, stats: &Mutex<u64>) {
+    let mut s = stats.lock().unwrap();
+    let mut q = queue.lock().unwrap();
+    q.push(*s);
+    *s = 0;
+}

@@ -1,0 +1,26 @@
+//! U1 fixture: additive arithmetic across units of measure.
+//!
+//! `mixes` adds a nanosecond latency to a cycle count — fires.
+//! `drains` subtracts a cycle count from a `SimTime`-typed deadline
+//! (dimension from the newtype, not a suffix) — fires. `converts`
+//! multiplies through a rate (dimension legitimately changes) and
+//! `accumulates` adds like to like — both stay clean.
+
+pub fn mixes(lat_ns: u64, window_cycles: u64) -> u64 {
+    let total = lat_ns + window_cycles;
+    total
+}
+
+pub fn drains(deadline: SimTime, spent_cycles: u64) -> u64 {
+    let slack = deadline - spent_cycles;
+    slack
+}
+
+pub fn converts(lat_ns: u64, clock_ghz: u64) -> u64 {
+    let lat_cycles = lat_ns * clock_ghz;
+    lat_cycles
+}
+
+pub fn accumulates(total_bytes: u64, delta_bytes: u64) -> u64 {
+    total_bytes + delta_bytes
+}
